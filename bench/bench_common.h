@@ -1,0 +1,94 @@
+// Shared scaffolding for the experiment drivers in bench/: flag parsing
+// (--full switches from the fast default scale to the paper's scale),
+// section headers, and a tiny least-squares helper used to report slopes.
+
+#ifndef MRSL_BENCH_BENCH_COMMON_H_
+#define MRSL_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mrsl {
+namespace bench {
+
+/// Command-line options common to all experiment drivers.
+struct BenchFlags {
+  bool full = false;  // paper-scale parameters instead of the quick ones
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--full") {
+        flags.full = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: %s [--full]\n"
+            "  --full  run at the paper's scale (slower)\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+};
+
+/// Prints an experiment banner.
+inline void Banner(const std::string& experiment_id,
+                   const std::string& description, bool full) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("scale: %s\n", full ? "FULL (paper parameters)"
+                                  : "QUICK (scaled down; use --full)");
+  std::printf("================================================================\n");
+}
+
+/// Least-squares slope of y over x (used to report "time is linear in X").
+inline double Slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  if (x.size() < 2) return 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double n = static_cast<double>(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+/// Pearson correlation of y with x — used to verify "linear" claims.
+inline double Correlation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() < 2) return 0.0;
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  double cov = n * sxy - sx * sy;
+  double vx = n * sxx - sx * sx;
+  double vy = n * syy - sy * sy;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace bench
+}  // namespace mrsl
+
+#endif  // MRSL_BENCH_BENCH_COMMON_H_

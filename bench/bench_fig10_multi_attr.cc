@@ -1,0 +1,100 @@
+// Fig 10: prediction accuracy of multi-variable (Gibbs) inference for
+// BN8, BN17 and BN2, as a function of the number of sampled points per
+// tuple and the number of missing attributes.
+//
+// Paper shapes: KL decreases as samples grow; fewer missing attributes
+// yield lower KL; BN17 (larger network) is less accurate than BN8; BN2
+// is the reported outlier with flatter curves.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "expfw/runner.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrsl;
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("Fig 10", "multi-attribute (Gibbs) inference accuracy",
+                flags.full);
+
+  const size_t train = flags.full ? 100000 : 10000;
+  std::vector<size_t> samples =
+      flags.full ? std::vector<size_t>{100, 500, 1000, 2000, 5000}
+                 : std::vector<size_t>{100, 500, 2000};
+  RepetitionOptions reps;
+  reps.num_instances = flags.full ? 3 : 1;
+  reps.num_splits = flags.full ? 3 : 2;
+  reps.max_eval_tuples = flags.full ? 150 : 60;
+
+  struct NetCase {
+    const char* name;
+    std::vector<size_t> missing;
+  };
+  const std::vector<NetCase> cases = {
+      {"BN8", {2, 3}},
+      {"BN17", {2, 3, 5}},
+      {"BN2", {2, 3, 4}},
+  };
+
+  bool kl_falls_with_samples = true;
+  bool fewer_missing_better_bn8 = true;
+  double bn8_kl_2miss = 0.0;
+  double bn17_kl_2miss = 0.0;
+
+  for (const NetCase& c : cases) {
+    std::printf("\n%s (train=%zu, support=0.001, tuple-DAG sampling):\n",
+                c.name, train);
+    TablePrinter table({"points/tuple", "missing", "avg KL", "top-1"});
+    for (size_t miss : c.missing) {
+      double first_kl = -1.0;
+      double last_kl = -1.0;
+      for (size_t n : samples) {
+        MultiAttrConfig config;
+        config.network = c.name;
+        config.train_size = train;
+        config.support = 0.001;
+        config.num_missing = miss;
+        config.gibbs.burn_in = 100;
+        config.gibbs.samples = n;
+        config.mode = SamplingMode::kTupleDag;
+        config.reps = reps;
+        auto r = RunMultiAttrExperiment(config);
+        if (!r.ok()) {
+          std::fprintf(stderr, "experiment failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        table.AddRow({std::to_string(n), std::to_string(miss),
+                      FormatDouble(r->kl, 4), FormatDouble(r->top1, 3)});
+        if (first_kl < 0) first_kl = r->kl;
+        last_kl = r->kl;
+        if (std::string(c.name) == "BN8" && miss == 2 &&
+            n == samples.back()) {
+          bn8_kl_2miss = r->kl;
+        }
+        if (std::string(c.name) == "BN17" && miss == 2 &&
+            n == samples.back()) {
+          bn17_kl_2miss = r->kl;
+        }
+      }
+      // BN2 is the paper's outlier; only check the trend elsewhere.
+      if (std::string(c.name) != "BN2" && last_kl > first_kl + 0.02) {
+        kl_falls_with_samples = false;
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  std::printf(
+      "\nFINDING: KL %s with more samples per tuple (paper: decreases);\n"
+      "BN8 at 2 missing reaches KL %.3f vs BN17's %.3f (paper: the larger\n"
+      "network is less accurate).%s\n",
+      kl_falls_with_samples ? "falls or holds" : "RISES",
+      bn8_kl_2miss, bn17_kl_2miss,
+      fewer_missing_better_bn8 ? "" : " (missing-count trend violated)");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Fig 11: efficiency of multi-variable inference — total sample size and
+// wall-clock time as a function of workload size, tuple-at-a-time vs the
+// tuple-DAG optimization (500 points per tuple).
+//
+// Paper shapes: both metrics grow linearly with workload size; tuple-DAG
+// clearly outperforms tuple-at-a-time with a much lower slope (close to
+// an order of magnitude on sample counts), at identical accuracy.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/learner.h"
+#include "core/workload.h"
+#include "expfw/datagen.h"
+#include "expfw/networks.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrsl;
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("Fig 11", "tuple-DAG vs tuple-at-a-time sampling cost",
+                flags.full);
+
+  const char* net = "BN17";  // 8 binary attrs: rich subsumption structure
+  const size_t train = flags.full ? 50000 : 10000;
+  std::vector<size_t> workload_sizes =
+      flags.full ? std::vector<size_t>{500, 1000, 2000, 3000}
+                 : std::vector<size_t>{250, 500, 1000};
+
+  auto spec = NetworkByName(net);
+  if (!spec.ok()) return 1;
+  Rng rng(0xF11);
+  BayesNet bn = BayesNet::RandomInstance(spec->topology, &rng);
+  DatasetOptions ds_opts;
+  ds_opts.train_size = train;
+  ds_opts.num_missing = 1;  // re-masked below with varying counts
+  auto ds = GenerateDataset(bn, ds_opts, &rng);
+  if (!ds.ok()) return 1;
+  LearnOptions learn;
+  learn.support_threshold = 0.005;
+  auto model = LearnModel(ds->train, learn);
+  if (!model.ok()) return 1;
+
+  // Workload with a varying number of missing values per tuple (1 to
+  // networkSize-1, as in the paper), drawn from fresh samples.
+  const size_t n_attrs = spec->topology.num_vars();
+  std::vector<Tuple> pool;
+  Rng mask_rng(0xABCD);
+  while (pool.size() < workload_sizes.back()) {
+    Tuple t = bn.ForwardSample(&mask_rng);
+    size_t num_missing =
+        1 + static_cast<size_t>(mask_rng.UniformInt(n_attrs - 1));
+    std::vector<AttrId> attrs(n_attrs);
+    for (size_t i = 0; i < n_attrs; ++i) attrs[i] = static_cast<AttrId>(i);
+    mask_rng.Shuffle(&attrs);
+    for (size_t k = 0; k < num_missing; ++k) {
+      t.set_value(attrs[k], kMissingValue);
+    }
+    pool.push_back(std::move(t));
+  }
+
+  TablePrinter table({"workload", "mode", "points sampled", "shared",
+                      "wall (s)", "points/tuple"});
+  std::vector<double> x;
+  std::vector<double> base_points;
+  std::vector<double> dag_points;
+  std::vector<double> base_secs;
+  std::vector<double> dag_secs;
+
+  for (size_t w : workload_sizes) {
+    std::vector<Tuple> workload(pool.begin(),
+                                pool.begin() + static_cast<long>(w));
+    for (SamplingMode mode :
+         {SamplingMode::kTupleAtATime, SamplingMode::kTupleDag}) {
+      WorkloadOptions opts;
+      opts.gibbs.burn_in = 100;
+      opts.gibbs.samples = 500;  // the paper's 500 points per tuple
+      opts.gibbs.seed = 0xBEEF;
+      // The paper's prototype recomputes each conditional estimate, so
+      // its wall time tracks the number of sampled points. Our CPD cache
+      // (bench_ablation item 2) would hide exactly the effect Fig 11
+      // isolates; disable it here.
+      opts.gibbs.enable_cpd_cache = false;
+      WorkloadStats stats;
+      auto dists = RunWorkload(*model, workload, mode, opts, &stats);
+      if (!dists.ok()) {
+        std::fprintf(stderr, "workload failed: %s\n",
+                     dists.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow(
+          {std::to_string(w), SamplingModeName(mode),
+           std::to_string(stats.points_sampled),
+           std::to_string(stats.shared_samples),
+           FormatDouble(stats.wall_seconds, 3),
+           FormatDouble(static_cast<double>(stats.points_sampled) /
+                            static_cast<double>(stats.distinct_tuples),
+                        1)});
+      if (mode == SamplingMode::kTupleAtATime) {
+        base_points.push_back(static_cast<double>(stats.points_sampled));
+        base_secs.push_back(stats.wall_seconds);
+      } else {
+        dag_points.push_back(static_cast<double>(stats.points_sampled));
+        dag_secs.push_back(stats.wall_seconds);
+      }
+    }
+    x.push_back(static_cast<double>(w));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  double point_ratio = base_points.back() / dag_points.back();
+  double time_ratio =
+      dag_secs.back() > 0 ? base_secs.back() / dag_secs.back() : 0.0;
+  std::printf(
+      "\nFINDING: sample size grows linearly in workload size for both\n"
+      "modes (r=%.2f baseline, r=%.2f DAG); at the largest workload the\n"
+      "tuple-DAG draws %.1fx fewer points and runs %.1fx faster\n"
+      "(paper: close to an order of magnitude, identical accuracy).\n",
+      bench::Correlation(x, base_points), bench::Correlation(x, dag_points),
+      point_ratio, time_ratio);
+  return 0;
+}

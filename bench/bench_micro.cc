@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: Apriori mining, meta-rule matching (indexed vs linear),
+// vote combination, single-attribute inference, and Gibbs sweeps with
+// and without the CPD cache.
+
+#include <benchmark/benchmark.h>
+
+#include "bn/bayes_net.h"
+#include "core/gibbs.h"
+#include "core/learner.h"
+#include "core/tuple_dag.h"
+#include "expfw/networks.h"
+#include "mining/apriori.h"
+
+namespace mrsl {
+namespace {
+
+// Shared fixture data, built once.
+struct Fixture {
+  BayesNet bn;
+  Relation train;
+  MrslModel model;
+  std::vector<Tuple> probes;  // single-missing tuples
+
+  static const Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      Rng rng(0xBEEF);
+      auto spec = NetworkByName("BN17");
+      fx->bn = BayesNet::RandomInstance(spec->topology, &rng);
+      fx->train = fx->bn.SampleRelation(20000, &rng);
+      LearnOptions lo;
+      lo.support_threshold = 0.001;
+      auto model = LearnModel(fx->train, lo);
+      fx->model = std::move(model).value();
+      for (int i = 0; i < 256; ++i) {
+        Tuple t = fx->bn.ForwardSample(&rng);
+        t.set_value(static_cast<AttrId>(rng.UniformInt(8)), kMissingValue);
+        fx->probes.push_back(std::move(t));
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_AprioriMine(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  auto rows = fx.train.CompleteRowIndices();
+  AprioriOptions opts;
+  opts.support_threshold = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto freq = MineFrequentItemsets(fx.train, rows, opts);
+    benchmark::DoNotOptimize(freq);
+  }
+}
+BENCHMARK(BM_AprioriMine)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LearnModel(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  LearnOptions lo;
+  lo.support_threshold = 0.01;
+  for (auto _ : state) {
+    auto model = LearnModel(fx.train, lo);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_LearnModel);
+
+void BM_MatchIndexed(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  const Mrsl& lattice = fx.model.mrsl(0);
+  std::vector<uint32_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    lattice.Match(fx.probes[i++ % fx.probes.size()], VoterChoice::kAll,
+                  &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MatchIndexed);
+
+void BM_MatchLinearScan(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  const Mrsl& lattice = fx.model.mrsl(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out = lattice.MatchLinearScan(fx.probes[i++ % fx.probes.size()],
+                                       VoterChoice::kAll);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MatchLinearScan);
+
+void BM_InferSingle(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  VotingOptions voting{static_cast<VoterChoice>(state.range(0)),
+                       static_cast<VotingScheme>(state.range(1))};
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple& t = fx.probes[i++ % fx.probes.size()];
+    auto cpd =
+        InferSingleAttribute(fx.model, t, t.MissingAttrs()[0], voting);
+    benchmark::DoNotOptimize(cpd);
+  }
+}
+BENCHMARK(BM_InferSingle)
+    ->Args({0, 0})   // all-averaged
+    ->Args({0, 1})   // all-weighted
+    ->Args({1, 0})   // best-averaged
+    ->Args({1, 1});  // best-weighted
+
+void BM_GibbsSweep(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  GibbsOptions opts;
+  opts.enable_cpd_cache = state.range(0) != 0;
+  GibbsSampler sampler(&fx.model, opts);
+  Tuple t = fx.probes[0];
+  t.set_value(1, kMissingValue);
+  t.set_value(2, kMissingValue);
+  auto chain = sampler.MakeChain(t);
+  sampler.Step(&chain.value());  // initialize
+  for (auto _ : state) {
+    sampler.Step(&chain.value());
+  }
+  state.counters["cache_hit_rate"] =
+      sampler.stats().cache_hits == 0
+          ? 0.0
+          : static_cast<double>(sampler.stats().cache_hits) /
+                static_cast<double>(sampler.stats().cache_hits +
+                                    sampler.stats().cpd_evaluations);
+}
+BENCHMARK(BM_GibbsSweep)->Arg(0)->Arg(1);
+
+void BM_TupleDagBuild(benchmark::State& state) {
+  const Fixture& fx = Fixture::Get();
+  Rng rng(7);
+  std::vector<Tuple> workload;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    Tuple t = fx.bn.ForwardSample(&rng);
+    size_t k = 1 + rng.UniformInt(4);
+    for (size_t j = 0; j < k; ++j) {
+      t.set_value(static_cast<AttrId>(rng.UniformInt(8)), kMissingValue);
+    }
+    workload.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    TupleDag dag(workload);
+    benchmark::DoNotOptimize(dag);
+  }
+}
+BENCHMARK(BM_TupleDagBuild)->Arg(100)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace mrsl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Parallel workload scaling: RunWorkloadParallel partitions the tuple
+// DAG into independent components and fans them out across threads with
+// bit-reproducible results. This bench measures the speedup and verifies
+// thread-count invariance of the outputs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "core/workload_parallel.h"
+#include "expfw/networks.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrsl;
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("Parallel", "tuple-DAG inference across worker threads",
+                flags.full);
+
+  // A higher-cardinality network keeps evidence combinations distinct,
+  // so the subsumption DAG fragments into many independent components —
+  // the regime where component-parallelism pays off.
+  auto spec = NetworkByName("BN15");
+  Rng rng(0x9A11);
+  BayesNet bn = BayesNet::RandomInstance(spec->topology, &rng);
+  Relation train = bn.SampleRelation(flags.full ? 50000 : 15000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.005;
+  auto model = LearnModel(train, lo);
+  if (!model.ok()) return 1;
+
+  const size_t workload_size = flags.full ? 3000 : 800;
+  std::vector<Tuple> workload;
+  Rng wrng(0x9A12);
+  while (workload.size() < workload_size) {
+    Tuple t = bn.ForwardSample(&wrng);
+    size_t k = 1 + wrng.UniformInt(2);
+    for (size_t j = 0; j < k; ++j) {
+      t.set_value(static_cast<AttrId>(wrng.UniformInt(6)), kMissingValue);
+    }
+    workload.push_back(std::move(t));
+  }
+
+  WorkloadOptions opts;
+  opts.gibbs.samples = flags.full ? 500 : 300;
+  opts.gibbs.burn_in = 50;
+  opts.gibbs.enable_cpd_cache = false;  // keep per-sweep work visible
+
+  TablePrinter table({"threads", "wall (s)", "speedup", "identical output"});
+  std::vector<JointDist> reference;
+  double base_secs = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    WorkloadStats stats;
+    auto dists = RunWorkloadParallel(*model, workload,
+                                     SamplingMode::kTupleDag, opts,
+                                     threads, &stats);
+    if (!dists.ok()) {
+      std::fprintf(stderr, "failed: %s\n",
+                   dists.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (threads == 1) {
+      reference = *dists;
+      base_secs = stats.wall_seconds;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i].probs() != (*dists)[i].probs()) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    table.AddRow({std::to_string(threads),
+                  FormatDouble(stats.wall_seconds, 3),
+                  FormatDouble(base_secs / stats.wall_seconds, 2),
+                  threads == 1 ? "(reference)" : (identical ? "yes" : "NO")});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nFINDING: DAG components parallelize with deterministic,\n"
+      "thread-count-independent output (per-component seeds); speedup is\n"
+      "bounded by the largest component and thread count.\n");
+  return 0;
+}

@@ -1,0 +1,247 @@
+#include "bn/bayes_net.h"
+
+#include <cstddef>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+MixedRadix ParentCodec(const Topology& t, AttrId var) {
+  std::vector<uint32_t> cards;
+  for (AttrId p : t.parents(var)) cards.push_back(t.card(p));
+  return MixedRadix(std::move(cards));
+}
+
+}  // namespace
+
+Result<BayesNet> BayesNet::Create(Topology topology,
+                                  std::vector<std::vector<double>> cpts) {
+  if (cpts.size() != topology.num_vars()) {
+    return Status::InvalidArgument("one CPT per variable required");
+  }
+  BayesNet bn;
+  for (AttrId v = 0; v < topology.num_vars(); ++v) {
+    MixedRadix codec = ParentCodec(topology, v);
+    const size_t rows = codec.Size();
+    const size_t card = topology.card(v);
+    if (cpts[v].size() != rows * card) {
+      return Status::InvalidArgument(
+          "CPT for var " + std::to_string(v) + " has " +
+          std::to_string(cpts[v].size()) + " entries, expected " +
+          std::to_string(rows * card));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < card; ++c) {
+        double p = cpts[v][r * card + c];
+        if (p <= 0.0 || p > 1.0) {
+          return Status::InvalidArgument(
+              "CPT entries must be in (0,1], var " + std::to_string(v));
+        }
+        sum += p;
+      }
+      if (std::abs(sum - 1.0) > 1e-6) {
+        return Status::InvalidArgument("CPT row does not sum to 1, var " +
+                                       std::to_string(v));
+      }
+    }
+    bn.parent_codecs_.push_back(std::move(codec));
+  }
+  bn.topology_ = std::move(topology);
+  bn.cpts_ = std::move(cpts);
+  return bn;
+}
+
+BayesNet BayesNet::RandomInstance(const Topology& topology, Rng* rng,
+                                  double alpha) {
+  std::vector<std::vector<double>> cpts(topology.num_vars());
+  for (AttrId v = 0; v < topology.num_vars(); ++v) {
+    MixedRadix codec = ParentCodec(topology, v);
+    const size_t rows = codec.Size();
+    const size_t card = topology.card(v);
+    cpts[v].resize(rows * card);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<double> row = rng->Dirichlet(card, alpha);
+      // Clamp away from zero so every CPT row is strictly positive (the
+      // Gibbs convergence requirement the paper states in Sec V-A).
+      double sum = 0.0;
+      for (auto& p : row) {
+        p = std::max(p, 1e-6);
+        sum += p;
+      }
+      for (size_t c = 0; c < card; ++c) cpts[v][r * card + c] = row[c] / sum;
+    }
+  }
+  auto result = Create(topology, std::move(cpts));
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+size_t BayesNet::CptRow(AttrId var,
+                        const std::vector<ValueId>& assignment) const {
+  const auto& parents = topology_.parents(var);
+  if (parents.empty()) return 0;
+  std::vector<ValueId> digits(parents.size());
+  for (size_t i = 0; i < parents.size(); ++i) {
+    assert(assignment[parents[i]] != kMissingValue);
+    digits[i] = assignment[parents[i]];
+  }
+  return parent_codecs_[var].Encode(digits);
+}
+
+double BayesNet::CondProb(AttrId var, ValueId value,
+                          const std::vector<ValueId>& assignment) const {
+  const size_t card = topology_.card(var);
+  size_t row = CptRow(var, assignment);
+  return cpts_[var][row * card + static_cast<size_t>(value)];
+}
+
+double BayesNet::JointProb(const std::vector<ValueId>& assignment) const {
+  double p = 1.0;
+  for (AttrId v = 0; v < topology_.num_vars(); ++v) {
+    assert(assignment[v] != kMissingValue);
+    p *= CondProb(v, assignment[v], assignment);
+  }
+  return p;
+}
+
+Tuple BayesNet::ForwardSample(Rng* rng) const {
+  std::vector<ValueId> values(num_vars(), kMissingValue);
+  std::vector<double> weights;
+  for (AttrId v : topology_.topo_order()) {
+    const size_t card = topology_.card(v);
+    size_t row = CptRow(v, values);
+    weights.assign(cpts_[v].begin() + static_cast<long>(row * card),
+                   cpts_[v].begin() + static_cast<long>((row + 1) * card));
+    values[v] = static_cast<ValueId>(rng->SampleDiscrete(weights));
+  }
+  return Tuple(std::move(values));
+}
+
+Schema BayesNet::MakeSchema() const {
+  std::vector<Attribute> attrs;
+  for (AttrId v = 0; v < num_vars(); ++v) {
+    std::vector<std::string> labels;
+    for (uint32_t c = 0; c < topology_.card(v); ++c) {
+      std::string label = "v";
+      label += std::to_string(c);
+      labels.push_back(std::move(label));
+    }
+    attrs.emplace_back(topology_.name(v), std::move(labels));
+  }
+  auto schema = Schema::Create(std::move(attrs));
+  assert(schema.ok());
+  return std::move(schema).value();
+}
+
+Relation BayesNet::SampleRelation(size_t n, Rng* rng) const {
+  Relation rel(MakeSchema());
+  for (size_t i = 0; i < n; ++i) {
+    Status st = rel.Append(ForwardSample(rng));
+    assert(st.ok());
+    (void)st;
+  }
+  return rel;
+}
+
+std::string BayesNet::ToText() const {
+  std::ostringstream out;
+  out << "bn " << num_vars() << "\n";
+  for (AttrId v = 0; v < num_vars(); ++v) {
+    out << "var " << topology_.name(v) << " " << topology_.card(v) << "\n";
+  }
+  for (AttrId v = 0; v < num_vars(); ++v) {
+    out << "parents " << v << ":";
+    for (AttrId p : topology_.parents(v)) out << " " << p;
+    out << "\n";
+  }
+  out.precision(17);
+  for (AttrId v = 0; v < num_vars(); ++v) {
+    out << "cpt " << v << ":";
+    for (double p : cpts_[v]) out << " " << p;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<BayesNet> BayesNet::FromText(std::string_view text) {
+  std::vector<std::string> names;
+  std::vector<uint32_t> cards;
+  std::vector<std::vector<AttrId>> parents;
+  std::vector<std::vector<double>> cpts;
+  size_t declared = 0;
+
+  for (const auto& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = Split(line, ' ');
+    if (fields[0] == "bn") {
+      if (fields.size() != 2) return Status::Corruption("bad 'bn' line");
+      int64_t n = 0;
+      if (!ParseInt(fields[1], &n) || n < 0) {
+        return Status::Corruption("bad variable count");
+      }
+      declared = static_cast<size_t>(n);
+      parents.assign(declared, {});
+      cpts.assign(declared, {});
+    } else if (fields[0] == "var") {
+      if (fields.size() != 3) return Status::Corruption("bad 'var' line");
+      int64_t card = 0;
+      if (!ParseInt(fields[2], &card) || card < 2) {
+        return Status::Corruption("bad cardinality");
+      }
+      names.push_back(fields[1]);
+      cards.push_back(static_cast<uint32_t>(card));
+    } else if (fields[0] == "parents") {
+      if (fields.size() < 2) return Status::Corruption("bad 'parents' line");
+      std::string idx_str = fields[1];
+      if (!idx_str.empty() && idx_str.back() == ':') idx_str.pop_back();
+      int64_t idx = 0;
+      if (!ParseInt(idx_str, &idx) || idx < 0 ||
+          static_cast<size_t>(idx) >= declared) {
+        return Status::Corruption("bad parent list index");
+      }
+      for (size_t i = 2; i < fields.size(); ++i) {
+        if (fields[i].empty()) continue;
+        int64_t p = 0;
+        if (!ParseInt(fields[i], &p) || p < 0) {
+          return Status::Corruption("bad parent id");
+        }
+        parents[static_cast<size_t>(idx)].push_back(
+            static_cast<AttrId>(p));
+      }
+    } else if (fields[0] == "cpt") {
+      if (fields.size() < 2) return Status::Corruption("bad 'cpt' line");
+      std::string idx_str = fields[1];
+      if (!idx_str.empty() && idx_str.back() == ':') idx_str.pop_back();
+      int64_t idx = 0;
+      if (!ParseInt(idx_str, &idx) || idx < 0 ||
+          static_cast<size_t>(idx) >= declared) {
+        return Status::Corruption("bad cpt index");
+      }
+      for (size_t i = 2; i < fields.size(); ++i) {
+        if (fields[i].empty()) continue;
+        double p = 0.0;
+        if (!ParseDouble(fields[i], &p)) {
+          return Status::Corruption("bad cpt entry");
+        }
+        cpts[static_cast<size_t>(idx)].push_back(p);
+      }
+    } else {
+      return Status::Corruption("unknown directive: " + fields[0]);
+    }
+  }
+  if (names.size() != declared) {
+    return Status::Corruption("variable count mismatch");
+  }
+  auto topo = Topology::Create(std::move(names), std::move(cards),
+                               std::move(parents));
+  if (!topo.ok()) return topo.status();
+  return Create(std::move(topo).value(), std::move(cpts));
+}
+
+}  // namespace mrsl

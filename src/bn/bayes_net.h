@@ -1,0 +1,81 @@
+// BayesNet: a topology plus conditional probability tables; the generative
+// substrate of the experimental framework (Sec VI-A). Supports random
+// instantiation (the "BN Instance Generator"), forward sampling (the
+// "BN Sampler", Koller & Friedman Sec. 12.1), joint probability
+// evaluation, and text serialization.
+
+#ifndef MRSL_BN_BAYES_NET_H_
+#define MRSL_BN_BAYES_NET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bn/topology.h"
+#include "relational/relation.h"
+#include "relational/tuple.h"
+#include "util/mixed_radix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mrsl {
+
+/// A fully parameterized discrete Bayesian network.
+class BayesNet {
+ public:
+  BayesNet() = default;
+
+  /// Creates a network with explicit CPTs. cpts[i] has one row per parent
+  /// configuration (mixed-radix over parents(i) in listed order) and
+  /// card(i) columns; rows must be positive and sum to 1.
+  static Result<BayesNet> Create(Topology topology,
+                                 std::vector<std::vector<double>> cpts);
+
+  /// Randomly instantiates CPTs for `topology`: each CPT row is a draw
+  /// from Dirichlet(alpha, ..., alpha). Smaller alpha yields more skewed
+  /// (more predictable) distributions; the framework default is 1.0
+  /// (uniform over the simplex).
+  static BayesNet RandomInstance(const Topology& topology, Rng* rng,
+                                 double alpha = 1.0);
+
+  const Topology& topology() const { return topology_; }
+  size_t num_vars() const { return topology_.num_vars(); }
+
+  /// P(var = value | parents = their values in `assignment`).
+  /// `assignment` must assign every parent of `var`.
+  double CondProb(AttrId var, ValueId value,
+                  const std::vector<ValueId>& assignment) const;
+
+  /// Joint probability of a complete assignment.
+  double JointProb(const std::vector<ValueId>& assignment) const;
+
+  /// Draws one complete tuple by forward sampling.
+  Tuple ForwardSample(Rng* rng) const;
+
+  /// Draws `n` tuples into a fresh Relation whose schema mirrors the
+  /// network (labels "v0".."v{card-1}").
+  Relation SampleRelation(size_t n, Rng* rng) const;
+
+  /// Schema mirroring the network variables.
+  Schema MakeSchema() const;
+
+  /// Raw CPT of `var` (rows = parent configs, cols = values).
+  const std::vector<double>& cpt(AttrId var) const { return cpts_[var]; }
+
+  /// Serializes to a line-oriented text format.
+  std::string ToText() const;
+
+  /// Parses the ToText format.
+  static Result<BayesNet> FromText(std::string_view text);
+
+ private:
+  size_t CptRow(AttrId var, const std::vector<ValueId>& assignment) const;
+
+  Topology topology_;
+  std::vector<std::vector<double>> cpts_;
+  std::vector<MixedRadix> parent_codecs_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_BN_BAYES_NET_H_

@@ -1,0 +1,78 @@
+// Exact inference over a BayesNet: the ground truth the experimental
+// framework compares MRSL estimates against (Sec VI-A "true probability
+// distributions of the Bayesian network").
+//
+// Two engines are provided and cross-checked in tests:
+//  * variable elimination over factors (the scalable path), and
+//  * brute-force enumeration of the completed joint (simple, used as the
+//    oracle for small networks).
+
+#ifndef MRSL_BN_EXACT_H_
+#define MRSL_BN_EXACT_H_
+
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "relational/joint_dist.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// A dense factor over a sorted set of variables; the unit of variable
+/// elimination.
+class Factor {
+ public:
+  Factor() = default;
+
+  /// Creates a constant-1 factor over `vars` with the given cards.
+  Factor(std::vector<AttrId> vars, std::vector<uint32_t> cards);
+
+  /// Builds the CPT factor P(var | parents(var)) of a network.
+  static Factor FromCpt(const BayesNet& bn, AttrId var);
+
+  const std::vector<AttrId>& vars() const { return vars_; }
+  const std::vector<double>& values() const { return values_; }
+  double value(uint64_t code) const { return values_[code]; }
+  void set_value(uint64_t code, double v) { values_[code] = v; }
+  const MixedRadix& codec() const { return codec_; }
+
+  /// Fixes every variable of this factor that `evidence` assigns,
+  /// producing a factor over the remaining variables.
+  Factor Restrict(const Tuple& evidence) const;
+
+  /// Pointwise product; the result ranges over the union of variables.
+  Factor Multiply(const Factor& other) const;
+
+  /// Sums out one variable. Requires `var` to be present.
+  Factor SumOut(AttrId var) const;
+
+ private:
+  std::vector<AttrId> vars_;
+  std::vector<uint32_t> cards_;
+  MixedRadix codec_;
+  std::vector<double> values_;
+};
+
+/// Computes P(query | evidence) by variable elimination.
+/// `evidence` fixes its assigned attributes; `query` must be disjoint from
+/// them and is returned in ascending attribute order. Fails if the query
+/// is empty or overlaps the evidence.
+Result<JointDist> ExactConditionalVE(const BayesNet& bn,
+                                     const Tuple& evidence,
+                                     std::vector<AttrId> query);
+
+/// Same contract, by brute-force enumeration of all completions (only the
+/// variables outside query ∪ evidence are marginalized). Exponential in
+/// the number of unassigned variables — test/oracle use.
+Result<JointDist> ExactConditionalEnum(const BayesNet& bn,
+                                       const Tuple& evidence,
+                                       std::vector<AttrId> query);
+
+/// Convenience: the conditional joint over *all* missing attributes of
+/// `tuple` given its assigned ones (the ground truth for Δt).
+Result<JointDist> TrueDistribution(const BayesNet& bn, const Tuple& tuple);
+
+}  // namespace mrsl
+
+#endif  // MRSL_BN_EXACT_H_

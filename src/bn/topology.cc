@@ -1,0 +1,197 @@
+#include "bn/topology.h"
+
+#include <cstddef>
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace mrsl {
+namespace {
+
+std::vector<std::string> DefaultNames(size_t n) {
+  std::vector<std::string> names(n);
+  for (size_t i = 0; i < n; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "A%zu", i);
+    names[i] = buf;
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<Topology> Topology::Create(std::vector<std::string> names,
+                                  std::vector<uint32_t> cards,
+                                  std::vector<std::vector<AttrId>> parents) {
+  const size_t n = cards.size();
+  if (names.size() != n || parents.size() != n) {
+    return Status::InvalidArgument("names/cards/parents size mismatch");
+  }
+  if (n > kMaxAttributes) {
+    return Status::InvalidArgument("too many variables");
+  }
+  for (uint32_t c : cards) {
+    if (c < 2) return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (AttrId p : parents[i]) {
+      if (p >= n) return Status::InvalidArgument("parent id out of range");
+      if (p == i) return Status::InvalidArgument("self-loop");
+    }
+  }
+
+  // Kahn's algorithm: detects cycles and yields a topological order.
+  std::vector<size_t> indeg(n, 0);
+  std::vector<std::vector<AttrId>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    indeg[i] = parents[i].size();
+    for (AttrId p : parents[i]) children[p].push_back(static_cast<AttrId>(i));
+  }
+  std::vector<AttrId> order;
+  std::vector<AttrId> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<AttrId>(i));
+  }
+  while (!queue.empty()) {
+    AttrId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (AttrId c : children[v]) {
+      if (--indeg[c] == 0) queue.push_back(c);
+    }
+  }
+  if (order.size() != n) return Status::InvalidArgument("graph has a cycle");
+
+  Topology t;
+  t.names_ = std::move(names);
+  t.cards_ = std::move(cards);
+  t.parents_ = std::move(parents);
+  t.topo_order_ = std::move(order);
+  return t;
+}
+
+size_t Topology::Depth() const {
+  std::vector<size_t> depth(num_vars(), 0);
+  size_t best = 0;
+  for (AttrId v : topo_order_) {
+    for (AttrId p : parents_[v]) {
+      depth[v] = std::max(depth[v], depth[p] + 1);
+    }
+    best = std::max(best, depth[v]);
+  }
+  return best;
+}
+
+uint64_t Topology::DomainSize() const {
+  uint64_t prod = 1;
+  for (uint32_t c : cards_) {
+    if (prod > std::numeric_limits<uint64_t>::max() / c) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    prod *= c;
+  }
+  return prod;
+}
+
+double Topology::AvgCard() const {
+  if (cards_.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint32_t c : cards_) sum += c;
+  return sum / static_cast<double>(cards_.size());
+}
+
+Topology Topology::Independent(size_t n, uint32_t card) {
+  auto r = Create(DefaultNames(n), std::vector<uint32_t>(n, card),
+                  std::vector<std::vector<AttrId>>(n));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Topology Topology::Chain(size_t n, uint32_t card) {
+  std::vector<std::vector<AttrId>> parents(n);
+  for (size_t i = 1; i < n; ++i) parents[i] = {static_cast<AttrId>(i - 1)};
+  auto r = Create(DefaultNames(n), std::vector<uint32_t>(n, card),
+                  std::move(parents));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Topology Topology::Crown(size_t n, uint32_t card) {
+  assert(n >= 3);
+  std::vector<std::vector<AttrId>> parents(n);
+  // Variable 0: source. Variables 1..n-2: middles. Variable n-1: sink.
+  for (size_t i = 1; i + 1 < n; ++i) parents[i] = {0};
+  for (size_t i = 1; i + 1 < n; ++i) {
+    parents[n - 1].push_back(static_cast<AttrId>(i));
+  }
+  auto r = Create(DefaultNames(n), std::vector<uint32_t>(n, card),
+                  std::move(parents));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Topology Topology::DiamondStack(size_t levels, uint32_t card) {
+  assert(levels >= 1);
+  // Each level l contributes two "shoulder" variables fed by the previous
+  // junction, plus a junction variable joining them:
+  //   J0 -> {S1a, S1b} -> J1 -> {S2a, S2b} -> J2 -> ...
+  // Depth = 2 * levels.
+  size_t n = 1 + 3 * levels;
+  std::vector<std::vector<AttrId>> parents(n);
+  AttrId junction = 0;
+  AttrId next = 1;
+  for (size_t l = 0; l < levels; ++l) {
+    AttrId a = next++;
+    AttrId b = next++;
+    AttrId j = next++;
+    parents[a] = {junction};
+    parents[b] = {junction};
+    parents[j] = {a, b};
+    junction = j;
+  }
+  auto r = Create(DefaultNames(n), std::vector<uint32_t>(n, card),
+                  std::move(parents));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Topology Topology::Layered(const std::vector<size_t>& layer_sizes,
+                           const std::vector<uint32_t>& cards,
+                           size_t max_parents) {
+  size_t n = 0;
+  for (size_t s : layer_sizes) n += s;
+  assert(cards.size() == n);
+  std::vector<std::vector<AttrId>> parents(n);
+  size_t offset = 0;
+  size_t prev_offset = 0;
+  size_t prev_size = 0;
+  for (size_t layer = 0; layer < layer_sizes.size(); ++layer) {
+    size_t sz = layer_sizes[layer];
+    if (layer > 0) {
+      for (size_t i = 0; i < sz; ++i) {
+        size_t np = std::min(max_parents, prev_size);
+        for (size_t k = 0; k < np; ++k) {
+          // Deterministic round-robin wiring into the previous layer.
+          parents[offset + i].push_back(
+              static_cast<AttrId>(prev_offset + (i + k) % prev_size));
+        }
+      }
+    }
+    prev_offset = offset;
+    prev_size = sz;
+    offset += sz;
+  }
+  auto r = Create(DefaultNames(n), cards, std::move(parents));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Topology Topology::WithCards(std::vector<uint32_t> cards) const {
+  assert(cards.size() == cards_.size());
+  auto r = Create(names_, std::move(cards), parents_);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace mrsl

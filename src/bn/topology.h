@@ -1,0 +1,86 @@
+// Topology: the structure (DAG + cardinalities) of a Bayesian network,
+// with builders for the network shapes used by the paper's benchmark
+// (Fig 7): independent sets, chains ("line-shaped"), crowns, and layered
+// diamond stacks of configurable depth.
+
+#ifndef MRSL_BN_TOPOLOGY_H_
+#define MRSL_BN_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// A DAG over discrete random variables.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Builds a topology. `parents[i]` lists the parents of variable i.
+  /// Fails on cycles, out-of-range parent ids, or cards < 2.
+  static Result<Topology> Create(std::vector<std::string> names,
+                                 std::vector<uint32_t> cards,
+                                 std::vector<std::vector<AttrId>> parents);
+
+  size_t num_vars() const { return cards_.size(); }
+  const std::string& name(AttrId i) const { return names_[i]; }
+  uint32_t card(AttrId i) const { return cards_[i]; }
+  const std::vector<uint32_t>& cards() const { return cards_; }
+  const std::vector<AttrId>& parents(AttrId i) const { return parents_[i]; }
+
+  /// A topological order of the variables (parents before children).
+  const std::vector<AttrId>& topo_order() const { return topo_order_; }
+
+  /// Number of edges on the longest directed path; 0 when independent.
+  /// (The paper's Table I "depth"; see DESIGN.md for the off-by-one note
+  /// on line-shaped networks.)
+  size_t Depth() const;
+
+  /// Product of cardinalities (Table I "dom. size").
+  uint64_t DomainSize() const;
+
+  /// Mean cardinality (Table I "avg card").
+  double AvgCard() const;
+
+  // ---- Builders for the benchmark shapes ----
+
+  /// n independent variables (depth 0).
+  static Topology Independent(size_t n, uint32_t card);
+
+  /// A0 -> A1 -> ... -> A(n-1): the paper's "line-shaped" networks.
+  static Topology Chain(size_t n, uint32_t card);
+
+  /// Crown: one source, n-2 middle variables (each a child of the source),
+  /// one sink whose parents are all middle variables. Depth 2 for any
+  /// n >= 3, matching BN8/BN9/BN17/BN18.
+  static Topology Crown(size_t n, uint32_t card);
+
+  /// A stack of diamonds: `levels` diamond layers each adding depth 2;
+  /// variable count is 1 + 2*levels... see .cc for the exact shape.
+  static Topology DiamondStack(size_t levels, uint32_t card);
+
+  /// Layered DAG: variables split into `layer_sizes.size()` layers; each
+  /// non-root variable gets up to `max_parents` parents drawn from the
+  /// previous layer (deterministic round-robin wiring, no randomness).
+  static Topology Layered(const std::vector<size_t>& layer_sizes,
+                          const std::vector<uint32_t>& cards,
+                          size_t max_parents);
+
+  /// Replaces all cardinalities (sizes must match). Used to realize the
+  /// mixed-cardinality networks BN1-BN5, BN7.
+  Topology WithCards(std::vector<uint32_t> cards) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> cards_;
+  std::vector<std::vector<AttrId>> parents_;
+  std::vector<AttrId> topo_order_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_BN_TOPOLOGY_H_

@@ -1,0 +1,76 @@
+#include "core/cpd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrsl {
+
+Cpd Cpd::FromConfidences(
+    size_t card, const std::vector<std::pair<ValueId, double>>& confidences,
+    double min_prob) {
+  assert(card > 0);
+  std::vector<double> probs(card, 0.0);
+  double mass = 0.0;
+  for (const auto& [value, conf] : confidences) {
+    assert(value >= 0 && static_cast<size_t>(value) < card);
+    probs[static_cast<size_t>(value)] = conf;
+    mass += conf;
+  }
+  // Leftover mass exists when some head values were not frequent enough to
+  // yield an association rule; spread it uniformly (Sec III).
+  double leftover = 1.0 - mass;
+  if (leftover > 0.0) {
+    double share = leftover / static_cast<double>(card);
+    for (double& p : probs) p += share;
+  }
+  // Positivity floor + renormalization.
+  double total = 0.0;
+  for (double& p : probs) {
+    p = std::max(p, min_prob);
+    total += p;
+  }
+  for (double& p : probs) p /= total;
+  return Cpd(std::move(probs));
+}
+
+ValueId Cpd::ArgMax() const {
+  return static_cast<ValueId>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+ValueId Cpd::Sample(Rng* rng) const {
+  return static_cast<ValueId>(rng->SampleDiscrete(probs_));
+}
+
+Cpd Cpd::Average(const std::vector<const Cpd*>& cpds) {
+  assert(!cpds.empty());
+  const size_t card = cpds[0]->card();
+  std::vector<double> probs(card, 0.0);
+  for (const Cpd* c : cpds) {
+    assert(c->card() == card);
+    for (size_t i = 0; i < card; ++i) probs[i] += c->probs_[i];
+  }
+  for (double& p : probs) p /= static_cast<double>(cpds.size());
+  return Cpd(std::move(probs));
+}
+
+Cpd Cpd::WeightedAverage(const std::vector<const Cpd*>& cpds,
+                         const std::vector<double>& weights) {
+  assert(!cpds.empty());
+  assert(cpds.size() == weights.size());
+  const size_t card = cpds[0]->card();
+  std::vector<double> probs(card, 0.0);
+  double total_w = 0.0;
+  for (size_t k = 0; k < cpds.size(); ++k) {
+    assert(cpds[k]->card() == card);
+    total_w += weights[k];
+    for (size_t i = 0; i < card; ++i) {
+      probs[i] += weights[k] * cpds[k]->probs_[i];
+    }
+  }
+  assert(total_w > 0.0);
+  for (double& p : probs) p /= total_w;
+  return Cpd(std::move(probs));
+}
+
+}  // namespace mrsl

@@ -1,0 +1,66 @@
+// Cpd: an estimated conditional probability distribution over one
+// attribute's domain — the Δ(m) attached to every meta-rule (Def 2.6).
+//
+// Because some head values may fall below the mining support threshold,
+// raw rule confidences need not sum to 1; FromConfidences applies the
+// paper's smoothing (Sec III): distribute the remaining mass equally and
+// enforce a strictly positive floor, then renormalize.
+
+#ifndef MRSL_CORE_CPD_H_
+#define MRSL_CORE_CPD_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/rng.h"
+
+namespace mrsl {
+
+/// A discrete probability distribution over [0, card) with positive mass
+/// everywhere.
+class Cpd {
+ public:
+  Cpd() = default;
+
+  /// Uniform distribution over `card` values.
+  explicit Cpd(size_t card)
+      : probs_(card, card > 0 ? 1.0 / static_cast<double>(card) : 0.0) {}
+
+  /// Builds from raw probabilities; caller guarantees positivity/sum-1.
+  explicit Cpd(std::vector<double> probs) : probs_(std::move(probs)) {}
+
+  /// The paper's smoothing: start from the rule confidences (value ->
+  /// confidence, missing values 0), spread the leftover 1 - Σconf equally
+  /// over all `card` values, clamp every value to at least `min_prob`,
+  /// and renormalize.
+  static Cpd FromConfidences(
+      size_t card, const std::vector<std::pair<ValueId, double>>& confidences,
+      double min_prob);
+
+  size_t card() const { return probs_.size(); }
+  double prob(ValueId v) const { return probs_[static_cast<size_t>(v)]; }
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Index of the most probable value (ties -> lowest index).
+  ValueId ArgMax() const;
+
+  /// Draws a value.
+  ValueId Sample(Rng* rng) const;
+
+  /// Position-wise mean of `cpds` (all same cardinality, non-empty).
+  static Cpd Average(const std::vector<const Cpd*>& cpds);
+
+  /// Support-weighted mean; weights need not be normalized but must have
+  /// a positive total.
+  static Cpd WeightedAverage(const std::vector<const Cpd*>& cpds,
+                             const std::vector<double>& weights);
+
+ private:
+  std::vector<double> probs_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_CPD_H_

@@ -1,0 +1,171 @@
+#include "core/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+double Mean(const double* data, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += data[i];
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+// Batch-means variance of the mean estimator over `n` points.
+double BatchMeansVarOfMean(const double* data, size_t n) {
+  const size_t batch = std::max<size_t>(10, n / 20);
+  const size_t num_batches = n / batch;
+  if (num_batches < 2) return 0.0;
+  std::vector<double> means(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    means[b] = Mean(data + b * batch, batch);
+  }
+  double grand = Mean(means.data(), num_batches);
+  double var = 0.0;
+  for (double m : means) var += (m - grand) * (m - grand);
+  var /= static_cast<double>(num_batches - 1);
+  // Var of the overall mean = var of batch means / num_batches.
+  return var / static_cast<double>(num_batches);
+}
+
+}  // namespace
+
+double GewekeZ(const std::vector<double>& series, double early_frac,
+               double late_frac) {
+  const size_t n = series.size();
+  size_t na = static_cast<size_t>(static_cast<double>(n) * early_frac);
+  size_t nb = static_cast<size_t>(static_cast<double>(n) * late_frac);
+  if (na < 20 || nb < 20) return 0.0;
+  const double* a = series.data();
+  const double* b = series.data() + (n - nb);
+  double mean_a = Mean(a, na);
+  double mean_b = Mean(b, nb);
+  double var = BatchMeansVarOfMean(a, na) + BatchMeansVarOfMean(b, nb);
+  if (var <= 0.0) {
+    // Both windows (near-)constant: converged iff the means agree.
+    return std::abs(mean_a - mean_b) < 1e-12 ? 0.0 : 1e9;
+  }
+  return (mean_a - mean_b) / std::sqrt(var);
+}
+
+double EffectiveSampleSize(const std::vector<double>& series) {
+  const size_t n = series.size();
+  if (n < 10) return static_cast<double>(n);
+  double mean = Mean(series.data(), n);
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n);
+  if (var <= 0.0) return static_cast<double>(n);
+
+  // Initial positive-sequence estimator: sum autocorrelations while the
+  // pairwise sums rho(2k)+rho(2k+1) stay positive.
+  double rho_sum = 0.0;
+  const size_t max_lag = std::min<size_t>(n / 2, 1000);
+  double prev_pair = 1e30;
+  for (size_t k = 1; k + 1 <= max_lag; k += 2) {
+    auto rho = [&](size_t lag) {
+      double acc = 0.0;
+      for (size_t i = 0; i + lag < n; ++i) {
+        acc += (series[i] - mean) * (series[i + lag] - mean);
+      }
+      return acc / (static_cast<double>(n) * var);
+    };
+    double pair = rho(k) + rho(k + 1);
+    if (pair <= 0.0) break;
+    // Enforce monotone decrease (Geyer's initial monotone sequence).
+    pair = std::min(pair, prev_pair);
+    prev_pair = pair;
+    rho_sum += pair;
+  }
+  double ess = static_cast<double>(n) / (1.0 + 2.0 * rho_sum);
+  return std::clamp(ess, 1.0, static_cast<double>(n));
+}
+
+Result<ChainDiagnostics> DiagnoseChain(GibbsSampler* sampler, const Tuple& t,
+                                       size_t pilot_sweeps,
+                                       double target_ess) {
+  if (pilot_sweeps < 200) {
+    return Status::InvalidArgument("pilot run needs at least 200 sweeps");
+  }
+  auto chain_or = sampler->MakeChain(t);
+  if (!chain_or.ok()) return chain_or.status();
+  GibbsSampler::Chain chain = std::move(chain_or).value();
+
+  // Record the raw value trace per missing attribute.
+  const auto& missing = chain.missing;
+  std::vector<std::vector<ValueId>> trace(missing.size());
+  for (auto& tr : trace) tr.reserve(pilot_sweeps);
+  for (size_t s = 0; s < pilot_sweeps; ++s) {
+    sampler->Step(&chain);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      trace[i].push_back(chain.state[missing[i]]);
+    }
+  }
+
+  // Indicator series per (attr, value); cardinalities are inferred from
+  // the observed trace, which suffices for the diagnostics.
+  auto indicator = [&](size_t attr_pos, ValueId v) {
+    std::vector<double> series(pilot_sweeps);
+    for (size_t s = 0; s < pilot_sweeps; ++s) {
+      series[s] = trace[attr_pos][s] == v ? 1.0 : 0.0;
+    }
+    return series;
+  };
+
+  // Candidate burn-ins on a 5% grid; pick the smallest that passes
+  // Geweke on every indicator.
+  ChainDiagnostics diag;
+  diag.pilot_sweeps = pilot_sweeps;
+  const double kZThreshold = 1.96;
+  size_t chosen_burn = pilot_sweeps / 2;  // pessimistic fallback
+  for (size_t grid = 0; grid <= 10; ++grid) {
+    size_t burn = pilot_sweeps * grid / 20;
+    double max_z = 0.0;
+    for (size_t i = 0; i < missing.size(); ++i) {
+      ValueId max_v = *std::max_element(trace[i].begin(), trace[i].end());
+      for (ValueId v = 0; v <= max_v; ++v) {
+        auto series = indicator(i, v);
+        series.erase(series.begin(),
+                     series.begin() + static_cast<long>(burn));
+        max_z = std::max(max_z, std::abs(GewekeZ(series)));
+      }
+    }
+    if (max_z < kZThreshold) {
+      chosen_burn = burn;
+      diag.max_geweke_z = max_z;
+      break;
+    }
+    if (grid == 10) diag.max_geweke_z = max_z;
+  }
+  diag.suggested_burn_in = chosen_burn;
+
+  // ESS on the modal-value indicator of each attribute, past burn-in.
+  double min_ess = static_cast<double>(pilot_sweeps);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    // Modal value of the post-burn-in trace.
+    std::vector<size_t> counts;
+    for (size_t s = chosen_burn; s < pilot_sweeps; ++s) {
+      size_t v = static_cast<size_t>(trace[i][s]);
+      if (counts.size() <= v) counts.resize(v + 1, 0);
+      ++counts[v];
+    }
+    ValueId modal = static_cast<ValueId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    auto series = indicator(i, modal);
+    series.erase(series.begin(),
+                 series.begin() + static_cast<long>(chosen_burn));
+    min_ess = std::min(min_ess, EffectiveSampleSize(series));
+  }
+  diag.min_ess = min_ess;
+
+  // Scale the post-burn-in run so the slowest indicator reaches the
+  // target ESS: samples_per_ess = retained / ess.
+  const double retained = static_cast<double>(pilot_sweeps - chosen_burn);
+  double per_ess = min_ess > 0.0 ? retained / min_ess : retained;
+  diag.suggested_samples =
+      static_cast<size_t>(std::ceil(target_ess * per_ess));
+  return diag;
+}
+
+}  // namespace mrsl

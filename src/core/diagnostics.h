@@ -1,0 +1,65 @@
+// Convergence diagnostics for the Gibbs sampler.
+//
+// Sec V-A: "The length of burn-in (B), and the subsequent number of
+// iterations (N), may be estimated using standard techniques." This
+// module implements those standard techniques for the categorical chains
+// at hand:
+//   * Geweke's diagnostic on per-value indicator series (mean of the
+//     early window vs the late window, z-scored with batch-means
+//     variances) to detect an unconverged prefix, and
+//   * effective sample size (ESS) from the indicator autocorrelation
+//     function (initial positive-sequence estimator), to translate a
+//     target precision into a concrete N.
+
+#ifndef MRSL_CORE_DIAGNOSTICS_H_
+#define MRSL_CORE_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gibbs.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Result of a pilot-run diagnosis.
+struct ChainDiagnostics {
+  size_t pilot_sweeps = 0;
+
+  /// Largest |z| of Geweke's statistic across all (attribute, value)
+  /// indicator series, computed after the suggested burn-in. |z| < ~2
+  /// indicates no detectable drift.
+  double max_geweke_z = 0.0;
+
+  /// Smallest effective sample size across the monitored indicators.
+  double min_ess = 0.0;
+
+  /// Smallest prefix whose removal brings every |z| under the 1.96
+  /// threshold (rounded up to a 5% grid of the pilot run).
+  size_t suggested_burn_in = 0;
+
+  /// Sweeps needed so the slowest-mixing indicator reaches `target_ess`.
+  size_t suggested_samples = 0;
+};
+
+/// Geweke z-statistic for one series: compares the mean of the first
+/// `early_frac` against the last `late_frac` of `series`, with variance
+/// estimated by batch means. Returns 0 for degenerate inputs.
+double GewekeZ(const std::vector<double>& series, double early_frac = 0.1,
+               double late_frac = 0.5);
+
+/// Effective sample size of `series` using the initial positive-sequence
+/// autocorrelation estimator. Bounded by series.size().
+double EffectiveSampleSize(const std::vector<double>& series);
+
+/// Runs a pilot chain of `pilot_sweeps` for tuple `t` on `sampler` and
+/// derives burn-in and sample-count suggestions; `target_ess` is the
+/// desired effective sample size (the paper's N=2000 corresponds to
+/// target_ess ~= 2000 for a well-mixing chain).
+Result<ChainDiagnostics> DiagnoseChain(GibbsSampler* sampler, const Tuple& t,
+                                       size_t pilot_sweeps = 2000,
+                                       double target_ess = 1000.0);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,137 @@
+#include "core/gibbs.h"
+
+#include <cassert>
+
+namespace mrsl {
+namespace {
+
+std::vector<uint32_t> SchemaCards(const Schema& schema) {
+  std::vector<uint32_t> cards;
+  cards.reserve(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    cards.push_back(static_cast<uint32_t>(schema.attr(a).cardinality()));
+  }
+  return cards;
+}
+
+}  // namespace
+
+CpdCache::CpdCache(const Schema& schema, size_t max_entries_per_attr)
+    : max_entries_(max_entries_per_attr),
+      codec_(SchemaCards(schema)),
+      maps_(schema.num_attrs()) {
+  enabled_ = !codec_.Saturated();
+}
+
+const Cpd* CpdCache::Lookup(AttrId attr, uint64_t key) {
+  auto& map = maps_[attr];
+  auto it = map.find(key);
+  if (it == map.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void CpdCache::Insert(AttrId attr, uint64_t key, Cpd cpd) {
+  auto& map = maps_[attr];
+  if (map.size() >= max_entries_) return;
+  map.emplace(key, std::move(cpd));
+}
+
+GibbsSampler::GibbsSampler(const MrslModel* model, const GibbsOptions& options)
+    : model_(model),
+      options_(options),
+      rng_(options.seed),
+      cache_(model->schema()),
+      lattice_scratch_(model->num_attrs()) {}
+
+Result<GibbsSampler::Chain> GibbsSampler::MakeChain(const Tuple& t) const {
+  if (t.num_attrs() != model_->num_attrs()) {
+    return Status::InvalidArgument("tuple arity does not match model");
+  }
+  Chain chain;
+  chain.missing = t.MissingAttrs();
+  if (chain.missing.empty()) {
+    return Status::InvalidArgument("tuple is complete; nothing to sample");
+  }
+  chain.state = t.values();
+  return chain;
+}
+
+Cpd GibbsSampler::EstimateConditional(AttrId attr,
+                                      const std::vector<ValueId>& state,
+                                      bool cacheable) {
+  const bool use_cache =
+      cacheable && options_.enable_cpd_cache && cache_.enabled();
+  uint64_t key = 0;
+  if (use_cache) {
+    key = cache_.Key(state, attr);
+    if (const Cpd* hit = cache_.Lookup(attr, key)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+  }
+  ++stats_.cpd_evaluations;
+  const Mrsl& lattice = model_->mrsl(attr);
+  lattice.MatchValues(state, options_.voting.choice,
+                      &lattice_scratch_[attr], &match_scratch_);
+  Cpd cpd = match_scratch_.empty()
+                ? Cpd(lattice.head_card())
+                : CombineVotes(lattice, match_scratch_,
+                               options_.voting.scheme);
+  if (use_cache) cache_.Insert(attr, key, cpd);
+  return cpd;
+}
+
+void GibbsSampler::Step(Chain* chain) {
+  // During the very first sweep some missing cells are still unassigned,
+  // so states are not cacheable until the chain is initialized.
+  const bool cacheable = chain->initialized;
+  for (AttrId attr : chain->missing) {
+    Cpd cpd = EstimateConditional(attr, chain->state, cacheable);
+    chain->state[attr] = cpd.Sample(&rng_);
+  }
+  chain->initialized = true;
+  ++stats_.cycles;
+}
+
+JointDist GibbsSampler::MakeAccumulator(const Chain& chain) const {
+  std::vector<uint32_t> cards;
+  cards.reserve(chain.missing.size());
+  for (AttrId a : chain.missing) {
+    cards.push_back(
+        static_cast<uint32_t>(model_->schema().attr(a).cardinality()));
+  }
+  return JointDist(chain.missing, std::move(cards));
+}
+
+void GibbsSampler::Record(const Chain& chain, JointDist* acc) const {
+  std::vector<ValueId> combo(chain.missing.size());
+  for (size_t i = 0; i < chain.missing.size(); ++i) {
+    combo[i] = chain.state[chain.missing[i]];
+  }
+  acc->add_prob(acc->codec().Encode(combo), 1.0);
+}
+
+Result<JointDist> GibbsSampler::Infer(const Tuple& t) {
+  auto chain_or = MakeChain(t);
+  if (!chain_or.ok()) return chain_or.status();
+  Chain chain = std::move(chain_or).value();
+
+  for (size_t b = 0; b < options_.burn_in; ++b) Step(&chain);
+  JointDist dist = MakeAccumulator(chain);
+  for (size_t s = 0; s < options_.samples; ++s) {
+    Step(&chain);
+    Record(chain, &dist);
+  }
+  if (options_.smoothing_epsilon > 0.0) {
+    dist.SmoothAdditive(options_.smoothing_epsilon);
+  } else {
+    dist.Normalize();
+  }
+  return dist;
+}
+
+}  // namespace mrsl

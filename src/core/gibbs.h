@@ -1,0 +1,128 @@
+// Ordered Gibbs sampling over MRSL models (Sec V-A).
+//
+// The per-attribute lattices play the role of the local conditionals of a
+// dependency network (Heckerman et al., JMLR 2000): a chain repeatedly
+// cycles through the missing attributes of a tuple, resampling each from
+// the voted CPD estimate conditioned on every other attribute's current
+// value. After a burn-in of B cycles, N recorded cycles estimate the
+// joint distribution Δt over the missing attributes.
+//
+// Because Gibbs revisits the same evidence states over and over, the
+// sampler memoizes conditionals in a CPD cache keyed by
+// (attribute, full-state-with-that-attribute-zeroed); see bench_ablation
+// for its effect.
+
+#ifndef MRSL_CORE_GIBBS_H_
+#define MRSL_CORE_GIBBS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/infer_single.h"
+#include "core/model.h"
+#include "core/options.h"
+#include "relational/joint_dist.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Memo table for conditional CPD estimates.
+class CpdCache {
+ public:
+  /// Builds a cache for `schema`; disabled automatically when the packed
+  /// state space exceeds 2^64 (cannot happen at the paper's scales).
+  explicit CpdCache(const Schema& schema, size_t max_entries_per_attr = 1
+                                                                        << 20);
+
+  bool enabled() const { return enabled_; }
+
+  /// Cache key for resampling `attr` in `state` (all cells assigned).
+  uint64_t Key(const std::vector<ValueId>& state, AttrId attr) const {
+    return codec_.EncodeWithZero(state, attr);
+  }
+
+  /// Returns the cached CPD or nullptr.
+  const Cpd* Lookup(AttrId attr, uint64_t key);
+
+  /// Inserts unless the per-attribute cap is reached.
+  void Insert(AttrId attr, uint64_t key, Cpd cpd);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  bool enabled_ = false;
+  size_t max_entries_;
+  MixedRadix codec_;
+  std::vector<std::unordered_map<uint64_t, Cpd>> maps_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Cumulative sampler statistics.
+struct GibbsStats {
+  uint64_t cycles = 0;          // full resampling sweeps executed
+  uint64_t cpd_evaluations = 0; // conditional estimates computed (misses)
+  uint64_t cache_hits = 0;      // conditional estimates served from cache
+};
+
+/// The ordered Gibbs sampler. Not thread-safe; create one per thread.
+class GibbsSampler {
+ public:
+  /// `model` must outlive the sampler.
+  GibbsSampler(const MrslModel* model, const GibbsOptions& options);
+
+  /// A single tuple's Markov chain.
+  struct Chain {
+    std::vector<AttrId> missing;   // attributes being resampled
+    std::vector<ValueId> state;    // current full assignment (observed
+                                   // cells fixed, missing cells evolving)
+    bool initialized = false;      // becomes true after the first sweep
+  };
+
+  /// Creates a chain for `t`; fails if `t` is complete or has the wrong
+  /// arity.
+  Result<Chain> MakeChain(const Tuple& t) const;
+
+  /// One ordered-Gibbs sweep: resamples every missing attribute in
+  /// ascending order, conditioning on all current values.
+  void Step(Chain* chain);
+
+  /// Full single-tuple inference: burn-in + N recorded sweeps, returning
+  /// the (smoothed, normalized) empirical joint Δt.
+  Result<JointDist> Infer(const Tuple& t);
+
+  /// Builds an empty accumulator distribution for a chain.
+  JointDist MakeAccumulator(const Chain& chain) const;
+
+  /// Adds the chain's current missing-value combination to `acc`.
+  void Record(const Chain& chain, JointDist* acc) const;
+
+  const GibbsStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = GibbsStats(); }
+  Rng* rng() { return &rng_; }
+  const GibbsOptions& options() const { return options_; }
+
+ private:
+  /// Conditional estimate for `attr` given every other value in `state`
+  /// (consults the cache when the state is fully assigned).
+  Cpd EstimateConditional(AttrId attr, const std::vector<ValueId>& state,
+                          bool cacheable);
+
+  const MrslModel* model_;
+  GibbsOptions options_;
+  Rng rng_;
+  CpdCache cache_;
+  GibbsStats stats_;
+  std::vector<uint32_t> match_scratch_;
+  // Per-attribute matcher scratch, owned here so concurrent samplers over
+  // a shared model never touch shared mutable state.
+  std::vector<Mrsl::MatchScratch> lattice_scratch_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_GIBBS_H_

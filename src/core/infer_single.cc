@@ -1,0 +1,65 @@
+#include "core/infer_single.h"
+
+#include <cassert>
+
+namespace mrsl {
+
+Cpd CombineVotes(const Mrsl& lattice, const std::vector<uint32_t>& voters,
+                 VotingScheme scheme) {
+  assert(!voters.empty());
+  std::vector<const Cpd*> cpds;
+  cpds.reserve(voters.size());
+  for (uint32_t r : voters) cpds.push_back(&lattice.rule(r).cpd);
+  if (scheme == VotingScheme::kWeighted) {
+    std::vector<double> weights;
+    weights.reserve(voters.size());
+    for (uint32_t r : voters) weights.push_back(lattice.rule(r).weight);
+    return Cpd::WeightedAverage(cpds, weights);
+  }
+  return Cpd::Average(cpds);
+}
+
+Result<Cpd> InferSingleAttribute(const MrslModel& model, const Tuple& t,
+                                 AttrId attr, const VotingOptions& voting,
+                                 Mrsl::MatchScratch* scratch) {
+  if (attr >= model.num_attrs()) {
+    return Status::InvalidArgument("attribute id out of range");
+  }
+  if (t.num_attrs() != model.num_attrs()) {
+    return Status::InvalidArgument("tuple arity does not match model");
+  }
+  if (t.value(attr) != kMissingValue) {
+    return Status::InvalidArgument("attribute is not missing in the tuple");
+  }
+  const Mrsl& lattice = model.mrsl(attr);
+  std::vector<uint32_t> voters;
+  if (scratch != nullptr) {
+    lattice.MatchValues(t.values(), voting.choice, scratch, &voters);
+  } else {
+    lattice.Match(t, voting.choice, &voters);
+  }
+  if (voters.empty()) {
+    // No evidence at all (e.g. a support threshold that filtered out even
+    // the 1-itemsets): uniform fallback keeps the estimate positive.
+    return Cpd(lattice.head_card());
+  }
+  return CombineVotes(lattice, voters, voting.scheme);
+}
+
+Result<Cpd> InferSingleAttribute(const MrslModel& model, const Tuple& t,
+                                 AttrId attr, const VotingOptions& voting) {
+  return InferSingleAttribute(model, t, attr, voting, nullptr);
+}
+
+Result<Cpd> InferSingle(const MrslModel& model, const Tuple& t,
+                        const VotingOptions& voting) {
+  auto missing = t.MissingAttrs();
+  if (missing.size() != 1) {
+    return Status::InvalidArgument(
+        "InferSingle requires exactly one missing attribute, tuple has " +
+        std::to_string(missing.size()));
+  }
+  return InferSingleAttribute(model, t, missing[0], voting);
+}
+
+}  // namespace mrsl

@@ -1,0 +1,44 @@
+// Algorithm 2: single-attribute inference.
+//
+// Given an incomplete tuple and the lattice of its missing attribute,
+// collect the matching meta-rules (all or best) and combine their CPDs by
+// plain or support-weighted averaging.
+
+#ifndef MRSL_CORE_INFER_SINGLE_H_
+#define MRSL_CORE_INFER_SINGLE_H_
+
+#include "core/model.h"
+#include "core/options.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Estimates P(attr | complete portion of t). `t` may have any number of
+/// assigned attributes; `attr` must be unassigned in `t`. When no
+/// meta-rule matches (possible under a harsh support threshold), falls
+/// back to the uniform distribution.
+/// Thread-compatible; concurrent calls over a shared model must use the
+/// scratch overload below.
+Result<Cpd> InferSingleAttribute(const MrslModel& model, const Tuple& t,
+                                 AttrId attr, const VotingOptions& voting);
+
+/// Thread-safe variant: matching state lives in the caller's `scratch`.
+Result<Cpd> InferSingleAttribute(const MrslModel& model, const Tuple& t,
+                                 AttrId attr, const VotingOptions& voting,
+                                 Mrsl::MatchScratch* scratch);
+
+/// Convenience for tuples with exactly one missing attribute: infers it.
+/// Fails if the tuple does not have exactly one missing value.
+Result<Cpd> InferSingle(const MrslModel& model, const Tuple& t,
+                        const VotingOptions& voting);
+
+/// Shared vote-combination step, exposed for the Gibbs sampler: combines
+/// the CPDs of `voters` (rule ids within `lattice`) under `scheme`.
+/// `voters` must be non-empty.
+Cpd CombineVotes(const Mrsl& lattice, const std::vector<uint32_t>& voters,
+                 VotingScheme scheme);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_INFER_SINGLE_H_

@@ -1,0 +1,112 @@
+#include "core/learner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+// Converts a (sorted) item vector into a body pattern tuple.
+Tuple ItemsToPattern(const ItemVec& items, size_t num_attrs) {
+  Tuple t(num_attrs);
+  for (const Item& it : items) t.set_value(it.attr, it.value);
+  return t;
+}
+
+}  // namespace
+
+Result<MrslModel> LearnModel(const Relation& rel, const LearnOptions& options,
+                             LearnStats* stats) {
+  return LearnModelFromRows(rel, rel.CompleteRowIndices(), options, stats);
+}
+
+Result<MrslModel> LearnModelFromRows(const Relation& rel,
+                                     const std::vector<uint32_t>& row_indices,
+                                     const LearnOptions& options,
+                                     LearnStats* stats) {
+  if (options.min_prob <= 0.0 || options.min_prob >= 1.0) {
+    return Status::InvalidArgument("min_prob must be in (0, 1)");
+  }
+  LearnStats local;
+  WallTimer total_timer;
+
+  // Step 1: ComputeFreqItemsets.
+  WallTimer mining_timer;
+  AprioriOptions apriori_opts;
+  apriori_opts.support_threshold = options.support_threshold;
+  apriori_opts.max_itemsets = options.max_itemsets;
+  auto mined =
+      MineFrequentItemsets(rel, row_indices, apriori_opts, &local.mining);
+  if (!mined.ok()) return mined.status();
+  const FrequentItemsets& freq = mined.value();
+  local.num_frequent_itemsets = freq.size();
+  local.mining_seconds = mining_timer.ElapsedSeconds();
+
+  // Steps 2+3: ComputeAssocRules / ComputeMetaRules, fused per attribute.
+  // For every frequent itemset I and every item (a, v) in I, the rule
+  // (I \ {a=v}) -> a=v exists with confidence count(I)/count(body); rules
+  // sharing (a, body) form one meta-rule. No confidence threshold applies.
+  WallTimer rule_timer;
+  const Schema& schema = rel.schema();
+  const size_t num_attrs = schema.num_attrs();
+
+  // meta_groups[a]: body itemset index -> list of (head value, confidence).
+  std::vector<
+      std::unordered_map<int32_t, std::vector<std::pair<ValueId, double>>>>
+      meta_groups(num_attrs);
+
+  ItemVec body;
+  for (size_t idx = 0; idx < freq.size(); ++idx) {
+    const ItemsetEntry& entry = freq.entry(static_cast<int32_t>(idx));
+    if (entry.items.empty()) continue;
+    for (size_t drop = 0; drop < entry.items.size(); ++drop) {
+      const Item& head = entry.items[drop];
+      body.clear();
+      for (size_t k = 0; k < entry.items.size(); ++k) {
+        if (k != drop) body.push_back(entry.items[k]);
+      }
+      int32_t body_idx = freq.Find(body);
+      if (body_idx == kNoItemset) {
+        // Possible only when the round cap recorded a superset whose
+        // subset fell below threshold — such rules are not well defined
+        // (Apriori closure normally guarantees the subset is present).
+        continue;
+      }
+      double conf = static_cast<double>(entry.count) /
+                    static_cast<double>(freq.entry(body_idx).count);
+      meta_groups[head.attr][body_idx].emplace_back(head.value, conf);
+      ++local.num_association_rules;
+    }
+  }
+
+  // Step 4: ComputeSubsumption — build one lattice per attribute.
+  std::vector<Mrsl> lattices;
+  lattices.reserve(num_attrs);
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    std::vector<MetaRule> rules;
+    rules.reserve(meta_groups[a].size());
+    for (auto& [body_idx, confs] : meta_groups[a]) {
+      const ItemsetEntry& body_entry = freq.entry(body_idx);
+      MetaRule rule;
+      rule.head_attr = a;
+      rule.body = ItemsToPattern(body_entry.items, num_attrs);
+      rule.support_count = body_entry.count;
+      rule.weight = freq.Support(body_idx);
+      rule.cpd = Cpd::FromConfidences(schema.attr(a).cardinality(), confs,
+                                      options.min_prob);
+      rules.push_back(std::move(rule));
+    }
+    local.num_meta_rules += rules.size();
+    lattices.emplace_back(a, num_attrs, schema.attr(a).cardinality(),
+                          std::move(rules));
+  }
+  local.rule_seconds = rule_timer.ElapsedSeconds();
+  local.total_seconds = total_timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+
+  return MrslModel(schema, std::move(lattices));
+}
+
+}  // namespace mrsl

@@ -1,0 +1,52 @@
+// Algorithm 1: learning the MRSL model from the complete part of the data.
+//
+//   1. ComputeFreqItemsets  — Apriori over attribute-value pairs (mining/)
+//   2. ComputeAssocRules    — rules with a single head attribute, NO
+//                             confidence threshold (Def 2.5)
+//   3. ComputeMetaRules     — group rules sharing a body; smooth CPDs
+//   4. ComputeSubsumption   — order meta-rules into per-attribute lattices
+//
+// In keeping with Sec III we learn from Rc only by default, but callers
+// may pass any row subset (e.g. to also exploit the complete portions of
+// incomplete tuples).
+
+#ifndef MRSL_CORE_LEARNER_H_
+#define MRSL_CORE_LEARNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.h"
+#include "core/options.h"
+#include "mining/apriori.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Learning-run statistics (drives the Fig 4 experiments).
+struct LearnStats {
+  AprioriStats mining;
+  size_t num_frequent_itemsets = 0;
+  size_t num_association_rules = 0;
+  size_t num_meta_rules = 0;
+  double mining_seconds = 0.0;
+  double rule_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Learns an MRSL model from the complete rows of `rel`.
+/// Fails when the complete part is empty or options are invalid.
+Result<MrslModel> LearnModel(const Relation& rel, const LearnOptions& options,
+                             LearnStats* stats = nullptr);
+
+/// Same, but mines exactly the rows in `row_indices` (all must be
+/// complete rows of `rel`).
+Result<MrslModel> LearnModelFromRows(const Relation& rel,
+                                     const std::vector<uint32_t>& row_indices,
+                                     const LearnOptions& options,
+                                     LearnStats* stats = nullptr);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_LEARNER_H_

@@ -1,0 +1,25 @@
+#include "core/meta_rule.h"
+
+#include "util/string_util.h"
+
+namespace mrsl {
+
+std::string MetaRule::ToString(const Schema& schema) const {
+  std::string out = "P(";
+  out += schema.attr(head_attr).name();
+  bool first = true;
+  for (AttrId a = 0; a < body.num_attrs(); ++a) {
+    ValueId v = body.value(a);
+    if (v == kMissingValue) continue;
+    out += first ? " | " : ", ";
+    first = false;
+    out += schema.attr(a).name();
+    out += '=';
+    out += schema.attr(a).label(v);
+  }
+  out += ") w=";
+  out += FormatDouble(weight, 3);
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,64 @@
+// AssociationRule (Def 2.5) and MetaRule (Def 2.6).
+//
+// An association rule pairs a frequent body itemset with one head value of
+// one attribute; its confidence estimates P(head | body). A meta-rule
+// groups every rule sharing a body and head attribute into a single
+// smoothed CPD estimate, weighted by the body's support.
+
+#ifndef MRSL_CORE_META_RULE_H_
+#define MRSL_CORE_META_RULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cpd.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace mrsl {
+
+/// One mined association rule body -> (head_attr = head_value).
+struct AssociationRule {
+  AttrId head_attr = 0;
+  ValueId head_value = 0;
+  /// Body as a pattern tuple (kMissingValue outside the body attributes).
+  Tuple body;
+  /// conf(r) = supp(body ∪ head) / supp(body).
+  double confidence = 0.0;
+  /// Absolute match counts backing the confidence.
+  uint64_t body_count = 0;
+  uint64_t full_count = 0;
+};
+
+/// A meta-rule: the ensemble member "P(head_attr | body)".
+struct MetaRule {
+  AttrId head_attr = 0;
+
+  /// Body pattern; assigns values to body attributes only.
+  Tuple body;
+
+  /// Bitmask of the body attributes (cached from `body`).
+  AttrMask body_mask = 0;
+
+  /// Number of attribute-value assignments in the body.
+  uint32_t body_size = 0;
+
+  /// Relative support of the body (the weight W in Fig 2).
+  double weight = 0.0;
+
+  /// Absolute support count of the body.
+  uint64_t support_count = 0;
+
+  /// Smoothed, strictly positive estimate of P(head | body).
+  Cpd cpd;
+
+  /// Renders e.g. "P(age | edu=HS, inc=50K) w=0.30".
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_META_RULE_H_

@@ -1,0 +1,22 @@
+#include "core/model.h"
+
+namespace mrsl {
+
+size_t MrslModel::TotalMetaRules() const {
+  size_t n = 0;
+  for (const Mrsl& l : lattices_) n += l.num_rules();
+  return n;
+}
+
+std::string MrslModel::ToString() const {
+  std::string out;
+  for (AttrId a = 0; a < lattices_.size(); ++a) {
+    out += "MRSL for ";
+    out += schema_.attr(a).name();
+    out += " (" + std::to_string(lattices_[a].num_rules()) + " meta-rules)\n";
+    out += lattices_[a].ToString(schema_);
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,44 @@
+// MrslModel: one meta-rule semi-lattice per attribute (Def 2.9) — the
+// output of the learning phase and the input of both inference phases.
+
+#ifndef MRSL_CORE_MODEL_H_
+#define MRSL_CORE_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/mrsl.h"
+#include "relational/schema.h"
+
+namespace mrsl {
+
+/// The learned MRSL model.
+class MrslModel {
+ public:
+  MrslModel() = default;
+
+  /// Takes ownership of the per-attribute lattices (index = attribute id)
+  /// and the schema they were learned against.
+  MrslModel(Schema schema, std::vector<Mrsl> lattices)
+      : schema_(std::move(schema)), lattices_(std::move(lattices)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_attrs() const { return lattices_.size(); }
+  const Mrsl& mrsl(AttrId a) const { return lattices_[a]; }
+
+  /// Total number of meta-rules across all lattices — the paper's "model
+  /// size" metric (Fig 4(c), Fig 9).
+  size_t TotalMetaRules() const;
+
+  /// Multi-line dump of every lattice.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Mrsl> lattices_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_MODEL_H_

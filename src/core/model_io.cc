@@ -1,0 +1,206 @@
+#include "core/model_io.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+// Escapes spaces in labels (the format is space-separated).
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '%') {
+      out += "%25";
+    } else if (c == ' ') {
+      out += "%20";
+    } else if (c == '\n') {
+      out += "%0A";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::Corruption("bad escape");
+    std::string hex = s.substr(i + 1, 2);
+    if (hex == "25") {
+      out += '%';
+    } else if (hex == "20") {
+      out += ' ';
+    } else if (hex == "0A") {
+      out += '\n';
+    } else {
+      return Status::Corruption("unknown escape %" + hex);
+    }
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ModelToText(const MrslModel& model) {
+  std::ostringstream out;
+  out.precision(17);
+  const Schema& schema = model.schema();
+  out << "mrsl-model v1\n";
+  out << "attrs " << schema.num_attrs() << "\n";
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const Attribute& attr = schema.attr(a);
+    out << "attr " << Escape(attr.name());
+    for (size_t v = 0; v < attr.cardinality(); ++v) {
+      out << " " << Escape(attr.label(static_cast<ValueId>(v)));
+    }
+    out << "\n";
+  }
+  for (AttrId a = 0; a < model.num_attrs(); ++a) {
+    const Mrsl& lattice = model.mrsl(a);
+    out << "lattice " << a << " " << lattice.num_rules() << "\n";
+    for (size_t i = 0; i < lattice.num_rules(); ++i) {
+      const MetaRule& r = lattice.rule(i);
+      out << "rule " << r.weight << " " << r.support_count << " body";
+      for (AttrId b = 0; b < r.body.num_attrs(); ++b) {
+        ValueId v = r.body.value(b);
+        if (v != kMissingValue) out << " " << b << "=" << v;
+      }
+      out << " cpd";
+      for (double p : r.cpd.probs()) out << " " << p;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<MrslModel> ModelFromText(std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t pos = 0;
+  auto next_line = [&]() -> std::string_view {
+    while (pos < lines.size()) {
+      std::string_view line = Trim(lines[pos]);
+      ++pos;
+      if (!line.empty()) return line;
+    }
+    return {};
+  };
+
+  if (Trim(next_line()) != "mrsl-model v1") {
+    return Status::Corruption("missing mrsl-model header");
+  }
+  auto header = Split(next_line(), ' ');
+  if (header.size() != 2 || header[0] != "attrs") {
+    return Status::Corruption("missing attrs line");
+  }
+  int64_t num_attrs = 0;
+  if (!ParseInt(header[1], &num_attrs) || num_attrs < 0) {
+    return Status::Corruption("bad attr count");
+  }
+
+  std::vector<Attribute> attrs;
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    auto fields = Split(next_line(), ' ');
+    if (fields.size() < 2 || fields[0] != "attr") {
+      return Status::Corruption("missing attr line");
+    }
+    auto name = Unescape(fields[1]);
+    if (!name.ok()) return name.status();
+    std::vector<std::string> labels;
+    for (size_t i = 2; i < fields.size(); ++i) {
+      auto label = Unescape(fields[i]);
+      if (!label.ok()) return label.status();
+      labels.push_back(std::move(label).value());
+    }
+    attrs.emplace_back(std::move(name).value(), std::move(labels));
+  }
+  auto schema = Schema::Create(std::move(attrs));
+  if (!schema.ok()) return schema.status();
+
+  std::vector<Mrsl> lattices;
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    auto lat_fields = Split(next_line(), ' ');
+    if (lat_fields.size() != 3 || lat_fields[0] != "lattice") {
+      return Status::Corruption("missing lattice line for attr " +
+                                std::to_string(a));
+    }
+    int64_t attr_id = 0;
+    int64_t num_rules = 0;
+    if (!ParseInt(lat_fields[1], &attr_id) || attr_id != a ||
+        !ParseInt(lat_fields[2], &num_rules) || num_rules < 0) {
+      return Status::Corruption("bad lattice header");
+    }
+    std::vector<MetaRule> rules;
+    for (int64_t i = 0; i < num_rules; ++i) {
+      auto fields = Split(next_line(), ' ');
+      if (fields.size() < 4 || fields[0] != "rule") {
+        return Status::Corruption("missing rule line");
+      }
+      MetaRule rule;
+      rule.head_attr = static_cast<AttrId>(a);
+      rule.body = Tuple(static_cast<size_t>(num_attrs));
+      double weight = 0.0;
+      int64_t support = 0;
+      if (!ParseDouble(fields[1], &weight) ||
+          !ParseInt(fields[2], &support) || fields[3] != "body") {
+        return Status::Corruption("bad rule prefix");
+      }
+      rule.weight = weight;
+      rule.support_count = static_cast<uint64_t>(support);
+      size_t f = 4;
+      for (; f < fields.size() && fields[f] != "cpd"; ++f) {
+        auto kv = Split(fields[f], '=');
+        int64_t attr = 0;
+        int64_t value = 0;
+        if (kv.size() != 2 || !ParseInt(kv[0], &attr) ||
+            !ParseInt(kv[1], &value) || attr < 0 || attr >= num_attrs) {
+          return Status::Corruption("bad body item: " + fields[f]);
+        }
+        rule.body.set_value(static_cast<AttrId>(attr),
+                            static_cast<ValueId>(value));
+      }
+      if (f >= fields.size() || fields[f] != "cpd") {
+        return Status::Corruption("rule missing cpd");
+      }
+      std::vector<double> probs;
+      for (++f; f < fields.size(); ++f) {
+        double p = 0.0;
+        if (!ParseDouble(fields[f], &p)) {
+          return Status::Corruption("bad cpd entry");
+        }
+        probs.push_back(p);
+      }
+      if (probs.size() !=
+          schema->attr(static_cast<AttrId>(a)).cardinality()) {
+        return Status::Corruption("cpd arity mismatch");
+      }
+      rule.cpd = Cpd(std::move(probs));
+      rules.push_back(std::move(rule));
+    }
+    lattices.emplace_back(static_cast<AttrId>(a),
+                          static_cast<size_t>(num_attrs),
+                          schema->attr(static_cast<AttrId>(a)).cardinality(),
+                          std::move(rules));
+  }
+  return MrslModel(std::move(schema).value(), std::move(lattices));
+}
+
+Status SaveModelFile(const MrslModel& model, const std::string& path) {
+  return WriteFile(path, ModelToText(model));
+}
+
+Result<MrslModel> LoadModelFile(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ModelFromText(text.value());
+}
+
+}  // namespace mrsl

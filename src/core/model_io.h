@@ -1,0 +1,29 @@
+// MRSL model serialization: learning is an offline process (Sec VI-B),
+// so learned models can be persisted and loaded independently of the
+// training data. Line-oriented text format with full double precision;
+// the schema travels with the model so inference needs nothing else.
+
+#ifndef MRSL_CORE_MODEL_IO_H_
+#define MRSL_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Serializes a model (schema + every meta-rule with body, weight,
+/// support count and CPD) to a text document.
+std::string ModelToText(const MrslModel& model);
+
+/// Parses ModelToText output; rebuilds lattices and matching indexes.
+Result<MrslModel> ModelFromText(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveModelFile(const MrslModel& model, const std::string& path);
+Result<MrslModel> LoadModelFile(const std::string& path);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_MODEL_IO_H_

@@ -1,0 +1,181 @@
+#include "core/mrsl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrsl {
+
+Mrsl::Mrsl(AttrId head_attr, size_t num_attrs, size_t head_card,
+           std::vector<MetaRule> rules)
+    : head_attr_(head_attr), head_card_(head_card), rules_(std::move(rules)) {
+  // Cache masks/sizes and order by generality (body size ascending) so the
+  // Hasse construction can scan level by level.
+  for (MetaRule& r : rules_) {
+    r.body_mask = r.body.CompleteMask();
+    r.body_size = static_cast<uint32_t>(__builtin_popcountll(r.body_mask));
+    assert((r.body_mask & (AttrMask{1} << head_attr_)) == 0 &&
+           "meta-rule body must not mention the head attribute");
+  }
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const MetaRule& a, const MetaRule& b) {
+                     return a.body_size < b.body_size;
+                   });
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].body_size == 0) {
+      root_ = static_cast<int32_t>(i);
+      break;
+    }
+  }
+  BuildHasse();
+  BuildIndex(num_attrs);
+}
+
+void Mrsl::BuildHasse() {
+  const size_t n = rules_.size();
+  parents_.assign(n, {});
+  children_.assign(n, {});
+
+  // Candidate subsumers of rule j are rules i with body one attribute
+  // smaller whose body is a subset of j's. (Meta-rule bodies are frequent
+  // itemsets, and Apriori's closure guarantees every subset of a recorded
+  // body is recorded too, so immediate Hasse neighbours differ by exactly
+  // one item.)
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      if (rules_[i].body_size + 1 != rules_[j].body_size) continue;
+      if ((rules_[i].body_mask & ~rules_[j].body_mask) != 0) continue;
+      if (!rules_[i].body.AgreesOn(rules_[j].body, rules_[i].body_mask)) {
+        continue;
+      }
+      parents_[j].push_back(static_cast<uint32_t>(i));
+      children_[i].push_back(static_cast<uint32_t>(j));
+    }
+  }
+}
+
+void Mrsl::BuildIndex(size_t num_attrs) {
+  postings_.assign(num_attrs, {});
+  empty_body_rules_.clear();
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const MetaRule& rule = rules_[r];
+    if (rule.body_size == 0) {
+      empty_body_rules_.push_back(static_cast<uint32_t>(r));
+      continue;
+    }
+    for (AttrId a = 0; a < rule.body.num_attrs(); ++a) {
+      ValueId v = rule.body.value(a);
+      if (v == kMissingValue) continue;
+      auto& per_attr = postings_[a];
+      if (per_attr.size() <= static_cast<size_t>(v)) {
+        per_attr.resize(static_cast<size_t>(v) + 1);
+      }
+      per_attr[static_cast<size_t>(v)].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  scratch_ = MatchScratch();
+}
+
+void Mrsl::Match(const Tuple& evidence, VoterChoice choice,
+                 std::vector<uint32_t>* out) const {
+  MatchValues(evidence.values(), choice, out);
+}
+
+void Mrsl::MatchValues(const std::vector<ValueId>& values, VoterChoice choice,
+                       std::vector<uint32_t>* out) const {
+  MatchValues(values, choice, &scratch_, out);
+}
+
+void Mrsl::MatchValues(const std::vector<ValueId>& values, VoterChoice choice,
+                       MatchScratch* scratch,
+                       std::vector<uint32_t>* out) const {
+  if (scratch->hit_count.size() != rules_.size()) {
+    scratch->hit_count.assign(rules_.size(), 0);
+    scratch->hit_epoch.assign(rules_.size(), 0);
+    scratch->epoch = 0;
+  }
+  out->clear();
+  out->insert(out->end(), empty_body_rules_.begin(), empty_body_rules_.end());
+
+  const uint64_t epoch = ++scratch->epoch;
+  for (AttrId a = 0; a < values.size(); ++a) {
+    if (a == head_attr_) continue;
+    ValueId v = values[a];
+    if (v == kMissingValue) continue;
+    if (a >= postings_.size()) continue;
+    const auto& per_attr = postings_[a];
+    if (static_cast<size_t>(v) >= per_attr.size()) continue;
+    for (uint32_t r : per_attr[static_cast<size_t>(v)]) {
+      if (scratch->hit_epoch[r] != epoch) {
+        scratch->hit_epoch[r] = epoch;
+        scratch->hit_count[r] = 0;
+      }
+      if (++scratch->hit_count[r] == rules_[r].body_size) {
+        out->push_back(r);
+      }
+    }
+  }
+  if (choice == VoterChoice::kBest && !out->empty()) {
+    FilterBest(rules_, out);
+  }
+}
+
+std::vector<uint32_t> Mrsl::Match(const Tuple& evidence,
+                                  VoterChoice choice) const {
+  std::vector<uint32_t> out;
+  Match(evidence, choice, &out);
+  return out;
+}
+
+std::vector<uint32_t> Mrsl::MatchLinearScan(const Tuple& evidence,
+                                            VoterChoice choice) const {
+  std::vector<uint32_t> out;
+  AttrMask ev_mask = evidence.CompleteMask();
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const MetaRule& rule = rules_[r];
+    if ((rule.body_mask & ~ev_mask) != 0) continue;
+    if (rule.body.AgreesOn(evidence, rule.body_mask)) {
+      out.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  if (choice == VoterChoice::kBest && !out.empty()) {
+    FilterBest(rules_, &out);
+  }
+  return out;
+}
+
+void Mrsl::FilterBest(const std::vector<MetaRule>& rules,
+                      std::vector<uint32_t>* matches) {
+  // "Best" = matches that do not subsume any other match. Because every
+  // match agrees with the same evidence on its body, subsumption between
+  // matches reduces to proper containment of body masks.
+  std::vector<uint32_t> best;
+  for (uint32_t m : *matches) {
+    bool subsumes_other = false;
+    for (uint32_t other : *matches) {
+      if (other == m) continue;
+      AttrMask mm = rules[m].body_mask;
+      AttrMask om = rules[other].body_mask;
+      if (mm != om && (mm & ~om) == 0) {
+        subsumes_other = true;  // m's body strictly inside other's
+        break;
+      }
+    }
+    if (!subsumes_other) best.push_back(m);
+  }
+  matches->swap(best);
+}
+
+std::string Mrsl::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + rules_[i].ToString(schema);
+    if (!parents_[i].empty()) {
+      out += "  parents:";
+      for (uint32_t p : parents_[i]) out += " " + std::to_string(p);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,128 @@
+// Mrsl: the Meta-Rule Semi-Lattice for one attribute (Defs 2.7-2.9) — the
+// inference ensemble at the heart of the paper.
+//
+// Meta-rules are partially ordered by body subsumption (m2 < m1 iff
+// body(m1) is a proper subset of body(m2) with agreeing values). The
+// lattice stores the Hasse diagram of that order and answers the two
+// matching queries of Algorithm 2:
+//   * all matches:   every meta-rule whose body is contained in a tuple's
+//                    complete portion, and
+//   * best matches:  the most specific matches (those that do not subsume
+//                    any other match).
+//
+// Matching is the hot path of Gibbs sampling, so it runs on an inverted
+// index of (attr, value) -> rule-id postings with epoch-reset hit counters
+// instead of scanning every rule body (see bench_ablation for the payoff).
+
+#ifndef MRSL_CORE_MRSL_H_
+#define MRSL_CORE_MRSL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/meta_rule.h"
+#include "core/options.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace mrsl {
+
+/// The meta-rule semi-lattice of one head attribute.
+class Mrsl {
+ public:
+  Mrsl() = default;
+
+  /// Builds the lattice: takes ownership of the rules, orders them by
+  /// subsumption, and prepares the matching index. `num_attrs` is the
+  /// schema arity, `head_card` the head attribute's cardinality.
+  Mrsl(AttrId head_attr, size_t num_attrs, size_t head_card,
+       std::vector<MetaRule> rules);
+
+  AttrId head_attr() const { return head_attr_; }
+  size_t head_card() const { return head_card_; }
+  size_t num_rules() const { return rules_.size(); }
+  const MetaRule& rule(size_t i) const { return rules_[i]; }
+  const std::vector<MetaRule>& rules() const { return rules_; }
+
+  /// Immediate subsumers (more general, one Hasse step up) of rule `i`.
+  const std::vector<uint32_t>& parents(size_t i) const {
+    return parents_[i];
+  }
+
+  /// Immediate subsumees (more specific, one step down) of rule `i`.
+  const std::vector<uint32_t>& children(size_t i) const {
+    return children_[i];
+  }
+
+  /// Index of the root meta-rule P(head) with empty body, or -1 if the
+  /// support threshold eliminated it.
+  int32_t root() const { return root_; }
+
+  /// Per-caller scratch for the hit-counting matcher. Concurrent Match
+  /// calls on the same lattice are safe iff each thread passes its own
+  /// scratch (the parallel workload runner relies on this).
+  struct MatchScratch {
+    std::vector<uint32_t> hit_count;
+    std::vector<uint64_t> hit_epoch;
+    uint64_t epoch = 0;
+  };
+
+  /// GetMatchingMetaRules (Algorithm 2): rule ids whose body is satisfied
+  /// by the assigned cells of `evidence`, honoring `choice`.
+  /// Thread-compatible but not thread-safe (uses internal scratch); for
+  /// concurrent matching use the MatchScratch overload below.
+  void Match(const Tuple& evidence, VoterChoice choice,
+             std::vector<uint32_t>* out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<uint32_t> Match(const Tuple& evidence,
+                              VoterChoice choice) const;
+
+  /// Allocation-free variant over a raw value vector (the Gibbs sampler's
+  /// chain state). Any value stored for the head attribute is ignored, so
+  /// chain states can be matched without blanking the resampled cell.
+  /// Not thread-safe (internal scratch).
+  void MatchValues(const std::vector<ValueId>& values, VoterChoice choice,
+                   std::vector<uint32_t>* out) const;
+
+  /// Fully thread-safe variant: all mutable state lives in `scratch`,
+  /// which is lazily sized to the lattice on first use.
+  void MatchValues(const std::vector<ValueId>& values, VoterChoice choice,
+                   MatchScratch* scratch, std::vector<uint32_t>* out) const;
+
+  /// Naive O(rules x body) matcher kept as the ablation baseline and as a
+  /// differential-testing oracle for the indexed matcher.
+  std::vector<uint32_t> MatchLinearScan(const Tuple& evidence,
+                                        VoterChoice choice) const;
+
+  /// Multi-line dump of the lattice (for examples/debugging).
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  void BuildHasse();
+  void BuildIndex(size_t num_attrs);
+  static void FilterBest(const std::vector<MetaRule>& rules,
+                         std::vector<uint32_t>* matches);
+
+  AttrId head_attr_ = 0;
+  size_t head_card_ = 0;
+  std::vector<MetaRule> rules_;            // sorted by body_size ascending
+  std::vector<std::vector<uint32_t>> parents_;
+  std::vector<std::vector<uint32_t>> children_;
+  int32_t root_ = -1;
+
+  // Inverted matching index: postings_[attr][value] = rule ids whose body
+  // contains (attr, value); empty-body rules always match.
+  std::vector<std::vector<std::vector<uint32_t>>> postings_;
+  std::vector<uint32_t> empty_body_rules_;
+
+  // Epoch-reset scratch for the convenience (single-threaded) matchers
+  // (mutable: Match is logically const).
+  mutable MatchScratch scratch_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_MRSL_H_

@@ -1,0 +1,25 @@
+#include "core/options.h"
+
+namespace mrsl {
+
+const char* VoterChoiceName(VoterChoice c) {
+  switch (c) {
+    case VoterChoice::kAll:
+      return "all";
+    case VoterChoice::kBest:
+      return "best";
+  }
+  return "?";
+}
+
+const char* VotingSchemeName(VotingScheme s) {
+  switch (s) {
+    case VotingScheme::kAveraged:
+      return "averaged";
+    case VotingScheme::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+}  // namespace mrsl

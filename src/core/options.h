@@ -1,0 +1,74 @@
+// Option structs for the learning and inference phases.
+
+#ifndef MRSL_CORE_OPTIONS_H_
+#define MRSL_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrsl {
+
+/// Voter selection mechanism of Algorithm 2 (Sec IV).
+enum class VoterChoice {
+  kAll,   // every matching meta-rule votes
+  kBest,  // only the most specific matches vote (those that do not
+          // subsume any other match)
+};
+
+/// Vote combination scheme of Algorithm 2 (Sec IV).
+enum class VotingScheme {
+  kAveraged,  // plain position-wise average of the voters' CPDs
+  kWeighted,  // support-weighted average
+};
+
+/// Human-readable names ("all averaged", "best weighted", ...).
+const char* VoterChoiceName(VoterChoice c);
+const char* VotingSchemeName(VotingScheme s);
+
+/// The four voting methods evaluated in Table II / Figs 5-6.
+struct VotingOptions {
+  VoterChoice choice = VoterChoice::kBest;
+  VotingScheme scheme = VotingScheme::kAveraged;
+};
+
+/// Parameters of the learning phase (Algorithm 1).
+struct LearnOptions {
+  /// Support threshold θ for frequent-itemset mining.
+  double support_threshold = 0.02;
+
+  /// Apriori round cap (the paper's maxItemsets = 1000).
+  size_t max_itemsets = 1000;
+
+  /// Minimum probability assigned to each domain value when smoothing a
+  /// meta-rule CPD (the paper uses 0.00001); guarantees positivity, which
+  /// the Gibbs sampler requires for convergence.
+  double min_prob = 1e-5;
+};
+
+/// Parameters of multi-attribute (Gibbs) inference (Sec V).
+struct GibbsOptions {
+  /// Burn-in cycles B discarded before recording.
+  size_t burn_in = 100;
+
+  /// Recorded samples N per tuple.
+  size_t samples = 2000;
+
+  /// Voting used for the per-attribute conditionals inside the sampler.
+  VotingOptions voting;
+
+  /// Enables the conditional-CPD cache keyed by (attr, evidence state).
+  bool enable_cpd_cache = true;
+
+  /// Pseudo-count added to every cell of the empirical joint before
+  /// normalization (Jeffreys-prior style). Keeps unvisited combinations
+  /// at a small positive probability so KL divergence against the
+  /// estimate stays finite and stable for sparsely sampled domains.
+  double smoothing_epsilon = 0.5;
+
+  /// RNG seed for the sampler.
+  uint64_t seed = 42;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_OPTIONS_H_

@@ -1,0 +1,56 @@
+#include "core/repair.h"
+
+namespace mrsl {
+
+Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
+                                const RepairOptions& options,
+                                RepairStats* stats) {
+  std::vector<Tuple> workload;
+  for (uint32_t r : rel.IncompleteRowIndices()) {
+    workload.push_back(rel.row(r));
+  }
+
+  std::vector<JointDist> dists;
+  if (!workload.empty()) {
+    auto result =
+        RunWorkload(model, workload, options.mode, options.workload);
+    if (!result.ok()) return result.status();
+    dists = std::move(result).value();
+  }
+
+  RepairStats local;
+  double conf_sum = 0.0;
+  Relation out(rel.schema());
+  size_t next = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    const Tuple& row = rel.row(r);
+    if (row.IsComplete()) {
+      MRSL_RETURN_IF_ERROR(out.Append(row));
+      continue;
+    }
+    const JointDist& dist = dists[next++];
+    uint64_t best = dist.ArgMax();
+    double confidence = dist.prob(best);
+    if (confidence < options.min_confidence) {
+      ++local.skipped_low_conf;
+      MRSL_RETURN_IF_ERROR(out.Append(row));
+      continue;
+    }
+    std::vector<ValueId> combo(dist.vars().size());
+    dist.codec().DecodeInto(best, combo.data());
+    Tuple repaired = row;
+    for (size_t i = 0; i < dist.vars().size(); ++i) {
+      repaired.set_value(dist.vars()[i], combo[i]);
+    }
+    ++local.repaired;
+    conf_sum += confidence;
+    MRSL_RETURN_IF_ERROR(out.Append(std::move(repaired)));
+  }
+  if (local.repaired > 0) {
+    local.mean_confidence = conf_sum / static_cast<double>(local.repaired);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,48 @@
+// Repair: most-probable-completion data cleaning on top of the derived
+// distributions — the bridge to the ERACER-style cleaning systems the
+// paper compares against (Sec VII). Where the paper's output is the full
+// distribution Δt, a cleaning consumer often wants one concrete repair;
+// this module materializes the joint argmax (NOT the product of
+// per-attribute argmaxes, which can be jointly inconsistent).
+
+#ifndef MRSL_CORE_REPAIR_H_
+#define MRSL_CORE_REPAIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.h"
+#include "core/workload.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Options for RepairRelation.
+struct RepairOptions {
+  WorkloadOptions workload;
+  SamplingMode mode = SamplingMode::kTupleDag;
+
+  /// Completions whose joint probability falls below this value are left
+  /// unrepaired (their "?" cells survive) — a guardrail against
+  /// confidently wrong imputations. 0 repairs everything.
+  double min_confidence = 0.0;
+};
+
+/// Per-run statistics.
+struct RepairStats {
+  size_t repaired = 0;          // rows fully completed
+  size_t skipped_low_conf = 0;  // rows left incomplete by the guardrail
+  double mean_confidence = 0.0; // mean joint probability of applied repairs
+};
+
+/// Returns a copy of `rel` with every incomplete tuple replaced by its
+/// most probable completion under the model (single-tuple inference via
+/// `mode`). Complete tuples pass through unchanged.
+Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
+                                const RepairOptions& options,
+                                RepairStats* stats = nullptr);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_REPAIR_H_

@@ -1,0 +1,98 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/infer_single.h"
+#include "util/rng.h"
+
+namespace mrsl {
+
+Result<TuningResult> TuneSupportThreshold(const Relation& rel,
+                                          const TuningOptions& options) {
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate thresholds");
+  }
+  if (options.holdout_fraction <= 0.0 || options.holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  std::vector<uint32_t> complete = rel.CompleteRowIndices();
+  if (complete.size() < 20) {
+    return Status::FailedPrecondition(
+        "need at least 20 complete rows to tune");
+  }
+
+  // Deterministic split of the complete rows.
+  Rng rng(options.seed);
+  rng.Shuffle(&complete);
+  size_t holdout_size = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(complete.size()) *
+                             options.holdout_fraction));
+  std::vector<uint32_t> holdout(complete.begin(),
+                                complete.begin() +
+                                    static_cast<long>(holdout_size));
+  std::vector<uint32_t> training(complete.begin() +
+                                     static_cast<long>(holdout_size),
+                                 complete.end());
+  if (training.empty()) {
+    return Status::FailedPrecondition("holdout leaves no training rows");
+  }
+
+  // Pre-draw the masked attribute per holdout row so every candidate is
+  // scored on the identical prediction tasks.
+  const size_t n_attrs = rel.schema().num_attrs();
+  std::vector<AttrId> masked_attr(holdout.size());
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    masked_attr[i] = static_cast<AttrId>(rng.UniformInt(n_attrs));
+  }
+
+  TuningResult result;
+  double best_loss = 0.0;
+  for (double theta : options.candidates) {
+    LearnOptions learn;
+    learn.support_threshold = theta;
+    learn.max_itemsets = options.max_itemsets;
+    auto model = LearnModelFromRows(rel, training, learn);
+    if (!model.ok()) return model.status();
+
+    CandidateScore score;
+    score.support = theta;
+    score.model_size = model->TotalMetaRules();
+    double loss_sum = 0.0;
+    size_t top1_hits = 0;
+    size_t evals = 0;
+    std::vector<Mrsl::MatchScratch> scratch(n_attrs);
+    for (size_t i = 0; i < holdout.size(); ++i) {
+      if (options.max_evaluations != 0 &&
+          evals >= options.max_evaluations) {
+        break;
+      }
+      const Tuple& truth = rel.row(holdout[i]);
+      AttrId a = masked_attr[i];
+      Tuple masked = truth;
+      masked.set_value(a, kMissingValue);
+      auto cpd = InferSingleAttribute(*model, masked, a, options.voting,
+                                      &scratch[a]);
+      if (!cpd.ok()) return cpd.status();
+      double p = cpd->prob(truth.value(a));
+      loss_sum += -std::log(std::max(p, 1e-12));
+      top1_hits += cpd->ArgMax() == truth.value(a);
+      ++evals;
+    }
+    if (evals == 0) {
+      return Status::Internal("no holdout evaluations performed");
+    }
+    score.log_loss = loss_sum / static_cast<double>(evals);
+    score.top1 = static_cast<double>(top1_hits) / static_cast<double>(evals);
+    score.evaluations = evals;
+
+    if (result.scores.empty() || score.log_loss < best_loss) {
+      best_loss = score.log_loss;
+      result.best_support = theta;
+    }
+    result.scores.push_back(score);
+  }
+  return result;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,69 @@
+// Automatic support-threshold selection.
+//
+// Fig 6 shows accuracy hinges on the mining threshold θ, and the best
+// value depends on data volume (Fig 5): real deployments have no ground
+// truth to sweep against. This module picks θ by masked holdout
+// validation: split the complete rows, learn a model per candidate θ on
+// the training part, mask one attribute per holdout row, and score the
+// predicted CPD against the actually observed value by log-loss (strictly
+// proper, so optimizing it recovers the best-calibrated distribution
+// estimate) and top-1 accuracy.
+
+#ifndef MRSL_CORE_TUNING_H_
+#define MRSL_CORE_TUNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/learner.h"
+#include "core/options.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Controls for TuneSupportThreshold.
+struct TuningOptions {
+  /// Candidate thresholds, tried in order.
+  std::vector<double> candidates = {0.001, 0.005, 0.01, 0.02, 0.05, 0.1};
+
+  /// Fraction of the complete rows held out for validation.
+  double holdout_fraction = 0.2;
+
+  /// Voting used for validation predictions.
+  VotingOptions voting;
+
+  /// Cap on scored (row, attribute) predictions per candidate (0 = all).
+  size_t max_evaluations = 20000;
+
+  /// Apriori round cap (forwarded to learning).
+  size_t max_itemsets = 1000;
+
+  /// Seed for the split and masking choices.
+  uint64_t seed = 7;
+};
+
+/// Scores for one candidate threshold.
+struct CandidateScore {
+  double support = 0.0;
+  double log_loss = 0.0;     // mean -ln P(observed value); lower is better
+  double top1 = 0.0;         // fraction of argmax hits
+  size_t model_size = 0;     // meta-rules
+  size_t evaluations = 0;
+};
+
+/// The tuning outcome: every candidate's score plus the winner.
+struct TuningResult {
+  std::vector<CandidateScore> scores;
+  double best_support = 0.0;  // candidate with minimal log-loss
+};
+
+/// Runs the holdout sweep over `rel`'s complete rows. Fails when there
+/// are too few complete rows to split or no candidates.
+Result<TuningResult> TuneSupportThreshold(const Relation& rel,
+                                          const TuningOptions& options);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_TUNING_H_

@@ -1,0 +1,68 @@
+#include "core/tuple_dag.h"
+
+#include <unordered_map>
+
+namespace mrsl {
+
+TupleDag::TupleDag(const std::vector<Tuple>& workload) {
+  // De-duplicate.
+  std::unordered_map<Tuple, uint32_t, TupleHash> index;
+  workload_to_node_.reserve(workload.size());
+  for (const Tuple& t : workload) {
+    auto [it, inserted] =
+        index.emplace(t, static_cast<uint32_t>(nodes_.size()));
+    if (inserted) {
+      nodes_.push_back(t);
+      rows_.emplace_back();
+    }
+    rows_[it->second].push_back(
+        static_cast<uint32_t>(workload_to_node_.size()));
+    workload_to_node_.push_back(it->second);
+  }
+
+  const size_t n = nodes_.size();
+  parents_.assign(n, {});
+  children_.assign(n, {});
+  descendants_.assign(n, {});
+
+  // ancestors[v] = every node subsuming v (transitively).
+  std::vector<std::vector<uint32_t>> ancestors(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (nodes_[u].Subsumes(nodes_[v])) {
+        ancestors[v].push_back(static_cast<uint32_t>(u));
+        descendants_[u].push_back(static_cast<uint32_t>(v));
+      }
+    }
+  }
+
+  // Hasse reduction: u is an immediate parent of v iff no other ancestor w
+  // of v lies strictly between them (u subsumes w).
+  for (size_t v = 0; v < n; ++v) {
+    for (uint32_t u : ancestors[v]) {
+      bool immediate = true;
+      for (uint32_t w : ancestors[v]) {
+        if (w == u) continue;
+        if (nodes_[u].Subsumes(nodes_[w])) {
+          immediate = false;
+          break;
+        }
+      }
+      if (immediate) {
+        parents_[v].push_back(u);
+        children_[u].push_back(static_cast<uint32_t>(v));
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> TupleDag::Roots() const {
+  std::vector<uint32_t> roots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (parents_[i].empty()) roots.push_back(static_cast<uint32_t>(i));
+  }
+  return roots;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,334 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+std::vector<uint32_t> SchemaCards(const Schema& schema) {
+  std::vector<uint32_t> cards;
+  cards.reserve(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    cards.push_back(static_cast<uint32_t>(schema.attr(a).cardinality()));
+  }
+  return cards;
+}
+
+// Builds the accumulator distribution for one node's missing attributes.
+JointDist MakeNodeDist(const Schema& schema, const Tuple& node) {
+  std::vector<AttrId> missing = node.MissingAttrs();
+  std::vector<uint32_t> cards;
+  cards.reserve(missing.size());
+  for (AttrId a : missing) {
+    cards.push_back(static_cast<uint32_t>(schema.attr(a).cardinality()));
+  }
+  return JointDist(std::move(missing), std::move(cards));
+}
+
+// Accumulates a full-state sample into a node's distribution.
+void AccumulateState(const std::vector<ValueId>& state, JointDist* dist) {
+  std::vector<ValueId> combo(dist->vars().size());
+  for (size_t i = 0; i < dist->vars().size(); ++i) {
+    combo[i] = state[dist->vars()[i]];
+  }
+  dist->add_prob(dist->codec().Encode(combo), 1.0);
+}
+
+// True iff `state` agrees with every assigned cell of `node`.
+bool StateMatches(const std::vector<ValueId>& state, const Tuple& node) {
+  for (AttrId a = 0; a < node.num_attrs(); ++a) {
+    ValueId v = node.value(a);
+    if (v != kMissingValue && state[a] != v) return false;
+  }
+  return true;
+}
+
+void FinalizeDist(const GibbsOptions& opts, JointDist* dist) {
+  if (opts.smoothing_epsilon > 0.0) {
+    dist->SmoothAdditive(opts.smoothing_epsilon);
+  } else {
+    dist->Normalize();
+  }
+}
+
+Status ValidateWorkload(const MrslModel& model,
+                        const std::vector<Tuple>& workload) {
+  for (const Tuple& t : workload) {
+    if (t.num_attrs() != model.num_attrs()) {
+      return Status::InvalidArgument("workload tuple arity mismatch");
+    }
+    if (t.IsComplete()) {
+      return Status::InvalidArgument(
+          "workload tuples must have at least one missing value");
+    }
+  }
+  return Status::OK();
+}
+
+// Algorithm 3 driver state for one DAG node.
+struct NodeState {
+  std::vector<uint64_t> own_codes;    // samples drawn by this node's chain
+  std::vector<uint64_t> all_codes;    // own + received via sharing, <= N
+  bool completed = false;
+  bool active = false;
+  bool burned = false;
+  GibbsSampler::Chain chain;
+  bool has_chain = false;
+};
+
+}  // namespace
+
+const char* SamplingModeName(SamplingMode mode) {
+  switch (mode) {
+    case SamplingMode::kTupleAtATime:
+      return "tuple-at-a-time";
+    case SamplingMode::kTupleDag:
+      return "tuple-DAG";
+    case SamplingMode::kAllAtATime:
+      return "all-at-a-time";
+    case SamplingMode::kIndependentProduct:
+      return "independent-product";
+  }
+  return "?";
+}
+
+Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
+                                           const std::vector<Tuple>& workload,
+                                           SamplingMode mode,
+                                           const WorkloadOptions& options,
+                                           WorkloadStats* stats) {
+  MRSL_RETURN_IF_ERROR(ValidateWorkload(model, workload));
+  WallTimer timer;
+  WorkloadStats local;
+  const Schema& schema = model.schema();
+  const size_t N = options.gibbs.samples;
+  const size_t B = options.gibbs.burn_in;
+
+  TupleDag dag(workload);
+  local.distinct_tuples = dag.num_nodes();
+  std::vector<JointDist> node_dists;
+  node_dists.reserve(dag.num_nodes());
+  for (size_t i = 0; i < dag.num_nodes(); ++i) {
+    node_dists.push_back(MakeNodeDist(schema, dag.node(i)));
+  }
+
+  GibbsSampler sampler(&model, options.gibbs);
+
+  switch (mode) {
+    case SamplingMode::kIndependentProduct: {
+      // P(a1..ak | evidence) ~= Π P(ai | evidence): per-attribute single
+      // inference with only the observed cells as evidence. Matching uses
+      // a local scratch so concurrent workload runs stay race-free.
+      std::vector<Mrsl::MatchScratch> scratch(model.num_attrs());
+      for (size_t i = 0; i < dag.num_nodes(); ++i) {
+        const Tuple& node = dag.node(i);
+        JointDist& dist = node_dists[i];
+        std::vector<Cpd> cpds;
+        for (AttrId a : dist.vars()) {
+          auto cpd = InferSingleAttribute(model, node, a,
+                                          options.gibbs.voting,
+                                          &scratch[a]);
+          if (!cpd.ok()) return cpd.status();
+          cpds.push_back(std::move(cpd).value());
+        }
+        std::vector<ValueId> combo(dist.vars().size());
+        for (uint64_t code = 0; code < dist.size(); ++code) {
+          dist.codec().DecodeInto(code, combo.data());
+          double p = 1.0;
+          for (size_t k = 0; k < combo.size(); ++k) {
+            p *= cpds[k].prob(combo[k]);
+          }
+          dist.set_prob(code, p);
+        }
+        dist.Normalize();
+      }
+      break;
+    }
+
+    case SamplingMode::kTupleAtATime: {
+      for (size_t i = 0; i < dag.num_nodes(); ++i) {
+        auto chain_or = sampler.MakeChain(dag.node(i));
+        if (!chain_or.ok()) return chain_or.status();
+        GibbsSampler::Chain chain = std::move(chain_or).value();
+        for (size_t b = 0; b < B; ++b) sampler.Step(&chain);
+        local.burn_in_points += B;
+        local.points_sampled += B;
+        for (size_t s = 0; s < N; ++s) {
+          sampler.Step(&chain);
+          ++local.points_sampled;
+          sampler.Record(chain, &node_dists[i]);
+        }
+        FinalizeDist(options.gibbs, &node_dists[i]);
+      }
+      break;
+    }
+
+    case SamplingMode::kTupleDag: {
+      MixedRadix codec(SchemaCards(schema));
+      if (codec.Saturated()) {
+        return Status::FailedPrecondition(
+            "schema domain exceeds 64-bit sample codes");
+      }
+      std::vector<NodeState> nodes(dag.num_nodes());
+      std::vector<uint32_t> active = dag.Roots();
+      for (uint32_t r : active) nodes[r].active = true;
+      size_t completed_count = 0;
+
+      // Promotes every incomplete, inactive node whose parents are all
+      // completed (Alg 3 lines 18-20 generalized to transitive sharing).
+      auto promote = [&](std::vector<uint32_t>* out) {
+        for (uint32_t s = 0; s < dag.num_nodes(); ++s) {
+          NodeState& ns = nodes[s];
+          if (ns.completed || ns.active) continue;
+          bool ready = true;
+          for (uint32_t p : dag.parents(s)) {
+            if (!nodes[p].completed) {
+              ready = false;
+              break;
+            }
+          }
+          if (ready) {
+            ns.active = true;
+            out->push_back(s);
+          }
+        }
+      };
+
+      // Marks a node completed and shares its own samples with every
+      // incomplete descendant.
+      std::vector<ValueId> decoded(schema.num_attrs());
+      auto complete_node = [&](uint32_t x) {
+        nodes[x].completed = true;
+        nodes[x].active = false;
+        ++completed_count;
+        for (uint32_t s : dag.descendants(x)) {
+          NodeState& ns = nodes[s];
+          if (ns.completed) continue;
+          for (uint64_t code : nodes[x].own_codes) {
+            if (ns.all_codes.size() >= N) break;
+            codec.DecodeInto(code, decoded.data());
+            if (StateMatches(decoded, dag.node(s))) {
+              ns.all_codes.push_back(code);
+              ++local.shared_samples;
+            }
+          }
+        }
+      };
+
+      size_t cursor = 0;
+      while (!active.empty()) {
+        if (cursor >= active.size()) cursor = 0;
+        uint32_t r = active[cursor];
+        NodeState& nr = nodes[r];
+        assert(nr.active && !nr.completed);
+        if (!nr.has_chain) {
+          auto chain_or = sampler.MakeChain(dag.node(r));
+          if (!chain_or.ok()) return chain_or.status();
+          nr.chain = std::move(chain_or).value();
+          nr.has_chain = true;
+        }
+        if (!nr.burned) {
+          for (size_t b = 0; b < B; ++b) sampler.Step(&nr.chain);
+          local.burn_in_points += B;
+          local.points_sampled += B;
+          nr.burned = true;
+        }
+        sampler.Step(&nr.chain);
+        ++local.points_sampled;
+        uint64_t code = codec.Encode(nr.chain.state);
+        nr.own_codes.push_back(code);
+        if (nr.all_codes.size() < N) nr.all_codes.push_back(code);
+
+        if (nr.all_codes.size() >= N) {
+          complete_node(r);
+          // A shared batch may have pushed descendants to N as well.
+          bool changed = true;
+          while (changed) {
+            changed = false;
+            for (uint32_t s = 0; s < dag.num_nodes(); ++s) {
+              if (!nodes[s].completed && nodes[s].all_codes.size() >= N) {
+                complete_node(s);
+                changed = true;
+              }
+            }
+          }
+          // Rebuild the active list and promote newly rooted nodes.
+          std::vector<uint32_t> next_active;
+          for (uint32_t a : active) {
+            if (!nodes[a].completed) next_active.push_back(a);
+          }
+          promote(&next_active);
+          for (uint32_t a : next_active) nodes[a].active = true;
+          active = std::move(next_active);
+          cursor = 0;
+        } else {
+          ++cursor;
+        }
+      }
+      assert(completed_count == dag.num_nodes());
+      (void)completed_count;
+
+      // Turn collected codes into distributions.
+      for (size_t i = 0; i < dag.num_nodes(); ++i) {
+        for (uint64_t code : nodes[i].all_codes) {
+          codec.DecodeInto(code, decoded.data());
+          AccumulateState(decoded, &node_dists[i]);
+        }
+        FinalizeDist(options.gibbs, &node_dists[i]);
+      }
+      break;
+    }
+
+    case SamplingMode::kAllAtATime: {
+      MixedRadix codec(SchemaCards(schema));
+      if (codec.Saturated()) {
+        return Status::FailedPrecondition(
+            "schema domain exceeds 64-bit sample codes");
+      }
+      // One chain over t* = the all-missing tuple.
+      Tuple t_star(schema.num_attrs());
+      auto chain_or = sampler.MakeChain(t_star);
+      if (!chain_or.ok()) return chain_or.status();
+      GibbsSampler::Chain chain = std::move(chain_or).value();
+      for (size_t b = 0; b < B; ++b) sampler.Step(&chain);
+      local.burn_in_points += B;
+      local.points_sampled += B;
+
+      std::vector<size_t> counts(dag.num_nodes(), 0);
+      size_t remaining = dag.num_nodes();
+      while (remaining > 0 &&
+             (options.max_total_cycles == 0 ||
+              local.points_sampled < options.max_total_cycles)) {
+        sampler.Step(&chain);
+        ++local.points_sampled;
+        for (size_t i = 0; i < dag.num_nodes(); ++i) {
+          if (counts[i] >= N) continue;
+          if (StateMatches(chain.state, dag.node(i))) {
+            AccumulateState(chain.state, &node_dists[i]);
+            if (++counts[i] == N) --remaining;
+          }
+        }
+      }
+      for (auto& dist : node_dists) FinalizeDist(options.gibbs, &dist);
+      break;
+    }
+  }
+
+  // Map node distributions back to workload positions.
+  std::vector<JointDist> out;
+  out.reserve(workload.size());
+  for (size_t pos = 0; pos < workload.size(); ++pos) {
+    out.push_back(node_dists[dag.workload_to_node()[pos]]);
+  }
+
+  local.cache_hits = sampler.stats().cache_hits;
+  local.cpd_evaluations = sampler.stats().cpd_evaluations;
+  local.wall_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace mrsl

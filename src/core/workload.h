@@ -1,0 +1,73 @@
+// Workload-level multi-attribute inference (Sec V-B, Algorithm 3).
+//
+// Four strategies over a workload Ri of incomplete tuples:
+//   * kTupleAtATime — an independent Gibbs chain per distinct tuple (the
+//     paper's baseline in Fig 11);
+//   * kTupleDag — Algorithm 3: round-robin sampling of the subsumption
+//     DAG's roots, sharing each finished node's samples with all the
+//     tuples it subsumes (the paper's optimization);
+//   * kAllAtATime — one chain over the fully unknown tuple t*; every
+//     tuple harvests the samples matching its complete portion (Sec V-A's
+//     discussion of why this wastes most samples);
+//   * kIndependentProduct — no sampling: the product of per-attribute
+//     single-inference estimates, the strawman whose unwarranted
+//     independence assumption motivates Gibbs sampling in Sec V.
+
+#ifndef MRSL_CORE_WORKLOAD_H_
+#define MRSL_CORE_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/gibbs.h"
+#include "core/model.h"
+#include "core/options.h"
+#include "core/tuple_dag.h"
+#include "relational/joint_dist.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Sampling strategy for a workload.
+enum class SamplingMode {
+  kTupleAtATime,
+  kTupleDag,
+  kAllAtATime,
+  kIndependentProduct,
+};
+
+const char* SamplingModeName(SamplingMode mode);
+
+/// Cost counters for Fig 11.
+struct WorkloadStats {
+  uint64_t points_sampled = 0;    // Gibbs sweeps executed (incl. burn-in)
+  uint64_t burn_in_points = 0;    // sweeps spent on burn-in
+  uint64_t shared_samples = 0;    // samples obtained for free via the DAG
+  uint64_t distinct_tuples = 0;   // workload size after dedup
+  uint64_t cache_hits = 0;
+  uint64_t cpd_evaluations = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Extra knobs for the workload driver.
+struct WorkloadOptions {
+  GibbsOptions gibbs;
+
+  /// Safety cap on total sweeps for kAllAtATime, whose natural run time
+  /// is unbounded when evidence combinations are rare. 0 = no cap.
+  uint64_t max_total_cycles = 20'000'000;
+};
+
+/// Runs inference for every tuple of `workload` (each must have >= 1
+/// missing attribute) and returns one Δt per input position, aligned with
+/// the workload order. `stats` may be null.
+Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
+                                           const std::vector<Tuple>& workload,
+                                           SamplingMode mode,
+                                           const WorkloadOptions& options,
+                                           WorkloadStats* stats = nullptr);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_WORKLOAD_H_

@@ -1,0 +1,31 @@
+// Parallel workload inference.
+//
+// Sample sharing in Algorithm 3 only ever flows along subsumption edges,
+// so the connected components of the tuple DAG are fully independent
+// units of work. RunWorkloadParallel partitions the workload into those
+// components, runs each on a worker thread with its own sampler and a
+// seed derived deterministically from the component's content, and
+// stitches the results back together. Results are bit-identical for any
+// thread count (including 1), preserving the library's reproducibility
+// guarantee.
+
+#ifndef MRSL_CORE_WORKLOAD_PARALLEL_H_
+#define MRSL_CORE_WORKLOAD_PARALLEL_H_
+
+#include <cstddef>
+
+#include "core/workload.h"
+
+namespace mrsl {
+
+/// Parallel counterpart of RunWorkload. `num_threads` 0 uses the
+/// hardware concurrency. Supports every SamplingMode except
+/// kAllAtATime, whose single global chain cannot be split.
+Result<std::vector<JointDist>> RunWorkloadParallel(
+    const MrslModel& model, const std::vector<Tuple>& workload,
+    SamplingMode mode, const WorkloadOptions& options,
+    size_t num_threads = 0, WorkloadStats* stats = nullptr);
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_WORKLOAD_PARALLEL_H_

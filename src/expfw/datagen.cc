@@ -1,0 +1,71 @@
+#include "expfw/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mrsl {
+
+Relation MaskRelation(const Relation& rel, size_t num_missing, Rng* rng) {
+  Relation out(rel.schema());
+  const size_t n = rel.schema().num_attrs();
+  std::vector<AttrId> attrs(n);
+  for (size_t i = 0; i < n; ++i) attrs[i] = static_cast<AttrId>(i);
+
+  for (const Tuple& row : rel.rows()) {
+    // Uniform choice of which attributes go missing (Sec VI-A).
+    rng->Shuffle(&attrs);
+    Tuple masked = row;
+    for (size_t k = 0; k < num_missing && k < n; ++k) {
+      masked.set_value(attrs[k], kMissingValue);
+    }
+    Status st = out.Append(std::move(masked));
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+Result<Dataset> GenerateDataset(const BayesNet& bn,
+                                const DatasetOptions& options, Rng* rng) {
+  const size_t n = bn.num_vars();
+  if (options.num_missing < 1 || options.num_missing >= n) {
+    return Status::InvalidArgument(
+        "num_missing must be in [1, num_attrs - 1]");
+  }
+  if (options.test_fraction <= 0.0 || options.test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  if (options.train_size == 0) {
+    return Status::InvalidArgument("train_size must be positive");
+  }
+
+  // Total sample so that train_size tuples form the training split.
+  const size_t total = static_cast<size_t>(std::llround(
+      static_cast<double>(options.train_size) /
+      (1.0 - options.test_fraction)));
+  Relation sample = bn.SampleRelation(total, rng);
+
+  // Random split: shuffle row indices, take the head as training.
+  std::vector<uint32_t> order(sample.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  rng->Shuffle(&order);
+
+  Dataset ds;
+  ds.bn = bn;
+  ds.train = Relation(sample.schema());
+  ds.test_original = Relation(sample.schema());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Tuple& row = sample.row(order[i]);
+    Status st = (i < options.train_size) ? ds.train.Append(row)
+                                         : ds.test_original.Append(row);
+    assert(st.ok());
+    (void)st;
+  }
+  ds.test_masked = MaskRelation(ds.test_original, options.num_missing, rng);
+  return ds;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,55 @@
+// Dataset generation (Sec VI-A): instantiate a network, forward-sample a
+// complete relation, split it into train/test, and mask attribute values
+// in the test split with "?" uniformly at random.
+
+#ifndef MRSL_EXPFW_DATAGEN_H_
+#define MRSL_EXPFW_DATAGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "relational/relation.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mrsl {
+
+/// One generated experiment dataset.
+struct Dataset {
+  BayesNet bn;             // the ground-truth instance
+  Relation train;          // complete training tuples (90% by default)
+  Relation test_masked;    // test tuples with missing values injected
+  Relation test_original;  // the same test tuples before masking
+};
+
+/// Controls for GenerateDataset.
+struct DatasetOptions {
+  /// Number of *training* tuples; the total sample is scaled so the
+  /// train/test split matches `test_fraction` (paper: 90%/10%).
+  size_t train_size = 10000;
+
+  /// Fraction of the sample held out as test data.
+  double test_fraction = 0.1;
+
+  /// Missing values injected per test tuple (uniformly chosen attributes).
+  /// Must be in [1, num_attrs - 1]: the paper keeps at most
+  /// networkSize - 1 attributes missing.
+  size_t num_missing = 1;
+
+  /// Dirichlet concentration for the random CPTs.
+  double cpt_alpha = 1.0;
+};
+
+/// Generates a dataset from an already-instantiated network.
+Result<Dataset> GenerateDataset(const BayesNet& bn,
+                                const DatasetOptions& options, Rng* rng);
+
+/// Masks `num_missing` uniformly chosen attributes in every row of `rel`,
+/// returning the incomplete copy.
+Relation MaskRelation(const Relation& rel, size_t num_missing, Rng* rng);
+
+}  // namespace mrsl
+
+#endif  // MRSL_EXPFW_DATAGEN_H_

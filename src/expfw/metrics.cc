@@ -1,0 +1,64 @@
+#include "expfw/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mrsl {
+
+double KlDivergence(const std::vector<double>& p_true,
+                    const std::vector<double>& q_est) {
+  assert(p_true.size() == q_est.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p_true.size(); ++i) {
+    if (p_true[i] <= 0.0) continue;
+    // Guard against zero estimates (upstream smoothing should prevent
+    // them); clamp to keep the metric finite rather than poisoning means.
+    double q = std::max(q_est[i], 1e-12);
+    kl += p_true[i] * std::log(p_true[i] / q);
+  }
+  return std::max(kl, 0.0);
+}
+
+double KlDivergence(const JointDist& p_true, const JointDist& q_est) {
+  assert(p_true.vars() == q_est.vars());
+  return KlDivergence(p_true.probs(), q_est.probs());
+}
+
+bool Top1Match(const std::vector<double>& p_true,
+               const std::vector<double>& q_est) {
+  assert(p_true.size() == q_est.size());
+  size_t am_p = static_cast<size_t>(
+      std::max_element(p_true.begin(), p_true.end()) - p_true.begin());
+  size_t am_q = static_cast<size_t>(
+      std::max_element(q_est.begin(), q_est.end()) - q_est.begin());
+  return am_p == am_q;
+}
+
+bool Top1Match(const JointDist& p_true, const JointDist& q_est) {
+  assert(p_true.vars() == q_est.vars());
+  return Top1Match(p_true.probs(), q_est.probs());
+}
+
+void AccuracyAccumulator::Add(double kl, bool top1) {
+  ++n_;
+  kl_sum_ += kl;
+  top1_hits_ += top1 ? 1 : 0;
+}
+
+void AccuracyAccumulator::Merge(const AccuracyAccumulator& other) {
+  n_ += other.n_;
+  kl_sum_ += other.kl_sum_;
+  top1_hits_ += other.top1_hits_;
+}
+
+double AccuracyAccumulator::MeanKl() const {
+  return n_ == 0 ? 0.0 : kl_sum_ / static_cast<double>(n_);
+}
+
+double AccuracyAccumulator::Top1Rate() const {
+  return n_ == 0 ? 0.0
+                 : static_cast<double>(top1_hits_) / static_cast<double>(n_);
+}
+
+}  // namespace mrsl

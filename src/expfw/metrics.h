@@ -1,0 +1,46 @@
+// Accuracy metrics of Sec VI-A: Kullback-Leibler divergence between the
+// true (BN) distribution and the MRSL estimate, and top-1 accuracy (did
+// the most probable prediction match the true most probable value).
+
+#ifndef MRSL_EXPFW_METRICS_H_
+#define MRSL_EXPFW_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/joint_dist.h"
+
+namespace mrsl {
+
+/// KL(p_true || q_est) in nats. `q_est` must be strictly positive wherever
+/// `p_true` is (guaranteed by CPD smoothing / joint smoothing epsilon).
+double KlDivergence(const std::vector<double>& p_true,
+                    const std::vector<double>& q_est);
+
+/// KL over two joint distributions on the same variables.
+double KlDivergence(const JointDist& p_true, const JointDist& q_est);
+
+/// True iff the argmax cells coincide.
+bool Top1Match(const std::vector<double>& p_true,
+               const std::vector<double>& q_est);
+bool Top1Match(const JointDist& p_true, const JointDist& q_est);
+
+/// Streaming mean of KL and top-1 over a test set.
+class AccuracyAccumulator {
+ public:
+  void Add(double kl, bool top1);
+  void Merge(const AccuracyAccumulator& other);
+
+  size_t count() const { return n_; }
+  double MeanKl() const;
+  double Top1Rate() const;
+
+ private:
+  size_t n_ = 0;
+  double kl_sum_ = 0.0;
+  size_t top1_hits_ = 0;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_EXPFW_METRICS_H_

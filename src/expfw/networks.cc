@@ -1,0 +1,112 @@
+#include "expfw/networks.h"
+
+namespace mrsl {
+namespace {
+
+BnSpec Make(std::string name, Topology topo, size_t attrs, double avg_card,
+            uint64_t dom, size_t depth) {
+  BnSpec spec;
+  spec.name = std::move(name);
+  spec.topology = std::move(topo);
+  spec.paper_num_attrs = attrs;
+  spec.paper_avg_card = avg_card;
+  spec.paper_dom_size = dom;
+  spec.paper_depth = depth;
+  return spec;
+}
+
+std::vector<BnSpec> BuildCatalog() {
+  std::vector<BnSpec> catalog;
+
+  // BN1: 4 attrs, avg card 4, dom 300, depth 2. Diamond (= crown of 4)
+  // with cards {3,4,5,5}: 3*4*5*5 = 300.
+  catalog.push_back(Make(
+      "BN1", Topology::Crown(4, 2).WithCards({3, 4, 5, 5}), 4, 4.0, 300, 2));
+
+  // BN2: 5 attrs, avg 4.4, dom 1400, depth 3. Chain A0->A1->A2->A3 plus
+  // leaf A0->A4; cards {2,4,5,5,7}: 2*4*5*5*7 = 1400.
+  {
+    auto topo = Topology::Create(
+        {"A0", "A1", "A2", "A3", "A4"}, {2, 4, 5, 5, 7},
+        {{}, {0}, {1}, {2}, {0}});
+    catalog.push_back(
+        Make("BN2", std::move(topo).value(), 5, 4.4, 1400, 3));
+  }
+
+  // BN3/BN4/BN5: 5 attrs, avg 5.2, dom 2400, depths 3 / 0 / 2. Cards
+  // {2,5,5,6,8}: 2*5*5*6*8 = 2400.
+  {
+    auto topo = Topology::Create(
+        {"A0", "A1", "A2", "A3", "A4"}, {2, 5, 5, 6, 8},
+        {{}, {0}, {1}, {2}, {0}});
+    catalog.push_back(Make("BN3", std::move(topo).value(), 5, 5.2, 2400, 3));
+  }
+  catalog.push_back(Make(
+      "BN4", Topology::Independent(5, 2).WithCards({2, 5, 5, 6, 8}), 5, 5.2,
+      2400, 0));
+  catalog.push_back(Make(
+      "BN5", Topology::Crown(5, 2).WithCards({2, 5, 5, 6, 8}), 5, 5.2, 2400,
+      2));
+
+  // BN6: 10 binary attrs, dom 1024, depth 4: five layers of two.
+  catalog.push_back(Make(
+      "BN6", Topology::Layered({2, 2, 2, 2, 2}, std::vector<uint32_t>(10, 2),
+                               2),
+      10, 2.0, 1024, 4));
+
+  // BN7: 10 attrs, avg 4, dom 518,400, depth 4. Same layered shape,
+  // cards {3,3,3,3,4,4,4,4,5,5}: 3^4 * 4^4 * 5^2 = 518,400.
+  catalog.push_back(Make(
+      "BN7",
+      Topology::Layered({2, 2, 2, 2, 2}, {3, 3, 3, 3, 4, 4, 4, 4, 5, 5}, 2),
+      10, 4.0, 518400, 4));
+
+  // BN8-BN12 + BN17-BN18: crowns (Fig 7).
+  catalog.push_back(Make("BN8", Topology::Crown(4, 2), 4, 2, 16, 2));
+  catalog.push_back(Make("BN9", Topology::Crown(6, 2), 6, 2, 64, 2));
+  catalog.push_back(Make("BN10", Topology::Crown(6, 4), 6, 4, 4096, 2));
+  catalog.push_back(Make("BN11", Topology::Crown(6, 6), 6, 6, 46656, 2));
+  catalog.push_back(Make("BN12", Topology::Crown(6, 8), 6, 8, 262144, 2));
+
+  // BN13-BN16: lines of six (Fig 7), cardinality sweep 2/4/6/8. The
+  // paper's Table I lists depth 6 (node count); the longest path has 5
+  // edges — see EXPERIMENTS.md.
+  catalog.push_back(Make("BN13", Topology::Chain(6, 2), 6, 2, 64, 6));
+  catalog.push_back(Make("BN14", Topology::Chain(6, 4), 6, 4, 4096, 6));
+  catalog.push_back(Make("BN15", Topology::Chain(6, 6), 6, 6, 46656, 6));
+  catalog.push_back(Make("BN16", Topology::Chain(6, 8), 6, 8, 262144, 6));
+
+  catalog.push_back(Make("BN17", Topology::Crown(8, 2), 8, 2, 256, 2));
+  catalog.push_back(Make("BN18", Topology::Crown(10, 2), 10, 2, 1024, 2));
+
+  // BN19: 10 binary attrs, depth 3: layers {3,3,2,2}.
+  catalog.push_back(Make(
+      "BN19", Topology::Layered({3, 3, 2, 2}, std::vector<uint32_t>(10, 2),
+                                2),
+      10, 2.0, 1024, 3));
+
+  // BN20: 10 binary attrs, depth 5: layers {2,2,2,2,1,1}.
+  catalog.push_back(Make(
+      "BN20",
+      Topology::Layered({2, 2, 2, 2, 1, 1}, std::vector<uint32_t>(10, 2), 2),
+      10, 2.0, 1024, 5));
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<BnSpec>& NetworkCatalog() {
+  static const std::vector<BnSpec>* catalog =
+      new std::vector<BnSpec>(BuildCatalog());
+  return *catalog;
+}
+
+Result<BnSpec> NetworkByName(const std::string& name) {
+  for (const BnSpec& spec : NetworkCatalog()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown network: " + name);
+}
+
+}  // namespace mrsl

@@ -1,0 +1,44 @@
+// The benchmark catalog: concrete topologies for the paper's twenty
+// Bayesian networks (Table I, Fig 7).
+//
+// The paper publishes only summary statistics (number of attributes,
+// average cardinality, domain size, depth) plus the shapes in Fig 7
+// (crowns for BN8/9/17/18, lines for BN13-16, "no edges" for BN4). This
+// catalog reproduces every published statistic; where only the average
+// cardinality is given, cardinalities are factored to match the published
+// domain size exactly (see DESIGN.md "Substitutions").
+
+#ifndef MRSL_EXPFW_NETWORKS_H_
+#define MRSL_EXPFW_NETWORKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bn/topology.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// One catalog entry with the paper-reported reference statistics.
+struct BnSpec {
+  std::string name;          // "BN1" .. "BN20"
+  Topology topology;
+
+  // Values printed in Table I, kept for side-by-side reporting.
+  size_t paper_num_attrs = 0;
+  double paper_avg_card = 0.0;
+  uint64_t paper_dom_size = 0;
+  size_t paper_depth = 0;
+};
+
+/// The full catalog BN1..BN20, in order.
+const std::vector<BnSpec>& NetworkCatalog();
+
+/// Lookup by name ("BN7"); fails for unknown names.
+Result<BnSpec> NetworkByName(const std::string& name);
+
+}  // namespace mrsl
+
+#endif  // MRSL_EXPFW_NETWORKS_H_

@@ -1,0 +1,173 @@
+#include "expfw/runner.h"
+
+#include <algorithm>
+
+#include "bn/exact.h"
+#include "core/infer_single.h"
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+// Derives a per-repetition RNG from the master seed so instance i /
+// split j is identical no matter which experiment asks for it.
+Rng RepetitionRng(uint64_t master, size_t instance, size_t split) {
+  return Rng(master ^ (0x9E3779B97F4A7C15ULL * (instance * 1000 + split + 1)));
+}
+
+}  // namespace
+
+Result<LearnExperimentResult> RunLearnExperiment(
+    const LearnExperimentConfig& config) {
+  auto spec = NetworkByName(config.network);
+  if (!spec.ok()) return spec.status();
+
+  LearnExperimentResult out;
+  size_t reps = 0;
+  for (size_t i = 0; i < config.reps.num_instances; ++i) {
+    Rng inst_rng = RepetitionRng(config.reps.master_seed, i, 0);
+    BayesNet bn = BayesNet::RandomInstance(spec->topology, &inst_rng);
+    for (size_t j = 0; j < config.reps.num_splits; ++j) {
+      Rng rng = RepetitionRng(config.reps.master_seed, i, j + 1);
+      DatasetOptions ds_opts;
+      ds_opts.train_size = config.train_size;
+      auto ds = GenerateDataset(bn, ds_opts, &rng);
+      if (!ds.ok()) return ds.status();
+
+      LearnOptions learn;
+      learn.support_threshold = config.support;
+      LearnStats stats;
+      auto model = LearnModel(ds->train, learn, &stats);
+      if (!model.ok()) return model.status();
+
+      out.build_seconds += stats.total_seconds;
+      out.model_size += static_cast<double>(model->TotalMetaRules());
+      out.itemsets += static_cast<double>(stats.num_frequent_itemsets);
+      ++reps;
+    }
+  }
+  out.build_seconds /= static_cast<double>(reps);
+  out.model_size /= static_cast<double>(reps);
+  out.itemsets /= static_cast<double>(reps);
+  return out;
+}
+
+Result<SingleAttrResult> RunSingleAttrExperiment(
+    const SingleAttrConfig& config) {
+  auto spec = NetworkByName(config.network);
+  if (!spec.ok()) return spec.status();
+
+  SingleAttrResult out;
+  AccuracyAccumulator acc;
+  double model_size_sum = 0.0;
+  size_t reps = 0;
+
+  for (size_t i = 0; i < config.reps.num_instances; ++i) {
+    Rng inst_rng = RepetitionRng(config.reps.master_seed, i, 0);
+    BayesNet bn = BayesNet::RandomInstance(spec->topology, &inst_rng);
+    for (size_t j = 0; j < config.reps.num_splits; ++j) {
+      Rng rng = RepetitionRng(config.reps.master_seed, i, j + 1);
+      DatasetOptions ds_opts;
+      ds_opts.train_size = config.train_size;
+      ds_opts.num_missing = 1;
+      auto ds = GenerateDataset(bn, ds_opts, &rng);
+      if (!ds.ok()) return ds.status();
+
+      LearnOptions learn;
+      learn.support_threshold = config.support;
+      auto model = LearnModel(ds->train, learn);
+      if (!model.ok()) return model.status();
+      model_size_sum += static_cast<double>(model->TotalMetaRules());
+      ++reps;
+
+      size_t limit = ds->test_masked.num_rows();
+      if (config.reps.max_eval_tuples > 0) {
+        limit = std::min(limit, config.reps.max_eval_tuples);
+      }
+      WallTimer timer;
+      for (size_t r = 0; r < limit; ++r) {
+        const Tuple& t = ds->test_masked.row(r);
+        auto missing = t.MissingAttrs();
+        if (missing.size() != 1) continue;
+
+        auto est = InferSingleAttribute(*model, t, missing[0], config.voting);
+        if (!est.ok()) return est.status();
+
+        auto truth = ExactConditionalEnum(bn, t, {missing[0]});
+        if (!truth.ok()) return truth.status();
+
+        acc.Add(KlDivergence(truth->probs(), est->probs()),
+                Top1Match(truth->probs(), est->probs()));
+      }
+      out.infer_seconds_total += timer.ElapsedSeconds();
+      out.tuples_evaluated += limit;
+    }
+  }
+  out.kl = acc.MeanKl();
+  out.top1 = acc.Top1Rate();
+  out.model_size = model_size_sum / static_cast<double>(reps);
+  return out;
+}
+
+Result<MultiAttrResult> RunMultiAttrExperiment(const MultiAttrConfig& config) {
+  auto spec = NetworkByName(config.network);
+  if (!spec.ok()) return spec.status();
+
+  MultiAttrResult out;
+  AccuracyAccumulator acc;
+
+  for (size_t i = 0; i < config.reps.num_instances; ++i) {
+    Rng inst_rng = RepetitionRng(config.reps.master_seed, i, 0);
+    BayesNet bn = BayesNet::RandomInstance(spec->topology, &inst_rng);
+    for (size_t j = 0; j < config.reps.num_splits; ++j) {
+      Rng rng = RepetitionRng(config.reps.master_seed, i, j + 1);
+      DatasetOptions ds_opts;
+      ds_opts.train_size = config.train_size;
+      ds_opts.num_missing = config.num_missing;
+      auto ds = GenerateDataset(bn, ds_opts, &rng);
+      if (!ds.ok()) return ds.status();
+
+      LearnOptions learn;
+      learn.support_threshold = config.support;
+      auto model = LearnModel(ds->train, learn);
+      if (!model.ok()) return model.status();
+
+      size_t limit = ds->test_masked.num_rows();
+      if (config.reps.max_eval_tuples > 0) {
+        limit = std::min(limit, config.reps.max_eval_tuples);
+      }
+      std::vector<Tuple> workload(
+          ds->test_masked.rows().begin(),
+          ds->test_masked.rows().begin() + static_cast<long>(limit));
+
+      WorkloadOptions wl_opts;
+      wl_opts.gibbs = config.gibbs;
+      wl_opts.gibbs.seed = rng.NextUint64();
+      WorkloadStats stats;
+      auto dists = RunWorkload(*model, workload, config.mode, wl_opts,
+                               &stats);
+      if (!dists.ok()) return dists.status();
+
+      out.stats.points_sampled += stats.points_sampled;
+      out.stats.burn_in_points += stats.burn_in_points;
+      out.stats.shared_samples += stats.shared_samples;
+      out.stats.distinct_tuples += stats.distinct_tuples;
+      out.stats.cache_hits += stats.cache_hits;
+      out.stats.cpd_evaluations += stats.cpd_evaluations;
+      out.stats.wall_seconds += stats.wall_seconds;
+
+      for (size_t r = 0; r < workload.size(); ++r) {
+        auto truth = TrueDistribution(bn, workload[r]);
+        if (!truth.ok()) return truth.status();
+        acc.Add(KlDivergence(*truth, (*dists)[r]),
+                Top1Match(*truth, (*dists)[r]));
+      }
+      out.tuples_evaluated += workload.size();
+    }
+  }
+  out.kl = acc.MeanKl();
+  out.top1 = acc.Top1Rate();
+  return out;
+}
+
+}  // namespace mrsl

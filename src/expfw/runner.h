@@ -1,0 +1,96 @@
+// Experiment runners (Sec VI): repeatable, averaged experiment loops.
+//
+// Every experiment follows the paper's protocol: 3 random network
+// instances per topology x 3 random train/test splits per instance, all
+// results averaged, with deterministic seeds derived from a master seed.
+
+#ifndef MRSL_EXPFW_RUNNER_H_
+#define MRSL_EXPFW_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/learner.h"
+#include "core/options.h"
+#include "core/workload.h"
+#include "expfw/datagen.h"
+#include "expfw/metrics.h"
+#include "expfw/networks.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Shared experiment repetition parameters.
+struct RepetitionOptions {
+  size_t num_instances = 3;  // random network instances per topology
+  size_t num_splits = 3;     // random train/test splits per instance
+  uint64_t master_seed = 20110411;  // ICDE 2011 :)
+  /// Cap on evaluated test tuples per repetition (0 = all); keeps the
+  /// default benchmark run fast while preserving the averaging protocol.
+  size_t max_eval_tuples = 500;
+};
+
+/// Configuration of a learning-phase measurement (Fig 4).
+struct LearnExperimentConfig {
+  std::string network;
+  size_t train_size = 10000;
+  double support = 0.02;
+  RepetitionOptions reps;
+};
+
+/// Averages of the learning measurements.
+struct LearnExperimentResult {
+  double build_seconds = 0.0;   // mean model building time
+  double model_size = 0.0;      // mean total meta-rules
+  double itemsets = 0.0;        // mean frequent itemsets mined
+};
+
+Result<LearnExperimentResult> RunLearnExperiment(
+    const LearnExperimentConfig& config);
+
+/// Configuration of a single-attribute accuracy run (Table II, Figs 5-8).
+struct SingleAttrConfig {
+  std::string network;
+  size_t train_size = 10000;
+  double support = 0.001;
+  VotingOptions voting;
+  RepetitionOptions reps;
+};
+
+/// Averaged single-attribute results.
+struct SingleAttrResult {
+  double kl = 0.0;
+  double top1 = 0.0;
+  double model_size = 0.0;
+  double infer_seconds_total = 0.0;  // total inference wall time
+  size_t tuples_evaluated = 0;
+};
+
+Result<SingleAttrResult> RunSingleAttrExperiment(
+    const SingleAttrConfig& config);
+
+/// Configuration of a multi-attribute (Gibbs) accuracy run (Fig 10).
+struct MultiAttrConfig {
+  std::string network;
+  size_t train_size = 10000;
+  double support = 0.001;
+  size_t num_missing = 2;
+  GibbsOptions gibbs;
+  SamplingMode mode = SamplingMode::kTupleDag;
+  RepetitionOptions reps;
+};
+
+/// Averaged multi-attribute results plus aggregate sampling cost.
+struct MultiAttrResult {
+  double kl = 0.0;
+  double top1 = 0.0;
+  WorkloadStats stats;            // summed over repetitions
+  size_t tuples_evaluated = 0;
+};
+
+Result<MultiAttrResult> RunMultiAttrExperiment(const MultiAttrConfig& config);
+
+}  // namespace mrsl
+
+#endif  // MRSL_EXPFW_RUNNER_H_

@@ -1,0 +1,108 @@
+#include "mining/apriori.h"
+
+#include <cstddef>
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitvector.h"
+
+namespace mrsl {
+namespace {
+
+// A candidate/frequent itemset of the current round with its TID bitmap.
+struct RoundEntry {
+  ItemVec items;
+  BitVector tids;
+  uint64_t count;
+};
+
+}  // namespace
+
+Result<FrequentItemsets> MineFrequentItemsets(
+    const Relation& rel, const std::vector<uint32_t>& row_indices,
+    const AprioriOptions& options, AprioriStats* stats) {
+  if (options.support_threshold <= 0.0 || options.support_threshold > 1.0) {
+    return Status::InvalidArgument("support threshold must be in (0, 1]");
+  }
+  if (row_indices.empty()) {
+    return Status::FailedPrecondition("no rows to mine (empty Rc)");
+  }
+  const size_t n = row_indices.size();
+  // count/n >= theta, with a small epsilon for floating-point slack.
+  const uint64_t min_count = static_cast<uint64_t>(std::max(
+      1.0, std::ceil(options.support_threshold * static_cast<double>(n) -
+                     1e-9)));
+
+  AprioriStats local_stats;
+  FrequentItemsets result(n);
+  if (options.include_empty_itemset) {
+    result.Add(ItemVec{}, n);
+  }
+
+  // Round 1: one bitmap per (attr, value) pair.
+  const Schema& schema = rel.schema();
+  std::vector<RoundEntry> frontier;
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const size_t card = schema.attr(a).cardinality();
+    std::vector<BitVector> maps(card, BitVector(n));
+    for (size_t r = 0; r < n; ++r) {
+      ValueId v = rel.row(row_indices[r]).value(a);
+      if (v != kMissingValue) maps[static_cast<size_t>(v)].Set(r);
+    }
+    for (size_t v = 0; v < card; ++v) {
+      ++local_stats.candidates_counted;
+      uint64_t count = maps[v].Count();
+      if (count >= min_count) {
+        frontier.push_back(RoundEntry{
+            ItemVec{Item{a, static_cast<ValueId>(v)}}, std::move(maps[v]),
+            count});
+      }
+    }
+  }
+  local_stats.rounds = 1;
+  local_stats.per_round.push_back(frontier.size());
+  for (const auto& e : frontier) result.Add(e.items, e.count);
+
+  bool capped = frontier.size() > options.max_itemsets;
+
+  // Rounds k >= 2: join (k-1)-itemsets sharing a (k-2)-prefix.
+  while (!capped && !frontier.empty()) {
+    // The frontier is sorted lexicographically by construction; candidates
+    // join entries i < j with equal prefixes and last items on distinct
+    // attributes.
+    std::vector<RoundEntry> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (size_t j = i + 1; j < frontier.size(); ++j) {
+        const ItemVec& a = frontier[i].items;
+        const ItemVec& b = frontier[j].items;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) {
+          // Sorted frontier: once prefixes diverge for j, they diverge for
+          // all larger j as well.
+          break;
+        }
+        if (a.back().attr == b.back().attr) continue;
+        ItemVec cand = a;
+        cand.push_back(b.back());
+        ++local_stats.candidates_counted;
+        uint64_t count = frontier[i].tids.AndCount(frontier[j].tids);
+        if (count >= min_count) {
+          next.push_back(RoundEntry{std::move(cand),
+                                    frontier[i].tids.And(frontier[j].tids),
+                                    count});
+        }
+      }
+    }
+    if (next.empty()) break;
+    ++local_stats.rounds;
+    local_stats.per_round.push_back(next.size());
+    for (const auto& e : next) result.Add(e.items, e.count);
+    capped = next.size() > options.max_itemsets;
+    frontier = std::move(next);
+  }
+
+  local_stats.capped = capped;
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,55 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94) over
+// attribute-value items, as invoked by ComputeFreqItemsets in Algorithm 1.
+//
+// Support counting uses vertical bitmap TID-sets: the support of a
+// candidate is the popcount of the AND of its generating itemsets'
+// bitmaps. As in the paper (Sec. III), mining stops after round k when no
+// new frequent itemset is found OR more than `max_itemsets` itemsets are
+// found at that round (the round's results are kept) — this bounds model
+// building time with little accuracy cost.
+
+#ifndef MRSL_MINING_APRIORI_H_
+#define MRSL_MINING_APRIORI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mining/frequent_itemsets.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Tuning knobs for Apriori.
+struct AprioriOptions {
+  /// Minimum relative support θ for an itemset to be recorded.
+  double support_threshold = 0.02;
+
+  /// Round cap: stop after any round that yields more than this many
+  /// frequent itemsets (paper default 1000).
+  size_t max_itemsets = 1000;
+
+  /// Include the empty itemset (support 1) — the body of the top-level
+  /// meta-rule P(a) in every MRSL.
+  bool include_empty_itemset = true;
+};
+
+/// Per-run statistics, used by the Fig 4 experiments and tests.
+struct AprioriStats {
+  size_t rounds = 0;                 // number of candidate rounds executed
+  bool capped = false;               // true if the max_itemsets cap fired
+  std::vector<size_t> per_round;     // frequent itemsets found per round
+  uint64_t candidates_counted = 0;   // candidates whose support was counted
+};
+
+/// Mines frequent itemsets from the rows of `rel` selected by `row_indices`
+/// (normally the complete part Rc). Fails on empty input or an invalid
+/// threshold. `stats` may be null.
+Result<FrequentItemsets> MineFrequentItemsets(
+    const Relation& rel, const std::vector<uint32_t>& row_indices,
+    const AprioriOptions& options, AprioriStats* stats = nullptr);
+
+}  // namespace mrsl
+
+#endif  // MRSL_MINING_APRIORI_H_

@@ -1,0 +1,48 @@
+#include <cstddef>
+
+#include "mining/frequent_itemsets.h"
+
+namespace mrsl {
+
+int32_t FrequentItemsets::Add(ItemVec items, uint64_t count) {
+  int32_t idx = static_cast<int32_t>(entries_.size());
+  uint64_t h = HashItems(items);
+  entries_.push_back(ItemsetEntry{std::move(items), count});
+  by_hash_[h].push_back(idx);
+  return idx;
+}
+
+int32_t FrequentItemsets::Find(const ItemVec& items) const {
+  auto it = by_hash_.find(HashItems(items));
+  if (it == by_hash_.end()) return kNoItemset;
+  for (int32_t idx : it->second) {
+    if (entries_[static_cast<size_t>(idx)].items == items) return idx;
+  }
+  return kNoItemset;
+}
+
+double FrequentItemsets::Support(int32_t idx) const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(entry(idx).count) /
+         static_cast<double>(num_rows_);
+}
+
+std::vector<int32_t> FrequentItemsets::EntriesOfSize(size_t k) const {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].items.size() == k) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+size_t FrequentItemsets::MaxSize() const {
+  size_t m = 0;
+  for (const auto& e : entries_) {
+    if (e.items.size() > m) m = e.items.size();
+  }
+  return m;
+}
+
+}  // namespace mrsl

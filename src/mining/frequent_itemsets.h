@@ -1,0 +1,65 @@
+// FrequentItemsets: the output of Apriori — all itemsets whose support
+// passes the threshold, with exact match counts, indexed for O(1) lookup
+// by the rule-generation stage.
+
+#ifndef MRSL_MINING_FREQUENT_ITEMSETS_H_
+#define MRSL_MINING_FREQUENT_ITEMSETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/item.h"
+
+namespace mrsl {
+
+/// Sentinel for "itemset not frequent / not found".
+inline constexpr int32_t kNoItemset = -1;
+
+/// One frequent itemset and its match count over the mined rows.
+struct ItemsetEntry {
+  ItemVec items;   // sorted, pairwise-distinct attributes
+  uint64_t count;  // number of rows containing every item
+};
+
+/// Indexed collection of frequent itemsets.
+class FrequentItemsets {
+ public:
+  FrequentItemsets() = default;
+
+  /// Creates the collection; `num_rows` is the size of the mined set Rc.
+  explicit FrequentItemsets(uint64_t num_rows) : num_rows_(num_rows) {}
+
+  /// Adds an entry (items must be sorted); returns its index.
+  int32_t Add(ItemVec items, uint64_t count);
+
+  /// Finds the index of an itemset (sorted items), or kNoItemset.
+  int32_t Find(const ItemVec& items) const;
+
+  /// Entry accessors.
+  size_t size() const { return entries_.size(); }
+  const ItemsetEntry& entry(int32_t idx) const {
+    return entries_[static_cast<size_t>(idx)];
+  }
+
+  /// Relative support of entry `idx` = count / |Rc|.
+  double Support(int32_t idx) const;
+
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Indices of all entries with exactly `k` items.
+  std::vector<int32_t> EntriesOfSize(size_t k) const;
+
+  /// Largest itemset size present.
+  size_t MaxSize() const;
+
+ private:
+  uint64_t num_rows_ = 0;
+  std::vector<ItemsetEntry> entries_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> by_hash_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_MINING_FREQUENT_ITEMSETS_H_

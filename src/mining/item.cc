@@ -1,0 +1,23 @@
+#include "mining/item.h"
+
+namespace mrsl {
+
+uint64_t HashItems(const ItemVec& items) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Item& it : items) {
+    uint64_t p = it.Pack();
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (p >> shift) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+AttrMask ItemsMask(const ItemVec& items) {
+  AttrMask mask = 0;
+  for (const Item& it : items) mask |= AttrMask{1} << it.attr;
+  return mask;
+}
+
+}  // namespace mrsl

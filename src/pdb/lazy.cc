@@ -1,0 +1,90 @@
+#include "pdb/lazy.h"
+
+namespace mrsl {
+
+LazyDeriver::LazyDeriver(const MrslModel* model, const Relation* rel,
+                         const GibbsOptions& gibbs)
+    : model_(model), rel_(rel), sampler_(model, gibbs) {}
+
+Result<const JointDist*> LazyDeriver::Materialize(const Tuple& t) {
+  auto it = cache_.find(t);
+  if (it != cache_.end()) return &it->second;
+  auto dist = sampler_.Infer(t);
+  if (!dist.ok()) return dist.status();
+  auto [ins, inserted] = cache_.emplace(t, std::move(dist).value());
+  (void)inserted;
+  return &ins->second;
+}
+
+Result<double> LazyDeriver::RowProbability(size_t row,
+                                           const Predicate& pred) {
+  if (row >= rel_->num_rows()) {
+    return Status::InvalidArgument("row out of range");
+  }
+  const Tuple& t = rel_->row(row);
+  switch (pred.EvalPartial(t)) {
+    case Predicate::Tri::kFalse:
+      if (!t.IsComplete()) ++short_circuits_;
+      return 0.0;
+    case Predicate::Tri::kTrue:
+      if (!t.IsComplete()) ++short_circuits_;
+      return 1.0;
+    case Predicate::Tri::kUnknown:
+      break;
+  }
+  // Uncertain: integrate the predicate over Δt.
+  auto dist_or = Materialize(t);
+  if (!dist_or.ok()) return dist_or.status();
+  const JointDist& dist = **dist_or;
+  double p = 0.0;
+  std::vector<ValueId> combo(dist.vars().size());
+  Tuple completed = t;
+  for (uint64_t code = 0; code < dist.size(); ++code) {
+    double mass = dist.prob(code);
+    if (mass <= 0.0) continue;
+    dist.codec().DecodeInto(code, combo.data());
+    for (size_t i = 0; i < dist.vars().size(); ++i) {
+      completed.set_value(dist.vars()[i], combo[i]);
+    }
+    if (pred.Eval(completed)) p += mass;
+  }
+  return p;
+}
+
+Result<double> LazyDeriver::ExpectedCount(const Predicate& pred) {
+  double total = 0.0;
+  for (size_t r = 0; r < rel_->num_rows(); ++r) {
+    auto p = RowProbability(r, pred);
+    if (!p.ok()) return p.status();
+    total += *p;
+  }
+  return total;
+}
+
+Result<double> LazyDeriver::ProbExists(const Predicate& pred) {
+  double none = 1.0;
+  for (size_t r = 0; r < rel_->num_rows(); ++r) {
+    auto p = RowProbability(r, pred);
+    if (!p.ok()) return p.status();
+    none *= (1.0 - *p);
+  }
+  return 1.0 - none;
+}
+
+Result<std::vector<double>> LazyDeriver::CountDistribution(
+    const Predicate& pred) {
+  std::vector<double> dist(1, 1.0);
+  for (size_t r = 0; r < rel_->num_rows(); ++r) {
+    auto p = RowProbability(r, pred);
+    if (!p.ok()) return p.status();
+    double q = *p;
+    dist.push_back(0.0);
+    for (size_t k = dist.size() - 1; k > 0; --k) {
+      dist[k] = dist[k] * (1.0 - q) + dist[k - 1] * q;
+    }
+    dist[0] *= (1.0 - q);
+  }
+  return dist;
+}
+
+}  // namespace mrsl

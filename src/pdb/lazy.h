@@ -1,0 +1,71 @@
+// Lazy, query-targeted derivation (the paper's future work, Sec VIII:
+// "partial materialization of probability values, as well as lazy,
+// query-targeted learning and inference").
+//
+// Instead of materializing Δt for every incomplete tuple up front, a
+// LazyDeriver answers queries directly over the incomplete relation and
+// runs (cached) Gibbs inference only for the tuples whose query outcome
+// is genuinely uncertain:
+//   * a tuple whose observed cells already refute the predicate
+//     contributes probability 0 — no inference;
+//   * a tuple whose observed cells already satisfy every atom
+//     contributes probability 1 — no inference;
+//   * only tuples where a missing cell could flip the outcome are
+//     sampled, and their Δt is memoized for later queries.
+
+#ifndef MRSL_PDB_LAZY_H_
+#define MRSL_PDB_LAZY_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gibbs.h"
+#include "core/model.h"
+#include "pdb/query.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Query-driven view over an incomplete relation and an MRSL model.
+class LazyDeriver {
+ public:
+  /// `model` and `rel` must outlive the deriver.
+  LazyDeriver(const MrslModel* model, const Relation* rel,
+              const GibbsOptions& gibbs);
+
+  /// Marginal probability that row `r` satisfies `pred` (complete rows
+  /// evaluate exactly; incomplete rows trigger inference only when the
+  /// outcome is uncertain).
+  Result<double> RowProbability(size_t row, const Predicate& pred);
+
+  /// Expected number of rows satisfying `pred`.
+  Result<double> ExpectedCount(const Predicate& pred);
+
+  /// Probability that at least one row satisfies `pred`.
+  Result<double> ProbExists(const Predicate& pred);
+
+  /// Exact distribution of COUNT(σ_pred) (Poisson-binomial DP).
+  Result<std::vector<double>> CountDistribution(const Predicate& pred);
+
+  /// Number of tuples whose Δt has been materialized so far.
+  size_t materialized() const { return cache_.size(); }
+
+  /// Number of incomplete-tuple query evaluations answered without
+  /// inference (outcome decided by observed cells alone).
+  size_t short_circuits() const { return short_circuits_; }
+
+ private:
+  Result<const JointDist*> Materialize(const Tuple& t);
+
+  const MrslModel* model_;
+  const Relation* rel_;
+  GibbsSampler sampler_;
+  std::unordered_map<Tuple, JointDist, TupleHash> cache_;
+  size_t short_circuits_ = 0;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_LAZY_H_

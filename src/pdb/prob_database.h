@@ -1,0 +1,92 @@
+// ProbDatabase: a disjoint-independent (block-independent-disjoint)
+// probabilistic database — the output model of the paper (Sec I-A).
+//
+// Every incomplete tuple of the source relation becomes a block: a set of
+// mutually exclusive complete alternatives annotated with probabilities
+// summing to (at most) 1. Complete source tuples become certain blocks
+// with a single probability-1 alternative. A possible world picks one
+// alternative from each block independently (or none, when the block's
+// mass is below 1).
+
+#ifndef MRSL_PDB_PROB_DATABASE_H_
+#define MRSL_PDB_PROB_DATABASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/joint_dist.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// One complete alternative of a block.
+struct Alternative {
+  Tuple tuple;
+  double prob = 0.0;
+};
+
+/// A block of mutually exclusive alternatives (the paper's Δt).
+struct Block {
+  std::vector<Alternative> alternatives;
+
+  /// Total probability mass; 1 - TotalMass() is the chance the block
+  /// contributes no tuple to a world.
+  double TotalMass() const;
+};
+
+/// A BID probabilistic database.
+class ProbDatabase {
+ public:
+  ProbDatabase() = default;
+  explicit ProbDatabase(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+
+  /// Adds a certain tuple (single alternative, probability 1).
+  /// Fails if `t` is incomplete or of the wrong arity.
+  Status AddCertain(Tuple t);
+
+  /// Adds a block. Fails if any alternative is incomplete, a probability
+  /// is outside [0, 1], or the block's mass exceeds 1 (+ epsilon).
+  Status AddBlock(Block block);
+
+  /// Builds the probabilistic database the paper derives: complete rows
+  /// of `rel` become certain tuples; for the i-th incomplete row, the
+  /// i-th entry of `dists` (aligned with rel.IncompleteRowIndices())
+  /// supplies Δt. Alternatives below `min_prob` are dropped and the block
+  /// renormalized, bounding block width for downstream query processing
+  /// (pass 0 to keep everything).
+  static Result<ProbDatabase> FromInference(const Relation& rel,
+                                            const std::vector<JointDist>& dists,
+                                            double min_prob = 0.0);
+
+  /// Product of per-block choice counts (worlds with an "absent" choice
+  /// counted when mass < 1); saturates at uint64 max.
+  uint64_t NumPossibleWorlds() const;
+
+  /// Enumerates every possible world: `fn(world_tuples, probability)`.
+  /// Fails when NumPossibleWorlds() exceeds `max_worlds`.
+  Status ForEachWorld(
+      uint64_t max_worlds,
+      const std::function<void(const std::vector<const Tuple*>&, double)>& fn)
+      const;
+
+  /// Human-readable dump (blocks with alternatives and probabilities).
+  std::string ToString(size_t max_blocks = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_PROB_DATABASE_H_

@@ -1,0 +1,112 @@
+// Query processing over BID probabilistic databases.
+//
+// Extensional evaluation exploiting the model's independence structure:
+// alternatives within a block are mutually exclusive (probabilities add),
+// distinct blocks are independent (probabilities multiply). A Monte-Carlo
+// evaluator over sampled possible worlds serves as the differential-
+// testing oracle for all extensional operators.
+
+#ifndef MRSL_PDB_QUERY_H_
+#define MRSL_PDB_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pdb/prob_database.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mrsl {
+
+/// A conjunction of (attr = value) / (attr != value) atoms.
+class Predicate {
+ public:
+  /// The always-true predicate.
+  Predicate() = default;
+
+  /// attr = value.
+  static Predicate Eq(AttrId attr, ValueId value);
+
+  /// attr != value.
+  static Predicate Ne(AttrId attr, ValueId value);
+
+  /// Conjunction with another predicate.
+  Predicate And(const Predicate& other) const;
+
+  /// Evaluates against a complete tuple.
+  bool Eval(const Tuple& t) const;
+
+  /// Three-valued evaluation against a possibly incomplete tuple:
+  /// kTrue/kFalse when every needed cell is assigned and decides the
+  /// outcome, kUnknown when a missing cell could flip it. Drives the
+  /// lazy query-targeted derivation (see pdb/lazy.h).
+  enum class Tri { kFalse, kTrue, kUnknown };
+  Tri EvalPartial(const Tuple& t) const;
+
+  /// Bitmask of the attributes this predicate reads.
+  AttrMask AttrsTouched() const;
+
+  /// e.g. "inc=100K AND nw!=500K".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  struct Atom {
+    AttrId attr;
+    ValueId value;
+    bool negated;
+  };
+  std::vector<Atom> atoms_;
+};
+
+/// An answer tuple with its marginal probability.
+struct ProbTuple {
+  Tuple tuple;
+  double prob = 0.0;
+};
+
+/// σ_pred: keeps only alternatives satisfying `pred` (block structure and
+/// alternative probabilities preserved, so selection composes).
+ProbDatabase Select(const ProbDatabase& db, const Predicate& pred);
+
+/// π_attrs with duplicate elimination: distinct projected tuples with the
+/// exact marginal probability of appearing in a world. Within a block
+/// probabilities add (disjointness); across blocks the complement
+/// probabilities multiply (independence).
+std::vector<ProbTuple> ProjectDistinct(const ProbDatabase& db,
+                                       const std::vector<AttrId>& attrs);
+
+/// Marginal probability that at least one tuple satisfies `pred`.
+double ProbExists(const ProbDatabase& db, const Predicate& pred);
+
+/// Expected number of tuples satisfying `pred`.
+double ExpectedCount(const ProbDatabase& db, const Predicate& pred);
+
+/// Exact distribution of COUNT(σ_pred): per-block satisfaction is an
+/// independent Bernoulli, so the count is Poisson-binomial; computed by
+/// dynamic programming. Entry k = P(count = k).
+std::vector<double> CountDistribution(const ProbDatabase& db,
+                                      const Predicate& pred);
+
+/// Equi-join of two independent BID databases on left.attr == right.attr.
+/// Answer tuples concatenate left and right values; probability is the
+/// product of the two alternatives' marginals. Returns pairs of matching
+/// alternatives with probabilities (duplicates possible across block
+/// pairs; callers may aggregate).
+struct JoinResult {
+  Schema schema;                 // concatenated schema
+  std::vector<ProbTuple> tuples;
+};
+Result<JoinResult> EquiJoin(const ProbDatabase& left,
+                            const ProbDatabase& right, AttrId left_attr,
+                            AttrId right_attr);
+
+/// Monte-Carlo oracle: samples `trials` possible worlds and returns the
+/// empirical distribution of COUNT(σ_pred) (index k = P(count = k)).
+std::vector<double> MonteCarloCountDistribution(const ProbDatabase& db,
+                                                const Predicate& pred,
+                                                size_t trials, Rng* rng);
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_QUERY_H_

@@ -1,0 +1,162 @@
+#include "relational/discretizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+std::string IntervalLabel(double lo, double hi, bool first, bool last) {
+  std::string out;
+  out += first ? "(-inf" : "[" + FormatDouble(lo, 3);
+  out += ",";
+  out += last ? "+inf)" : FormatDouble(hi, 3) + ")";
+  return out;
+}
+
+}  // namespace
+
+size_t BucketMap::BucketOf(double value) const {
+  // boundaries[i] is the exclusive upper end of bucket i.
+  size_t i = 0;
+  while (i < boundaries.size() && value >= boundaries[i]) ++i;
+  return i;
+}
+
+Result<BucketMap> LearnBuckets(const std::string& attribute,
+                               std::vector<double> values,
+                               size_t num_buckets, BucketStrategy strategy) {
+  if (num_buckets < 2) {
+    return Status::InvalidArgument("need at least 2 buckets");
+  }
+  if (values.empty()) {
+    return Status::FailedPrecondition("no numeric values for attribute " +
+                                      attribute);
+  }
+  std::sort(values.begin(), values.end());
+  const double lo = values.front();
+  const double hi = values.back();
+
+  BucketMap map;
+  map.attribute = attribute;
+  if (strategy == BucketStrategy::kEqualWidth) {
+    if (hi <= lo) {
+      return Status::FailedPrecondition(
+          "attribute " + attribute + " is constant; cannot bucket by width");
+    }
+    const double width = (hi - lo) / static_cast<double>(num_buckets);
+    for (size_t i = 1; i < num_buckets; ++i) {
+      map.boundaries.push_back(lo + width * static_cast<double>(i));
+    }
+  } else {
+    // Equal frequency: boundaries at the k/num_buckets quantiles,
+    // de-duplicated (ties can merge buckets).
+    for (size_t i = 1; i < num_buckets; ++i) {
+      size_t idx = i * values.size() / num_buckets;
+      double b = values[std::min(idx, values.size() - 1)];
+      if (map.boundaries.empty() || b > map.boundaries.back()) {
+        map.boundaries.push_back(b);
+      }
+    }
+    if (map.boundaries.empty()) {
+      return Status::FailedPrecondition(
+          "attribute " + attribute +
+          " has too few distinct values for equal-frequency bucketing");
+    }
+  }
+  const size_t actual = map.boundaries.size() + 1;
+  for (size_t i = 0; i < actual; ++i) {
+    double b_lo = i == 0 ? lo : map.boundaries[i - 1];
+    double b_hi = i + 1 == actual ? hi : map.boundaries[i];
+    map.labels.push_back(
+        IntervalLabel(b_lo, b_hi, i == 0, i + 1 == actual));
+  }
+  return map;
+}
+
+Result<DiscretizeResult> DiscretizeCsv(
+    std::string_view csv_text, const std::vector<DiscretizeSpec>& specs) {
+  auto parsed = ParseCsv(csv_text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) return Status::InvalidArgument("CSV has no header");
+  const auto& header = rows[0];
+
+  // Map column index -> spec.
+  std::vector<const DiscretizeSpec*> col_spec(header.size(), nullptr);
+  for (const DiscretizeSpec& spec : specs) {
+    bool found = false;
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == spec.attribute) {
+        col_spec[c] = &spec;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("no column named " + spec.attribute);
+    }
+  }
+
+  // First pass: collect numeric values per requested column.
+  std::vector<std::vector<double>> numeric(header.size());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::Corruption("ragged CSV row " + std::to_string(r));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (col_spec[c] == nullptr) continue;
+      const std::string& cell = rows[r][c];
+      if (cell == "?" || cell.empty()) continue;
+      double v = 0.0;
+      if (!ParseDouble(cell, &v)) {
+        return Status::InvalidArgument("non-numeric cell '" + cell +
+                                       "' in column " + header[c]);
+      }
+      numeric[c].push_back(v);
+    }
+  }
+
+  // Learn bucket maps.
+  DiscretizeResult result;
+  std::vector<const BucketMap*> col_map(header.size(), nullptr);
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (col_spec[c] == nullptr) continue;
+    auto map = LearnBuckets(header[c], numeric[c],
+                            col_spec[c]->num_buckets,
+                            col_spec[c]->strategy);
+    if (!map.ok()) return map.status();
+    result.maps.push_back(std::move(map).value());
+  }
+  {
+    size_t next = 0;
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (col_spec[c] != nullptr) col_map[c] = &result.maps[next++];
+    }
+  }
+
+  // Second pass: rewrite cells and parse as a relation.
+  std::vector<std::vector<std::string>> rewritten;
+  rewritten.push_back(header);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    std::vector<std::string> row = rows[r];
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (col_map[c] == nullptr) continue;
+      if (row[c] == "?" || row[c].empty()) continue;
+      double v = 0.0;
+      ParseDouble(row[c], &v);
+      row[c] = col_map[c]->labels[col_map[c]->BucketOf(v)];
+    }
+    rewritten.push_back(std::move(row));
+  }
+  auto rel = Relation::FromCsv(WriteCsv(rewritten));
+  if (!rel.ok()) return rel.status();
+  result.relation = std::move(rel).value();
+  return result;
+}
+
+}  // namespace mrsl

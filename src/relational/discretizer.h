@@ -1,0 +1,69 @@
+// Discretizer: bucketing of continuous attributes into sub-ranges.
+//
+// The paper limits itself to discrete finite domains and "propose[s] to
+// break up the domains of continuous attributes into sub-ranges,
+// treating each sub-range as a discrete value" (Sec II). This module
+// implements that preprocessing step: equal-width and equal-frequency
+// bucketing of numeric CSV columns, producing labeled interval domains
+// like "[18.0,32.5)" that flow through the rest of the pipeline
+// unchanged.
+
+#ifndef MRSL_RELATIONAL_DISCRETIZER_H_
+#define MRSL_RELATIONAL_DISCRETIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Bucketing strategy for one numeric attribute.
+enum class BucketStrategy {
+  kEqualWidth,      // equal-length intervals over [min, max]
+  kEqualFrequency,  // quantile boundaries: ~equal row counts per bucket
+};
+
+/// Per-attribute discretization request.
+struct DiscretizeSpec {
+  std::string attribute;  // column to discretize
+  size_t num_buckets = 4;
+  BucketStrategy strategy = BucketStrategy::kEqualWidth;
+};
+
+/// The learned bucket boundaries for one attribute; applies to new data.
+struct BucketMap {
+  std::string attribute;
+  /// Ascending inner boundaries; bucket i covers
+  /// (boundaries[i-1], boundaries[i]] with open ends at the extremes.
+  std::vector<double> boundaries;
+  /// Human-readable labels, one per bucket.
+  std::vector<std::string> labels;
+
+  /// Bucket index for `value`.
+  size_t BucketOf(double value) const;
+};
+
+/// Discretizes the requested numeric columns of a raw CSV table (header
+/// row + data rows; "?" or empty = missing). Non-requested columns pass
+/// through as categorical labels. Fails when a requested column contains
+/// a non-numeric, non-missing cell, or has fewer distinct values than
+/// buckets under equal-frequency bucketing.
+struct DiscretizeResult {
+  Relation relation;
+  std::vector<BucketMap> maps;
+};
+Result<DiscretizeResult> DiscretizeCsv(std::string_view csv_text,
+                                       const std::vector<DiscretizeSpec>& specs);
+
+/// Learns bucket boundaries from raw values (used by DiscretizeCsv and
+/// directly testable). Fails on empty input or num_buckets < 2.
+Result<BucketMap> LearnBuckets(const std::string& attribute,
+                               std::vector<double> values,
+                               size_t num_buckets, BucketStrategy strategy);
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_DISCRETIZER_H_

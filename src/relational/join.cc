@@ -1,0 +1,91 @@
+#include "relational/join.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mrsl {
+
+Result<Relation> PkFkJoin(const Relation& fact, const std::string& fk_attr,
+                          const Relation& dim, const std::string& pk_attr,
+                          const JoinOptions& options) {
+  AttrId fk = 0;
+  AttrId pk = 0;
+  if (!fact.schema().FindAttr(fk_attr, &fk)) {
+    return Status::NotFound("fact relation has no attribute " + fk_attr);
+  }
+  if (!dim.schema().FindAttr(pk_attr, &pk)) {
+    return Status::NotFound("dimension relation has no attribute " +
+                            pk_attr);
+  }
+
+  // Key domains are dictionary-encoded per relation, so match on labels.
+  const Attribute& fk_dom = fact.schema().attr(fk);
+  const Attribute& pk_dom = dim.schema().attr(pk);
+
+  // Index the dimension by key label; enforce uniqueness.
+  std::unordered_map<std::string, uint32_t> dim_index;
+  for (size_t r = 0; r < dim.num_rows(); ++r) {
+    ValueId key = dim.row(r).value(pk);
+    if (key == kMissingValue) continue;
+    auto [it, inserted] =
+        dim_index.emplace(pk_dom.label(key), static_cast<uint32_t>(r));
+    if (!inserted) {
+      return Status::FailedPrecondition(
+          pk_attr + " is not a primary key: duplicate value " +
+          pk_dom.label(key));
+    }
+  }
+
+  // Output schema: fact attrs (minus key when dropping) + dim non-key
+  // attrs (minus key), de-duplicating names.
+  std::vector<Attribute> attrs;
+  std::unordered_set<std::string> names;
+  std::vector<AttrId> fact_cols;
+  for (AttrId a = 0; a < fact.schema().num_attrs(); ++a) {
+    if (options.drop_key_columns && a == fk) continue;
+    attrs.push_back(fact.schema().attr(a));
+    names.insert(fact.schema().attr(a).name());
+    fact_cols.push_back(a);
+  }
+  std::vector<AttrId> dim_cols;
+  for (AttrId a = 0; a < dim.schema().num_attrs(); ++a) {
+    if (a == pk) continue;
+    const Attribute& src = dim.schema().attr(a);
+    std::string name = src.name();
+    if (names.count(name)) name += options.dedup_suffix;
+    std::vector<std::string> labels;
+    for (size_t v = 0; v < src.cardinality(); ++v) {
+      labels.push_back(src.label(static_cast<ValueId>(v)));
+    }
+    attrs.emplace_back(std::move(name), std::move(labels));
+    dim_cols.push_back(a);
+  }
+  auto schema = Schema::Create(std::move(attrs));
+  if (!schema.ok()) return schema.status();
+  Relation out(std::move(schema).value());
+
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    const Tuple& row = fact.row(r);
+    ValueId key = row.value(fk);
+    const Tuple* match = nullptr;
+    if (key != kMissingValue) {
+      auto it = dim_index.find(fk_dom.label(key));
+      if (it != dim_index.end()) match = &dim.row(it->second);
+    }
+    if (match == nullptr && !options.keep_unmatched) continue;
+
+    Tuple joined(out.schema().num_attrs());
+    size_t c = 0;
+    for (AttrId a : fact_cols) {
+      joined.set_value(static_cast<AttrId>(c++), row.value(a));
+    }
+    for (AttrId a : dim_cols) {
+      ValueId v = match == nullptr ? kMissingValue : match->value(a);
+      joined.set_value(static_cast<AttrId>(c++), v);
+    }
+    MRSL_RETURN_IF_ERROR(out.Append(std::move(joined)));
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,46 @@
+// Primary-key / foreign-key join of two relations.
+//
+// Sec I-B: "we may exploit correlations that hold across relations, by
+// computing a primary-foreign key join when appropriate". This module
+// materializes that join so the MRSL learner can mine cross-relation
+// correlations from the combined tuple space. Missing foreign keys
+// produce rows whose right-hand attributes are all missing (left outer
+// join), preserving the incomplete-tuple semantics.
+
+#ifndef MRSL_RELATIONAL_JOIN_H_
+#define MRSL_RELATIONAL_JOIN_H_
+
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Options for PkFkJoin.
+struct JoinOptions {
+  /// Keep left rows whose foreign key has no match (or is missing) with
+  /// all right-hand attributes set to "?" (left outer join). When false,
+  /// such rows are dropped (inner join).
+  bool keep_unmatched = true;
+
+  /// Drop the key columns from the output (they are constants within a
+  /// group and would otherwise dominate the mined rules).
+  bool drop_key_columns = false;
+
+  /// Suffix applied to right-hand attribute names that clash with
+  /// left-hand ones.
+  std::string dedup_suffix = "_r";
+};
+
+/// Joins `fact.fk_attr` (foreign key) against `dim.pk_attr` (primary
+/// key). Fails when the named attributes do not exist, or when `pk_attr`
+/// is not unique within `dim`'s complete cells. The output schema is the
+/// fact schema followed by the dimension's non-key attributes.
+Result<Relation> PkFkJoin(const Relation& fact, const std::string& fk_attr,
+                          const Relation& dim, const std::string& pk_attr,
+                          const JoinOptions& options = {});
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_JOIN_H_

@@ -1,0 +1,99 @@
+#include "relational/joint_dist.h"
+
+#include <cstddef>
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace mrsl {
+
+JointDist::JointDist(std::vector<AttrId> vars, std::vector<uint32_t> cards)
+    : vars_(std::move(vars)), codec_(std::move(cards)) {
+  assert(std::is_sorted(vars_.begin(), vars_.end()));
+  assert(!codec_.Saturated());
+  probs_.assign(codec_.Size(), 0.0);
+}
+
+double JointDist::ProbOf(const std::vector<ValueId>& combo) const {
+  return probs_[codec_.Encode(combo)];
+}
+
+double JointDist::Sum() const {
+  return std::accumulate(probs_.begin(), probs_.end(), 0.0);
+}
+
+void JointDist::Normalize() {
+  double total = Sum();
+  if (total <= 0.0) return;
+  for (double& p : probs_) p /= total;
+}
+
+void JointDist::SmoothAdditive(double epsilon) {
+  for (double& p : probs_) p += epsilon;
+  Normalize();
+}
+
+uint64_t JointDist::ArgMax() const {
+  return static_cast<uint64_t>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+double JointDist::Entropy() const {
+  double h = 0.0;
+  for (double p : probs_) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<std::pair<uint64_t, double>> JointDist::TopK(size_t k) const {
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(probs_.size());
+  for (uint64_t code = 0; code < probs_.size(); ++code) {
+    entries.emplace_back(code, probs_[code]);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::vector<double> JointDist::Marginal(size_t pos) const {
+  std::vector<double> out(codec_.card(pos), 0.0);
+  std::vector<ValueId> combo(vars_.size());
+  for (uint64_t code = 0; code < codec_.Size(); ++code) {
+    codec_.DecodeInto(code, combo.data());
+    out[static_cast<size_t>(combo[pos])] += probs_[code];
+  }
+  return out;
+}
+
+std::string JointDist::ToString(const Schema& schema, size_t top_k) const {
+  std::vector<uint64_t> order(probs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    return probs_[a] > probs_[b];
+  });
+  std::string out;
+  std::vector<ValueId> combo(vars_.size());
+  for (size_t i = 0; i < std::min<size_t>(top_k, order.size()); ++i) {
+    codec_.DecodeInto(order[i], combo.data());
+    out += "  ";
+    for (size_t j = 0; j < vars_.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += schema.attr(vars_[j]).name();
+      out += '=';
+      out += schema.attr(vars_[j]).label(combo[j]);
+    }
+    out += "  p=" + FormatDouble(probs_[order[i]], 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,83 @@
+// JointDist: a discrete joint probability distribution over a subset of
+// attributes, stored densely over the Cartesian product of their domains.
+//
+// This is the common currency of the library: exact BN inference produces
+// one (ground truth), Gibbs sampling estimates one (the paper's Δt), and
+// the probabilistic-database layer consumes one per incomplete tuple as a
+// block of mutually exclusive completions.
+
+#ifndef MRSL_RELATIONAL_JOINT_DIST_H_
+#define MRSL_RELATIONAL_JOINT_DIST_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/mixed_radix.h"
+
+namespace mrsl {
+
+/// Dense joint distribution over `vars` (ascending attribute ids).
+class JointDist {
+ public:
+  JointDist() = default;
+
+  /// Creates an all-zero distribution over `vars` with the given
+  /// per-variable cardinalities.
+  JointDist(std::vector<AttrId> vars, std::vector<uint32_t> cards);
+
+  const std::vector<AttrId>& vars() const { return vars_; }
+  const MixedRadix& codec() const { return codec_; }
+
+  /// Number of cells = product of cardinalities.
+  uint64_t size() const { return codec_.Size(); }
+
+  double prob(uint64_t code) const { return probs_[code]; }
+  void set_prob(uint64_t code, double p) { probs_[code] = p; }
+  void add_prob(uint64_t code, double p) { probs_[code] += p; }
+
+  /// Probability of a combination given as per-var values (aligned with
+  /// vars()).
+  double ProbOf(const std::vector<ValueId>& combo) const;
+
+  /// Total mass.
+  double Sum() const;
+
+  /// Scales to total mass 1. No-op on all-zero distributions.
+  void Normalize();
+
+  /// Adds `epsilon` to every cell then normalizes; used to keep KL finite
+  /// for sampled estimates with empty cells.
+  void SmoothAdditive(double epsilon);
+
+  /// Code of the most probable combination.
+  uint64_t ArgMax() const;
+
+  /// Marginal distribution of vars()[pos].
+  std::vector<double> Marginal(size_t pos) const;
+
+  /// Shannon entropy in nats (0 for a point mass); a direct measure of
+  /// how uncertain a derived Δt still is.
+  double Entropy() const;
+
+  /// The `k` most probable combinations as (code, probability), sorted
+  /// by probability descending (ties by code).
+  std::vector<std::pair<uint64_t, double>> TopK(size_t k) const;
+
+  /// Renders the top-k most probable combinations, e.g. for examples.
+  std::string ToString(const Schema& schema, size_t top_k = 10) const;
+
+  const std::vector<double>& probs() const { return probs_; }
+
+ private:
+  std::vector<AttrId> vars_;
+  MixedRadix codec_;
+  std::vector<double> probs_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_JOINT_DIST_H_

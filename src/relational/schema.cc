@@ -1,0 +1,79 @@
+#include "relational/schema.h"
+
+#include <cstddef>
+#include <cassert>
+#include <limits>
+
+namespace mrsl {
+
+Attribute::Attribute(std::string name, std::vector<std::string> labels)
+    : name_(std::move(name)), labels_(std::move(labels)) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    index_.emplace(labels_[i], static_cast<ValueId>(i));
+  }
+}
+
+const std::string& Attribute::label(ValueId v) const {
+  assert(v >= 0 && static_cast<size_t>(v) < labels_.size());
+  return labels_[static_cast<size_t>(v)];
+}
+
+ValueId Attribute::Find(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? kMissingValue : it->second;
+}
+
+ValueId Attribute::FindOrAdd(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(labels_.size());
+  labels_.push_back(label);
+  index_.emplace(label, id);
+  return id;
+}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  if (attributes.size() > kMaxAttributes) {
+    return Status::InvalidArgument("schema exceeds " +
+                                   std::to_string(kMaxAttributes) +
+                                   " attributes");
+  }
+  Schema s;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    auto [it, inserted] =
+        s.by_name_.emplace(attributes[i].name(), static_cast<AttrId>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     attributes[i].name());
+    }
+  }
+  s.attrs_ = std::move(attributes);
+  return s;
+}
+
+bool Schema::FindAttr(const std::string& name, AttrId* id) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+uint64_t Schema::DomainSize() const {
+  uint64_t prod = 1;
+  for (const auto& a : attrs_) {
+    uint64_t card = a.cardinality();
+    if (card == 0) return 0;
+    if (prod > std::numeric_limits<uint64_t>::max() / card) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    prod *= card;
+  }
+  return prod;
+}
+
+AttrMask Schema::FullMask() const {
+  return attrs_.size() == 64 ? ~AttrMask{0}
+                             : ((AttrMask{1} << attrs_.size()) - 1);
+}
+
+}  // namespace mrsl

@@ -1,0 +1,79 @@
+// Schema: named attributes with discrete, dictionary-encoded domains.
+
+#ifndef MRSL_RELATIONAL_SCHEMA_H_
+#define MRSL_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// One attribute: a name plus the dictionary of its domain labels.
+class Attribute {
+ public:
+  /// Creates an attribute with an (initially empty) domain.
+  explicit Attribute(std::string name) : name_(std::move(name)) {}
+
+  /// Creates an attribute with a fixed label set.
+  Attribute(std::string name, std::vector<std::string> labels);
+
+  const std::string& name() const { return name_; }
+
+  /// Domain cardinality |dom(a)|.
+  size_t cardinality() const { return labels_.size(); }
+
+  /// Label of value `v`. Requires 0 <= v < cardinality().
+  const std::string& label(ValueId v) const;
+
+  /// Looks up a label; returns kMissingValue when absent.
+  ValueId Find(const std::string& label) const;
+
+  /// Looks up a label, inserting it if new; returns its ValueId.
+  ValueId FindOrAdd(const std::string& label);
+
+ private:
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+/// An ordered set of attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from ready-made attributes. Fails when names collide
+  /// or there are more than kMaxAttributes attributes.
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  /// Number of attributes.
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Attribute by position.
+  const Attribute& attr(AttrId i) const { return attrs_[i]; }
+  Attribute& attr(AttrId i) { return attrs_[i]; }
+
+  /// Position of the attribute named `name`, or nullopt-like -1 cast?
+  /// Returns true and sets *id on success.
+  bool FindAttr(const std::string& name, AttrId* id) const;
+
+  /// Product of all attribute cardinalities (the paper's "dom. size").
+  /// Saturates at uint64 max.
+  uint64_t DomainSize() const;
+
+  /// Bitmask covering every attribute.
+  AttrMask FullMask() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_SCHEMA_H_

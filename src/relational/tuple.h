@@ -1,0 +1,90 @@
+// Tuple: a (possibly incomplete) assignment of values to attributes.
+//
+// Implements the paper's Definitions 2.1-2.4: complete tuples ("points"),
+// incomplete tuples with "?" cells, the matching relation between points
+// and incomplete tuples, and tuple subsumption (t2 "<" t1 when t1's complete
+// portion is a proper subset of t2's and they agree on it).
+
+#ifndef MRSL_RELATIONAL_TUPLE_H_
+#define MRSL_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace mrsl {
+
+/// A row: one ValueId per attribute, kMissingValue for "?".
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Creates an all-missing tuple over `num_attrs` attributes.
+  explicit Tuple(size_t num_attrs)
+      : values_(num_attrs, kMissingValue) {}
+
+  /// Creates a tuple from explicit cell values.
+  explicit Tuple(std::vector<ValueId> values) : values_(std::move(values)) {}
+
+  size_t num_attrs() const { return values_.size(); }
+
+  ValueId value(AttrId a) const { return values_[a]; }
+  void set_value(AttrId a, ValueId v) { values_[a] = v; }
+
+  const std::vector<ValueId>& values() const { return values_; }
+
+  /// Bitmask of assigned (non-missing) attributes — the "complete portion".
+  AttrMask CompleteMask() const;
+
+  /// True iff every attribute is assigned (Def 2.2: a point).
+  bool IsComplete() const;
+
+  /// Number of missing cells.
+  size_t NumMissing() const;
+
+  /// Indices of missing attributes, ascending.
+  std::vector<AttrId> MissingAttrs() const;
+
+  /// Indices of assigned attributes, ascending.
+  std::vector<AttrId> AssignedAttrs() const;
+
+  /// Def 2.3 matching: true iff `point` agrees with this tuple on every
+  /// attribute assigned here. `point` need not be complete for agreement
+  /// checking, but matching in the paper's sense passes a point.
+  bool MatchedBy(const Tuple& point) const;
+
+  /// True iff this tuple and `other` assign identical values on every
+  /// attribute in `mask` (attributes in `mask` must be assigned in both).
+  bool AgreesOn(const Tuple& other, AttrMask mask) const;
+
+  /// Def 2.4: true iff this tuple subsumes `other` (other "<" this), i.e.
+  /// this tuple's complete portion is a PROPER subset of other's and the
+  /// values agree on it.
+  bool Subsumes(const Tuple& other) const;
+
+  /// Like Subsumes but also true for equal complete portions with equal
+  /// values (reflexive closure).
+  bool SubsumesOrEquals(const Tuple& other) const;
+
+  /// Renders e.g. "(age=20, edu=HS, inc=?, nw=?)".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::vector<ValueId> values_;
+};
+
+/// Hash functor so tuples can key hash maps (tuple-DAG dedup etc.).
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_TUPLE_H_

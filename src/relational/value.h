@@ -1,0 +1,32 @@
+// Core value typedefs for the dictionary-encoded relational layer.
+//
+// All attributes are discrete and finite (the paper buckets continuous
+// domains): a cell is the index of its label in the attribute's domain,
+// with kMissingValue denoting the "?" of an incomplete tuple.
+
+#ifndef MRSL_RELATIONAL_VALUE_H_
+#define MRSL_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+
+namespace mrsl {
+
+/// Index of a value within its attribute's domain; kMissingValue when "?".
+using ValueId = int32_t;
+
+/// Index of an attribute within a schema.
+using AttrId = uint32_t;
+
+/// Bitmask over attributes (bit i set <=> attribute i assigned).
+/// Schemas are limited to 64 attributes, far above the paper's 4-10.
+using AttrMask = uint64_t;
+
+/// The "?" marker of an incomplete tuple.
+inline constexpr ValueId kMissingValue = -1;
+
+/// Maximum number of attributes in a schema.
+inline constexpr AttrId kMaxAttributes = 64;
+
+}  // namespace mrsl
+
+#endif  // MRSL_RELATIONAL_VALUE_H_

@@ -1,0 +1,78 @@
+#include "util/bitvector.h"
+
+#include <cstddef>
+#include <bit>
+#include <cassert>
+
+namespace mrsl {
+
+BitVector::BitVector(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+void BitVector::Set(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] |= (uint64_t{1} << (i & 63));
+}
+
+void BitVector::Clear(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool BitVector::Get(size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+size_t BitVector::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+size_t BitVector::AndCount(const BitVector& other) const {
+  assert(size_ == other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+BitVector BitVector::And(const BitVector& other) const {
+  BitVector out = *this;
+  out.AndWith(other);
+  return out;
+}
+
+bool BitVector::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> BitVector::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      out.push_back(static_cast<uint32_t>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,33 @@
+// Minimal CSV reader/writer (RFC-4180-ish: quoted fields, embedded commas
+// and quotes). Used for relation import/export and for dumping experiment
+// series in a plot-friendly format.
+
+#ifndef MRSL_UTIL_CSV_H_
+#define MRSL_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mrsl {
+
+/// Parses a full CSV document into rows of fields.
+/// Handles quoted fields with embedded separators, quotes ("" escape) and
+/// newlines. The trailing newline does not produce an empty row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Serializes rows to CSV, quoting fields only when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, truncating.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_CSV_H_

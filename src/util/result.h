@@ -1,0 +1,75 @@
+// Result<T>: a value-or-Status union, the return type of fallible
+// constructors and parsers. Mirrors absl::StatusOr / arrow::Result.
+
+#ifndef MRSL_UTIL_RESULT_H_
+#define MRSL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mrsl {
+
+/// Holds either a successfully produced T or the Status explaining failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// the value to `lhs`.
+#define MRSL_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto MRSL_CONCAT_(res_, __LINE__) = (expr);       \
+  if (!MRSL_CONCAT_(res_, __LINE__).ok())           \
+    return MRSL_CONCAT_(res_, __LINE__).status();   \
+  lhs = std::move(MRSL_CONCAT_(res_, __LINE__)).value()
+
+#define MRSL_CONCAT_INNER_(a, b) a##b
+#define MRSL_CONCAT_(a, b) MRSL_CONCAT_INNER_(a, b)
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_RESULT_H_

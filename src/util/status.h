@@ -1,0 +1,99 @@
+// Status: lightweight error propagation for fallible operations.
+//
+// Modeled after the Status idiom used throughout database engines
+// (LevelDB/RocksDB): a cheap value type carrying an error code and a
+// human-readable message. Functions that can fail return a Status (or a
+// Result<T>, see result.h) instead of throwing exceptions; internal
+// invariants are enforced with assertions.
+
+#ifndef MRSL_UTIL_STATUS_H_
+#define MRSL_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mrsl {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIOError,
+  kInternal,
+};
+
+/// Returns the canonical name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of a fallible operation.
+///
+/// The OK state carries no allocation; error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MRSL_RETURN_IF_ERROR(expr)               \
+  do {                                           \
+    ::mrsl::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+// TablePrinter: aligned console tables for the benchmark drivers, so every
+// experiment prints the same rows/series the paper reports in a readable
+// form, plus an optional CSV dump for plotting.
+
+#ifndef MRSL_UTIL_TABLE_PRINTER_H_
+#define MRSL_UTIL_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mrsl {
+
+/// Collects rows and renders them as an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline.
+  std::string ToString() const;
+
+  /// Renders rows as CSV (headers first).
+  std::string ToCsv() const;
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_TABLE_PRINTER_H_

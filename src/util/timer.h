@@ -1,0 +1,33 @@
+// Wall-clock timing for the experiment drivers.
+
+#ifndef MRSL_UTIL_TIMER_H_
+#define MRSL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mrsl {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_TIMER_H_

@@ -1,0 +1,154 @@
+// Tests for BayesNet: CPT validation, joint probability, forward sampling
+// statistics, schema generation, and text serialization round-trips.
+
+#include "bn/bayes_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+// A -> B with known CPTs.
+BayesNet SimpleNet() {
+  auto topo = Topology::Create({"A", "B"}, {2, 2}, {{}, {0}});
+  EXPECT_TRUE(topo.ok());
+  // P(A=0)=0.3; P(B=0|A=0)=0.9, P(B=0|A=1)=0.2.
+  auto bn = BayesNet::Create(std::move(topo).value(),
+                             {{0.3, 0.7}, {0.9, 0.1, 0.2, 0.8}});
+  EXPECT_TRUE(bn.ok());
+  return std::move(bn).value();
+}
+
+TEST(BayesNetTest, CreateValidatesCptSize) {
+  auto topo = Topology::Create({"A"}, {3}, {{}});
+  ASSERT_TRUE(topo.ok());
+  auto bn = BayesNet::Create(*topo, {{0.5, 0.5}});  // wrong arity
+  ASSERT_FALSE(bn.ok());
+}
+
+TEST(BayesNetTest, CreateValidatesRowSums) {
+  auto topo = Topology::Create({"A"}, {2}, {{}});
+  ASSERT_TRUE(topo.ok());
+  auto bn = BayesNet::Create(*topo, {{0.5, 0.6}});
+  ASSERT_FALSE(bn.ok());
+}
+
+TEST(BayesNetTest, CreateRejectsZeroEntries) {
+  auto topo = Topology::Create({"A"}, {2}, {{}});
+  ASSERT_TRUE(topo.ok());
+  auto bn = BayesNet::Create(*topo, {{0.0, 1.0}});
+  ASSERT_FALSE(bn.ok());
+}
+
+TEST(BayesNetTest, CondProbReadsCpt) {
+  BayesNet bn = SimpleNet();
+  std::vector<ValueId> assign = {0, 0};
+  EXPECT_DOUBLE_EQ(bn.CondProb(0, 0, assign), 0.3);
+  EXPECT_DOUBLE_EQ(bn.CondProb(1, 0, assign), 0.9);
+  assign[0] = 1;
+  EXPECT_DOUBLE_EQ(bn.CondProb(1, 0, assign), 0.2);
+}
+
+TEST(BayesNetTest, JointProbFactorizes) {
+  BayesNet bn = SimpleNet();
+  EXPECT_DOUBLE_EQ(bn.JointProb({0, 0}), 0.3 * 0.9);
+  EXPECT_DOUBLE_EQ(bn.JointProb({0, 1}), 0.3 * 0.1);
+  EXPECT_DOUBLE_EQ(bn.JointProb({1, 0}), 0.7 * 0.2);
+  EXPECT_DOUBLE_EQ(bn.JointProb({1, 1}), 0.7 * 0.8);
+}
+
+TEST(BayesNetTest, JointSumsToOne) {
+  Rng rng(5);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 3), &rng);
+  double total = 0.0;
+  for (ValueId a = 0; a < 3; ++a) {
+    for (ValueId b = 0; b < 3; ++b) {
+      for (ValueId c = 0; c < 3; ++c) {
+        for (ValueId d = 0; d < 3; ++d) total += bn.JointProb({a, b, c, d});
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BayesNetTest, ForwardSampleMatchesJoint) {
+  BayesNet bn = SimpleNet();
+  Rng rng(42);
+  constexpr int kDraws = 200000;
+  int count00 = 0;
+  int count_b0 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    Tuple t = bn.ForwardSample(&rng);
+    ASSERT_TRUE(t.IsComplete());
+    if (t.value(0) == 0 && t.value(1) == 0) ++count00;
+    if (t.value(1) == 0) ++count_b0;
+  }
+  EXPECT_NEAR(count00 / static_cast<double>(kDraws), 0.27, 0.01);
+  // P(B=0) = 0.3*0.9 + 0.7*0.2 = 0.41.
+  EXPECT_NEAR(count_b0 / static_cast<double>(kDraws), 0.41, 0.01);
+}
+
+TEST(BayesNetTest, RandomInstanceHasValidCpts) {
+  Rng rng(7);
+  for (double alpha : {0.3, 1.0, 4.0}) {
+    BayesNet bn =
+        BayesNet::RandomInstance(Topology::Chain(5, 3), &rng, alpha);
+    for (AttrId v = 0; v < 5; ++v) {
+      const auto& cpt = bn.cpt(v);
+      const size_t card = 3;
+      for (size_t row = 0; row * card < cpt.size(); ++row) {
+        double sum = 0.0;
+        for (size_t c = 0; c < card; ++c) {
+          double p = cpt[row * card + c];
+          EXPECT_GT(p, 0.0);
+          sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BayesNetTest, MakeSchemaMirrorsTopology) {
+  BayesNet bn = SimpleNet();
+  Schema schema = bn.MakeSchema();
+  EXPECT_EQ(schema.num_attrs(), 2u);
+  EXPECT_EQ(schema.attr(0).name(), "A");
+  EXPECT_EQ(schema.attr(1).cardinality(), 2u);
+  EXPECT_EQ(schema.attr(1).label(0), "v0");
+}
+
+TEST(BayesNetTest, SampleRelationProducesCompleteRows) {
+  BayesNet bn = SimpleNet();
+  Rng rng(3);
+  Relation rel = bn.SampleRelation(50, &rng);
+  EXPECT_EQ(rel.num_rows(), 50u);
+  EXPECT_EQ(rel.CompleteRowIndices().size(), 50u);
+}
+
+TEST(BayesNetTest, TextRoundTrip) {
+  Rng rng(11);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(5, 3), &rng);
+  auto again = BayesNet::FromText(bn.ToText());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->num_vars(), bn.num_vars());
+  // Joint probabilities are preserved bit-for-bit (printed at %.17g).
+  Rng probe_rng(13);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<ValueId> assign(5);
+    for (size_t v = 0; v < 5; ++v) {
+      assign[v] = static_cast<ValueId>(probe_rng.UniformInt(3));
+    }
+    EXPECT_DOUBLE_EQ(bn.JointProb(assign), again->JointProb(assign));
+  }
+}
+
+TEST(BayesNetTest, FromTextRejectsGarbage) {
+  EXPECT_FALSE(BayesNet::FromText("nonsense 3\n").ok());
+  EXPECT_FALSE(BayesNet::FromText("bn 2\nvar A 2\n").ok());  // missing var
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,185 @@
+// Tests for exact inference: factor algebra, hand-computed posteriors,
+// and a randomized differential test of variable elimination vs.
+// brute-force enumeration.
+
+#include "bn/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+// A -> B with known CPTs: P(A=0)=0.3; P(B=0|A=0)=0.9, P(B=0|A=1)=0.2.
+BayesNet SimpleNet() {
+  auto topo = Topology::Create({"A", "B"}, {2, 2}, {{}, {0}});
+  EXPECT_TRUE(topo.ok());
+  auto bn = BayesNet::Create(std::move(topo).value(),
+                             {{0.3, 0.7}, {0.9, 0.1, 0.2, 0.8}});
+  EXPECT_TRUE(bn.ok());
+  return std::move(bn).value();
+}
+
+TEST(FactorTest, FromCptShape) {
+  BayesNet bn = SimpleNet();
+  Factor f = Factor::FromCpt(bn, 1);
+  EXPECT_EQ(f.vars(), (std::vector<AttrId>{0, 1}));
+  EXPECT_EQ(f.values().size(), 4u);
+}
+
+TEST(FactorTest, RestrictFixesEvidence) {
+  BayesNet bn = SimpleNet();
+  Factor f = Factor::FromCpt(bn, 1);
+  Tuple evidence({0, kMissingValue});
+  Factor r = f.Restrict(evidence);
+  EXPECT_EQ(r.vars(), (std::vector<AttrId>{1}));
+  EXPECT_DOUBLE_EQ(r.value(0), 0.9);
+  EXPECT_DOUBLE_EQ(r.value(1), 0.1);
+}
+
+TEST(FactorTest, MultiplyDisjointVars) {
+  Factor a({0}, {2});
+  a.set_value(0, 0.25);
+  a.set_value(1, 0.75);
+  Factor b({1}, {3});
+  b.set_value(0, 0.5);
+  b.set_value(1, 0.3);
+  b.set_value(2, 0.2);
+  Factor c = a.Multiply(b);
+  EXPECT_EQ(c.vars(), (std::vector<AttrId>{0, 1}));
+  EXPECT_DOUBLE_EQ(c.value(c.codec().Encode({1, 2})), 0.75 * 0.2);
+}
+
+TEST(FactorTest, SumOutMarginalizes) {
+  BayesNet bn = SimpleNet();
+  Factor joint = Factor::FromCpt(bn, 0).Multiply(Factor::FromCpt(bn, 1));
+  Factor pb = joint.SumOut(0);
+  EXPECT_EQ(pb.vars(), (std::vector<AttrId>{1}));
+  EXPECT_NEAR(pb.value(0), 0.41, 1e-12);  // P(B=0)
+  EXPECT_NEAR(pb.value(1), 0.59, 1e-12);
+}
+
+TEST(ExactTest, PosteriorByBayesRule) {
+  BayesNet bn = SimpleNet();
+  // P(A | B=0): P(A=0|B=0) = 0.27/0.41.
+  Tuple evidence({kMissingValue, 0});
+  for (auto* method : {&ExactConditionalVE, &ExactConditionalEnum}) {
+    auto dist = (*method)(bn, evidence, {0});
+    ASSERT_TRUE(dist.ok());
+    EXPECT_NEAR(dist->prob(0), 0.27 / 0.41, 1e-12);
+    EXPECT_NEAR(dist->prob(1), 0.14 / 0.41, 1e-12);
+  }
+}
+
+TEST(ExactTest, PriorWithoutEvidence) {
+  BayesNet bn = SimpleNet();
+  Tuple no_evidence(2);
+  auto dist = ExactConditionalVE(bn, no_evidence, {1});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->prob(0), 0.41, 1e-12);
+}
+
+TEST(ExactTest, JointQueryOverBothVars) {
+  BayesNet bn = SimpleNet();
+  Tuple no_evidence(2);
+  auto dist = ExactConditionalEnum(bn, no_evidence, {0, 1});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->ProbOf({0, 0}), 0.27, 1e-12);
+  EXPECT_NEAR(dist->ProbOf({1, 1}), 0.56, 1e-12);
+  EXPECT_NEAR(dist->Sum(), 1.0, 1e-12);
+}
+
+TEST(ExactTest, RejectsEmptyQuery) {
+  BayesNet bn = SimpleNet();
+  EXPECT_FALSE(ExactConditionalVE(bn, Tuple(2), {}).ok());
+}
+
+TEST(ExactTest, RejectsQueryOverlappingEvidence) {
+  BayesNet bn = SimpleNet();
+  Tuple evidence({0, kMissingValue});
+  EXPECT_FALSE(ExactConditionalVE(bn, evidence, {0}).ok());
+}
+
+TEST(ExactTest, IndependentNetworkPosteriorIgnoresEvidence) {
+  Rng rng(3);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Independent(4, 3), &rng);
+  Tuple no_evidence(4);
+  auto prior = ExactConditionalVE(bn, no_evidence, {2});
+  ASSERT_TRUE(prior.ok());
+  Tuple evidence(4);
+  evidence.set_value(0, 1);
+  evidence.set_value(3, 2);
+  auto post = ExactConditionalVE(bn, evidence, {2});
+  ASSERT_TRUE(post.ok());
+  for (ValueId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(prior->prob(v), post->prob(v), 1e-12);
+  }
+}
+
+TEST(ExactTest, TrueDistributionCoversAllMissing) {
+  BayesNet bn = SimpleNet();
+  Tuple t(2);  // both missing
+  auto dist = TrueDistribution(bn, t);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->vars(), (std::vector<AttrId>{0, 1}));
+  EXPECT_NEAR(dist->Sum(), 1.0, 1e-12);
+}
+
+// ---- Randomized differential test: VE == enumeration ----
+
+struct ExactDiffCase {
+  uint64_t seed;
+  size_t shape;  // 0 = chain, 1 = crown, 2 = layered
+};
+
+class ExactDifferentialTest
+    : public ::testing::TestWithParam<ExactDiffCase> {};
+
+TEST_P(ExactDifferentialTest, VeMatchesEnumeration) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  Topology topo = param.shape == 0 ? Topology::Chain(6, 3)
+                  : param.shape == 1
+                      ? Topology::Crown(6, 2)
+                      : Topology::Layered({2, 2, 2},
+                                          std::vector<uint32_t>(6, 3), 2);
+  BayesNet bn = BayesNet::RandomInstance(topo, &rng);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random evidence on a random subset, random query on the rest.
+    Tuple evidence(6);
+    std::vector<AttrId> unassigned;
+    for (AttrId v = 0; v < 6; ++v) {
+      if (rng.Bernoulli(0.4)) {
+        evidence.set_value(
+            v, static_cast<ValueId>(rng.UniformInt(topo.card(v))));
+      } else {
+        unassigned.push_back(v);
+      }
+    }
+    if (unassigned.empty()) continue;
+    rng.Shuffle(&unassigned);
+    size_t q = 1 + rng.UniformInt(unassigned.size());
+    std::vector<AttrId> query(unassigned.begin(),
+                              unassigned.begin() + static_cast<long>(q));
+
+    auto ve = ExactConditionalVE(bn, evidence, query);
+    auto en = ExactConditionalEnum(bn, evidence, query);
+    ASSERT_TRUE(ve.ok());
+    ASSERT_TRUE(en.ok());
+    ASSERT_EQ(ve->size(), en->size());
+    for (uint64_t code = 0; code < ve->size(); ++code) {
+      EXPECT_NEAR(ve->prob(code), en->prob(code), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExactDifferentialTest,
+    ::testing::Values(ExactDiffCase{1, 0}, ExactDiffCase{2, 0},
+                      ExactDiffCase{3, 1}, ExactDiffCase{4, 1},
+                      ExactDiffCase{5, 2}, ExactDiffCase{6, 2}));
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,106 @@
+// Tests for Topology: validation, depth, and the shape builders.
+
+#include "bn/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace mrsl {
+namespace {
+
+TEST(TopologyTest, RejectsCycle) {
+  auto t = Topology::Create({"a", "b"}, {2, 2}, {{1}, {0}});
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(TopologyTest, RejectsSelfLoop) {
+  auto t = Topology::Create({"a"}, {2}, {{0}});
+  ASSERT_FALSE(t.ok());
+}
+
+TEST(TopologyTest, RejectsOutOfRangeParent) {
+  auto t = Topology::Create({"a", "b"}, {2, 2}, {{}, {5}});
+  ASSERT_FALSE(t.ok());
+}
+
+TEST(TopologyTest, RejectsUnaryCardinality) {
+  auto t = Topology::Create({"a"}, {1}, {{}});
+  ASSERT_FALSE(t.ok());
+}
+
+TEST(TopologyTest, TopoOrderRespectsParents) {
+  auto t = Topology::Create({"a", "b", "c"}, {2, 2, 2}, {{2}, {0}, {}});
+  ASSERT_TRUE(t.ok());
+  const auto& order = t->topo_order();
+  std::vector<size_t> pos(3);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[2], pos[0]);  // c before a
+  EXPECT_LT(pos[0], pos[1]);  // a before b
+}
+
+TEST(TopologyTest, IndependentHasDepthZero) {
+  Topology t = Topology::Independent(5, 3);
+  EXPECT_EQ(t.num_vars(), 5u);
+  EXPECT_EQ(t.Depth(), 0u);
+  EXPECT_EQ(t.DomainSize(), 243u);
+  EXPECT_DOUBLE_EQ(t.AvgCard(), 3.0);
+}
+
+TEST(TopologyTest, ChainDepthIsEdges) {
+  Topology t = Topology::Chain(6, 2);
+  EXPECT_EQ(t.Depth(), 5u);
+  EXPECT_EQ(t.DomainSize(), 64u);
+  for (AttrId i = 1; i < 6; ++i) {
+    ASSERT_EQ(t.parents(i).size(), 1u);
+    EXPECT_EQ(t.parents(i)[0], i - 1);
+  }
+  EXPECT_TRUE(t.parents(0).empty());
+}
+
+TEST(TopologyTest, CrownShape) {
+  Topology t = Topology::Crown(6, 2);
+  EXPECT_EQ(t.Depth(), 2u);
+  // Source has no parents; middles have the source; sink has all middles.
+  EXPECT_TRUE(t.parents(0).empty());
+  for (AttrId i = 1; i < 5; ++i) {
+    ASSERT_EQ(t.parents(i).size(), 1u);
+    EXPECT_EQ(t.parents(i)[0], 0u);
+  }
+  EXPECT_EQ(t.parents(5).size(), 4u);
+}
+
+TEST(TopologyTest, CrownOfFourIsDiamond) {
+  Topology t = Topology::Crown(4, 2);
+  EXPECT_EQ(t.num_vars(), 4u);
+  EXPECT_EQ(t.Depth(), 2u);
+  EXPECT_EQ(t.DomainSize(), 16u);
+}
+
+TEST(TopologyTest, DiamondStackDepth) {
+  EXPECT_EQ(Topology::DiamondStack(1, 2).Depth(), 2u);
+  EXPECT_EQ(Topology::DiamondStack(2, 2).Depth(), 4u);
+  EXPECT_EQ(Topology::DiamondStack(3, 2).num_vars(), 10u);
+}
+
+TEST(TopologyTest, LayeredDepthAndWiring) {
+  Topology t = Topology::Layered({3, 3, 2, 2}, std::vector<uint32_t>(10, 2),
+                                 2);
+  EXPECT_EQ(t.num_vars(), 10u);
+  EXPECT_EQ(t.Depth(), 3u);
+  // Roots have no parents.
+  for (AttrId i = 0; i < 3; ++i) EXPECT_TRUE(t.parents(i).empty());
+  // Later layers have up to 2 parents in the previous layer.
+  for (AttrId i = 3; i < 10; ++i) {
+    EXPECT_GE(t.parents(i).size(), 1u);
+    EXPECT_LE(t.parents(i).size(), 2u);
+  }
+}
+
+TEST(TopologyTest, WithCardsReplacesCardinalities) {
+  Topology t = Topology::Crown(4, 2).WithCards({3, 4, 5, 5});
+  EXPECT_EQ(t.DomainSize(), 300u);
+  EXPECT_EQ(t.Depth(), 2u);  // structure unchanged
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,146 @@
+// Tests for Cpd: the paper's smoothing rules and the two voting schemes,
+// plus parameterized property sweeps.
+
+#include "core/cpd.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+constexpr double kMinProb = 1e-5;
+
+TEST(CpdTest, UniformConstructor) {
+  Cpd c(4);
+  EXPECT_EQ(c.card(), 4u);
+  for (ValueId v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(c.prob(v), 0.25);
+}
+
+// The paper's worked meta-rule: P(age | edu=HS) = [0.15, 0.70, 0.15] from
+// confidences 0.06/0.41, 0.29/0.41, 0.06/0.41 (already summing to 1).
+TEST(CpdTest, FromConfidencesMatchesPaperExample) {
+  Cpd c = Cpd::FromConfidences(
+      3, {{0, 0.06 / 0.41}, {1, 0.29 / 0.41}, {2, 0.06 / 0.41}}, kMinProb);
+  EXPECT_NEAR(c.prob(0), 0.146, 0.002);
+  EXPECT_NEAR(c.prob(1), 0.707, 0.002);
+  EXPECT_NEAR(c.prob(2), 0.146, 0.002);
+}
+
+TEST(CpdTest, LeftoverMassSpreadEqually) {
+  // Only value 0 has a rule (conf 0.5); leftover 0.5 spread over 2 values.
+  Cpd c = Cpd::FromConfidences(2, {{0, 0.5}}, kMinProb);
+  EXPECT_NEAR(c.prob(0), 0.75, 1e-9);
+  EXPECT_NEAR(c.prob(1), 0.25, 1e-9);
+}
+
+TEST(CpdTest, NoConfidencesYieldsUniform) {
+  Cpd c = Cpd::FromConfidences(4, {}, kMinProb);
+  for (ValueId v = 0; v < 4; ++v) EXPECT_NEAR(c.prob(v), 0.25, 1e-9);
+}
+
+TEST(CpdTest, AllMassOnOneValueStillPositiveEverywhere) {
+  Cpd c = Cpd::FromConfidences(3, {{1, 1.0}}, kMinProb);
+  EXPECT_GT(c.prob(0), 0.0);
+  EXPECT_GT(c.prob(2), 0.0);
+  EXPECT_GT(c.prob(1), 0.99);
+}
+
+TEST(CpdTest, ArgMax) {
+  Cpd c(std::vector<double>{0.2, 0.5, 0.3});
+  EXPECT_EQ(c.ArgMax(), 1);
+}
+
+TEST(CpdTest, SampleFollowsDistribution) {
+  Cpd c(std::vector<double>{0.1, 0.6, 0.3});
+  Rng rng(99);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[c.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+// Paper worked example (tuple t1): averaging all five Fig 2 meta-rules
+// yields <0.25, 0.51, 0.24>.
+TEST(CpdTest, AverageMatchesPaperExample) {
+  Cpd m1(std::vector<double>{0.31, 0.38, 0.32});  // P(age)
+  Cpd m2(std::vector<double>{0.15, 0.70, 0.15});  // P(age|edu=HS)
+  Cpd m3(std::vector<double>{0.31, 0.41, 0.28});  // P(age|inc=50K)
+  Cpd m4(std::vector<double>{0.31, 0.38, 0.32});  // P(age|nw=500K)
+  Cpd m5(std::vector<double>{0.15, 0.70, 0.15});  // P(age|edu,inc)
+  Cpd avg = Cpd::Average({&m1, &m2, &m3, &m4, &m5});
+  EXPECT_NEAR(avg.prob(0), 0.25, 0.005);
+  EXPECT_NEAR(avg.prob(1), 0.51, 0.005);
+  EXPECT_NEAR(avg.prob(2), 0.24, 0.005);
+}
+
+TEST(CpdTest, WeightedAverageUsesWeights) {
+  Cpd a(std::vector<double>{1.0, 0.0});
+  Cpd b(std::vector<double>{0.0, 1.0});
+  Cpd w = Cpd::WeightedAverage({&a, &b}, {3.0, 1.0});
+  EXPECT_NEAR(w.prob(0), 0.75, 1e-12);
+  EXPECT_NEAR(w.prob(1), 0.25, 1e-12);
+}
+
+TEST(CpdTest, WeightedAverageEqualWeightsEqualsAverage) {
+  Cpd a(std::vector<double>{0.2, 0.8});
+  Cpd b(std::vector<double>{0.6, 0.4});
+  Cpd avg = Cpd::Average({&a, &b});
+  Cpd w = Cpd::WeightedAverage({&a, &b}, {5.0, 5.0});
+  EXPECT_NEAR(avg.prob(0), w.prob(0), 1e-12);
+  EXPECT_NEAR(avg.prob(1), w.prob(1), 1e-12);
+}
+
+// ---- Property sweep: smoothing invariants over random confidences ----
+
+struct SmoothCase {
+  uint64_t seed;
+  size_t card;
+};
+
+class CpdSmoothingProperty : public ::testing::TestWithParam<SmoothCase> {};
+
+TEST_P(CpdSmoothingProperty, SmoothedCpdIsAPositiveDistribution) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random subset of values with random confidences summing <= 1.
+    std::vector<std::pair<ValueId, double>> confs;
+    double budget = 1.0;
+    for (size_t v = 0; v < param.card; ++v) {
+      if (rng.Bernoulli(0.5)) {
+        double c = rng.NextDouble() * budget;
+        confs.emplace_back(static_cast<ValueId>(v), c);
+        budget -= c;
+      }
+    }
+    Cpd cpd = Cpd::FromConfidences(param.card, confs, kMinProb);
+    double sum =
+        std::accumulate(cpd.probs().begin(), cpd.probs().end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (double p : cpd.probs()) {
+      EXPECT_GT(p, 0.0);
+    }
+    // Order preservation: higher confidence never maps to lower
+    // probability (the leftover share is added equally to all values).
+    for (const auto& [v1, c1] : confs) {
+      for (const auto& [v2, c2] : confs) {
+        if (c1 > c2) {
+          EXPECT_GE(cpd.prob(v1) + 1e-12, cpd.prob(v2));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cards, CpdSmoothingProperty,
+    ::testing::Values(SmoothCase{1, 2}, SmoothCase{2, 3}, SmoothCase{3, 5},
+                      SmoothCase{4, 8}, SmoothCase{5, 10}));
+
+}  // namespace
+}  // namespace mrsl

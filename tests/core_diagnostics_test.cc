@@ -1,0 +1,136 @@
+// Tests for the Gibbs convergence diagnostics (Geweke z, effective
+// sample size, burn-in / sample-count suggestions).
+
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+TEST(GewekeTest, StationaryIidSeriesPasses) {
+  Rng rng(1);
+  std::vector<double> series;
+  for (int i = 0; i < 2000; ++i) series.push_back(rng.Bernoulli(0.3));
+  EXPECT_LT(std::abs(GewekeZ(series)), 2.5);
+}
+
+TEST(GewekeTest, DriftingSeriesFails) {
+  // Mean drifts from 0.1 to 0.9 across the series.
+  Rng rng(2);
+  std::vector<double> series;
+  for (int i = 0; i < 2000; ++i) {
+    double p = 0.1 + 0.8 * static_cast<double>(i) / 2000.0;
+    series.push_back(rng.Bernoulli(p));
+  }
+  EXPECT_GT(std::abs(GewekeZ(series)), 3.0);
+}
+
+TEST(GewekeTest, ConstantSeriesIsConverged) {
+  std::vector<double> series(1000, 1.0);
+  EXPECT_DOUBLE_EQ(GewekeZ(series), 0.0);
+}
+
+TEST(GewekeTest, ShortSeriesReturnsZero) {
+  std::vector<double> series(10, 0.5);
+  EXPECT_DOUBLE_EQ(GewekeZ(series), 0.0);
+}
+
+TEST(EssTest, IidSeriesHasEssNearN) {
+  Rng rng(3);
+  std::vector<double> series;
+  for (int i = 0; i < 4000; ++i) series.push_back(rng.Bernoulli(0.5));
+  double ess = EffectiveSampleSize(series);
+  EXPECT_GT(ess, 2500.0);
+  EXPECT_LE(ess, 4000.0);
+}
+
+TEST(EssTest, StickyChainHasLowEss) {
+  // Markov chain that flips state with probability 0.02: high
+  // autocorrelation, ESS should collapse.
+  Rng rng(4);
+  std::vector<double> series;
+  double state = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.Bernoulli(0.02)) state = 1.0 - state;
+    series.push_back(state);
+  }
+  double ess = EffectiveSampleSize(series);
+  EXPECT_LT(ess, 500.0);
+  EXPECT_GE(ess, 1.0);
+}
+
+TEST(EssTest, ConstantSeriesEssIsN) {
+  std::vector<double> series(500, 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(series), 500.0);
+}
+
+class DiagnoseChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    bn_ = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+    Relation train = bn_.SampleRelation(15000, &rng);
+    LearnOptions lo;
+    lo.support_threshold = 0.002;
+    auto model = LearnModel(train, lo);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  BayesNet bn_;
+  MrslModel model_;
+};
+
+TEST_F(DiagnoseChainTest, ProducesActionableSuggestions) {
+  GibbsOptions opts;
+  opts.seed = 9;
+  GibbsSampler sampler(&model_, opts);
+  Tuple t(4);
+  t.set_value(0, 0);  // two attrs observed, two missing
+  t.set_value(3, 1);
+  auto diag = DiagnoseChain(&sampler, t, 2000, 1000.0);
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+  EXPECT_EQ(diag->pilot_sweeps, 2000u);
+  // A healthy, well-trained chain converges fast.
+  EXPECT_LE(diag->suggested_burn_in, 1000u);
+  EXPECT_GT(diag->min_ess, 0.0);
+  EXPECT_LE(diag->min_ess, 2000.0);
+  EXPECT_GT(diag->suggested_samples, 0u);
+  // Mixing is good here, so reaching ESS 1000 should not require an
+  // astronomical run.
+  EXPECT_LT(diag->suggested_samples, 100000u);
+}
+
+TEST_F(DiagnoseChainTest, ValidatesInput) {
+  GibbsOptions opts;
+  GibbsSampler sampler(&model_, opts);
+  Tuple t(4);
+  t.set_value(0, 0);
+  EXPECT_FALSE(DiagnoseChain(&sampler, t, 50).ok());  // pilot too short
+  Tuple complete({0, 0, 0, 0});
+  EXPECT_FALSE(DiagnoseChain(&sampler, complete, 2000).ok());
+}
+
+TEST_F(DiagnoseChainTest, SuggestionsImproveWithTargetEss) {
+  GibbsOptions opts;
+  opts.seed = 10;
+  GibbsSampler s1(&model_, opts);
+  GibbsSampler s2(&model_, opts);
+  Tuple t(4);
+  t.set_value(1, 0);
+  auto lo = DiagnoseChain(&s1, t, 2000, 200.0);
+  auto hi = DiagnoseChain(&s2, t, 2000, 2000.0);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_LT(lo->suggested_samples, hi->suggested_samples);
+}
+
+}  // namespace
+}  // namespace mrsl

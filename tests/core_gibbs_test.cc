@@ -1,0 +1,210 @@
+// Tests for the ordered Gibbs sampler: chain mechanics, determinism,
+// CPD-cache transparency, and convergence to the BN ground truth.
+
+#include "core/gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "bn/exact.h"
+#include "core/learner.h"
+#include "expfw/metrics.h"
+
+namespace mrsl {
+namespace {
+
+LearnOptions LOpts(double theta) {
+  LearnOptions o;
+  o.support_threshold = theta;
+  return o;
+}
+
+// Shared setup: a small known network and a model learned from it.
+class GibbsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4242);
+    bn_ = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+    train_ = bn_.SampleRelation(20000, &rng);
+    auto model = LearnModel(train_, LOpts(0.001));
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  GibbsOptions GOpts(size_t samples, uint64_t seed = 7) {
+    GibbsOptions g;
+    g.burn_in = 50;
+    g.samples = samples;
+    g.seed = seed;
+    return g;
+  }
+
+  BayesNet bn_;
+  Relation train_;
+  MrslModel model_;
+};
+
+TEST_F(GibbsTest, MakeChainValidatesInput) {
+  GibbsSampler sampler(&model_, GOpts(100));
+  EXPECT_FALSE(sampler.MakeChain(Tuple(3)).ok());  // wrong arity
+  Tuple complete({0, 0, 0, 0});
+  EXPECT_FALSE(sampler.MakeChain(complete).ok());  // nothing to sample
+  Tuple t(4);
+  t.set_value(0, 1);
+  auto chain = sampler.MakeChain(t);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->missing, (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST_F(GibbsTest, StepAssignsAllMissing) {
+  GibbsSampler sampler(&model_, GOpts(100));
+  Tuple t(4);
+  t.set_value(0, 1);
+  auto chain = sampler.MakeChain(t);
+  ASSERT_TRUE(chain.ok());
+  sampler.Step(&chain.value());
+  for (AttrId a = 0; a < 4; ++a) {
+    EXPECT_NE(chain->state[a], kMissingValue);
+  }
+  EXPECT_EQ(chain->state[0], 1);  // observed cell untouched
+  EXPECT_EQ(sampler.stats().cycles, 1u);
+}
+
+TEST_F(GibbsTest, InferReturnsNormalizedJoint) {
+  GibbsSampler sampler(&model_, GOpts(500));
+  Tuple t(4);
+  t.set_value(0, 0);
+  t.set_value(1, 1);
+  auto dist = sampler.Infer(t);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->vars(), (std::vector<AttrId>{2, 3}));
+  EXPECT_NEAR(dist->Sum(), 1.0, 1e-9);
+  for (uint64_t c = 0; c < dist->size(); ++c) {
+    EXPECT_GT(dist->prob(c), 0.0);  // smoothing keeps cells positive
+  }
+}
+
+TEST_F(GibbsTest, DeterministicGivenSeed) {
+  Tuple t(4);
+  t.set_value(3, 1);
+  GibbsSampler s1(&model_, GOpts(300, 99));
+  GibbsSampler s2(&model_, GOpts(300, 99));
+  auto d1 = s1.Infer(t);
+  auto d2 = s2.Infer(t);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->probs(), d2->probs());
+}
+
+TEST_F(GibbsTest, CacheDoesNotChangeResults) {
+  // The CPD cache only memoizes deterministic conditional estimates, so
+  // with identical seeds the sampled stream must be identical.
+  Tuple t(4);
+  t.set_value(0, 1);
+  GibbsOptions with_cache = GOpts(300, 5);
+  with_cache.enable_cpd_cache = true;
+  GibbsOptions without_cache = GOpts(300, 5);
+  without_cache.enable_cpd_cache = false;
+
+  GibbsSampler s1(&model_, with_cache);
+  GibbsSampler s2(&model_, without_cache);
+  auto d1 = s1.Infer(t);
+  auto d2 = s2.Infer(t);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->probs(), d2->probs());
+  EXPECT_GT(s1.stats().cache_hits, 0u);
+  EXPECT_EQ(s2.stats().cache_hits, 0u);
+  EXPECT_LT(s1.stats().cpd_evaluations, s2.stats().cpd_evaluations);
+}
+
+TEST_F(GibbsTest, ConvergesToGroundTruth) {
+  // With a well-trained model, the Gibbs joint over two missing values
+  // should approach the exact BN conditional.
+  Rng rng(777);
+  AccuracyAccumulator acc;
+  GibbsSampler sampler(&model_, GOpts(2000, 31337));
+  for (int trial = 0; trial < 30; ++trial) {
+    Tuple t = bn_.ForwardSample(&rng);
+    AttrId m1 = static_cast<AttrId>(rng.UniformInt(4));
+    AttrId m2 = (m1 + 1 + static_cast<AttrId>(rng.UniformInt(3))) % 4;
+    t.set_value(m1, kMissingValue);
+    t.set_value(m2, kMissingValue);
+
+    auto est = sampler.Infer(t);
+    ASSERT_TRUE(est.ok());
+    auto truth = TrueDistribution(bn_, t);
+    ASSERT_TRUE(truth.ok());
+    acc.Add(KlDivergence(*truth, *est), Top1Match(*truth, *est));
+  }
+  // Paper Fig 10 (BN8-class): KL around or below 0.1 at 2000 samples.
+  EXPECT_LT(acc.MeanKl(), 0.12);
+  EXPECT_GT(acc.Top1Rate(), 0.7);
+}
+
+TEST_F(GibbsTest, MoreSamplesImproveAccuracy) {
+  Rng rng(888);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 20; ++i) {
+    Tuple t = bn_.ForwardSample(&rng);
+    t.set_value(1, kMissingValue);
+    t.set_value(2, kMissingValue);
+    tuples.push_back(std::move(t));
+  }
+  double kl_small = 0.0;
+  double kl_large = 0.0;
+  for (const Tuple& t : tuples) {
+    GibbsSampler small(&model_, GOpts(50, 1));
+    GibbsSampler large(&model_, GOpts(4000, 1));
+    auto ds = small.Infer(t);
+    auto dl = large.Infer(t);
+    auto truth = TrueDistribution(bn_, t);
+    ASSERT_TRUE(ds.ok());
+    ASSERT_TRUE(dl.ok());
+    ASSERT_TRUE(truth.ok());
+    kl_small += KlDivergence(*truth, *ds);
+    kl_large += KlDivergence(*truth, *dl);
+  }
+  EXPECT_LT(kl_large, kl_small);
+}
+
+TEST(CpdCacheTest, LookupInsertRoundTrip) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1"}),
+                                Attribute("b", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  CpdCache cache(*schema);
+  ASSERT_TRUE(cache.enabled());
+  uint64_t key = cache.Key({1, 2}, 0);
+  EXPECT_EQ(cache.Lookup(0, key), nullptr);
+  cache.Insert(0, key, Cpd(std::vector<double>{0.4, 0.6}));
+  const Cpd* hit = cache.Lookup(0, key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->prob(0), 0.4);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CpdCacheTest, KeyIgnoresOwnAttribute) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1"}),
+                                Attribute("b", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  CpdCache cache(*schema);
+  EXPECT_EQ(cache.Key({0, 2}, 0), cache.Key({1, 2}, 0));
+  EXPECT_NE(cache.Key({0, 1}, 0), cache.Key({0, 2}, 0));
+}
+
+TEST(CpdCacheTest, CapBoundsInsertions) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1"}),
+                                Attribute("b", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  CpdCache cache(*schema, /*max_entries_per_attr=*/2);
+  cache.Insert(0, 1, Cpd(2));
+  cache.Insert(0, 2, Cpd(2));
+  cache.Insert(0, 3, Cpd(2));  // dropped
+  EXPECT_NE(cache.Lookup(0, 1), nullptr);
+  EXPECT_NE(cache.Lookup(0, 2), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 3), nullptr);
+}
+
+}  // namespace
+}  // namespace mrsl

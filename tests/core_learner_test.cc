@@ -1,0 +1,202 @@
+// Tests for Algorithm 1 (MRSL learning): meta-rule CPDs and weights on
+// the paper's Fig 1 data, model structure invariants, and determinism.
+
+#include "core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "paper_example.h"
+
+namespace mrsl {
+namespace {
+
+LearnOptions Opts(double theta) {
+  LearnOptions o;
+  o.support_threshold = theta;
+  return o;
+}
+
+TEST(LearnerTest, RejectsBadMinProb) {
+  Relation rel = LoadFig1();
+  LearnOptions o;
+  o.min_prob = 0.0;
+  EXPECT_FALSE(LearnModel(rel, o).ok());
+}
+
+TEST(LearnerTest, FailsOnEmptyCompletePart) {
+  auto rel = Relation::FromCsv("a,b\n?,x\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(LearnModel(*rel, Opts(0.1)).ok());
+}
+
+TEST(LearnerTest, BuildsOneLatticePerAttribute) {
+  Relation rel = LoadFig1();
+  auto model = LearnModel(rel, Opts(0.05));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_attrs(), 4u);
+  for (AttrId a = 0; a < 4; ++a) {
+    EXPECT_EQ(model->mrsl(a).head_attr(), a);
+    EXPECT_GT(model->mrsl(a).num_rules(), 0u);
+  }
+  EXPECT_EQ(model->TotalMetaRules(),
+            model->mrsl(0).num_rules() + model->mrsl(1).num_rules() +
+                model->mrsl(2).num_rules() + model->mrsl(3).num_rules());
+}
+
+// On the 8 complete points of Fig 1 the root meta-rule P(age) has the
+// empirical frequencies [4/8, 1/8, 3/8] (ages 20/30/40).
+TEST(LearnerTest, RootCpdIsEmpiricalFrequency) {
+  Relation rel = LoadFig1();
+  auto model = LearnModel(rel, Opts(0.05));
+  ASSERT_TRUE(model.ok());
+
+  AttrId age = 0;
+  ASSERT_TRUE(rel.schema().FindAttr("age", &age));
+  const Mrsl& lattice = model->mrsl(age);
+  ASSERT_GE(lattice.root(), 0);
+  const MetaRule& root = lattice.rule(static_cast<size_t>(lattice.root()));
+  EXPECT_DOUBLE_EQ(root.weight, 1.0);
+  EXPECT_NEAR(root.cpd.prob(rel.schema().attr(age).Find("20")), 0.5, 1e-3);
+  EXPECT_NEAR(root.cpd.prob(rel.schema().attr(age).Find("30")), 0.125,
+              1e-3);
+  EXPECT_NEAR(root.cpd.prob(rel.schema().attr(age).Find("40")), 0.375,
+              1e-3);
+}
+
+// P(age | edu=HS) over Fig 1's complete points: HS points are t4, t6, t7
+// (age 20), t16? (incomplete), t17 (age 40) -> among complete HS points
+// {t4,t6,t7,t17}: wait t16 is incomplete; complete HS points are t4, t6,
+// t7, t17 and also t14? (incomplete). So ages: 20,20,20,40 ->
+// [3/4, 0, 1/4], with the zero smoothed to a tiny positive value.
+TEST(LearnerTest, ConditionalCpdMatchesHandCount) {
+  Relation rel = LoadFig1();
+  auto model = LearnModel(rel, Opts(0.05));
+  ASSERT_TRUE(model.ok());
+
+  AttrId age = 0;
+  AttrId edu = 0;
+  ASSERT_TRUE(rel.schema().FindAttr("age", &age));
+  ASSERT_TRUE(rel.schema().FindAttr("edu", &edu));
+  ValueId hs = rel.schema().attr(edu).Find("HS");
+
+  const Mrsl& lattice = model->mrsl(age);
+  const MetaRule* found = nullptr;
+  for (size_t i = 0; i < lattice.num_rules(); ++i) {
+    const MetaRule& r = lattice.rule(i);
+    if (r.body_size == 1 && r.body.value(edu) == hs) {
+      found = &r;
+      break;
+    }
+  }
+  ASSERT_NE(found, nullptr) << "missing meta-rule P(age | edu=HS)";
+  // Weight = supp(edu=HS) = 4/8 over the complete points.
+  EXPECT_DOUBLE_EQ(found->weight, 0.5);
+  EXPECT_EQ(found->support_count, 4u);
+  EXPECT_NEAR(found->cpd.prob(rel.schema().attr(age).Find("20")), 0.75,
+              1e-3);
+  EXPECT_NEAR(found->cpd.prob(rel.schema().attr(age).Find("40")), 0.25,
+              1e-3);
+  // The unseen age=30 is smoothed to a positive probability.
+  EXPECT_GT(found->cpd.prob(rel.schema().attr(age).Find("30")), 0.0);
+  EXPECT_LT(found->cpd.prob(rel.schema().attr(age).Find("30")), 0.01);
+}
+
+TEST(LearnerTest, StatsAreConsistent) {
+  Relation rel = LoadFig1();
+  LearnStats stats;
+  auto model = LearnModel(rel, Opts(0.05), &stats);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(stats.num_meta_rules, model->TotalMetaRules());
+  EXPECT_GT(stats.num_frequent_itemsets, 0u);
+  EXPECT_GT(stats.num_association_rules, 0u);
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+TEST(LearnerTest, HigherSupportSmallerModel) {
+  Relation rel = LoadFig1();
+  auto low = LearnModel(rel, Opts(0.05));
+  auto high = LearnModel(rel, Opts(0.4));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LE(high->TotalMetaRules(), low->TotalMetaRules());
+}
+
+TEST(LearnerTest, DeterministicAcrossRuns) {
+  Relation rel = LoadFig1();
+  auto m1 = LearnModel(rel, Opts(0.05));
+  auto m2 = LearnModel(rel, Opts(0.05));
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_EQ(m1->TotalMetaRules(), m2->TotalMetaRules());
+  for (AttrId a = 0; a < m1->num_attrs(); ++a) {
+    ASSERT_EQ(m1->mrsl(a).num_rules(), m2->mrsl(a).num_rules());
+    for (size_t i = 0; i < m1->mrsl(a).num_rules(); ++i) {
+      EXPECT_EQ(m1->mrsl(a).rule(i).body, m2->mrsl(a).rule(i).body);
+      EXPECT_EQ(m1->mrsl(a).rule(i).cpd.probs(),
+                m2->mrsl(a).rule(i).cpd.probs());
+    }
+  }
+}
+
+TEST(LearnerTest, EveryMetaRuleCpdIsPositiveAndNormalized) {
+  Rng rng(77);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(5, 3), &rng);
+  Relation rel = bn.SampleRelation(2000, &rng);
+  auto model = LearnModel(rel, Opts(0.01));
+  ASSERT_TRUE(model.ok());
+  for (AttrId a = 0; a < model->num_attrs(); ++a) {
+    const Mrsl& lattice = model->mrsl(a);
+    for (size_t i = 0; i < lattice.num_rules(); ++i) {
+      const MetaRule& r = lattice.rule(i);
+      double sum = 0.0;
+      for (double p : r.cpd.probs()) {
+        EXPECT_GT(p, 0.0);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      EXPECT_GT(r.weight, 0.0);
+      EXPECT_LE(r.weight, 1.0);
+      // Bodies never mention the head attribute.
+      EXPECT_EQ(r.body.value(a), kMissingValue);
+    }
+  }
+}
+
+TEST(LearnerTest, LatticeSubsumptionConsistent) {
+  // Every parent's body is a strict, agreeing subset of its child's.
+  Rng rng(78);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Chain(4, 3), &rng);
+  Relation rel = bn.SampleRelation(1500, &rng);
+  auto model = LearnModel(rel, Opts(0.02));
+  ASSERT_TRUE(model.ok());
+  for (AttrId a = 0; a < model->num_attrs(); ++a) {
+    const Mrsl& lattice = model->mrsl(a);
+    for (size_t i = 0; i < lattice.num_rules(); ++i) {
+      for (uint32_t p : lattice.parents(i)) {
+        const MetaRule& child = lattice.rule(i);
+        const MetaRule& parent = lattice.rule(p);
+        EXPECT_TRUE(parent.body.Subsumes(child.body));
+        EXPECT_EQ(parent.body_size + 1, child.body_size);
+      }
+    }
+  }
+}
+
+TEST(LearnerTest, LearnFromRowsSubset) {
+  Relation rel = LoadFig1();
+  // Learn from just the first 4 complete rows.
+  auto all = rel.CompleteRowIndices();
+  std::vector<uint32_t> subset(all.begin(), all.begin() + 4);
+  auto model = LearnModelFromRows(rel, subset, Opts(0.05));
+  ASSERT_TRUE(model.ok());
+  AttrId age = 0;
+  ASSERT_TRUE(rel.schema().FindAttr("age", &age));
+  const Mrsl& lattice = model->mrsl(age);
+  ASSERT_GE(lattice.root(), 0);
+  EXPECT_EQ(lattice.rule(static_cast<size_t>(lattice.root())).support_count,
+            4u);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,170 @@
+// Tests for MRSL model serialization: round-trips preserve inference
+// behaviour bit-for-bit.
+
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/infer_single.h"
+#include "util/string_util.h"
+#include "core/learner.h"
+#include "paper_example.h"
+
+namespace mrsl {
+namespace {
+
+MrslModel LearnFig1() {
+  Relation rel = LoadFig1();
+  LearnOptions o;
+  o.support_threshold = 0.05;
+  auto model = LearnModel(rel, o);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(ModelIoTest, RoundTripPreservesStructure) {
+  MrslModel model = LearnFig1();
+  auto again = ModelFromText(ModelToText(model));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->num_attrs(), model.num_attrs());
+  EXPECT_EQ(again->TotalMetaRules(), model.TotalMetaRules());
+  for (AttrId a = 0; a < model.num_attrs(); ++a) {
+    ASSERT_EQ(again->mrsl(a).num_rules(), model.mrsl(a).num_rules());
+    EXPECT_EQ(again->mrsl(a).root() >= 0, model.mrsl(a).root() >= 0);
+    // Schema labels preserved.
+    ASSERT_EQ(again->schema().attr(a).cardinality(),
+              model.schema().attr(a).cardinality());
+    for (size_t v = 0; v < model.schema().attr(a).cardinality(); ++v) {
+      EXPECT_EQ(again->schema().attr(a).label(static_cast<ValueId>(v)),
+                model.schema().attr(a).label(static_cast<ValueId>(v)));
+    }
+  }
+}
+
+TEST(ModelIoTest, RoundTripPreservesInference) {
+  MrslModel model = LearnFig1();
+  auto again = ModelFromText(ModelToText(model));
+  ASSERT_TRUE(again.ok());
+
+  Relation rel = LoadFig1();
+  for (const Tuple& base : rel.rows()) {
+    if (!base.IsComplete()) continue;
+    for (AttrId a = 0; a < 4; ++a) {
+      Tuple t = base;
+      t.set_value(a, kMissingValue);
+      for (auto choice : {VoterChoice::kAll, VoterChoice::kBest}) {
+        auto c1 = InferSingleAttribute(model, t, a,
+                                       {choice, VotingScheme::kWeighted});
+        auto c2 = InferSingleAttribute(*again, t, a,
+                                       {choice, VotingScheme::kWeighted});
+        ASSERT_TRUE(c1.ok());
+        ASSERT_TRUE(c2.ok());
+        // %.17g printing preserves doubles exactly.
+        EXPECT_EQ(c1->probs(), c2->probs());
+      }
+    }
+  }
+}
+
+TEST(ModelIoTest, EscapedLabelsSurvive) {
+  auto rel = Relation::FromCsv(
+      "a,b\n"
+      "\"has space\",x\n"
+      "\"has%percent\",y\n");
+  ASSERT_TRUE(rel.ok());
+  LearnOptions o;
+  o.support_threshold = 0.01;
+  auto model = LearnModel(*rel, o);
+  ASSERT_TRUE(model.ok());
+  auto again = ModelFromText(ModelToText(*model));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->schema().attr(0).label(0), "has space");
+  EXPECT_EQ(again->schema().attr(0).label(1), "has%percent");
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  MrslModel model = LearnFig1();
+  std::string path = ::testing::TempDir() + "/mrsl_model_test.txt";
+  ASSERT_TRUE(SaveModelFile(model, path).ok());
+  auto loaded = LoadModelFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalMetaRules(), model.TotalMetaRules());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(ModelFromText("").ok());
+  EXPECT_FALSE(ModelFromText("not-a-model\n").ok());
+  EXPECT_FALSE(ModelFromText("mrsl-model v1\nattrs x\n").ok());
+
+  // Truncated document: header claims more lattices than present.
+  MrslModel model = LearnFig1();
+  std::string text = ModelToText(model);
+  std::string truncated = text.substr(0, text.size() / 2);
+  EXPECT_FALSE(ModelFromText(truncated).ok());
+}
+
+TEST(ModelIoTest, RejectsCpdArityMismatch) {
+  std::string bad =
+      "mrsl-model v1\n"
+      "attrs 1\n"
+      "attr a x y\n"
+      "lattice 0 1\n"
+      "rule 1.0 5 body cpd 0.5 0.25 0.25\n";  // 3 probs, card 2
+  EXPECT_FALSE(ModelFromText(bad).ok());
+}
+
+// Robustness sweep: random single-line deletions and character
+// mutations of a valid document must either parse to a usable model or
+// fail cleanly with a Status — never crash.
+class ModelIoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelIoFuzzTest, MutationsFailCleanlyOrParse) {
+  MrslModel model = LearnFig1();
+  std::string text = ModelToText(model);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = text;
+    switch (rng.UniformInt(3)) {
+      case 0: {  // delete a random line
+        auto lines = Split(mutated, '\n');
+        lines.erase(lines.begin() +
+                    static_cast<long>(rng.UniformInt(lines.size())));
+        mutated = Join(lines, "\n");
+        break;
+      }
+      case 1: {  // flip a random character
+        if (!mutated.empty()) {
+          size_t i = rng.UniformInt(mutated.size());
+          mutated[i] = static_cast<char>('!' + rng.UniformInt(90));
+        }
+        break;
+      }
+      default: {  // truncate
+        mutated = mutated.substr(0, rng.UniformInt(mutated.size() + 1));
+        break;
+      }
+    }
+    auto parsed = ModelFromText(mutated);
+    if (parsed.ok()) {
+      // Usable: inference must still return valid distributions.
+      Tuple t(4);
+      auto cpd = InferSingleAttribute(*parsed, t, 0, VotingOptions());
+      if (cpd.ok()) {
+        double sum = 0.0;
+        for (double p : cpd->probs()) sum += p;
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+      }
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelIoFuzzTest,
+                         ::testing::Values(71, 72, 73, 74));
+
+}  // namespace
+}  // namespace mrsl

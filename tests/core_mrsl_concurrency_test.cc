@@ -1,0 +1,149 @@
+// Concurrency hammer for the thread-safe matching path: many threads
+// matching against one shared lattice with private scratch must agree
+// with the single-threaded oracle on every query. (Run under TSan to
+// verify the absence of data races; the functional check here catches
+// cross-thread corruption regardless.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bn/bayes_net.h"
+#include "core/gibbs.h"
+#include "core/infer_single.h"
+#include "core/learner.h"
+
+namespace mrsl {
+namespace {
+
+TEST(MrslConcurrencyTest, ParallelMatchingAgreesWithOracle) {
+  Rng rng(2024);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(6, 3), &rng);
+  Relation train = bn.SampleRelation(8000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.002;
+  auto model = LearnModel(train, lo);
+  ASSERT_TRUE(model.ok());
+
+  // Shared probe set with precomputed single-threaded oracle answers.
+  constexpr size_t kProbes = 400;
+  std::vector<Tuple> probes;
+  std::vector<std::vector<uint32_t>> oracle(kProbes);
+  const Mrsl& lattice = model->mrsl(0);
+  for (size_t i = 0; i < kProbes; ++i) {
+    Tuple t(6);
+    for (AttrId a = 1; a < 6; ++a) {
+      if (rng.Bernoulli(0.6)) {
+        t.set_value(a, static_cast<ValueId>(rng.UniformInt(3)));
+      }
+    }
+    oracle[i] = lattice.Match(t, VoterChoice::kAll);
+    std::sort(oracle[i].begin(), oracle[i].end());
+    probes.push_back(std::move(t));
+  }
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 200;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Mrsl::MatchScratch scratch;
+      std::vector<uint32_t> out;
+      // Offset start so threads hit different probes simultaneously.
+      for (size_t round = 0; round < kRounds; ++round) {
+        size_t i = (w * 37 + round) % kProbes;
+        lattice.MatchValues(probes[i].values(), VoterChoice::kAll,
+                            &scratch, &out);
+        std::sort(out.begin(), out.end());
+        if (out != oracle[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(MrslConcurrencyTest, ParallelInferSingleWithScratch) {
+  Rng rng(2025);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Chain(5, 2), &rng);
+  Relation train = bn.SampleRelation(6000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.005;
+  auto model = LearnModel(train, lo);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<Tuple> probes;
+  std::vector<std::vector<double>> oracle;
+  for (int i = 0; i < 100; ++i) {
+    Tuple t = bn.ForwardSample(&rng);
+    t.set_value(2, kMissingValue);
+    auto cpd = InferSingleAttribute(*model, t, 2, VotingOptions());
+    ASSERT_TRUE(cpd.ok());
+    oracle.push_back(cpd->probs());
+    probes.push_back(std::move(t));
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      Mrsl::MatchScratch scratch;
+      for (size_t round = 0; round < 300; ++round) {
+        size_t i = (w * 13 + round) % probes.size();
+        auto cpd = InferSingleAttribute(*model, probes[i], 2,
+                                        VotingOptions(), &scratch);
+        if (!cpd.ok() || cpd->probs() != oracle[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(MrslConcurrencyTest, ConcurrentGibbsSamplersShareModel) {
+  Rng rng(2026);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation train = bn.SampleRelation(5000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.005;
+  auto model = LearnModel(train, lo);
+  ASSERT_TRUE(model.ok());
+
+  Tuple t(4);
+  t.set_value(0, 0);
+  // Reference run.
+  GibbsOptions gopts;
+  gopts.samples = 500;
+  gopts.burn_in = 50;
+  gopts.seed = 77;
+  std::vector<double> reference;
+  {
+    GibbsSampler sampler(&*model, gopts);
+    auto dist = sampler.Infer(t);
+    ASSERT_TRUE(dist.ok());
+    reference = dist->probs();
+  }
+
+  // Eight samplers with the same seed over the shared model, in parallel:
+  // every one must reproduce the reference exactly.
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&] {
+      GibbsSampler sampler(&*model, gopts);
+      auto dist = sampler.Infer(t);
+      if (!dist.ok() || dist->probs() != reference) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,185 @@
+// Tests for the Mrsl semi-lattice: Hasse structure, matching (all/best),
+// and a randomized differential test of the inverted-index matcher
+// against the linear-scan oracle.
+
+#include "core/mrsl.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+// Builds a meta-rule over 4 attributes (head attr 0 = "age") whose body
+// assigns the given (attr, value) pairs.
+MetaRule Rule(std::vector<std::pair<AttrId, ValueId>> body, double weight) {
+  MetaRule r;
+  r.head_attr = 0;
+  r.body = Tuple(4);
+  for (auto [a, v] : body) r.body.set_value(a, v);
+  r.weight = weight;
+  r.cpd = Cpd(3);
+  return r;
+}
+
+// The Fig 2 lattice for `age`: attrs are age(0), edu(1), inc(2), nw(3);
+// values: edu HS=0; inc 50K=0, 100K=1; nw 500K=1.
+std::vector<MetaRule> Fig2Rules() {
+  std::vector<MetaRule> rules;
+  rules.push_back(Rule({}, 1.0));                    // 0: P(age)
+  rules.push_back(Rule({{1, 0}}, 0.41));             // 1: P(age|edu=HS)
+  rules.push_back(Rule({{2, 0}}, 0.30));             // 2: P(age|inc=50K)
+  rules.push_back(Rule({{2, 1}}, 0.61));             // 3: P(age|inc=100K)
+  rules.push_back(Rule({{3, 1}}, 0.43));             // 4: P(age|nw=500K)
+  rules.push_back(Rule({{1, 0}, {2, 0}}, 0.30));     // 5: P(age|edu,inc)
+  return rules;
+}
+
+Mrsl Fig2Lattice() { return Mrsl(0, 4, 3, Fig2Rules()); }
+
+TEST(MrslTest, RulesSortedByBodySize) {
+  Mrsl lattice = Fig2Lattice();
+  ASSERT_EQ(lattice.num_rules(), 6u);
+  for (size_t i = 1; i < lattice.num_rules(); ++i) {
+    EXPECT_LE(lattice.rule(i - 1).body_size, lattice.rule(i).body_size);
+  }
+  EXPECT_EQ(lattice.rule(0).body_size, 0u);
+  EXPECT_EQ(lattice.root(), 0);
+}
+
+TEST(MrslTest, HasseEdgesMatchFig2) {
+  Mrsl lattice = Fig2Lattice();
+  // After sorting, rules keep their construction order here (stable sort,
+  // already size-ascending): 0 root, 1..4 singles, 5 the pair.
+  // Root is the parent of every size-1 rule.
+  for (size_t i = 1; i <= 4; ++i) {
+    ASSERT_EQ(lattice.parents(i).size(), 1u) << i;
+    EXPECT_EQ(lattice.parents(i)[0], 0u);
+  }
+  // The pair rule's parents: P(age|edu=HS) and P(age|inc=50K).
+  std::vector<uint32_t> parents = lattice.parents(5);
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<uint32_t>{1, 2}));
+  // Children mirror parents.
+  EXPECT_EQ(lattice.children(0).size(), 4u);
+  EXPECT_EQ(lattice.children(1).size(), 1u);
+  EXPECT_EQ(lattice.children(3).size(), 0u);
+}
+
+// Tuple t1 = <age=?, edu=HS, inc=50K, nw=500K>: the paper identifies
+// exactly five matches (all but P(age|inc=100K)).
+TEST(MrslTest, MatchAllFollowsPaperExample) {
+  Mrsl lattice = Fig2Lattice();
+  Tuple t1({kMissingValue, 0, 0, 1});
+  auto matches = lattice.Match(t1, VoterChoice::kAll);
+  std::sort(matches.begin(), matches.end());
+  EXPECT_EQ(matches, (std::vector<uint32_t>{0, 1, 2, 4, 5}));
+}
+
+// Best matches for t1: the most specific ones — P(age|edu,inc) and
+// P(age|nw=500K).
+TEST(MrslTest, MatchBestKeepsMostSpecific) {
+  Mrsl lattice = Fig2Lattice();
+  Tuple t1({kMissingValue, 0, 0, 1});
+  auto best = lattice.Match(t1, VoterChoice::kBest);
+  std::sort(best.begin(), best.end());
+  EXPECT_EQ(best, (std::vector<uint32_t>{4, 5}));
+}
+
+TEST(MrslTest, MatchWithNoEvidenceReturnsRoot) {
+  Mrsl lattice = Fig2Lattice();
+  Tuple t(4);  // everything missing
+  auto matches = lattice.Match(t, VoterChoice::kAll);
+  EXPECT_EQ(matches, (std::vector<uint32_t>{0}));
+  auto best = lattice.Match(t, VoterChoice::kBest);
+  EXPECT_EQ(best, (std::vector<uint32_t>{0}));
+}
+
+TEST(MrslTest, HeadAttributeValueIgnoredInMatching) {
+  Mrsl lattice = Fig2Lattice();
+  Tuple with_head({2, 0, 0, 1});  // age assigned; must not affect matching
+  Tuple without_head({kMissingValue, 0, 0, 1});
+  auto a = lattice.Match(with_head, VoterChoice::kAll);
+  auto b = lattice.Match(without_head, VoterChoice::kAll);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MrslTest, EvidenceNotInAnyBodyMatchesRootOnly) {
+  Mrsl lattice = Fig2Lattice();
+  Tuple t({kMissingValue, 2, kMissingValue, kMissingValue});  // edu=MS
+  auto matches = lattice.Match(t, VoterChoice::kAll);
+  EXPECT_EQ(matches, (std::vector<uint32_t>{0}));
+}
+
+TEST(MrslTest, EmptyLattice) {
+  Mrsl lattice(0, 4, 3, {});
+  EXPECT_EQ(lattice.num_rules(), 0u);
+  EXPECT_EQ(lattice.root(), -1);
+  Tuple t({kMissingValue, 0, 0, 1});
+  EXPECT_TRUE(lattice.Match(t, VoterChoice::kAll).empty());
+}
+
+TEST(MrslTest, ToStringListsRules) {
+  auto schema = Schema::Create(
+      {Attribute("age", {"20", "30", "40"}), Attribute("edu", {"HS", "BS"}),
+       Attribute("inc", {"50K", "100K"}), Attribute("nw", {"100K", "500K"})});
+  ASSERT_TRUE(schema.ok());
+  Mrsl lattice = Fig2Lattice();
+  std::string s = lattice.ToString(*schema);
+  EXPECT_NE(s.find("P(age | edu=HS)"), std::string::npos);
+  EXPECT_NE(s.find("w=0.410"), std::string::npos);
+}
+
+// ---- Differential test: indexed matcher == linear scan ----
+
+class MrslMatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MrslMatchDifferentialTest, IndexAgreesWithLinearScan) {
+  Rng rng(GetParam());
+  constexpr size_t kAttrs = 6;
+  constexpr size_t kHeadCard = 3;
+
+  // Random rule set over attrs 1..5 (head attr 0), random bodies.
+  std::vector<MetaRule> rules;
+  rules.push_back(Rule({}, 1.0));  // ensure a root
+  for (int i = 0; i < 60; ++i) {
+    MetaRule r;
+    r.head_attr = 0;
+    r.body = Tuple(kAttrs);
+    for (AttrId a = 1; a < kAttrs; ++a) {
+      if (rng.Bernoulli(0.4)) {
+        r.body.set_value(a, static_cast<ValueId>(rng.UniformInt(3)));
+      }
+    }
+    r.weight = rng.NextDouble();
+    r.cpd = Cpd(kHeadCard);
+    rules.push_back(std::move(r));
+  }
+  Mrsl lattice(0, kAttrs, kHeadCard, std::move(rules));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Tuple evidence(kAttrs);
+    for (AttrId a = 1; a < kAttrs; ++a) {
+      if (rng.Bernoulli(0.6)) {
+        evidence.set_value(a, static_cast<ValueId>(rng.UniformInt(3)));
+      }
+    }
+    for (VoterChoice choice : {VoterChoice::kAll, VoterChoice::kBest}) {
+      auto fast = lattice.Match(evidence, choice);
+      auto slow = lattice.MatchLinearScan(evidence, choice);
+      std::sort(fast.begin(), fast.end());
+      std::sort(slow.begin(), slow.end());
+      EXPECT_EQ(fast, slow);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrslMatchDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,129 @@
+// Tests for holdout-based support-threshold tuning.
+
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+
+namespace mrsl {
+namespace {
+
+TEST(TuningTest, ValidatesOptions) {
+  Rng rng(1);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation rel = bn.SampleRelation(500, &rng);
+
+  TuningOptions opts;
+  opts.candidates.clear();
+  EXPECT_FALSE(TuneSupportThreshold(rel, opts).ok());
+
+  opts = TuningOptions();
+  opts.holdout_fraction = 1.5;
+  EXPECT_FALSE(TuneSupportThreshold(rel, opts).ok());
+}
+
+TEST(TuningTest, NeedsEnoughCompleteRows) {
+  Rng rng(2);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation rel = bn.SampleRelation(10, &rng);
+  EXPECT_FALSE(TuneSupportThreshold(rel, TuningOptions()).ok());
+}
+
+TEST(TuningTest, ScoresEveryCandidateAndPicksBestLogLoss) {
+  Rng rng(3);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(5, 2), &rng);
+  Relation rel = bn.SampleRelation(8000, &rng);
+
+  TuningOptions opts;
+  opts.candidates = {0.002, 0.02, 0.2};
+  auto result = TuneSupportThreshold(rel, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scores.size(), 3u);
+
+  double best_loss = 1e30;
+  for (const CandidateScore& s : result->scores) {
+    EXPECT_GT(s.evaluations, 0u);
+    EXPECT_GE(s.top1, 0.0);
+    EXPECT_LE(s.top1, 1.0);
+    EXPECT_GT(s.model_size, 0u);
+    best_loss = std::min(best_loss, s.log_loss);
+  }
+  // best_support is the argmin of log-loss.
+  for (const CandidateScore& s : result->scores) {
+    if (s.support == result->best_support) {
+      EXPECT_DOUBLE_EQ(s.log_loss, best_loss);
+    }
+  }
+  // With 8k rows, a permissive threshold should beat θ=0.2 (which prunes
+  // almost everything) — the Fig 6 shape on real scoring.
+  EXPECT_LT(result->best_support, 0.2);
+}
+
+TEST(TuningTest, ModelSizeShrinksWithThreshold) {
+  Rng rng(4);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Chain(4, 3), &rng);
+  Relation rel = bn.SampleRelation(5000, &rng);
+  TuningOptions opts;
+  opts.candidates = {0.005, 0.05, 0.3};
+  auto result = TuneSupportThreshold(rel, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->scores[0].model_size, result->scores[1].model_size);
+  EXPECT_GE(result->scores[1].model_size, result->scores[2].model_size);
+}
+
+TEST(TuningTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation rel = bn.SampleRelation(3000, &rng);
+  TuningOptions opts;
+  opts.candidates = {0.01, 0.1};
+  auto r1 = TuneSupportThreshold(rel, opts);
+  auto r2 = TuneSupportThreshold(rel, opts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->scores.size(), r2->scores.size());
+  for (size_t i = 0; i < r1->scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->scores[i].log_loss, r2->scores[i].log_loss);
+    EXPECT_DOUBLE_EQ(r1->scores[i].top1, r2->scores[i].top1);
+  }
+  EXPECT_DOUBLE_EQ(r1->best_support, r2->best_support);
+}
+
+TEST(TuningTest, MaxEvaluationsCapsWork) {
+  Rng rng(6);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation rel = bn.SampleRelation(3000, &rng);
+  TuningOptions opts;
+  opts.candidates = {0.01};
+  opts.max_evaluations = 50;
+  auto result = TuneSupportThreshold(rel, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scores[0].evaluations, 50u);
+}
+
+TEST(TuningTest, IncompleteRowsAreIgnored) {
+  // Tuning only uses complete rows; interleaving incomplete ones must not
+  // change the outcome.
+  Rng rng(7);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation complete = bn.SampleRelation(2000, &rng);
+  Relation mixed(complete.schema());
+  for (const Tuple& row : complete.rows()) {
+    ASSERT_TRUE(mixed.Append(row).ok());
+    Tuple broken = row;
+    broken.set_value(0, kMissingValue);
+    broken.set_value(2, kMissingValue);
+    ASSERT_TRUE(mixed.Append(std::move(broken)).ok());
+  }
+  TuningOptions opts;
+  opts.candidates = {0.02};
+  auto a = TuneSupportThreshold(complete, opts);
+  auto b = TuneSupportThreshold(mixed, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->scores[0].log_loss, b->scores[0].log_loss);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,171 @@
+// Tests for the tuple DAG (Sec V-B, Fig 3): dedup, Hasse structure,
+// descendant closure, and roots.
+
+#include "core/tuple_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+Tuple T(std::vector<ValueId> v) { return Tuple(std::move(v)); }
+constexpr ValueId M = kMissingValue;
+
+// Fig 3's workload: t1, t3, t5, t8, t11, t12 (age 20=0/30=1/40=2,
+// edu HS=0/BS=1/MS=2, inc, nw).
+std::vector<Tuple> Fig3Workload() {
+  return {
+      T({0, 0, M, M}),  // t1: 20 HS ? ?
+      T({0, M, 0, M}),  // t3: 20 ? 50K ?
+      T({0, M, M, M}),  // t5: 20 ? ? ?
+      T({M, 0, M, M}),  // t8: ? HS ? ?
+      T({1, 0, M, M}),  // t11: 30 HS ? ?
+      T({1, 2, M, M}),  // t12: 30 MS ? ?
+  };
+}
+
+TEST(TupleDagTest, Fig3Structure) {
+  TupleDag dag(Fig3Workload());
+  ASSERT_EQ(dag.num_nodes(), 6u);
+
+  // Roots: t5 (node 2) and t8 (node 3) — the top row of Fig 3 — plus
+  // t12 (node 5), which nothing subsumes (its edu=MS disagrees with t8).
+  auto roots = dag.Roots();
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(roots, (std::vector<uint32_t>{2, 3, 5}));
+
+  // t1 (node 0) is a child of both t5 and t8.
+  auto p0 = dag.parents(0);
+  std::sort(p0.begin(), p0.end());
+  EXPECT_EQ(p0, (std::vector<uint32_t>{2, 3}));
+
+  // t3 (node 1) is a child of t5 only.
+  EXPECT_EQ(dag.parents(1), (std::vector<uint32_t>{2}));
+
+  // t11 (node 4) is a child of t8 only.
+  EXPECT_EQ(dag.parents(4), (std::vector<uint32_t>{3}));
+
+  // t12 (node 5) assigns edu=MS, which disagrees with t8's edu=HS, so
+  // nothing subsumes it: t12 is an isolated root.
+  EXPECT_TRUE(dag.parents(5).empty());
+  roots = dag.Roots();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), 5u), roots.end());
+}
+
+TEST(TupleDagTest, DescendantsAreTransitive) {
+  TupleDag dag(Fig3Workload());
+  // t5 (node 2) subsumes t1 and t3.
+  auto d = dag.descendants(2);
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<uint32_t>{0, 1}));
+  // t8 (node 3) subsumes t1 and t11.
+  d = dag.descendants(3);
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<uint32_t>{0, 4}));
+}
+
+TEST(TupleDagTest, DeduplicatesIdenticalTuples) {
+  std::vector<Tuple> workload = {T({0, M}), T({0, M}), T({M, 1}),
+                                 T({0, M})};
+  TupleDag dag(workload);
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.workload_to_node().size(), 4u);
+  EXPECT_EQ(dag.workload_to_node()[0], dag.workload_to_node()[1]);
+  EXPECT_EQ(dag.workload_to_node()[0], dag.workload_to_node()[3]);
+  EXPECT_NE(dag.workload_to_node()[0], dag.workload_to_node()[2]);
+  EXPECT_EQ(dag.workload_rows(dag.workload_to_node()[0]).size(), 3u);
+}
+
+TEST(TupleDagTest, ChainOfThreeLevels) {
+  // a ? ? ?  >  a b ? ?  >  a b c ?
+  std::vector<Tuple> workload = {
+      T({0, M, M, M}),
+      T({0, 1, M, M}),
+      T({0, 1, 2, M}),
+  };
+  TupleDag dag(workload);
+  EXPECT_EQ(dag.Roots(), (std::vector<uint32_t>{0}));
+  // Hasse: 0 -> 1 -> 2 (no transitive edge 0 -> 2 among parents).
+  EXPECT_EQ(dag.parents(1), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(dag.parents(2), (std::vector<uint32_t>{1}));
+  // But descendants of 0 include both.
+  auto d = dag.descendants(0);
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(TupleDagTest, IncomparableTuplesAllRoots) {
+  std::vector<Tuple> workload = {T({0, M}), T({1, M}), T({M, 0})};
+  TupleDag dag(workload);
+  EXPECT_EQ(dag.Roots().size(), 3u);
+}
+
+TEST(TupleDagTest, EmptyWorkload) {
+  TupleDag dag({});
+  EXPECT_EQ(dag.num_nodes(), 0u);
+  EXPECT_TRUE(dag.Roots().empty());
+}
+
+// Property: Hasse edges are a transitive reduction — parents never
+// subsume another parent of the same node, and every ancestor is
+// reachable.
+class TupleDagPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TupleDagPropertyTest, HasseIsMinimalAndComplete) {
+  Rng rng(GetParam());
+  std::vector<Tuple> workload;
+  for (int i = 0; i < 40; ++i) {
+    Tuple t(5);
+    for (AttrId a = 0; a < 5; ++a) {
+      if (rng.Bernoulli(0.5)) {
+        t.set_value(a, static_cast<ValueId>(rng.UniformInt(2)));
+      }
+    }
+    if (t.IsComplete()) t.set_value(0, kMissingValue);
+    workload.push_back(std::move(t));
+  }
+  TupleDag dag(workload);
+
+  for (size_t v = 0; v < dag.num_nodes(); ++v) {
+    const auto& parents = dag.parents(v);
+    // Minimality: no parent subsumes another parent of v.
+    for (uint32_t p1 : parents) {
+      for (uint32_t p2 : parents) {
+        if (p1 == p2) continue;
+        EXPECT_FALSE(dag.node(p1).Subsumes(dag.node(p2)));
+      }
+    }
+    // Every parent is an ancestor (sanity).
+    for (uint32_t p : parents) {
+      EXPECT_TRUE(dag.node(p).Subsumes(dag.node(v)));
+    }
+    // Completeness: every strict subsumer is reachable via parents.
+    for (size_t u = 0; u < dag.num_nodes(); ++u) {
+      if (u == v || !dag.node(u).Subsumes(dag.node(v))) continue;
+      // BFS up the parent edges.
+      std::vector<uint32_t> frontier = parents;
+      bool found = false;
+      size_t guard = 0;
+      while (!frontier.empty() && !found && guard++ < 1000) {
+        uint32_t x = frontier.back();
+        frontier.pop_back();
+        if (x == u) {
+          found = true;
+          break;
+        }
+        for (uint32_t p : dag.parents(x)) frontier.push_back(p);
+      }
+      EXPECT_TRUE(found) << "ancestor " << u << " unreachable from " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleDagPropertyTest,
+                         ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace mrsl

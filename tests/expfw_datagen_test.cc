@@ -1,0 +1,125 @@
+// Tests for dataset generation: split sizes, masking counts, uniform
+// attribute choice, and determinism.
+
+#include "expfw/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+
+namespace mrsl {
+namespace {
+
+BayesNet TestNet(uint64_t seed = 1) {
+  Rng rng(seed);
+  return BayesNet::RandomInstance(Topology::Crown(5, 2), &rng);
+}
+
+TEST(DatagenTest, MaskRelationMasksExactCount) {
+  BayesNet bn = TestNet();
+  Rng rng(2);
+  Relation rel = bn.SampleRelation(200, &rng);
+  for (size_t k = 1; k <= 4; ++k) {
+    Rng mask_rng(3);
+    Relation masked = MaskRelation(rel, k, &mask_rng);
+    ASSERT_EQ(masked.num_rows(), rel.num_rows());
+    for (size_t i = 0; i < masked.num_rows(); ++i) {
+      EXPECT_EQ(masked.row(i).NumMissing(), k);
+      // Unmasked cells agree with the original.
+      for (AttrId a = 0; a < 5; ++a) {
+        if (masked.row(i).value(a) != kMissingValue) {
+          EXPECT_EQ(masked.row(i).value(a), rel.row(i).value(a));
+        }
+      }
+    }
+  }
+}
+
+TEST(DatagenTest, MaskedAttributesRoughlyUniform) {
+  BayesNet bn = TestNet();
+  Rng rng(5);
+  Relation rel = bn.SampleRelation(5000, &rng);
+  Relation masked = MaskRelation(rel, 1, &rng);
+  std::vector<int> counts(5, 0);
+  for (size_t i = 0; i < masked.num_rows(); ++i) {
+    for (AttrId a = 0; a < 5; ++a) {
+      if (masked.row(i).value(a) == kMissingValue) ++counts[a];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);  // 5000/5 per attribute
+  }
+}
+
+TEST(DatagenTest, GenerateDatasetSplitSizes) {
+  BayesNet bn = TestNet();
+  Rng rng(7);
+  DatasetOptions opts;
+  opts.train_size = 900;
+  opts.test_fraction = 0.1;
+  opts.num_missing = 2;
+  auto ds = GenerateDataset(bn, opts, &rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->train.num_rows(), 900u);
+  EXPECT_EQ(ds->test_masked.num_rows(), 100u);
+  EXPECT_EQ(ds->test_original.num_rows(), 100u);
+  // Training data is complete; test data has exactly 2 missing per row.
+  EXPECT_EQ(ds->train.CompleteRowIndices().size(), 900u);
+  for (size_t i = 0; i < ds->test_masked.num_rows(); ++i) {
+    EXPECT_EQ(ds->test_masked.row(i).NumMissing(), 2u);
+    EXPECT_TRUE(ds->test_original.row(i).IsComplete());
+    EXPECT_TRUE(ds->test_masked.row(i).MatchedBy(ds->test_original.row(i)));
+  }
+}
+
+TEST(DatagenTest, GenerateDatasetValidatesOptions) {
+  BayesNet bn = TestNet();
+  Rng rng(9);
+  DatasetOptions opts;
+  opts.num_missing = 0;
+  EXPECT_FALSE(GenerateDataset(bn, opts, &rng).ok());
+  opts.num_missing = 5;  // == num_attrs
+  EXPECT_FALSE(GenerateDataset(bn, opts, &rng).ok());
+  opts.num_missing = 1;
+  opts.test_fraction = 1.5;
+  EXPECT_FALSE(GenerateDataset(bn, opts, &rng).ok());
+  opts.test_fraction = 0.1;
+  opts.train_size = 0;
+  EXPECT_FALSE(GenerateDataset(bn, opts, &rng).ok());
+}
+
+TEST(DatagenTest, DeterministicGivenSeed) {
+  BayesNet bn = TestNet();
+  DatasetOptions opts;
+  opts.train_size = 500;
+  Rng r1(42);
+  Rng r2(42);
+  auto d1 = GenerateDataset(bn, opts, &r1);
+  auto d2 = GenerateDataset(bn, opts, &r2);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  ASSERT_EQ(d1->train.num_rows(), d2->train.num_rows());
+  for (size_t i = 0; i < d1->train.num_rows(); ++i) {
+    EXPECT_EQ(d1->train.row(i), d2->train.row(i));
+  }
+  for (size_t i = 0; i < d1->test_masked.num_rows(); ++i) {
+    EXPECT_EQ(d1->test_masked.row(i), d2->test_masked.row(i));
+  }
+}
+
+TEST(DatagenTest, TrainDistributionTracksNetwork) {
+  // Empirical frequency of the source variable matches its CPT closely.
+  BayesNet bn = TestNet(11);
+  Rng rng(13);
+  DatasetOptions opts;
+  opts.train_size = 20000;
+  auto ds = GenerateDataset(bn, opts, &rng);
+  ASSERT_TRUE(ds.ok());
+  double p0 = bn.cpt(0)[0];  // P(A0 = 0), A0 is a root
+  size_t count0 = 0;
+  for (const Tuple& t : ds->train.rows()) count0 += (t.value(0) == 0);
+  EXPECT_NEAR(count0 / static_cast<double>(ds->train.num_rows()), p0, 0.02);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,90 @@
+// Tests for KL divergence, top-1 matching, and the accuracy accumulator.
+
+#include "expfw/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+TEST(KlTest, ZeroForIdenticalDistributions) {
+  std::vector<double> p = {0.2, 0.5, 0.3};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlTest, KnownValue) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.25, 0.75};
+  double expect = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(KlDivergence(p, q), expect, 1e-12);
+}
+
+TEST(KlTest, AsymmetricInGeneral) {
+  std::vector<double> p = {0.9, 0.1};
+  std::vector<double> q = {0.5, 0.5};
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+}
+
+TEST(KlTest, ZeroTrueCellsContributeNothing) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.8, 0.2};
+  EXPECT_NEAR(KlDivergence(p, q), std::log(1.0 / 0.8), 1e-12);
+}
+
+TEST(KlTest, ClampsZeroEstimates) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {1.0, 0.0};
+  double kl = KlDivergence(p, q);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 1.0);
+}
+
+TEST(KlTest, NonNegative) {
+  std::vector<double> p = {0.1, 0.2, 0.3, 0.4};
+  std::vector<double> q = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_GE(KlDivergence(p, q), 0.0);
+}
+
+TEST(KlTest, JointDistOverload) {
+  JointDist p({0}, {2});
+  p.set_prob(0, 0.5);
+  p.set_prob(1, 0.5);
+  JointDist q({0}, {2});
+  q.set_prob(0, 0.25);
+  q.set_prob(1, 0.75);
+  EXPECT_NEAR(KlDivergence(p, q),
+              KlDivergence(p.probs(), q.probs()), 1e-15);
+}
+
+TEST(Top1Test, MatchAndMismatch) {
+  EXPECT_TRUE(Top1Match({0.1, 0.9}, {0.4, 0.6}));
+  EXPECT_FALSE(Top1Match({0.1, 0.9}, {0.6, 0.4}));
+}
+
+TEST(AccuracyAccumulatorTest, MeansAndRates) {
+  AccuracyAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanKl(), 0.0);
+  acc.Add(0.2, true);
+  acc.Add(0.4, false);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_NEAR(acc.MeanKl(), 0.3, 1e-12);
+  EXPECT_NEAR(acc.Top1Rate(), 0.5, 1e-12);
+}
+
+TEST(AccuracyAccumulatorTest, Merge) {
+  AccuracyAccumulator a;
+  a.Add(0.1, true);
+  AccuracyAccumulator b;
+  b.Add(0.3, false);
+  b.Add(0.5, false);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.MeanKl(), 0.3, 1e-12);
+  EXPECT_NEAR(a.Top1Rate(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,112 @@
+// Tests for the experiment runners' edge cases and protocol compliance
+// (the happy-path accuracy checks live in integration_test).
+
+#include "expfw/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace mrsl {
+namespace {
+
+TEST(RunnerTest, UnknownNetworkFailsCleanly) {
+  LearnExperimentConfig learn;
+  learn.network = "BN999";
+  EXPECT_EQ(RunLearnExperiment(learn).status().code(),
+            StatusCode::kNotFound);
+
+  SingleAttrConfig single;
+  single.network = "nope";
+  EXPECT_EQ(RunSingleAttrExperiment(single).status().code(),
+            StatusCode::kNotFound);
+
+  MultiAttrConfig multi;
+  multi.network = "";
+  EXPECT_FALSE(RunMultiAttrExperiment(multi).ok());
+}
+
+TEST(RunnerTest, RepetitionCountsAreHonored) {
+  // tuples_evaluated = instances x splits x min(test size, cap).
+  SingleAttrConfig config;
+  config.network = "BN8";
+  config.train_size = 1800;  // test split = 200 rows
+  config.support = 0.02;
+  config.reps.num_instances = 2;
+  config.reps.num_splits = 3;
+  config.reps.max_eval_tuples = 50;
+  auto result = RunSingleAttrExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples_evaluated, 2u * 3u * 50u);
+}
+
+TEST(RunnerTest, UncappedEvaluationUsesWholeTestSplit) {
+  SingleAttrConfig config;
+  config.network = "BN8";
+  config.train_size = 900;  // test split = 100 rows
+  config.support = 0.02;
+  config.reps.num_instances = 1;
+  config.reps.num_splits = 1;
+  config.reps.max_eval_tuples = 0;
+  auto result = RunSingleAttrExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples_evaluated, 100u);
+}
+
+TEST(RunnerTest, MasterSeedChangesResults) {
+  SingleAttrConfig config;
+  config.network = "BN9";
+  config.train_size = 2000;
+  config.support = 0.02;
+  config.reps.num_instances = 1;
+  config.reps.num_splits = 1;
+  config.reps.max_eval_tuples = 100;
+  auto a = RunSingleAttrExperiment(config);
+  config.reps.master_seed = 999;
+  auto b = RunSingleAttrExperiment(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different instances/splits: results should differ (not bitwise-equal).
+  EXPECT_NE(a->kl, b->kl);
+}
+
+TEST(RunnerTest, LearnExperimentAveragesOverRepetitions) {
+  LearnExperimentConfig config;
+  config.network = "BN8";
+  config.train_size = 1000;
+  config.support = 0.05;
+  config.reps.num_instances = 3;
+  config.reps.num_splits = 2;
+  auto result = RunLearnExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->model_size, 0.0);
+  EXPECT_GT(result->itemsets, 0.0);
+  // BN8 at theta=0.05: the model comfortably fits within the full
+  // itemset lattice of a 4-attr binary schema (3^4 = 81 bodies x 4).
+  EXPECT_LT(result->model_size, 400.0);
+}
+
+TEST(RunnerTest, MultiAttrRunnerRespectsMode) {
+  MultiAttrConfig config;
+  config.network = "BN8";
+  config.train_size = 2000;
+  config.support = 0.02;
+  config.num_missing = 2;
+  config.gibbs.samples = 100;
+  config.gibbs.burn_in = 20;
+  config.reps.num_instances = 1;
+  config.reps.num_splits = 1;
+  config.reps.max_eval_tuples = 30;
+
+  config.mode = SamplingMode::kIndependentProduct;
+  auto product = RunMultiAttrExperiment(config);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->stats.points_sampled, 0u);  // no sampling at all
+
+  config.mode = SamplingMode::kTupleAtATime;
+  auto tuple = RunMultiAttrExperiment(config);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->stats.points_sampled,
+            tuple->stats.distinct_tuples * (100 + 20));
+}
+
+}  // namespace
+}  // namespace mrsl

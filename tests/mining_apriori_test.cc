@@ -1,0 +1,234 @@
+// Tests for Apriori mining: worked counts on the Fig 1 example, the
+// round cap, anti-monotonicity, and a randomized differential test
+// against a brute-force support counter.
+
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "paper_example.h"
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+AprioriOptions Opts(double theta, size_t cap = 1000) {
+  AprioriOptions o;
+  o.support_threshold = theta;
+  o.max_itemsets = cap;
+  return o;
+}
+
+TEST(AprioriTest, RejectsBadThreshold) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  EXPECT_FALSE(MineFrequentItemsets(rel, rows, Opts(0.0)).ok());
+  EXPECT_FALSE(MineFrequentItemsets(rel, rows, Opts(1.5)).ok());
+}
+
+TEST(AprioriTest, RejectsEmptyInput) {
+  Relation rel = LoadFig1();
+  auto st = MineFrequentItemsets(rel, {}, Opts(0.1));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AprioriTest, EmptyItemsetIncludedWithFullSupport) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  auto freq = MineFrequentItemsets(rel, rows, Opts(0.5));
+  ASSERT_TRUE(freq.ok());
+  int32_t idx = freq->Find({});
+  ASSERT_NE(idx, kNoItemset);
+  EXPECT_EQ(freq->entry(idx).count, rows.size());
+  EXPECT_DOUBLE_EQ(freq->Support(idx), 1.0);
+}
+
+TEST(AprioriTest, SingleItemCountsMatchRelation) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  // With a minimal threshold every 1-itemset with >= 1 match appears.
+  auto freq = MineFrequentItemsets(rel, rows, Opts(1e-9));
+  ASSERT_TRUE(freq.ok());
+
+  const Schema& schema = rel.schema();
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    for (size_t v = 0; v < schema.attr(a).cardinality(); ++v) {
+      Tuple probe(schema.num_attrs());
+      probe.set_value(a, static_cast<ValueId>(v));
+      size_t expect = rel.CountMatches(probe);
+      int32_t idx = freq->Find({Item{a, static_cast<ValueId>(v)}});
+      if (expect == 0) {
+        EXPECT_EQ(idx, kNoItemset);
+      } else {
+        ASSERT_NE(idx, kNoItemset);
+        EXPECT_EQ(freq->entry(idx).count, expect);
+      }
+    }
+  }
+}
+
+// The paper's Fig 2 weight: supp(edu=HS) = 0.41 over the full dataset;
+// on the 8 complete points of Fig 1 it is 5/8.
+TEST(AprioriTest, PairCountsMatchBruteForce) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  auto freq = MineFrequentItemsets(rel, rows, Opts(1e-9));
+  ASSERT_TRUE(freq.ok());
+
+  AttrId edu = 0;
+  AttrId inc = 0;
+  ASSERT_TRUE(rel.schema().FindAttr("edu", &edu));
+  ASSERT_TRUE(rel.schema().FindAttr("inc", &inc));
+  ValueId hs = rel.schema().attr(edu).Find("HS");
+  ValueId k50 = rel.schema().attr(inc).Find("50K");
+  ASSERT_NE(hs, kMissingValue);
+  ASSERT_NE(k50, kMissingValue);
+
+  ItemVec pair{Item{edu, hs}, Item{inc, k50}};
+  std::sort(pair.begin(), pair.end());
+  int32_t idx = freq->Find(pair);
+  ASSERT_NE(idx, kNoItemset);
+  // Complete points with edu=HS && inc=50K: t6, t7.
+  EXPECT_EQ(freq->entry(idx).count, 2u);
+}
+
+TEST(AprioriTest, SupportThresholdFilters) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();  // 8 points
+  // Threshold 0.5: only itemsets matching >= 4 points survive.
+  auto freq = MineFrequentItemsets(rel, rows, Opts(0.5));
+  ASSERT_TRUE(freq.ok());
+  for (size_t i = 0; i < freq->size(); ++i) {
+    EXPECT_GE(freq->entry(static_cast<int32_t>(i)).count, 4u);
+  }
+}
+
+TEST(AprioriTest, AntiMonotonicity) {
+  // Every subset of a frequent itemset is frequent with >= count.
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  auto freq = MineFrequentItemsets(rel, rows, Opts(0.1));
+  ASSERT_TRUE(freq.ok());
+  for (size_t i = 0; i < freq->size(); ++i) {
+    const ItemsetEntry& e = freq->entry(static_cast<int32_t>(i));
+    for (size_t drop = 0; drop < e.items.size(); ++drop) {
+      ItemVec sub;
+      for (size_t k = 0; k < e.items.size(); ++k) {
+        if (k != drop) sub.push_back(e.items[k]);
+      }
+      int32_t idx = freq->Find(sub);
+      ASSERT_NE(idx, kNoItemset);
+      EXPECT_GE(freq->entry(idx).count, e.count);
+    }
+  }
+}
+
+TEST(AprioriTest, MaxItemsetsCapStopsMining) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  AprioriStats stats;
+  // Cap of 1: round 1 will exceed it, so mining stops after round 1 but
+  // keeps round 1's itemsets (plus the empty itemset).
+  auto freq = MineFrequentItemsets(rel, rows, Opts(1e-9, 1), &stats);
+  ASSERT_TRUE(freq.ok());
+  EXPECT_TRUE(stats.capped);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(freq->MaxSize(), 1u);
+}
+
+TEST(AprioriTest, StatsPerRoundConsistent) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  AprioriStats stats;
+  auto freq = MineFrequentItemsets(rel, rows, Opts(0.1), &stats);
+  ASSERT_TRUE(freq.ok());
+  size_t total = 1;  // empty itemset
+  for (size_t c : stats.per_round) total += c;
+  EXPECT_EQ(freq->size(), total);
+  EXPECT_EQ(stats.per_round.size(), stats.rounds);
+}
+
+TEST(AprioriTest, HigherThresholdYieldsSubset) {
+  Relation rel = LoadFig1();
+  auto rows = rel.CompleteRowIndices();
+  auto low = MineFrequentItemsets(rel, rows, Opts(0.1));
+  auto high = MineFrequentItemsets(rel, rows, Opts(0.4));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LE(high->size(), low->size());
+  for (size_t i = 0; i < high->size(); ++i) {
+    const auto& e = high->entry(static_cast<int32_t>(i));
+    EXPECT_NE(low->Find(e.items), kNoItemset);
+  }
+}
+
+// ---- Randomized differential test against brute-force counting ----
+
+class AprioriRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AprioriRandomTest, CountsMatchBruteForce) {
+  Rng rng(GetParam());
+  // Random relation: 4 attrs x cardinality 3, 60 rows.
+  auto schema = Schema::Create({Attribute("a", {"0", "1", "2"}),
+                                Attribute("b", {"0", "1", "2"}),
+                                Attribute("c", {"0", "1", "2"}),
+                                Attribute("d", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  Relation rel(*schema);
+  for (int i = 0; i < 60; ++i) {
+    Tuple t(4);
+    for (AttrId a = 0; a < 4; ++a) {
+      t.set_value(a, static_cast<ValueId>(rng.UniformInt(3)));
+    }
+    ASSERT_TRUE(rel.Append(std::move(t)).ok());
+  }
+  auto rows = rel.CompleteRowIndices();
+  const double theta = 0.05;
+  auto freq = MineFrequentItemsets(rel, rows, Opts(theta));
+  ASSERT_TRUE(freq.ok());
+
+  const uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(theta * static_cast<double>(rows.size()) - 1e-9));
+
+  // 1) Every recorded itemset's count is exact and above threshold.
+  for (size_t i = 0; i < freq->size(); ++i) {
+    const ItemsetEntry& e = freq->entry(static_cast<int32_t>(i));
+    Tuple probe(4);
+    for (const Item& it : e.items) probe.set_value(it.attr, it.value);
+    EXPECT_EQ(e.count, rel.CountMatches(probe));
+    if (!e.items.empty()) {
+      EXPECT_GE(e.count, min_count);
+    }
+  }
+
+  // 2) Completeness for pairs: every frequent pair is recorded.
+  for (AttrId a1 = 0; a1 < 4; ++a1) {
+    for (AttrId a2 = a1 + 1; a2 < 4; ++a2) {
+      for (ValueId v1 = 0; v1 < 3; ++v1) {
+        for (ValueId v2 = 0; v2 < 3; ++v2) {
+          Tuple probe(4);
+          probe.set_value(a1, v1);
+          probe.set_value(a2, v2);
+          size_t count = rel.CountMatches(probe);
+          ItemVec items{Item{a1, v1}, Item{a2, v2}};
+          if (count >= min_count) {
+            EXPECT_NE(freq->Find(items), kNoItemset)
+                << "missing frequent pair";
+          } else {
+            EXPECT_EQ(freq->Find(items), kNoItemset);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AprioriRandomTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,50 @@
+// Shared fixture data: the paper's running example (Fig 1) — a fictional
+// matchmaking relation with attributes age/edu/inc/nw, 8 complete points
+// and 9 incomplete tuples.
+
+#ifndef MRSL_TESTS_PAPER_EXAMPLE_H_
+#define MRSL_TESTS_PAPER_EXAMPLE_H_
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "relational/relation.h"
+
+namespace mrsl {
+
+// Exactly the rows t1..t17 of Fig 1, in order.
+inline constexpr std::string_view kFig1Csv =
+    "age,edu,inc,nw\n"
+    "20,HS,?,?\n"      // t1
+    "20,BS,50K,100K\n"  // t2
+    "20,?,50K,?\n"      // t3
+    "20,HS,100K,500K\n" // t4
+    "20,?,?,?\n"        // t5
+    "20,HS,50K,100K\n"  // t6
+    "20,HS,50K,500K\n"  // t7
+    "?,HS,?,?\n"        // t8
+    "30,BS,100K,100K\n" // t9
+    "30,?,100K,?\n"     // t10
+    "30,HS,?,?\n"       // t11
+    "30,MS,?,?\n"       // t12
+    "40,BS,100K,100K\n" // t13
+    "40,HS,?,?\n"       // t14
+    "40,BS,50K,500K\n"  // t15
+    "40,HS,?,500K\n"    // t16
+    "40,HS,100K,500K\n";// t17
+
+/// Loads the Fig 1 relation; aborts the test on failure.
+inline Relation LoadFig1() {
+  auto rel = Relation::FromCsv(kFig1Csv);
+  if (!rel.ok()) {
+    ADD_FAILURE() << "failed to parse Fig 1 CSV: "
+                  << rel.status().ToString();
+    return Relation();
+  }
+  return std::move(rel).value();
+}
+
+}  // namespace mrsl
+
+#endif  // MRSL_TESTS_PAPER_EXAMPLE_H_

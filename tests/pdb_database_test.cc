@@ -1,0 +1,184 @@
+// Tests for the BID probabilistic database: block validation, possible
+// worlds, and construction from inference output (the paper's Δt blocks,
+// including the Fig 1 call-out for t12).
+
+#include "pdb/prob_database.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+Schema TwoAttrSchema() {
+  auto s = Schema::Create(
+      {Attribute("inc", {"50K", "100K"}), Attribute("nw", {"100K", "500K"})});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(BlockTest, TotalMass) {
+  Block b;
+  b.alternatives.push_back({Tuple({0, 0}), 0.25});
+  b.alternatives.push_back({Tuple({1, 0}), 0.5});
+  EXPECT_DOUBLE_EQ(b.TotalMass(), 0.75);
+}
+
+TEST(ProbDatabaseTest, AddCertainRequiresComplete) {
+  ProbDatabase db(TwoAttrSchema());
+  EXPECT_TRUE(db.AddCertain(Tuple({0, 1})).ok());
+  EXPECT_FALSE(db.AddCertain(Tuple({0, kMissingValue})).ok());
+  EXPECT_EQ(db.num_blocks(), 1u);
+}
+
+TEST(ProbDatabaseTest, AddBlockValidatesProbabilities) {
+  ProbDatabase db(TwoAttrSchema());
+  Block over;
+  over.alternatives.push_back({Tuple({0, 0}), 0.7});
+  over.alternatives.push_back({Tuple({1, 0}), 0.6});
+  EXPECT_FALSE(db.AddBlock(over).ok());  // mass 1.3
+
+  Block neg;
+  neg.alternatives.push_back({Tuple({0, 0}), -0.1});
+  EXPECT_FALSE(db.AddBlock(neg).ok());
+
+  Block empty;
+  EXPECT_FALSE(db.AddBlock(empty).ok());
+
+  Block incomplete;
+  incomplete.alternatives.push_back({Tuple({0, kMissingValue}), 0.5});
+  EXPECT_FALSE(db.AddBlock(incomplete).ok());
+}
+
+TEST(ProbDatabaseTest, NumPossibleWorlds) {
+  ProbDatabase db(TwoAttrSchema());
+  ASSERT_TRUE(db.AddCertain(Tuple({0, 0})).ok());  // 1 choice
+  Block b;
+  b.alternatives.push_back({Tuple({0, 1}), 0.5});
+  b.alternatives.push_back({Tuple({1, 1}), 0.5});
+  ASSERT_TRUE(db.AddBlock(b).ok());  // 2 choices
+  Block partial;
+  partial.alternatives.push_back({Tuple({1, 0}), 0.4});
+  ASSERT_TRUE(db.AddBlock(partial).ok());  // 2 choices (alt or absent)
+  EXPECT_EQ(db.NumPossibleWorlds(), 4u);
+}
+
+TEST(ProbDatabaseTest, WorldProbabilitiesSumToOne) {
+  ProbDatabase db(TwoAttrSchema());
+  Block b1;
+  b1.alternatives.push_back({Tuple({0, 0}), 0.3});
+  b1.alternatives.push_back({Tuple({0, 1}), 0.7});
+  ASSERT_TRUE(db.AddBlock(b1).ok());
+  Block b2;
+  b2.alternatives.push_back({Tuple({1, 0}), 0.6});  // mass 0.6 < 1
+  ASSERT_TRUE(db.AddBlock(b2).ok());
+
+  double total = 0.0;
+  size_t worlds = 0;
+  ASSERT_TRUE(db.ForEachWorld(100,
+                              [&](const std::vector<const Tuple*>& world,
+                                  double p) {
+                                total += p;
+                                ++worlds;
+                                EXPECT_LE(world.size(), 2u);
+                              })
+                  .ok());
+  EXPECT_EQ(worlds, 4u);  // 2 x 2 (second block alt-or-absent)
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ProbDatabaseTest, ForEachWorldRefusesExplosion) {
+  ProbDatabase db(TwoAttrSchema());
+  for (int i = 0; i < 20; ++i) {
+    Block b;
+    b.alternatives.push_back({Tuple({0, 0}), 0.5});
+    b.alternatives.push_back({Tuple({1, 1}), 0.5});
+    ASSERT_TRUE(db.AddBlock(b).ok());
+  }
+  auto st = db.ForEachWorld(1000, [](const auto&, double) {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+// FromInference on the paper's t12 example: Δt12 over (inc, nw) =
+// [0.30, 0.45, 0.10, 0.15] becomes a 4-alternative block.
+TEST(ProbDatabaseTest, FromInferenceBuildsFig1Callout) {
+  auto schema = Schema::Create(
+      {Attribute("age", {"20", "30", "40"}), Attribute("edu", {"HS", "MS"}),
+       Attribute("inc", {"50K", "100K"}), Attribute("nw", {"100K", "500K"})});
+  ASSERT_TRUE(schema.ok());
+  Relation rel(*schema);
+  ASSERT_TRUE(rel.Append(Tuple({0, 0, 0, 0})).ok());  // complete row
+  ASSERT_TRUE(
+      rel.Append(Tuple({1, 1, kMissingValue, kMissingValue})).ok());  // t12
+
+  JointDist d12({2, 3}, {2, 2});
+  d12.set_prob(d12.codec().Encode({0, 0}), 0.30);  // 50K, 100K
+  d12.set_prob(d12.codec().Encode({0, 1}), 0.45);  // 50K, 500K
+  d12.set_prob(d12.codec().Encode({1, 0}), 0.10);  // 100K, 100K
+  d12.set_prob(d12.codec().Encode({1, 1}), 0.15);  // 100K, 500K
+
+  auto db = ProbDatabase::FromInference(rel, {d12});
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->num_blocks(), 2u);
+  EXPECT_EQ(db->block(0).alternatives.size(), 1u);
+  const Block& t12 = db->block(1);
+  ASSERT_EQ(t12.alternatives.size(), 4u);
+  EXPECT_NEAR(t12.TotalMass(), 1.0, 1e-9);
+  // The most probable completion is <30, MS, 50K, 500K> at 0.45.
+  double best = 0.0;
+  const Tuple* best_tuple = nullptr;
+  for (const auto& alt : t12.alternatives) {
+    if (alt.prob > best) {
+      best = alt.prob;
+      best_tuple = &alt.tuple;
+    }
+  }
+  ASSERT_NE(best_tuple, nullptr);
+  EXPECT_NEAR(best, 0.45, 1e-9);
+  EXPECT_EQ(best_tuple->value(2), 0);  // inc=50K
+  EXPECT_EQ(best_tuple->value(3), 1);  // nw=500K
+  // Observed cells preserved in every alternative.
+  for (const auto& alt : t12.alternatives) {
+    EXPECT_EQ(alt.tuple.value(0), 1);
+    EXPECT_EQ(alt.tuple.value(1), 1);
+  }
+}
+
+TEST(ProbDatabaseTest, FromInferenceChecksAlignment) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1"})});
+  ASSERT_TRUE(schema.ok());
+  Relation rel(*schema);
+  ASSERT_TRUE(rel.Append(Tuple(std::vector<ValueId>{kMissingValue})).ok());
+  auto db = ProbDatabase::FromInference(rel, {});
+  ASSERT_FALSE(db.ok());
+}
+
+TEST(ProbDatabaseTest, FromInferenceMinProbPrunes) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  Relation rel(*schema);
+  ASSERT_TRUE(rel.Append(Tuple(std::vector<ValueId>{kMissingValue})).ok());
+
+  JointDist d({0}, {3});
+  d.set_prob(0, 0.90);
+  d.set_prob(1, 0.095);
+  d.set_prob(2, 0.005);
+  auto db = ProbDatabase::FromInference(rel, {d}, /*min_prob=*/0.01);
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->block(0).alternatives.size(), 2u);  // 0.005 pruned
+  EXPECT_NEAR(db->block(0).TotalMass(), 1.0, 1e-9);  // renormalized
+}
+
+TEST(ProbDatabaseTest, ToStringRendersBlocks) {
+  ProbDatabase db(TwoAttrSchema());
+  ASSERT_TRUE(db.AddCertain(Tuple({1, 1})).ok());
+  std::string s = db.ToString();
+  EXPECT_NE(s.find("1 blocks"), std::string::npos);
+  EXPECT_NE(s.find("inc=100K"), std::string::npos);
+  EXPECT_NE(s.find("p=1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,123 @@
+// Tests for continuous-attribute discretization (Sec II preprocessing).
+
+#include "relational/discretizer.h"
+
+#include <gtest/gtest.h>
+
+namespace mrsl {
+namespace {
+
+TEST(LearnBucketsTest, EqualWidthBoundaries) {
+  auto map = LearnBuckets("x", {0.0, 10.0, 5.0, 2.5}, 4,
+                          BucketStrategy::kEqualWidth);
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->boundaries.size(), 3u);
+  EXPECT_DOUBLE_EQ(map->boundaries[0], 2.5);
+  EXPECT_DOUBLE_EQ(map->boundaries[1], 5.0);
+  EXPECT_DOUBLE_EQ(map->boundaries[2], 7.5);
+  EXPECT_EQ(map->labels.size(), 4u);
+}
+
+TEST(LearnBucketsTest, BucketOfAssignsCorrectly) {
+  auto map = LearnBuckets("x", {0.0, 10.0}, 2, BucketStrategy::kEqualWidth);
+  ASSERT_TRUE(map.ok());  // boundary at 5
+  EXPECT_EQ(map->BucketOf(-100.0), 0u);  // open-ended low
+  EXPECT_EQ(map->BucketOf(4.99), 0u);
+  EXPECT_EQ(map->BucketOf(5.0), 1u);  // boundary belongs to upper bucket
+  EXPECT_EQ(map->BucketOf(999.0), 1u);  // open-ended high
+}
+
+TEST(LearnBucketsTest, EqualFrequencySplitsCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  auto map =
+      LearnBuckets("x", values, 4, BucketStrategy::kEqualFrequency);
+  ASSERT_TRUE(map.ok());
+  // Each bucket gets ~25 of the 100 values.
+  std::vector<int> counts(map->labels.size(), 0);
+  for (double v : values) ++counts[map->BucketOf(v)];
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(LearnBucketsTest, EqualFrequencyMergesTies) {
+  // Heavily tied data: quantile boundaries collapse.
+  std::vector<double> values(50, 1.0);
+  values.push_back(2.0);
+  auto map =
+      LearnBuckets("x", values, 4, BucketStrategy::kEqualFrequency);
+  ASSERT_TRUE(map.ok());
+  EXPECT_LT(map->labels.size(), 4u);
+}
+
+TEST(LearnBucketsTest, Validation) {
+  EXPECT_FALSE(LearnBuckets("x", {1.0}, 1, BucketStrategy::kEqualWidth)
+                   .ok());  // too few buckets
+  EXPECT_FALSE(
+      LearnBuckets("x", {}, 2, BucketStrategy::kEqualWidth).ok());
+  EXPECT_FALSE(LearnBuckets("x", {3.0, 3.0}, 2,
+                            BucketStrategy::kEqualWidth)
+                   .ok());  // constant column
+}
+
+TEST(DiscretizeCsvTest, EndToEnd) {
+  const char* csv =
+      "name,age,score\n"
+      "a,10,0.1\n"
+      "b,20,0.9\n"
+      "c,30,0.5\n"
+      "d,?,0.3\n"
+      "e,40,?\n";
+  auto result = DiscretizeCsv(
+      csv, {{"age", 2, BucketStrategy::kEqualWidth},
+            {"score", 2, BucketStrategy::kEqualFrequency}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation& rel = result->relation;
+  EXPECT_EQ(rel.num_rows(), 5u);
+  // `name` untouched (5 labels), age bucketed to 2, score to <= 2.
+  AttrId name_id = 0;
+  AttrId age_id = 0;
+  ASSERT_TRUE(rel.schema().FindAttr("name", &name_id));
+  ASSERT_TRUE(rel.schema().FindAttr("age", &age_id));
+  EXPECT_EQ(rel.schema().attr(name_id).cardinality(), 5u);
+  EXPECT_LE(rel.schema().attr(age_id).cardinality(), 2u);
+  // Missing cells survive.
+  EXPECT_EQ(rel.row(3).value(age_id), kMissingValue);
+  // 10 and 20 land in the low bucket, 30 and 40 in the high one.
+  EXPECT_EQ(rel.row(0).value(age_id), rel.row(1).value(age_id));
+  EXPECT_EQ(rel.row(2).value(age_id), rel.row(4).value(age_id));
+  EXPECT_NE(rel.row(0).value(age_id), rel.row(2).value(age_id));
+}
+
+TEST(DiscretizeCsvTest, RejectsNonNumeric) {
+  auto result = DiscretizeCsv("x\nabc\n",
+                              {{"x", 2, BucketStrategy::kEqualWidth}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiscretizeCsvTest, RejectsUnknownColumn) {
+  auto result = DiscretizeCsv("x\n1\n",
+                              {{"zzz", 2, BucketStrategy::kEqualWidth}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DiscretizeCsvTest, IntervalLabelsAreReadable) {
+  auto result = DiscretizeCsv("v\n0\n100\n50\n",
+                              {{"v", 2, BucketStrategy::kEqualWidth}});
+  ASSERT_TRUE(result.ok());
+  AttrId v = 0;
+  ASSERT_TRUE(result->relation.schema().FindAttr("v", &v));
+  const Attribute& attr = result->relation.schema().attr(v);
+  bool found_inf = false;
+  for (size_t i = 0; i < attr.cardinality(); ++i) {
+    if (attr.label(static_cast<ValueId>(i)).find("inf") !=
+        std::string::npos) {
+      found_inf = true;
+    }
+  }
+  EXPECT_TRUE(found_inf);  // open-ended extreme buckets
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,114 @@
+// Tests for the PK-FK join used to exploit cross-relation correlations
+// (Sec I-B).
+
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+namespace mrsl {
+namespace {
+
+Relation Users() {
+  auto rel = Relation::FromCsv(
+      "uid,city\n"
+      "u1,NYC\n"
+      "u2,SF\n"
+      "u3,NYC\n");
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+Relation Orders() {
+  auto rel = Relation::FromCsv(
+      "oid,uid,amount\n"
+      "o1,u1,low\n"
+      "o2,u2,high\n"
+      "o3,u1,high\n"
+      "o4,u9,low\n"   // dangling FK
+      "o5,?,low\n");  // missing FK
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+TEST(PkFkJoinTest, InnerJoinMatchesKeys) {
+  JoinOptions opts;
+  opts.keep_unmatched = false;
+  auto joined = PkFkJoin(Orders(), "uid", Users(), "uid", opts);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined->num_rows(), 3u);  // o1, o2, o3
+  AttrId city = 0;
+  ASSERT_TRUE(joined->schema().FindAttr("city", &city));
+  // o1 and o3 belong to u1 (NYC); o2 to u2 (SF).
+  EXPECT_EQ(joined->schema().attr(city).label(joined->row(0).value(city)),
+            "NYC");
+  EXPECT_EQ(joined->schema().attr(city).label(joined->row(1).value(city)),
+            "SF");
+  EXPECT_EQ(joined->schema().attr(city).label(joined->row(2).value(city)),
+            "NYC");
+}
+
+TEST(PkFkJoinTest, LeftOuterKeepsUnmatchedWithMissing) {
+  auto joined = PkFkJoin(Orders(), "uid", Users(), "uid");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 5u);
+  AttrId city = 0;
+  ASSERT_TRUE(joined->schema().FindAttr("city", &city));
+  EXPECT_EQ(joined->row(3).value(city), kMissingValue);  // dangling u9
+  EXPECT_EQ(joined->row(4).value(city), kMissingValue);  // missing FK
+}
+
+TEST(PkFkJoinTest, OutputSchemaOrder) {
+  auto joined = PkFkJoin(Orders(), "uid", Users(), "uid");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->schema().num_attrs(), 4u);  // oid, uid, amount, city
+  EXPECT_EQ(joined->schema().attr(0).name(), "oid");
+  EXPECT_EQ(joined->schema().attr(1).name(), "uid");
+  EXPECT_EQ(joined->schema().attr(2).name(), "amount");
+  EXPECT_EQ(joined->schema().attr(3).name(), "city");
+}
+
+TEST(PkFkJoinTest, DropKeyColumns) {
+  JoinOptions opts;
+  opts.drop_key_columns = true;
+  auto joined = PkFkJoin(Orders(), "uid", Users(), "uid", opts);
+  ASSERT_TRUE(joined.ok());
+  AttrId dummy = 0;
+  EXPECT_FALSE(joined->schema().FindAttr("uid", &dummy));
+  EXPECT_EQ(joined->schema().num_attrs(), 3u);  // oid, amount, city
+}
+
+TEST(PkFkJoinTest, NameClashGetsSuffix) {
+  auto left = Relation::FromCsv("k,v\na,1\n");
+  auto right = Relation::FromCsv("k,v\na,2\n");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto joined = PkFkJoin(*left, "k", *right, "k");
+  ASSERT_TRUE(joined.ok());
+  AttrId id = 0;
+  EXPECT_TRUE(joined->schema().FindAttr("v", &id));
+  EXPECT_TRUE(joined->schema().FindAttr("v_r", &id));
+}
+
+TEST(PkFkJoinTest, RejectsDuplicatePrimaryKey) {
+  auto dup = Relation::FromCsv("uid,city\nu1,NYC\nu1,SF\n");
+  ASSERT_TRUE(dup.ok());
+  auto joined = PkFkJoin(Orders(), "uid", *dup, "uid");
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PkFkJoinTest, RejectsUnknownAttributes) {
+  EXPECT_FALSE(PkFkJoin(Orders(), "nope", Users(), "uid").ok());
+  EXPECT_FALSE(PkFkJoin(Orders(), "uid", Users(), "nope").ok());
+}
+
+TEST(PkFkJoinTest, JoinedRelationFeedsLearning) {
+  // The point of the join: mined rules can now relate amount and city.
+  auto joined = PkFkJoin(Orders(), "uid", Users(), "uid");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->CompleteRowIndices().size(), 3u);
+  EXPECT_EQ(joined->IncompleteRowIndices().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mrsl

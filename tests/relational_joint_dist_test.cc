@@ -1,0 +1,141 @@
+// Tests for JointDist.
+
+#include "relational/joint_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsl {
+namespace {
+
+JointDist MakeDist() {
+  // Over vars {1, 3} with cards {2, 3}.
+  JointDist d({1, 3}, {2, 3});
+  return d;
+}
+
+TEST(JointDistTest, StartsAllZero) {
+  JointDist d = MakeDist();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_DOUBLE_EQ(d.Sum(), 0.0);
+}
+
+TEST(JointDistTest, SetAndProbOf) {
+  JointDist d = MakeDist();
+  d.set_prob(d.codec().Encode({1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(d.ProbOf({1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(d.ProbOf({0, 0}), 0.0);
+}
+
+TEST(JointDistTest, NormalizeScalesToOne) {
+  JointDist d = MakeDist();
+  d.add_prob(0, 3.0);
+  d.add_prob(5, 1.0);
+  d.Normalize();
+  EXPECT_DOUBLE_EQ(d.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.75);
+  EXPECT_DOUBLE_EQ(d.prob(5), 0.25);
+}
+
+TEST(JointDistTest, NormalizeOnZeroIsNoop) {
+  JointDist d = MakeDist();
+  d.Normalize();
+  EXPECT_DOUBLE_EQ(d.Sum(), 0.0);
+}
+
+TEST(JointDistTest, SmoothAdditiveKeepsAllCellsPositive) {
+  JointDist d = MakeDist();
+  d.add_prob(2, 100.0);
+  d.SmoothAdditive(1e-6);
+  EXPECT_NEAR(d.Sum(), 1.0, 1e-12);
+  for (uint64_t c = 0; c < d.size(); ++c) {
+    EXPECT_GT(d.prob(c), 0.0);
+  }
+  EXPECT_GT(d.prob(2), 0.99);
+}
+
+TEST(JointDistTest, ArgMax) {
+  JointDist d = MakeDist();
+  d.set_prob(4, 0.9);
+  d.set_prob(1, 0.1);
+  EXPECT_EQ(d.ArgMax(), 4u);
+}
+
+TEST(JointDistTest, MarginalSumsCorrectly) {
+  JointDist d = MakeDist();
+  // p(a,b) over a in {0,1}, b in {0,1,2}.
+  d.set_prob(d.codec().Encode({0, 0}), 0.1);
+  d.set_prob(d.codec().Encode({0, 1}), 0.2);
+  d.set_prob(d.codec().Encode({1, 2}), 0.7);
+  auto ma = d.Marginal(0);
+  ASSERT_EQ(ma.size(), 2u);
+  EXPECT_NEAR(ma[0], 0.3, 1e-12);
+  EXPECT_NEAR(ma[1], 0.7, 1e-12);
+  auto mb = d.Marginal(1);
+  ASSERT_EQ(mb.size(), 3u);
+  EXPECT_NEAR(mb[1], 0.2, 1e-12);
+}
+
+TEST(JointDistTest, EntropyKnownValues) {
+  JointDist d({0}, {4});
+  d.set_prob(0, 1.0);
+  EXPECT_NEAR(d.Entropy(), 0.0, 1e-12);  // point mass
+  for (uint64_t c = 0; c < 4; ++c) d.set_prob(c, 0.25);
+  EXPECT_NEAR(d.Entropy(), std::log(4.0), 1e-12);  // uniform = ln |dom|
+  d.set_prob(0, 0.5);
+  d.set_prob(1, 0.5);
+  d.set_prob(2, 0.0);
+  d.set_prob(3, 0.0);
+  EXPECT_NEAR(d.Entropy(), std::log(2.0), 1e-12);
+}
+
+TEST(JointDistTest, TopKSortedAndTruncated) {
+  JointDist d({0}, {5});
+  d.set_prob(0, 0.1);
+  d.set_prob(1, 0.4);
+  d.set_prob(2, 0.05);
+  d.set_prob(3, 0.25);
+  d.set_prob(4, 0.2);
+  auto top = d.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 3u);
+  EXPECT_EQ(top[2].first, 4u);
+  EXPECT_DOUBLE_EQ(top[0].second, 0.4);
+  // k larger than the domain returns everything.
+  EXPECT_EQ(d.TopK(100).size(), 5u);
+}
+
+TEST(JointDistTest, TopKTieBreaksByCode) {
+  JointDist d({0}, {3});
+  for (uint64_t c = 0; c < 3; ++c) d.set_prob(c, 1.0 / 3.0);
+  auto top = d.TopK(3);
+  EXPECT_EQ(top[0].first, 0u);
+  EXPECT_EQ(top[1].first, 1u);
+  EXPECT_EQ(top[2].first, 2u);
+}
+
+TEST(JointDistTest, EmptyVarsSingleCell) {
+  JointDist d({}, {});
+  EXPECT_EQ(d.size(), 1u);
+  d.add_prob(0, 1.0);
+  d.Normalize();
+  EXPECT_DOUBLE_EQ(d.prob(0), 1.0);
+}
+
+TEST(JointDistTest, ToStringShowsTopCombos) {
+  auto schema = Schema::Create({Attribute("x", {"a", "b"}),
+                                Attribute("y", {"u", "v"}),
+                                Attribute("z", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  JointDist d({0, 2}, {2, 3});
+  d.set_prob(d.codec().Encode({1, 2}), 1.0);
+  std::string s = d.ToString(*schema, 1);
+  EXPECT_NE(s.find("x=b"), std::string::npos);
+  EXPECT_NE(s.find("z=2"), std::string::npos);
+  EXPECT_NE(s.find("p=1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,84 @@
+// Tests for Attribute / Schema.
+
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mrsl {
+namespace {
+
+TEST(AttributeTest, FixedLabels) {
+  Attribute a("age", {"20", "30", "40"});
+  EXPECT_EQ(a.name(), "age");
+  EXPECT_EQ(a.cardinality(), 3u);
+  EXPECT_EQ(a.label(0), "20");
+  EXPECT_EQ(a.label(2), "40");
+  EXPECT_EQ(a.Find("30"), 1);
+  EXPECT_EQ(a.Find("50"), kMissingValue);
+}
+
+TEST(AttributeTest, FindOrAddGrowsDomain) {
+  Attribute a("edu");
+  EXPECT_EQ(a.cardinality(), 0u);
+  EXPECT_EQ(a.FindOrAdd("HS"), 0);
+  EXPECT_EQ(a.FindOrAdd("BS"), 1);
+  EXPECT_EQ(a.FindOrAdd("HS"), 0);  // existing label reused
+  EXPECT_EQ(a.cardinality(), 2u);
+}
+
+TEST(SchemaTest, CreateAndLookup) {
+  auto s = Schema::Create({Attribute("a", {"x", "y"}),
+                           Attribute("b", {"1", "2", "3"})});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 2u);
+  AttrId id = 99;
+  EXPECT_TRUE(s->FindAttr("b", &id));
+  EXPECT_EQ(id, 1u);
+  EXPECT_FALSE(s->FindAttr("zzz", &id));
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto s = Schema::Create({Attribute("a"), Attribute("a")});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, TooManyAttributesRejected) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i <= 64; ++i) {
+    attrs.emplace_back("a" + std::to_string(i));
+  }
+  auto s = Schema::Create(std::move(attrs));
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(SchemaTest, DomainSizeIsProductOfCards) {
+  auto s = Schema::Create({Attribute("a", {"x", "y"}),
+                           Attribute("b", {"1", "2", "3"}),
+                           Attribute("c", {"u", "v"})});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DomainSize(), 12u);
+}
+
+TEST(SchemaTest, DomainSizeZeroWithEmptyDomain) {
+  auto s = Schema::Create({Attribute("a", {"x"}), Attribute("b")});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DomainSize(), 0u);
+}
+
+TEST(SchemaTest, FullMaskCoversAllAttrs) {
+  auto s = Schema::Create({Attribute("a"), Attribute("b"), Attribute("c")});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->FullMask(), 0b111u);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  auto s = Schema::Create({});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 0u);
+  EXPECT_EQ(s->FullMask(), 0u);
+  EXPECT_EQ(s->DomainSize(), 1u);
+}
+
+}  // namespace
+}  // namespace mrsl

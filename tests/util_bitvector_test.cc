@@ -1,0 +1,131 @@
+// Tests for BitVector, including randomized differential tests against a
+// std::vector<bool> reference model.
+
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_TRUE(bv.Empty());
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(99));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVectorTest, SetIsIdempotent) {
+  BitVector bv(10);
+  bv.Set(5);
+  bv.Set(5);
+  EXPECT_EQ(bv.Count(), 1u);
+}
+
+TEST(BitVectorTest, AndCountMatchesMaterializedAnd) {
+  BitVector a(200);
+  BitVector b(200);
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  BitVector c = a.And(b);
+  EXPECT_EQ(c.Count(), a.AndCount(b));
+  // Bits set in c are exactly multiples of 15.
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(c.Get(i), i % 15 == 0) << i;
+  }
+}
+
+TEST(BitVectorTest, OrWith) {
+  BitVector a(70);
+  BitVector b(70);
+  a.Set(1);
+  b.Set(68);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(68));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitVectorTest, ToIndicesAscending) {
+  BitVector bv(129);
+  bv.Set(128);
+  bv.Set(0);
+  bv.Set(64);
+  auto idx = bv.ToIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 64u);
+  EXPECT_EQ(idx[2], 128u);
+}
+
+TEST(BitVectorTest, EqualityAndCopy) {
+  BitVector a(50);
+  a.Set(7);
+  BitVector b = a;
+  EXPECT_TRUE(a == b);
+  b.Set(8);
+  EXPECT_FALSE(a == b);
+}
+
+// ---- Randomized differential test against std::vector<bool> ----
+
+class BitVectorRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorRandomTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const size_t n = 64 + rng.UniformInt(200);
+  BitVector a(n);
+  BitVector b(n);
+  std::vector<bool> ra(n, false);
+  std::vector<bool> rb(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.4)) {
+      a.Set(i);
+      ra[i] = true;
+    }
+    if (rng.Bernoulli(0.4)) {
+      b.Set(i);
+      rb[i] = true;
+    }
+  }
+  size_t expect_and = 0;
+  size_t expect_a = 0;
+  for (size_t i = 0; i < n; ++i) {
+    expect_a += ra[i];
+    expect_and += ra[i] && rb[i];
+  }
+  EXPECT_EQ(a.Count(), expect_a);
+  EXPECT_EQ(a.AndCount(b), expect_and);
+  BitVector c = a.And(b);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.Get(i), ra[i] && rb[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mrsl

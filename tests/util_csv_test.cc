@@ -1,0 +1,107 @@
+// Tests for the CSV reader/writer, including quoting round-trips and
+// malformed input handling.
+
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mrsl {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  auto rows = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "");
+  EXPECT_EQ((*rows)[1].size(), 3u);
+}
+
+TEST(CsvTest, QuotedFieldWithComma) {
+  auto rows = ParseCsv("\"x,y\",z\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "x,y");
+  EXPECT_EQ((*rows)[0][1], "z");
+}
+
+TEST(CsvTest, QuotedFieldWithEscapedQuote) {
+  auto rows = ParseCsv("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldWithNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",b\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfHandled) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "1");
+}
+
+TEST(CsvTest, UnterminatedQuoteIsCorruption) {
+  auto rows = ParseCsv("\"abc\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, QuoteInsideUnquotedFieldIsCorruption) {
+  auto rows = ParseCsv("ab\"c,d\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  std::string out = WriteCsv({{"plain", "with,comma", "with\"quote"}});
+  EXPECT_EQ(out, "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b,c", "d\"e", "f\ng"},
+      {"", "?", "v1", "v2"},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/mrsl_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "x,y\n1,2\n").ok());
+  auto content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "x,y\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, ReadMissingFileFails) {
+  auto content = ReadFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,98 @@
+// Tests for string utilities, the table printer, and the wall timer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.25119, 2), "0.25");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("0.125", &v));
+  EXPECT_DOUBLE_EQ(v, 0.125);
+  EXPECT_TRUE(ParseDouble("  -3e2 ", &v));
+  EXPECT_DOUBLE_EQ(v, -300.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+}
+
+TEST(StringUtilTest, ParseInt) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("x", &v));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"a", "1"});
+  tp.AddRow({"longer", "22"});
+  std::string s = tp.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.AddRow({"only"});
+  EXPECT_EQ(tp.num_rows(), 1u);
+  EXPECT_NO_THROW(tp.ToString());
+}
+
+TEST(TablePrinterTest, CsvExport) {
+  TablePrinter tp({"x", "y"});
+  tp.AddRow({"1", "2"});
+  EXPECT_EQ(tp.ToCsv(), "x,y\n1,2\n");
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  double e1 = t.ElapsedSeconds();
+  EXPECT_GE(e1, 0.0);
+  // Busy-wait a tiny amount.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.ElapsedSeconds(), e1);
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mrsl

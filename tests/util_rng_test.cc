@@ -1,0 +1,169 @@
+// Tests for the deterministic RNG: reproducibility, uniformity, and the
+// statistical helpers (discrete sampling, Gamma, Dirichlet).
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mrsl {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleDiscreteMatchesWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.01);
+}
+
+TEST(RngTest, SampleDiscreteSkipsZeroWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.SampleDiscrete(weights), 1u);
+  }
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.Gamma(shape);
+    double mean = sum / kDraws;
+    // Gamma(shape, 1) has mean == shape, variance == shape.
+    EXPECT_NEAR(mean, shape, 5.0 * std::sqrt(shape / kDraws))
+        << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(23);
+  for (double alpha : {0.2, 1.0, 5.0}) {
+    for (int i = 0; i < 100; ++i) {
+      auto v = rng.Dirichlet(4, alpha);
+      ASSERT_EQ(v.size(), 4u);
+      double sum = std::accumulate(v.begin(), v.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      for (double p : v) EXPECT_GE(p, 0.0);
+    }
+  }
+}
+
+TEST(RngTest, DirichletSymmetricMeans) {
+  Rng rng(29);
+  std::vector<double> mean(3, 0.0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto v = rng.Dirichlet(3, 1.0);
+    for (int k = 0; k < 3; ++k) mean[k] += v[k];
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(mean[k] / kDraws, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto sorted = v;
+  rng.Shuffle(&v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(123);
+  Rng fork = a.Fork();
+  // The fork differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == fork.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -1,0 +1,434 @@
+// mrsl — command-line front end for the library.
+//
+// Subcommands:
+//   learn   --in data.csv --out model.txt [--support θ] [--max-itemsets K]
+//           [--discretize col:buckets:width|freq]...
+//           Learn an MRSL model from the complete rows of a CSV relation.
+//   stats   --model model.txt
+//           Print a model summary (lattice sizes, roots).
+//   infer   --model model.txt --in data.csv [--out blocks.txt]
+//           [--samples N] [--burn-in B] [--mode dag|tuple|product]
+//           Derive Δt for every incomplete row; print/write the blocks.
+//   repair  --model model.txt --in data.csv --out repaired.csv
+//           [--min-confidence p] [--samples N] [--burn-in B]
+//           Replace missing cells with their most probable completion.
+//   query   --model model.txt --in data.csv --where attr=value[,attr=value...]
+//           [--samples N]
+//           Lazy query-targeted derivation: expected count / existence
+//           probability of rows matching the conjunction.
+//   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
+//           Pick the support threshold by masked holdout log-loss.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/learner.h"
+#include "core/model_io.h"
+#include "core/repair.h"
+#include "core/tuning.h"
+#include "core/workload.h"
+#include "pdb/lazy.h"
+#include "pdb/prob_database.h"
+#include "relational/discretizer.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsl <learn|stats|infer|repair|query> [options]\n"
+      "  learn  --in data.csv --out model.txt [--support 0.01]\n"
+      "         [--max-itemsets 1000] [--discretize col:buckets:width|freq]\n"
+      "  stats  --model model.txt\n"
+      "  infer  --model model.txt --in data.csv [--out blocks.txt]\n"
+      "         [--samples 2000] [--burn-in 100] [--mode dag|tuple|product]\n"
+      "  repair --model model.txt --in data.csv --out repaired.csv\n"
+      "         [--min-confidence 0] [--samples 2000] [--burn-in 100]\n"
+      "  query  --model model.txt --in data.csv --where a=v[,b=w...]\n"
+      "         [--samples 2000]\n"
+      "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n");
+  return 2;
+}
+
+// Parses --key value pairs; returns false on stray arguments.
+bool ParseFlags(int argc, char** argv, int start,
+                std::map<std::string, std::vector<std::string>>* flags) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) return false;
+    (*flags)[arg.substr(2)].push_back(argv[++i]);
+  }
+  return true;
+}
+
+std::string GetFlag(const std::map<std::string, std::vector<std::string>>& f,
+                    const std::string& key, const std::string& fallback) {
+  auto it = f.find(key);
+  return it == f.end() ? fallback : it->second.back();
+}
+
+bool GetDoubleFlag(const std::map<std::string, std::vector<std::string>>& f,
+                   const std::string& key, double fallback, double* out) {
+  std::string s = GetFlag(f, key, "");
+  if (s.empty()) {
+    *out = fallback;
+    return true;
+  }
+  return ParseDouble(s, out);
+}
+
+bool GetIntFlag(const std::map<std::string, std::vector<std::string>>& f,
+                const std::string& key, int64_t fallback, int64_t* out) {
+  std::string s = GetFlag(f, key, "");
+  if (s.empty()) {
+    *out = fallback;
+    return true;
+  }
+  return ParseInt(s, out) && *out >= 0;
+}
+
+Result<Relation> LoadInput(
+    const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string path = GetFlag(flags, "in", "");
+  if (path.empty()) return Status::InvalidArgument("missing --in");
+  return Relation::LoadCsvFile(path);
+}
+
+int CmdLearn(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string in = GetFlag(flags, "in", "");
+  std::string out = GetFlag(flags, "out", "");
+  if (in.empty() || out.empty()) return Usage();
+
+  LearnOptions learn;
+  int64_t max_itemsets = 0;
+  if (!GetDoubleFlag(flags, "support", 0.01, &learn.support_threshold) ||
+      !GetIntFlag(flags, "max-itemsets", 1000, &max_itemsets)) {
+    return Usage();
+  }
+  learn.max_itemsets = static_cast<size_t>(max_itemsets);
+
+  // Optional discretization passes.
+  Relation rel;
+  auto csv = ReadFile(in);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "error: %s\n", csv.status().ToString().c_str());
+    return 1;
+  }
+  auto disc_it = flags.find("discretize");
+  if (disc_it != flags.end()) {
+    std::vector<DiscretizeSpec> specs;
+    for (const std::string& raw : disc_it->second) {
+      auto parts = Split(raw, ':');
+      if (parts.size() != 3) {
+        std::fprintf(stderr, "bad --discretize spec: %s\n", raw.c_str());
+        return 2;
+      }
+      DiscretizeSpec spec;
+      spec.attribute = parts[0];
+      int64_t buckets = 0;
+      if (!ParseInt(parts[1], &buckets) || buckets < 2) return Usage();
+      spec.num_buckets = static_cast<size_t>(buckets);
+      if (parts[2] == "width") {
+        spec.strategy = BucketStrategy::kEqualWidth;
+      } else if (parts[2] == "freq") {
+        spec.strategy = BucketStrategy::kEqualFrequency;
+      } else {
+        return Usage();
+      }
+      specs.push_back(std::move(spec));
+    }
+    auto result = DiscretizeCsv(*csv, specs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    rel = std::move(result).value().relation;
+  } else {
+    auto parsed = Relation::FromCsv(*csv);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    rel = std::move(parsed).value();
+  }
+
+  LearnStats stats;
+  auto model = LearnModel(rel, learn, &stats);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveModelFile(*model, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "learned %zu meta-rules from %zu complete rows "
+      "(%zu itemsets, %.3fs) -> %s\n",
+      model->TotalMetaRules(), rel.CompleteRowIndices().size(),
+      stats.num_frequent_itemsets, stats.total_seconds, out.c_str());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string path = GetFlag(flags, "model", "");
+  if (path.empty()) return Usage();
+  auto model = LoadModelFile(path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model: %zu attributes, %zu meta-rules\n", model->num_attrs(),
+              model->TotalMetaRules());
+  for (AttrId a = 0; a < model->num_attrs(); ++a) {
+    const Mrsl& lattice = model->mrsl(a);
+    std::printf("  %-16s card=%zu rules=%zu root=%s\n",
+                model->schema().attr(a).name().c_str(),
+                model->schema().attr(a).cardinality(), lattice.num_rules(),
+                lattice.root() >= 0 ? "yes" : "NO");
+  }
+  return 0;
+}
+
+bool ParseGibbs(const std::map<std::string, std::vector<std::string>>& flags,
+                WorkloadOptions* opts, SamplingMode* mode) {
+  int64_t samples = 0;
+  int64_t burn = 0;
+  if (!GetIntFlag(flags, "samples", 2000, &samples) ||
+      !GetIntFlag(flags, "burn-in", 100, &burn)) {
+    return false;
+  }
+  opts->gibbs.samples = static_cast<size_t>(samples);
+  opts->gibbs.burn_in = static_cast<size_t>(burn);
+  std::string mode_str = GetFlag(flags, "mode", "dag");
+  if (mode_str == "dag") {
+    *mode = SamplingMode::kTupleDag;
+  } else if (mode_str == "tuple") {
+    *mode = SamplingMode::kTupleAtATime;
+  } else if (mode_str == "product") {
+    *mode = SamplingMode::kIndependentProduct;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string model_path = GetFlag(flags, "model", "");
+  if (model_path.empty()) return Usage();
+  auto model = LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto rel = LoadInput(flags);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  WorkloadOptions opts;
+  SamplingMode mode;
+  if (!ParseGibbs(flags, &opts, &mode)) return Usage();
+
+  std::vector<Tuple> workload;
+  for (uint32_t r : rel->IncompleteRowIndices()) {
+    workload.push_back(rel->row(r));
+  }
+  if (workload.empty()) {
+    std::printf("no incomplete rows; nothing to infer\n");
+    return 0;
+  }
+  WorkloadStats stats;
+  auto dists = RunWorkload(*model, workload, mode, opts, &stats);
+  if (!dists.ok()) {
+    std::fprintf(stderr, "error: %s\n", dists.status().ToString().c_str());
+    return 1;
+  }
+  auto db = ProbDatabase::FromInference(*rel, *dists);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::string dump = db->ToString(db->num_blocks());
+  std::string out = GetFlag(flags, "out", "");
+  if (out.empty()) {
+    std::printf("%s", dump.c_str());
+  } else {
+    Status st = WriteFile(out, dump);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "inferred %zu tuples (%llu distinct) with %llu sampled "
+               "points in %.2fs\n",
+               workload.size(),
+               static_cast<unsigned long long>(stats.distinct_tuples),
+               static_cast<unsigned long long>(stats.points_sampled),
+               stats.wall_seconds);
+  return 0;
+}
+
+int CmdRepair(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string model_path = GetFlag(flags, "model", "");
+  std::string out = GetFlag(flags, "out", "");
+  if (model_path.empty() || out.empty()) return Usage();
+  auto model = LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto rel = LoadInput(flags);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  RepairOptions opts;
+  if (!ParseGibbs(flags, &opts.workload, &opts.mode)) return Usage();
+  if (!GetDoubleFlag(flags, "min-confidence", 0.0, &opts.min_confidence)) {
+    return Usage();
+  }
+  RepairStats stats;
+  auto repaired = RepairRelation(*model, *rel, opts, &stats);
+  if (!repaired.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 repaired.status().ToString().c_str());
+    return 1;
+  }
+  Status st = repaired->SaveCsvFile(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("repaired %zu rows (%zu below confidence %.3f), mean "
+              "confidence %.3f -> %s\n",
+              stats.repaired, stats.skipped_low_conf, opts.min_confidence,
+              stats.mean_confidence, out.c_str());
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string model_path = GetFlag(flags, "model", "");
+  std::string where = GetFlag(flags, "where", "");
+  if (model_path.empty() || where.empty()) return Usage();
+  auto model = LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto rel = LoadInput(flags);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+
+  // Parse the conjunction against the *model's* schema (the source of
+  // truth for value ids).
+  Predicate pred;
+  for (const std::string& atom : Split(where, ',')) {
+    auto kv = Split(atom, '=');
+    if (kv.size() != 2) return Usage();
+    AttrId attr = 0;
+    if (!model->schema().FindAttr(std::string(Trim(kv[0])), &attr)) {
+      std::fprintf(stderr, "unknown attribute: %s\n", kv[0].c_str());
+      return 2;
+    }
+    ValueId value =
+        model->schema().attr(attr).Find(std::string(Trim(kv[1])));
+    if (value == kMissingValue) {
+      std::fprintf(stderr, "unknown value '%s' for attribute %s\n",
+                   kv[1].c_str(), kv[0].c_str());
+      return 2;
+    }
+    pred = pred.And(Predicate::Eq(attr, value));
+  }
+
+  GibbsOptions gibbs;
+  int64_t samples = 0;
+  if (!GetIntFlag(flags, "samples", 2000, &samples)) return Usage();
+  gibbs.samples = static_cast<size_t>(samples);
+
+  LazyDeriver lazy(&*model, &*rel, gibbs);
+  auto count = lazy.ExpectedCount(pred);
+  auto exists = lazy.ProbExists(pred);
+  if (!count.ok() || !exists.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!count.ok() ? count.status() : exists.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  std::printf("WHERE %s\n", pred.ToString(model->schema()).c_str());
+  std::printf("  expected matching rows: %.4f of %zu\n", *count,
+              rel->num_rows());
+  std::printf("  P(at least one match):  %.6f\n", *exists);
+  std::printf("  tuples materialized:    %zu (short-circuited %zu)\n",
+              lazy.materialized(), lazy.short_circuits());
+  return 0;
+}
+
+int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
+  auto rel = LoadInput(flags);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  TuningOptions opts;
+  std::string cands = GetFlag(flags, "candidates", "");
+  if (!cands.empty()) {
+    opts.candidates.clear();
+    for (const std::string& c : Split(cands, ',')) {
+      double v = 0.0;
+      if (!ParseDouble(c, &v) || v <= 0.0 || v > 1.0) return Usage();
+      opts.candidates.push_back(v);
+    }
+  }
+  if (!GetDoubleFlag(flags, "holdout", 0.2, &opts.holdout_fraction)) {
+    return Usage();
+  }
+  auto result = TuneSupportThreshold(*rel, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %-10s %-8s %-10s\n", "support", "log-loss", "top-1",
+              "meta-rules");
+  for (const CandidateScore& s : result->scores) {
+    std::printf("%-10.4f %-10.4f %-8.3f %-10zu%s\n", s.support, s.log_loss,
+                s.top1, s.model_size,
+                s.support == result->best_support ? "  <- best" : "");
+  }
+  std::printf("recommended: --support %g\n", result->best_support);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mrsl
+
+int main(int argc, char** argv) {
+  using namespace mrsl;
+  if (argc < 2) return Usage();
+  std::map<std::string, std::vector<std::string>> flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "learn") return CmdLearn(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "infer") return CmdInfer(flags);
+  if (cmd == "repair") return CmdRepair(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "tune") return CmdTune(flags);
+  return Usage();
+}
