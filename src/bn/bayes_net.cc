@@ -1,3 +1,10 @@
+// CPTs are flat row-major arrays, one per variable, with rows indexed by a
+// per-variable MixedRadix codec over the parent cardinalities (codecs are
+// built once at Create/RandomInstance time). Create() rejects any CPT
+// entry outside (0,1] — strictly positive rows keep exact inference and
+// log-likelihoods finite. RandomInstance draws rows from a Dirichlet;
+// forward sampling walks the cached topological order.
+
 #include "bn/bayes_net.h"
 
 #include <cstddef>

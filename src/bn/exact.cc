@@ -1,3 +1,11 @@
+// Two exact engines over dense sorted-variable factors: variable
+// elimination with a greedy min-degree ordering (ExactConditionalVE), and
+// brute-force enumeration of the hidden assignment space
+// (ExactConditionalEnum). TrueDistribution — the benchmark ground-truth
+// path, where the query is every unassigned variable — uses enumeration:
+// with nothing to marginalize out, VE's factor products only add overhead
+// at the paper's network sizes.
+
 #include "bn/exact.h"
 
 #include <cstddef>

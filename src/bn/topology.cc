@@ -1,3 +1,10 @@
+// Create() validates arity/cardinality bounds and runs Kahn's algorithm
+// once, caching the topological order every later consumer (sampling,
+// depth, CPT row enumeration) reuses. The shape builders are all
+// deterministic — Layered wires parents round-robin into the previous
+// layer rather than randomly — so a topology is fully reproducible from
+// its constructor arguments alone; only CPTs carry randomness.
+
 #include "bn/topology.h"
 
 #include <cstddef>

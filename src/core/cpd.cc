@@ -1,3 +1,9 @@
+// FromConfidences is where Sec III's smoothing happens: head values whose
+// rules fell below the mining threshold get an equal share of the leftover
+// confidence mass, then a min_prob positivity floor plus renormalization
+// guarantees every value stays reachable — the Gibbs sampler and log-loss
+// scoring both rely on CPDs having full support.
+
 #include "core/cpd.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// Diagnostics run on 0/1 indicator series (one per missing-attribute
+// value) extracted from a pilot chain: burn-in is the smallest point on a
+// 5% grid where every indicator passes a Geweke early-vs-late mean test
+// (batch-means variance), and the sample budget is scaled so the slowest-
+// mixing modal indicator reaches the target effective sample size, with
+// ESS computed via Geyer's initial-monotone-sequence autocorrelation sum.
+
 #include "core/diagnostics.h"
 
 #include <algorithm>

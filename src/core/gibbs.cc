@@ -1,3 +1,13 @@
+// The sweep resamples each missing attribute from the ensemble CPD for
+// the current state (EstimateConditional = lattice match + vote combine).
+// Because at most 64 attributes exist, a full state packs into one
+// mixed-radix uint64, which keys the per-attribute CpdCache: identical
+// sweep states (common once the chain mixes) skip the match entirely.
+// The cache is insert-only with a per-attribute entry cap — no eviction —
+// and is bypassed during the first sweep while missing cells are still
+// unassigned. Estimates are empirical sample counts, normalized (or
+// additively smoothed) at the end.
+
 #include "core/gibbs.h"
 
 #include <cassert>

@@ -1,3 +1,11 @@
+// Thin composition of the lattice's matching pass and Cpd's averaging:
+// collect voters (all matching meta-rules, or only subsumption-maximal
+// ones), then combine plain or weighted by rule support. A tuple matching
+// no meta-rule at all yields the uniform CPD rather than an error, so a
+// too-aggressive support threshold degrades accuracy, not availability.
+// The MatchScratch overload exists for the Gibbs inner loop, which calls
+// this per attribute per sweep and cannot afford fresh allocations.
+
 #include "core/infer_single.h"
 
 #include <cassert>

@@ -1,3 +1,12 @@
+// Algorithm 1 with steps 2 and 3 fused: rather than materializing
+// association rules and then grouping them, each frequent itemset I is
+// split into (body, head item) pairs directly and confidences
+// count(I)/count(body) accumulate into per-(attribute, body) groups —
+// each group becomes one MetaRule. A body lookup can miss only when the
+// per-round itemset cap broke Apriori's downward closure; such orphan
+// rules are skipped. Timings for the mining and rule phases are recorded
+// separately in LearnStats (they are reported separately by Fig 4).
+
 #include "core/learner.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// Line/space-separated text format, "mrsl-model v1" header, labels
+// percent-escaped (%20/%25/%0A) so they can carry spaces and newlines.
+// Probabilities print at precision 17, enough for doubles to round-trip
+// bit-exactly — serialize(parse(serialize(m))) == serialize(m), which the
+// umbrella test asserts. Parsing rebuilds each Mrsl from its rule list,
+// so lattice edges and match indexes are reconstructed, never stored.
+
 #include "core/model_io.h"
 
 #include <sstream>

@@ -1,3 +1,15 @@
+// Construction sorts rules by body size (generality), builds the Hasse
+// diagram by pairing rules whose bodies differ by exactly one item
+// (sound because Apriori closure records every subset body), and builds
+// an inverted index: per (attr, value) postings of the rules whose body
+// contains that item. Matching is then counting-based — walk the
+// postings of the evidence's assigned cells and emit a rule when its hit
+// count reaches its body size — with an epoch trick so the per-rule
+// counters never need clearing between calls (MatchScratch makes the
+// counters caller-owned for concurrent use; the built-in scratch path is
+// NOT thread-safe). MatchLinearScan is kept as the oracle/baseline the
+// tests and bench_micro compare the index against.
+
 #include "core/mrsl.h"
 
 #include <algorithm>

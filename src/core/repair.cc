@@ -1,3 +1,10 @@
+// Derives distributions for all incomplete rows in one RunWorkload call
+// (so repair benefits from tuple-DAG sample sharing), then takes each
+// distribution's joint argmax — decoding the single best cell combination
+// rather than per-attribute maxima, which could be jointly inconsistent.
+// Rows whose argmax probability misses min_confidence pass through
+// unrepaired, preserving row order and count.
+
 #include "core/repair.h"
 
 namespace mrsl {

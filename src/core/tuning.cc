@@ -1,3 +1,10 @@
+// Masked-holdout model selection: split the complete rows once (seeded
+// shuffle), pre-draw one masked attribute per holdout row, then score
+// every candidate threshold on the identical prediction tasks — only the
+// learned model varies between candidates, so log-loss differences are
+// attributable to θ alone. Best = lowest mean log-loss; top-1 accuracy
+// and model size are reported per candidate but do not drive selection.
+
 #include "core/tuning.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+// Duplicate workload tuples collapse to one node (rows_ remembers which
+// workload positions map back to it) before the O(n^2) pairwise
+// subsumption pass; the full ancestor sets are kept (descendants_) for
+// sample routing, while parent/child edges come from a Hasse reduction
+// that drops any ancestor with another ancestor strictly between. Fine
+// for workloads of distinct-tuple counts in the thousands; revisit the
+// quadratic pass before scaling past that.
+
 #include "core/tuple_dag.h"
 
 #include <unordered_map>

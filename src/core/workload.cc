@@ -1,3 +1,13 @@
+// One driver for the four Sec V-B strategies, all sharing the same
+// dedup-through-TupleDag front end and accumulator plumbing. In the
+// tuple-DAG mode, full sweep states are packed into single mixed-radix
+// uint64 codes (hence the hard 64-bit domain-size precondition) so that
+// routing a sample down to subsumed descendants is an integer compare +
+// decode, not a tuple materialization; nodes activate when all their DAG
+// parents complete, and capped sample lists keep memory at O(N) codes per
+// node. The independent-product mode never samples: it multiplies
+// single-attribute ensemble CPDs cell by cell as the paper's baseline.
+
 #include "core/workload.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+// Parallelizes RunWorkload by union-find partitioning of the tuple DAG
+// into connected components (sample sharing never crosses components) and
+// running each component as an independent sub-workload on a thread pool.
+// Each component gets a deterministic seed derived from the base seed and
+// an order-independent XOR of its tuple hashes, so results are identical
+// regardless of thread count or scheduling — the property the concurrency
+// test pins down.
+
 #include "core/workload_parallel.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// GenerateDataset over-samples so that exactly train_size rows remain
+// after the test split is carved off, shuffles once, and masks the test
+// copy by per-row shuffling of the attribute list (uniform choice of
+// which num_missing attributes go missing, per Sec VI-A). The unmasked
+// test relation is kept alongside the masked one so metrics can look up
+// ground-truth cells.
+
 #include "expfw/datagen.h"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+// KL is computed true||estimate with the estimate clamped to 1e-12 — a
+// single zero-probability cell would otherwise send one repetition's KL
+// to infinity and poison the experiment mean. AccuracyAccumulator keeps
+// only sums and counts, so per-thread accumulators Merge exactly.
+
 #include "expfw/metrics.h"
 
 #include <algorithm>

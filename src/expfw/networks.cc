@@ -1,3 +1,10 @@
+// The paper publishes only summary statistics per network (attr count,
+// average cardinality, domain size, depth — Table I), not the graphs, so
+// each catalog entry here is a concrete topology constructed to hit those
+// published numbers exactly; the comments per entry show the arithmetic.
+// The catalog is built once on first use and the paper statistics are
+// stored alongside each spec so benchmarks can report both.
+
 #include "expfw/networks.h"
 
 namespace mrsl {

@@ -1,3 +1,10 @@
+// Every runner follows the paper's averaging protocol (instances x
+// splits) with a deterministic RNG derived per (instance, split) from the
+// master seed — so instance i / split j sees identical data no matter
+// which experiment, config order, or thread asks for it, and any single
+// repetition can be reproduced in isolation. Results are plain means over
+// the repetitions.
+
 #include "expfw/runner.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+// Levelwise Apriori with vertical TID bitmaps: round 1 builds one bitmap
+// per (attr, value) pair; round k joins frequent (k-1)-itemsets sharing a
+// (k-2)-prefix (the frontier stays lexicographically sorted, so the inner
+// join loop can break on first prefix divergence) and counts support as
+// the popcount of the two parents' AND — no data re-scan after round 1.
+// The max_itemsets cap is checked per round, so one oversized round may
+// complete before mining stops (reported via AprioriStats::capped).
+
 #include "mining/apriori.h"
 
 #include <cstddef>

@@ -1,6 +1,10 @@
-#include <cstddef>
+// Entries are stored append-only in mining order; Find goes through a
+// hash-bucket index (HashItems) with an exact ItemVec compare to resolve
+// collisions, so lookups stay O(1) without trusting the 64-bit hash.
 
 #include "mining/frequent_itemsets.h"
+
+#include <cstddef>
 
 namespace mrsl {
 

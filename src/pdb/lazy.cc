@@ -1,3 +1,10 @@
+// Inference is the expensive step, so RowProbability first evaluates the
+// predicate three-valued on the raw tuple: rows decided true/false by
+// their observed cells alone short-circuit without deriving Δt (counted
+// in short_circuits_). Only genuinely uncertain rows are materialized,
+// memoized per distinct tuple. CountDistribution is the standard
+// Poisson-binomial DP over per-row probabilities.
+
 #include "pdb/lazy.h"
 
 namespace mrsl {

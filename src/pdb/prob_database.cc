@@ -1,3 +1,11 @@
+// AddBlock is the single validation gate: complete alternatives, arity
+// match, per-alternative and total mass within [0, 1+eps] — everything
+// downstream (query evaluation) trusts these invariants instead of
+// re-checking. FromInference pairs the relation's incomplete rows with
+// the distributions in row order, drops alternatives below min_prob, and
+// renormalizes each block, so a derived block always carries full mass
+// even after truncation.
+
 #include "pdb/prob_database.h"
 
 #include <cmath>

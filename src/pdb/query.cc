@@ -1,3 +1,10 @@
+// Extensional evaluation on the BID independence structure: within a
+// block alternatives are disjoint (probabilities add), across blocks
+// independent (existence composes as 1 - Π(1 - p)). Predicates are
+// conjunctions of =/!= atoms with a three-valued EvalPartial so callers
+// can decide rows on observed cells alone; Select filters alternatives
+// without renormalizing (mass < 1 means "tuple absent from this world").
+
 #include "pdb/query.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+// Two-pass over the raw CSV text: pass one collects the numeric values per
+// requested column and learns the bucket boundaries (equal-width from the
+// min/max, equal-frequency from de-duplicated quantiles — ties can merge
+// buckets, so fewer than num_buckets may come back); pass two rewrites the
+// cells to interval labels and re-parses through Relation::FromCsv so the
+// dictionary encoding stays on the one ingestion path. Outer buckets are
+// open-ended ("(-inf", "+inf)"), making the map total on unseen values.
+
 #include "relational/discretizer.h"
 
 #include <algorithm>

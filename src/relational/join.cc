@@ -1,3 +1,10 @@
+// Hash join, dimension side built first. Because each relation dictionary-
+// encodes its own domains, keys are matched on their string labels, not on
+// ValueIds. Primary-key uniqueness is enforced while indexing; with
+// keep_unmatched set, a dangling or missing foreign key degrades to
+// kMissingValue dimension cells (a left outer join) so the downstream
+// learner just sees more incompleteness rather than losing the row.
+
 #include "relational/join.h"
 
 #include <unordered_map>

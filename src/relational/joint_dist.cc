@@ -1,3 +1,9 @@
+// Dense flat array indexed by a MixedRadix codec over the (sorted)
+// variable list; the constructor asserts the codec is not saturated, so a
+// JointDist can only exist when the cross-product fits in memory —
+// feasibility must be checked by the caller beforehand. TopK breaks
+// probability ties by code so output order is deterministic.
+
 #include "relational/joint_dist.h"
 
 #include <cstddef>

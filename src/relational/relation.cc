@@ -1,6 +1,13 @@
-#include <cstddef>
+// Rows live in one vector in insertion order; the Rc/Ri split and support
+// counts are computed on demand rather than cached, so Append stays O(1)
+// and callers that mutate tuples never see stale indices. FromCsv grows
+// each attribute's dictionary in encounter order (FindOrAdd), which makes
+// ValueIds — and therefore learned models — depend on row order; "?" and
+// the empty string both decode to kMissingValue.
 
 #include "relational/relation.h"
+
+#include <cstddef>
 
 #include "util/csv.h"
 

@@ -1,7 +1,13 @@
+// Attributes keep a bidirectional label<->ValueId dictionary; FindOrAdd
+// appends, so domains only ever grow and existing ids stay stable.
+// Schema::Create enforces the kMaxAttributes cap (AttrMask is a uint64
+// bitset) and unique names up front; DomainSize saturates at uint64 max
+// instead of overflowing so callers can test feasibility of dense storage.
+
 #include "relational/schema.h"
 
-#include <cstddef>
 #include <cassert>
+#include <cstddef>
 #include <limits>
 
 namespace mrsl {

@@ -1,7 +1,14 @@
+// The matching/subsumption predicates reduce to bit arithmetic on
+// CompleteMask() (one bit per assigned attribute, hence the 64-attribute
+// schema cap): proper-subset tests are mask compares and AgreesOn walks
+// only the set bits via ctz. TupleHash is FNV-1a over the raw cell ids;
+// kMissingValue hashes like any other value, so incomplete tuples can key
+// hash maps (the tuple-DAG dedup relies on this).
+
 #include "relational/tuple.h"
 
-#include <cstddef>
 #include <cassert>
+#include <cstddef>
 
 namespace mrsl {
 

@@ -1,10 +1,40 @@
 #include "util/bitvector.h"
 
-#include <cstddef>
-#include <bit>
 #include <cassert>
+#include <cstddef>
 
 namespace mrsl {
+namespace {
+
+// C++17-portable stand-ins for std::popcount / std::countr_zero (C++20).
+inline int PopCount64(uint64_t w) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(w);
+#else
+  int n = 0;
+  while (w != 0) {
+    w &= w - 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+inline int CountTrailingZeros64(uint64_t w) {
+  assert(w != 0);
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(w);
+#else
+  int n = 0;
+  while ((w & 1) == 0) {
+    w >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace
 
 BitVector::BitVector(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
 
@@ -25,7 +55,7 @@ bool BitVector::Get(size_t i) const {
 
 size_t BitVector::Count() const {
   size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) n += static_cast<size_t>(PopCount64(w));
   return n;
 }
 
@@ -43,7 +73,7 @@ size_t BitVector::AndCount(const BitVector& other) const {
   assert(size_ == other.size_);
   size_t n = 0;
   for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    n += static_cast<size_t>(PopCount64(words_[i] & other.words_[i]));
   }
   return n;
 }
@@ -67,7 +97,7 @@ std::vector<uint32_t> BitVector::ToIndices() const {
   for (size_t wi = 0; wi < words_.size(); ++wi) {
     uint64_t w = words_[wi];
     while (w != 0) {
-      int bit = std::countr_zero(w);
+      int bit = CountTrailingZeros64(w);
       out.push_back(static_cast<uint32_t>(wi * 64 + static_cast<size_t>(bit)));
       w &= w - 1;
     }

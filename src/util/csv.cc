@@ -1,3 +1,8 @@
+// Single-pass character state machine (in_quotes / field_started) rather
+// than a line-splitting pass, so quoted fields may contain embedded
+// newlines and CRLF input needs no pre-normalization. A quote opening
+// mid-field is rejected as corruption instead of being silently folded in.
+
 #include "util/csv.h"
 
 #include <cstddef>

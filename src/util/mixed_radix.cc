@@ -1,3 +1,8 @@
+// Strides are precomputed right-to-left (last digit varies fastest, i.e.
+// row-major). A product overflowing uint64 marks the space `saturated_`:
+// Size() stays usable as a sentinel but Encode/Decode assert, so callers
+// must check Saturated() before materializing anything dense.
+
 #include "util/mixed_radix.h"
 
 #include <cstddef>

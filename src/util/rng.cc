@@ -1,3 +1,10 @@
+// The core generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 so that nearby user seeds still land in well-separated
+// states. Derived draws use textbook rejection methods chosen for exact
+// distribution (not speed): Lemire multiply-shift for bounded integers,
+// Marsaglia polar for normals, Marsaglia-Tsang for gamma. Fork() seeds an
+// independent stream from the parent, giving per-thread reproducibility.
+
 #include "util/rng.h"
 
 #include <cstddef>

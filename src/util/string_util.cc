@@ -1,3 +1,8 @@
+// Numeric parsing goes through std::from_chars exclusively: unlike
+// strtod/stoi it is locale-independent and rejects trailing junk, which
+// keeps CSV ingestion deterministic across environments. ParseDouble
+// additionally rejects inf/nan so no non-finite value can enter a model.
+
 #include "util/string_util.h"
 
 #include <cstddef>

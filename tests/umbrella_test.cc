@@ -4,6 +4,8 @@
 
 #include "mrsl.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace mrsl {
@@ -12,6 +14,11 @@ namespace {
 TEST(UmbrellaTest, VersionMacros) {
   EXPECT_EQ(MRSL_VERSION_MAJOR, 1);
   EXPECT_STREQ(MRSL_VERSION_STRING, "1.0.0");
+  // The string macro must stay in sync with the numeric components.
+  const std::string composed = std::to_string(MRSL_VERSION_MAJOR) + "." +
+                               std::to_string(MRSL_VERSION_MINOR) + "." +
+                               std::to_string(MRSL_VERSION_PATCH);
+  EXPECT_EQ(composed, MRSL_VERSION_STRING);
 }
 
 TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
@@ -45,6 +52,39 @@ TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
   ASSERT_TRUE(db.ok());
   double p = ProbExists(*db, Predicate::Eq(0, broken.value(0)));
   EXPECT_NEAR(p, 1.0, 1e-9);  // observed cell is certain
+}
+
+TEST(UmbrellaTest, ModelIoAndRepairThroughSingleInclude) {
+  // The offline-learning workflow (Sec VI-B): learn, serialize, reload,
+  // then repair with the reloaded model — all through "mrsl.h".
+  Rng rng(7);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 2), &rng);
+  Relation rel = bn.SampleRelation(1500, &rng);
+
+  LearnOptions learn;
+  learn.support_threshold = 0.01;
+  auto model = LearnModel(rel, learn);
+  ASSERT_TRUE(model.ok());
+
+  const std::string text = ModelToText(*model);
+  auto reloaded = ModelFromText(text);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(ModelToText(*reloaded), text);  // serialization round-trips
+
+  Relation dirty(rel.schema());
+  Tuple broken = rel.row(0);
+  broken.set_value(1, kMissingValue);
+  ASSERT_TRUE(dirty.Append(broken).ok());
+
+  RepairOptions repair;
+  repair.workload.gibbs.samples = 200;
+  repair.workload.gibbs.burn_in = 20;
+  RepairStats stats;
+  auto repaired = RepairRelation(*reloaded, dirty, repair, &stats);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_EQ(repaired->num_rows(), 1u);
+  EXPECT_EQ(stats.repaired, 1u);
+  EXPECT_TRUE(repaired->row(0).IsComplete());
 }
 
 }  // namespace

@@ -44,7 +44,7 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: mrsl <learn|stats|infer|repair|query> [options]\n"
+      "usage: mrsl <learn|stats|infer|repair|query|tune> [options]\n"
       "  learn  --in data.csv --out model.txt [--support 0.01]\n"
       "         [--max-itemsets 1000] [--discretize col:buckets:width|freq]\n"
       "  stats  --model model.txt\n"
