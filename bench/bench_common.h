@@ -1,14 +1,18 @@
 // Shared scaffolding for the experiment drivers in bench/: flag parsing
-// (--full switches from the fast default scale to the paper's scale),
-// section headers, and a tiny least-squares helper used to report slopes.
+// (--full switches from the fast default scale to the paper's scale,
+// --json <path> adds machine-readable output), section headers, a tiny
+// JSON writer for perf-trajectory files, and least-squares helpers used
+// to report slopes.
 
 #ifndef MRSL_BENCH_BENCH_COMMON_H_
 #define MRSL_BENCH_BENCH_COMMON_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mrsl {
@@ -16,7 +20,8 @@ namespace bench {
 
 /// Command-line options common to all experiment drivers.
 struct BenchFlags {
-  bool full = false;  // paper-scale parameters instead of the quick ones
+  bool full = false;       // paper-scale parameters instead of quick ones
+  std::string json_path;   // when set, also write machine-readable JSON
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -24,10 +29,13 @@ struct BenchFlags {
       std::string arg = argv[i];
       if (arg == "--full") {
         flags.full = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        flags.json_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--full]\n"
-            "  --full  run at the paper's scale (slower)\n",
+            "usage: %s [--full] [--json out.json]\n"
+            "  --full        run at the paper's scale (slower)\n"
+            "  --json PATH   write machine-readable results to PATH\n",
             argv[0]);
         std::exit(0);
       } else {
@@ -37,6 +45,77 @@ struct BenchFlags {
     }
     return flags;
   }
+};
+
+/// Minimal insertion-ordered JSON object writer — just enough for the
+/// flat { scalars..., "rows": [ {...}, ... ] } shape the benchmark
+/// drivers emit (tracked as BENCH_*.json perf trajectories across PRs).
+class JsonObject {
+ public:
+  JsonObject& SetStr(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    items_.emplace_back(key, std::move(quoted));
+    return *this;
+  }
+  JsonObject& SetInt(const std::string& key, uint64_t value) {
+    items_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& SetNum(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    items_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& SetBool(const std::string& key, bool value) {
+    items_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+  JsonObject& SetArray(const std::string& key,
+                       const std::vector<JsonObject>& rows) {
+    std::string rendered = "[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) rendered += ",";
+      rendered += rows[i].ToString();
+    }
+    rendered += "]";
+    items_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + items_[i].first + "\":" + items_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Writes the object (plus trailing newline) to `path`; returns false
+  /// and prints to stderr on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string body = ToString();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
 };
 
 /// Prints an experiment banner.

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   opts.gibbs.enable_cpd_cache = false;  // keep per-sweep work visible
 
   TablePrinter table({"threads", "wall (s)", "speedup", "identical output"});
+  std::vector<bench::JsonObject> json_rows;
   std::vector<JointDist> reference;
   double base_secs = 0.0;
   for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
@@ -79,8 +80,29 @@ int main(int argc, char** argv) {
                   FormatDouble(stats.wall_seconds, 3),
                   FormatDouble(base_secs / stats.wall_seconds, 2),
                   threads == 1 ? "(reference)" : (identical ? "yes" : "NO")});
+    json_rows.push_back(bench::JsonObject()
+                            .SetInt("threads", threads)
+                            .SetNum("wall_seconds", stats.wall_seconds)
+                            .SetNum("tuples_per_sec",
+                                    static_cast<double>(workload.size()) /
+                                        stats.wall_seconds)
+                            .SetNum("speedup",
+                                    base_secs / stats.wall_seconds)
+                            .SetBool("identical_output", identical));
   }
   std::printf("%s", table.ToString().c_str());
+
+  if (!flags.json_path.empty()) {
+    bench::JsonObject()
+        .SetStr("bench", "bench_parallel")
+        .SetBool("full", flags.full)
+        .SetStr("mode", "tuple-DAG")
+        .SetInt("workload_size", workload.size())
+        .SetInt("samples", opts.gibbs.samples)
+        .SetInt("burn_in", opts.gibbs.burn_in)
+        .SetArray("rows", json_rows)
+        .WriteTo(flags.json_path);
+  }
   std::printf(
       "\nFINDING: DAG components parallelize with deterministic,\n"
       "thread-count-independent output (per-component seeds); speedup is\n"

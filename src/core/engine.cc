@@ -1,0 +1,244 @@
+// Batch execution: partition the batch's tuple DAG into connected
+// components, run each component through RunWorkloadOn on a checked-out
+// context, stitch node results back to batch positions. The per-component
+// seed is a pure function of the request seed and the component's tuples,
+// so neither the thread count, nor the context checkout order, nor the
+// warmth of a context's CPD cache can show up in the output — components
+// write to preassigned slots and the first (lowest-index) component error
+// wins deterministically.
+
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "core/infer_single.h"
+#include "core/tuple_dag.h"
+#include "util/timer.h"
+
+namespace mrsl {
+
+uint64_t WorkloadComponentSeed(uint64_t base,
+                               const std::vector<Tuple>& tuples) {
+  TupleHash hasher;
+  uint64_t h = 0x6D52534C;  // 'mRSL'
+  for (const Tuple& t : tuples) h ^= hasher(t);
+  return base ^ (h * 0x9E3779B97F4A7C15ULL);
+}
+
+Engine::Engine(MrslModel model, EngineOptions options)
+    : owned_model_(std::move(model)),
+      model_(&owned_model_),
+      options_(options) {
+  if (options_.num_threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::Global();
+  }
+}
+
+Engine::Engine(const MrslModel* model, EngineOptions options)
+    : model_(model), options_(options) {
+  if (options_.num_threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::Global();
+  }
+}
+
+InferenceContext* Engine::AcquireContext() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_.empty()) {
+    InferenceContext* ctx = free_.back();
+    free_.pop_back();
+    return ctx;
+  }
+  contexts_.push_back(std::make_unique<InferenceContext>(model_));
+  ++stats_.contexts_created;
+  return contexts_.back().get();
+}
+
+void Engine::ReleaseContext(InferenceContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(ctx);
+}
+
+void Engine::RecordBatch(const WorkloadStats& stats, size_t components,
+                         size_t tuples) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.batches;
+  stats_.tuples += tuples;
+  stats_.components += components;
+  stats_.cache_hits += stats.cache_hits;
+  stats_.cpd_evaluations += stats.cpd_evaluations;
+}
+
+Result<std::vector<JointDist>> Engine::InferBatch(
+    const std::vector<Tuple>& batch, SamplingMode mode,
+    const WorkloadOptions& options, WorkloadStats* stats) {
+  WallTimer timer;
+  if (batch.empty()) {
+    if (stats != nullptr) *stats = WorkloadStats();
+    return std::vector<JointDist>{};
+  }
+
+  if (mode == SamplingMode::kAllAtATime) {
+    // One global chain over t*: inherently sequential, one context.
+    InferenceContext* ctx = AcquireContext();
+    GibbsSampler* sampler = ctx->PrepareSampler(options.gibbs);
+    WorkloadStats local;
+    auto result = RunWorkloadOn(sampler, batch, mode, options, &local);
+    ReleaseContext(ctx);
+    if (!result.ok()) return result.status();
+    local.wall_seconds = timer.ElapsedSeconds();
+    RecordBatch(local, 1, batch.size());
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+
+  // Partition into DAG components and build the per-component
+  // sub-workloads (component node tuples are distinct by construction).
+  TupleDag dag(batch);
+  const std::vector<std::vector<uint32_t>> components = dag.Components();
+  std::vector<std::vector<Tuple>> subs(components.size());
+  for (size_t c = 0; c < components.size(); ++c) {
+    subs[c].reserve(components[c].size());
+    for (uint32_t node : components[c]) subs[c].push_back(dag.node(node));
+  }
+
+  std::vector<std::vector<JointDist>> sub_results(components.size());
+  std::vector<WorkloadStats> sub_stats(components.size());
+  std::vector<Status> sub_status(components.size());
+
+  // Effective executor cap: an explicit max_parallelism wins; otherwise
+  // a private pool means "exactly num_threads executors" (ParallelFor's
+  // caller participation would otherwise make num_threads=1 two-wide
+  // and skew thread-scaling baselines).
+  size_t max_parallelism = options_.max_parallelism;
+  if (max_parallelism == 0 && owned_pool_ != nullptr) {
+    max_parallelism = options_.num_threads;
+  }
+
+  pool_->ParallelFor(
+      components.size(), max_parallelism, [&](size_t c) {
+        InferenceContext* ctx = AcquireContext();
+        WorkloadOptions opts = options;
+        opts.gibbs.seed =
+            WorkloadComponentSeed(options.gibbs.seed, subs[c]);
+        GibbsSampler* sampler = ctx->PrepareSampler(opts.gibbs);
+        auto result =
+            RunWorkloadOn(sampler, subs[c], mode, opts, &sub_stats[c]);
+        if (result.ok()) {
+          sub_results[c] = std::move(result).value();
+        } else {
+          sub_status[c] = result.status();
+        }
+        ReleaseContext(ctx);
+      });
+
+  for (const Status& s : sub_status) {
+    if (!s.ok()) return s;
+  }
+
+  // Stitch node results back to batch positions.
+  std::vector<const JointDist*> by_node(dag.num_nodes(), nullptr);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (size_t i = 0; i < components[c].size(); ++i) {
+      by_node[components[c][i]] = &sub_results[c][i];
+    }
+  }
+  std::vector<JointDist> out;
+  out.reserve(batch.size());
+  for (size_t pos = 0; pos < batch.size(); ++pos) {
+    out.push_back(*by_node[dag.workload_to_node()[pos]]);
+  }
+
+  WorkloadStats total;
+  for (const WorkloadStats& s : sub_stats) {
+    total.points_sampled += s.points_sampled;
+    total.burn_in_points += s.burn_in_points;
+    total.shared_samples += s.shared_samples;
+    total.distinct_tuples += s.distinct_tuples;
+    total.cache_hits += s.cache_hits;
+    total.cpd_evaluations += s.cpd_evaluations;
+  }
+  total.wall_seconds = timer.ElapsedSeconds();
+  RecordBatch(total, components.size(), batch.size());
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+Result<std::vector<JointDist>> Engine::InferChunked(
+    const std::vector<Tuple>& tuples, SamplingMode mode,
+    const WorkloadOptions& options, size_t batch_size,
+    WorkloadStats* stats) {
+  std::vector<JointDist> out;
+  out.reserve(tuples.size());
+  WorkloadStats total;
+  const size_t chunk = batch_size == 0 ? tuples.size() : batch_size;
+  for (size_t start = 0; start < tuples.size(); start += chunk) {
+    const size_t end = std::min(start + chunk, tuples.size());
+    std::vector<Tuple> batch(
+        tuples.begin() + static_cast<ptrdiff_t>(start),
+        tuples.begin() + static_cast<ptrdiff_t>(end));
+    WorkloadStats batch_stats;
+    auto dists = InferBatch(batch, mode, options, &batch_stats);
+    if (!dists.ok()) return dists.status();
+    for (auto& d : *dists) out.push_back(std::move(d));
+    total.points_sampled += batch_stats.points_sampled;
+    total.burn_in_points += batch_stats.burn_in_points;
+    total.shared_samples += batch_stats.shared_samples;
+    total.distinct_tuples += batch_stats.distinct_tuples;
+    total.cache_hits += batch_stats.cache_hits;
+    total.cpd_evaluations += batch_stats.cpd_evaluations;
+    total.wall_seconds += batch_stats.wall_seconds;
+  }
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+Result<JointDist> Engine::Infer(const Tuple& t,
+                                const WorkloadOptions& options,
+                                SamplingMode mode) {
+  auto batch = InferBatch({t}, mode, options);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+Result<Cpd> Engine::InferAttribute(const Tuple& t, AttrId attr,
+                                   const VotingOptions& voting) {
+  if (attr >= model_->num_attrs()) {
+    return Status::InvalidArgument("attribute id out of range");
+  }
+  InferenceContext* ctx = AcquireContext();
+  auto result = InferSingleAttribute(
+      *model_, t, attr, voting, &(*ctx->sampler()->lattice_scratch())[attr]);
+  ReleaseContext(ctx);
+  return result;
+}
+
+Result<std::vector<JointDist>> Engine::DeriveBatch(
+    const Relation& rel, SamplingMode mode, const WorkloadOptions& options,
+    size_t batch_size, WorkloadStats* stats) {
+  std::vector<Tuple> workload;
+  workload.reserve(rel.IncompleteRowIndices().size());
+  for (uint32_t r : rel.IncompleteRowIndices()) {
+    workload.push_back(rel.row(r));
+  }
+  return InferChunked(workload, mode, options, batch_size, stats);
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t Engine::context_pool_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contexts_.size();
+}
+
+}  // namespace mrsl

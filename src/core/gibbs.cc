@@ -50,12 +50,36 @@ void CpdCache::Insert(AttrId attr, uint64_t key, Cpd cpd) {
   map.emplace(key, std::move(cpd));
 }
 
+void CpdCache::Clear(size_t new_max_entries_per_attr) {
+  if (new_max_entries_per_attr != kKeepCap) {
+    max_entries_ = new_max_entries_per_attr;
+  }
+  for (auto& map : maps_) map.clear();
+}
+
+size_t CpdCache::total_entries() const {
+  size_t total = 0;
+  for (const auto& map : maps_) total += map.size();
+  return total;
+}
+
 GibbsSampler::GibbsSampler(const MrslModel* model, const GibbsOptions& options)
     : model_(model),
       options_(options),
       rng_(options.seed),
-      cache_(model->schema()),
+      cache_(model->schema(), options.cpd_cache_max_entries),
       lattice_scratch_(model->num_attrs()) {}
+
+void GibbsSampler::Reconfigure(const GibbsOptions& options) {
+  const bool cache_compatible =
+      options_.voting.choice == options.voting.choice &&
+      options_.voting.scheme == options.voting.scheme &&
+      options_.cpd_cache_max_entries == options.cpd_cache_max_entries;
+  options_ = options;
+  rng_ = Rng(options.seed);
+  if (!cache_compatible) cache_.Clear(options.cpd_cache_max_entries);
+  ResetStats();
+}
 
 Result<GibbsSampler::Chain> GibbsSampler::MakeChain(const Tuple& t) const {
   if (t.num_attrs() != model_->num_attrs()) {

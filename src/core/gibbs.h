@@ -49,6 +49,17 @@ class CpdCache {
   /// Inserts unless the per-attribute cap is reached.
   void Insert(AttrId attr, uint64_t key, Cpd cpd);
 
+  /// Drops every entry, optionally changing the per-attribute cap
+  /// (kKeepCap leaves it unchanged). Statistics survive.
+  static constexpr size_t kKeepCap = static_cast<size_t>(-1);
+  void Clear(size_t new_max_entries_per_attr = kKeepCap);
+
+  size_t max_entries_per_attr() const { return max_entries_; }
+
+  /// Entries currently cached for `attr` / across all attributes.
+  size_t entries(AttrId attr) const { return maps_[attr].size(); }
+  size_t total_entries() const;
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   void ResetStats() { hits_ = misses_ = 0; }
@@ -70,10 +81,20 @@ struct GibbsStats {
 };
 
 /// The ordered Gibbs sampler. Not thread-safe; create one per thread.
+/// Designed for reuse: a long-lived sampler (see core/engine.h) keeps its
+/// CPD cache and scratch across requests and is re-aimed at a new request
+/// stream with Reconfigure().
 class GibbsSampler {
  public:
   /// `model` must outlive the sampler.
   GibbsSampler(const MrslModel* model, const GibbsOptions& options);
+
+  /// Re-points a persistent sampler at a new option set: reseeds the RNG
+  /// from `options.seed`, resets the statistics, and keeps the CPD cache
+  /// warm unless a cache-relevant option (voting method, cache cap)
+  /// changed — cached conditionals are pure functions of the model and
+  /// those options, so reuse never alters results.
+  void Reconfigure(const GibbsOptions& options);
 
   /// A single tuple's Markov chain.
   struct Chain {
@@ -104,7 +125,15 @@ class GibbsSampler {
   const GibbsStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GibbsStats(); }
   Rng* rng() { return &rng_; }
+  const MrslModel* model() const { return model_; }
   const GibbsOptions& options() const { return options_; }
+  const CpdCache& cache() const { return cache_; }
+
+  /// Per-attribute matcher scratch, shared with the workload driver's
+  /// non-sampling paths so one context owns all matching state.
+  std::vector<Mrsl::MatchScratch>* lattice_scratch() {
+    return &lattice_scratch_;
+  }
 
  private:
   /// Conditional estimate for `attr` given every other value in `state`

@@ -59,6 +59,11 @@ struct GibbsOptions {
   /// Enables the conditional-CPD cache keyed by (attr, evidence state).
   bool enable_cpd_cache = true;
 
+  /// Per-attribute entry cap of the conditional-CPD cache. Bounds the
+  /// memory of a long-lived sampler (engine contexts keep their cache
+  /// across batches); the cache is insert-only up to the cap.
+  size_t cpd_cache_max_entries = size_t{1} << 20;
+
   /// Pseudo-count added to every cell of the empirical joint before
   /// normalization (Jeffreys-prior style). Keeps unvisited combinations
   /// at a small positive probability so KL divergence against the

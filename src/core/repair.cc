@@ -1,30 +1,30 @@
-// Derives distributions for all incomplete rows in one RunWorkload call
-// (so repair benefits from tuple-DAG sample sharing), then takes each
+// Derives distributions for all incomplete rows in one workload pass (so
+// repair benefits from tuple-DAG sample sharing), then takes each
 // distribution's joint argmax — decoding the single best cell combination
 // rather than per-attribute maxima, which could be jointly inconsistent.
 // Rows whose argmax probability misses min_confidence pass through
-// unrepaired, preserving row order and count.
+// unrepaired, preserving row order and count. The engine-backed overload
+// runs the same argmax pass over batched parallel derivation.
 
 #include "core/repair.h"
 
 namespace mrsl {
+namespace {
 
-Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
-                                const RepairOptions& options,
-                                RepairStats* stats) {
+std::vector<Tuple> IncompleteRows(const Relation& rel) {
   std::vector<Tuple> workload;
   for (uint32_t r : rel.IncompleteRowIndices()) {
     workload.push_back(rel.row(r));
   }
+  return workload;
+}
 
-  std::vector<JointDist> dists;
-  if (!workload.empty()) {
-    auto result =
-        RunWorkload(model, workload, options.mode, options.workload);
-    if (!result.ok()) return result.status();
-    dists = std::move(result).value();
-  }
-
+// Joint-argmax completion of every incomplete row from its Δt (aligned
+// with the incomplete-row order).
+Result<Relation> ApplyRepairs(const Relation& rel,
+                              const std::vector<JointDist>& dists,
+                              const RepairOptions& options,
+                              RepairStats* stats) {
   RepairStats local;
   double conf_sum = 0.0;
   Relation out(rel.schema());
@@ -58,6 +58,31 @@ Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
   }
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+}  // namespace
+
+Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
+                                const RepairOptions& options,
+                                RepairStats* stats) {
+  std::vector<Tuple> workload = IncompleteRows(rel);
+  std::vector<JointDist> dists;
+  if (!workload.empty()) {
+    auto result =
+        RunWorkload(model, workload, options.mode, options.workload);
+    if (!result.ok()) return result.status();
+    dists = std::move(result).value();
+  }
+  return ApplyRepairs(rel, dists, options, stats);
+}
+
+Result<Relation> RepairRelation(Engine* engine, const Relation& rel,
+                                const RepairOptions& options,
+                                RepairStats* stats) {
+  auto dists = engine->DeriveBatch(rel, options.mode, options.workload,
+                                   options.batch_size);
+  if (!dists.ok()) return dists.status();
+  return ApplyRepairs(rel, *dists, options, stats);
 }
 
 }  // namespace mrsl

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/model.h"
 #include "core/workload.h"
 #include "relational/relation.h"
@@ -27,6 +28,11 @@ struct RepairOptions {
   /// unrepaired (their "?" cells survive) — a guardrail against
   /// confidently wrong imputations. 0 repairs everything.
   double min_confidence = 0.0;
+
+  /// Engine-backed form only: incomplete rows are derived `batch_size`
+  /// tuples per engine batch (0 = one batch). Smaller batches bound
+  /// peak memory; batch boundaries limit DAG sample sharing.
+  size_t batch_size = 0;
 };
 
 /// Per-run statistics.
@@ -40,6 +46,12 @@ struct RepairStats {
 /// most probable completion under the model (single-tuple inference via
 /// `mode`). Complete tuples pass through unchanged.
 Result<Relation> RepairRelation(const MrslModel& model, const Relation& rel,
+                                const RepairOptions& options,
+                                RepairStats* stats = nullptr);
+
+/// Engine-backed form: derivation runs batched on the engine's thread
+/// pool and warm per-thread contexts (see core/engine.h).
+Result<Relation> RepairRelation(Engine* engine, const Relation& rel,
                                 const RepairOptions& options,
                                 RepairStats* stats = nullptr);
 

@@ -73,4 +73,39 @@ std::vector<uint32_t> TupleDag::Roots() const {
   return roots;
 }
 
+std::vector<std::vector<uint32_t>> TupleDag::Components() const {
+  // Path-halving union-find over the Hasse edges.
+  std::vector<uint32_t> parent(nodes_.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = static_cast<uint32_t>(i);
+  }
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    for (uint32_t p : parents_[v]) {
+      parent[find(static_cast<uint32_t>(v))] = find(p);
+    }
+  }
+
+  // Group nodes by root; ascending node ids within each component, and
+  // components ordered by their smallest node id.
+  std::vector<std::vector<uint32_t>> components;
+  std::vector<int32_t> comp_of_root(nodes_.size(), -1);
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    uint32_t root = find(static_cast<uint32_t>(v));
+    if (comp_of_root[root] < 0) {
+      comp_of_root[root] = static_cast<int32_t>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<size_t>(comp_of_root[root])].push_back(
+        static_cast<uint32_t>(v));
+  }
+  return components;
+}
+
 }  // namespace mrsl

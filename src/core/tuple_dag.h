@@ -50,6 +50,12 @@ class TupleDag {
   /// Nodes with no parents — Algorithm 3's initial root set.
   std::vector<uint32_t> Roots() const;
 
+  /// Connected components of the (undirected view of the) subsumption
+  /// DAG, each a sorted list of node ids. Sample sharing never crosses a
+  /// component boundary, so components are the engine's independent
+  /// units of parallel work.
+  std::vector<std::vector<uint32_t>> Components() const;
+
  private:
   std::vector<Tuple> nodes_;
   std::vector<std::vector<uint32_t>> rows_;

@@ -110,9 +110,22 @@ Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
                                            SamplingMode mode,
                                            const WorkloadOptions& options,
                                            WorkloadStats* stats) {
+  GibbsSampler sampler(&model, options.gibbs);
+  return RunWorkloadOn(&sampler, workload, mode, options, stats);
+}
+
+Result<std::vector<JointDist>> RunWorkloadOn(
+    GibbsSampler* sampler_ptr, const std::vector<Tuple>& workload,
+    SamplingMode mode, const WorkloadOptions& options,
+    WorkloadStats* stats) {
+  GibbsSampler& sampler = *sampler_ptr;
+  const MrslModel& model = *sampler.model();
   MRSL_RETURN_IF_ERROR(ValidateWorkload(model, workload));
   WallTimer timer;
   WorkloadStats local;
+  // A persistent sampler carries statistics from earlier calls; report
+  // only this call's increments.
+  const GibbsStats stats_before = sampler.stats();
   const Schema& schema = model.schema();
   const size_t N = options.gibbs.samples;
   const size_t B = options.gibbs.burn_in;
@@ -125,14 +138,13 @@ Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
     node_dists.push_back(MakeNodeDist(schema, dag.node(i)));
   }
 
-  GibbsSampler sampler(&model, options.gibbs);
-
   switch (mode) {
     case SamplingMode::kIndependentProduct: {
       // P(a1..ak | evidence) ~= Π P(ai | evidence): per-attribute single
       // inference with only the observed cells as evidence. Matching uses
-      // a local scratch so concurrent workload runs stay race-free.
-      std::vector<Mrsl::MatchScratch> scratch(model.num_attrs());
+      // the sampler context's scratch so concurrent runs stay race-free.
+      std::vector<Mrsl::MatchScratch>& scratch =
+          *sampler.lattice_scratch();
       for (size_t i = 0; i < dag.num_nodes(); ++i) {
         const Tuple& node = dag.node(i);
         JointDist& dist = node_dists[i];
@@ -334,8 +346,9 @@ Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
     out.push_back(node_dists[dag.workload_to_node()[pos]]);
   }
 
-  local.cache_hits = sampler.stats().cache_hits;
-  local.cpd_evaluations = sampler.stats().cpd_evaluations;
+  local.cache_hits = sampler.stats().cache_hits - stats_before.cache_hits;
+  local.cpd_evaluations =
+      sampler.stats().cpd_evaluations - stats_before.cpd_evaluations;
   local.wall_seconds = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local;
   return out;

@@ -68,6 +68,18 @@ Result<std::vector<JointDist>> RunWorkload(const MrslModel& model,
                                            const WorkloadOptions& options,
                                            WorkloadStats* stats = nullptr);
 
+/// Same driver over a caller-owned sampler — the persistent-engine entry
+/// point (core/engine.h): the sampler's CPD cache and scratch survive
+/// across calls, so steady-state requests build no per-call state. The
+/// sampler must be configured for `options.gibbs` (Reconfigure() with the
+/// same options, seed included) before the call; cached conditionals from
+/// earlier calls under compatible options are reused and never change
+/// results. Reported cache/evaluation stats cover this call only.
+Result<std::vector<JointDist>> RunWorkloadOn(
+    GibbsSampler* sampler, const std::vector<Tuple>& workload,
+    SamplingMode mode, const WorkloadOptions& options,
+    WorkloadStats* stats = nullptr);
+
 }  // namespace mrsl
 
 #endif  // MRSL_CORE_WORKLOAD_H_

@@ -1,53 +1,18 @@
-// Parallelizes RunWorkload by union-find partitioning of the tuple DAG
-// into connected components (sample sharing never crosses components) and
-// running each component as an independent sub-workload on a thread pool.
-// Each component gets a deterministic seed derived from the base seed and
-// an order-independent XOR of its tuple hashes, so results are identical
-// regardless of thread count or scheduling — the property the concurrency
-// test pins down.
+// Back-compat wrapper: the component partitioning, per-component
+// deterministic seeding, and result stitching that used to live here
+// (with per-call std::thread spawning) moved into the persistent
+// mrsl::Engine. This entry point now borrows the process-wide shared
+// thread pool through a transient engine, so legacy callers stop paying
+// thread start-up per invocation while producing bit-identical results
+// for any thread count — the property the concurrency tests pin down.
+// New code should hold a long-lived Engine instead (core/engine.h): it
+// additionally keeps the per-thread CPD caches warm across calls.
 
 #include "core/workload_parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
-
-#include "core/tuple_dag.h"
-#include "util/timer.h"
+#include "core/engine.h"
 
 namespace mrsl {
-namespace {
-
-// Union-find over DAG nodes.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n) {
-    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
-  }
-  uint32_t Find(uint32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::vector<uint32_t> parent_;
-};
-
-// Deterministic per-component seed: combines the base seed with the
-// hashes of the component's tuples (order-independent via XOR).
-uint64_t ComponentSeed(uint64_t base, const std::vector<Tuple>& tuples) {
-  TupleHash hasher;
-  uint64_t h = 0x6D52534C;  // 'mRSL'
-  for (const Tuple& t : tuples) h ^= hasher(t);
-  return base ^ (h * 0x9E3779B97F4A7C15ULL);
-}
-
-}  // namespace
 
 Result<std::vector<JointDist>> RunWorkloadParallel(
     const MrslModel& model, const std::vector<Tuple>& workload,
@@ -58,99 +23,11 @@ Result<std::vector<JointDist>> RunWorkloadParallel(
         "all-at-a-time uses one global chain and cannot run in parallel");
   }
   if (workload.empty()) return std::vector<JointDist>{};
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  WallTimer timer;
 
-  // Partition the distinct tuples into DAG components.
-  TupleDag dag(workload);
-  UnionFind uf(dag.num_nodes());
-  for (size_t v = 0; v < dag.num_nodes(); ++v) {
-    for (uint32_t p : dag.parents(v)) {
-      uf.Union(static_cast<uint32_t>(v), p);
-    }
-  }
-  std::vector<std::vector<uint32_t>> components;  // node ids per component
-  {
-    std::vector<int32_t> comp_of_root(dag.num_nodes(), -1);
-    for (size_t v = 0; v < dag.num_nodes(); ++v) {
-      uint32_t root = uf.Find(static_cast<uint32_t>(v));
-      if (comp_of_root[root] < 0) {
-        comp_of_root[root] = static_cast<int32_t>(components.size());
-        components.emplace_back();
-      }
-      components[static_cast<size_t>(comp_of_root[root])].push_back(
-          static_cast<uint32_t>(v));
-    }
-  }
-
-  // Per-component node tuples (the sub-workloads).
-  std::vector<std::vector<Tuple>> sub_workloads(components.size());
-  for (size_t c = 0; c < components.size(); ++c) {
-    for (uint32_t node : components[c]) {
-      sub_workloads[c].push_back(dag.node(node));
-    }
-  }
-
-  // Run components on a simple work queue.
-  std::vector<std::vector<JointDist>> sub_results(components.size());
-  std::vector<WorkloadStats> sub_stats(components.size());
-  std::atomic<size_t> next{0};
-  std::mutex error_mutex;
-  Status first_error = Status::OK();
-
-  auto worker = [&]() {
-    while (true) {
-      size_t c = next.fetch_add(1);
-      if (c >= components.size()) return;
-      WorkloadOptions opts = options;
-      opts.gibbs.seed =
-          ComponentSeed(options.gibbs.seed, sub_workloads[c]);
-      auto result = RunWorkload(model, sub_workloads[c], mode, opts,
-                                &sub_stats[c]);
-      if (!result.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = result.status();
-        return;
-      }
-      sub_results[c] = std::move(result).value();
-    }
-  };
-  std::vector<std::thread> threads;
-  size_t spawn = std::min(num_threads, components.size());
-  threads.reserve(spawn);
-  for (size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
-  if (!first_error.ok()) return first_error;
-
-  // Stitch node results back to workload positions.
-  std::vector<const JointDist*> by_node(dag.num_nodes(), nullptr);
-  for (size_t c = 0; c < components.size(); ++c) {
-    for (size_t i = 0; i < components[c].size(); ++i) {
-      by_node[components[c][i]] = &sub_results[c][i];
-    }
-  }
-  std::vector<JointDist> out;
-  out.reserve(workload.size());
-  for (size_t pos = 0; pos < workload.size(); ++pos) {
-    out.push_back(*by_node[dag.workload_to_node()[pos]]);
-  }
-
-  if (stats != nullptr) {
-    WorkloadStats total;
-    for (const WorkloadStats& s : sub_stats) {
-      total.points_sampled += s.points_sampled;
-      total.burn_in_points += s.burn_in_points;
-      total.shared_samples += s.shared_samples;
-      total.distinct_tuples += s.distinct_tuples;
-      total.cache_hits += s.cache_hits;
-      total.cpd_evaluations += s.cpd_evaluations;
-    }
-    total.wall_seconds = timer.ElapsedSeconds();
-    *stats = total;
-  }
-  return out;
+  EngineOptions opts;
+  opts.max_parallelism = num_threads;  // 0 = full pool width, as before
+  Engine engine(&model, opts);
+  return engine.InferBatch(workload, mode, options, stats);
 }
 
 }  // namespace mrsl

@@ -1,13 +1,17 @@
-// Parallel workload inference.
+// Parallel workload inference (legacy free-function form).
 //
 // Sample sharing in Algorithm 3 only ever flows along subsumption edges,
 // so the connected components of the tuple DAG are fully independent
 // units of work. RunWorkloadParallel partitions the workload into those
-// components, runs each on a worker thread with its own sampler and a
-// seed derived deterministically from the component's content, and
-// stitches the results back together. Results are bit-identical for any
-// thread count (including 1), preserving the library's reproducibility
-// guarantee.
+// components, runs each with its own deterministic per-component seed,
+// and stitches the results back together. Results are bit-identical for
+// any thread count (including 1), preserving the library's
+// reproducibility guarantee.
+//
+// Since the engine refactor this is a thin wrapper over a transient
+// mrsl::Engine borrowing the process-wide thread pool; long-running
+// callers should hold their own Engine (core/engine.h) to also reuse
+// warm per-thread inference contexts across calls.
 
 #ifndef MRSL_CORE_WORKLOAD_PARALLEL_H_
 #define MRSL_CORE_WORKLOAD_PARALLEL_H_

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "bn/exact.h"
+#include "core/engine.h"
 #include "core/infer_single.h"
 #include "util/timer.h"
 
@@ -91,13 +92,17 @@ Result<SingleAttrResult> RunSingleAttrExperiment(
       if (config.reps.max_eval_tuples > 0) {
         limit = std::min(limit, config.reps.max_eval_tuples);
       }
+      // One scratch set per repetition: voter matching reuses it across
+      // the whole test split instead of rebuilding per call.
+      std::vector<Mrsl::MatchScratch> scratch(model->num_attrs());
       WallTimer timer;
       for (size_t r = 0; r < limit; ++r) {
         const Tuple& t = ds->test_masked.row(r);
         auto missing = t.MissingAttrs();
         if (missing.size() != 1) continue;
 
-        auto est = InferSingleAttribute(*model, t, missing[0], config.voting);
+        auto est = InferSingleAttribute(*model, t, missing[0], config.voting,
+                                        &scratch[missing[0]]);
         if (!est.ok()) return est.status();
 
         auto truth = ExactConditionalEnum(bn, t, {missing[0]});
@@ -151,8 +156,12 @@ Result<MultiAttrResult> RunMultiAttrExperiment(const MultiAttrConfig& config) {
       wl_opts.gibbs = config.gibbs;
       wl_opts.gibbs.seed = rng.NextUint64();
       WorkloadStats stats;
-      auto dists = RunWorkload(*model, workload, config.mode, wl_opts,
-                               &stats);
+      // The engine path: batched inference over the shared thread pool
+      // with deterministic per-component seeding (results independent of
+      // the machine's thread count).
+      Engine engine(std::move(*model));
+      auto dists = engine.InferBatch(workload, config.mode, wl_opts,
+                                     &stats);
       if (!dists.ok()) return dists.status();
 
       out.stats.points_sampled += stats.points_sampled;

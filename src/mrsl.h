@@ -11,9 +11,9 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 0
+#define MRSL_VERSION_MINOR 1
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.0.0"
+#define MRSL_VERSION_STRING "1.1.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export
@@ -21,6 +21,7 @@
 #include "util/result.h"       // IWYU pragma: export
 #include "util/rng.h"          // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export
+#include "util/thread_pool.h"  // IWYU pragma: export
 
 // Relational substrate.
 #include "relational/discretizer.h"  // IWYU pragma: export
@@ -40,6 +41,7 @@
 
 // The MRSL core.
 #include "core/diagnostics.h"        // IWYU pragma: export
+#include "core/engine.h"             // IWYU pragma: export
 #include "core/gibbs.h"              // IWYU pragma: export
 #include "core/infer_single.h"       // IWYU pragma: export
 #include "core/learner.h"            // IWYU pragma: export

@@ -7,20 +7,71 @@
 
 #include "pdb/lazy.h"
 
+#include <unordered_set>
+
 namespace mrsl {
 
 LazyDeriver::LazyDeriver(const MrslModel* model, const Relation* rel,
                          const GibbsOptions& gibbs)
-    : model_(model), rel_(rel), sampler_(model, gibbs) {}
+    : model_(model), rel_(rel), gibbs_(gibbs) {
+  sampler_.emplace(model, gibbs);
+}
+
+LazyDeriver::LazyDeriver(Engine* engine, const Relation* rel,
+                         const GibbsOptions& gibbs)
+    : model_(&engine->model()),
+      rel_(rel),
+      gibbs_(gibbs),
+      engine_(engine) {}
 
 Result<const JointDist*> LazyDeriver::Materialize(const Tuple& t) {
   auto it = cache_.find(t);
   if (it != cache_.end()) return &it->second;
-  auto dist = sampler_.Infer(t);
+  Result<JointDist> dist = [&]() -> Result<JointDist> {
+    if (engine_ != nullptr) {
+      WorkloadOptions wl;
+      wl.gibbs = gibbs_;
+      return engine_->Infer(t, wl);
+    }
+    return sampler_->Infer(t);
+  }();
   if (!dist.ok()) return dist.status();
   auto [ins, inserted] = cache_.emplace(t, std::move(dist).value());
   (void)inserted;
   return &ins->second;
+}
+
+Result<size_t> LazyDeriver::MaterializeUncertain(const Predicate& pred,
+                                                 size_t batch_size) {
+  // Distinct incomplete rows the predicate cannot decide, minus what the
+  // memo already holds.
+  std::vector<Tuple> pending;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (size_t r = 0; r < rel_->num_rows(); ++r) {
+    const Tuple& t = rel_->row(r);
+    if (t.IsComplete()) continue;
+    if (pred.EvalPartial(t) != Predicate::Tri::kUnknown) continue;
+    if (cache_.find(t) != cache_.end() || !seen.insert(t).second) continue;
+    pending.push_back(t);
+  }
+
+  if (engine_ == nullptr) {
+    for (const Tuple& t : pending) {
+      auto dist = Materialize(t);
+      if (!dist.ok()) return dist.status();
+    }
+    return pending.size();
+  }
+
+  WorkloadOptions wl;
+  wl.gibbs = gibbs_;
+  auto dists = engine_->InferChunked(pending, SamplingMode::kTupleAtATime,
+                                     wl, batch_size);
+  if (!dists.ok()) return dists.status();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    cache_.emplace(pending[i], std::move((*dists)[i]));
+  }
+  return pending.size();
 }
 
 Result<double> LazyDeriver::RowProbability(size_t row,

@@ -17,9 +17,11 @@
 #define MRSL_PDB_LAZY_H_
 
 #include <cstddef>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/gibbs.h"
 #include "core/model.h"
 #include "pdb/query.h"
@@ -31,8 +33,16 @@ namespace mrsl {
 /// Query-driven view over an incomplete relation and an MRSL model.
 class LazyDeriver {
  public:
-  /// `model` and `rel` must outlive the deriver.
+  /// `model` and `rel` must outlive the deriver. Inference runs on a
+  /// private sequential sampler.
   LazyDeriver(const MrslModel* model, const Relation* rel,
+              const GibbsOptions& gibbs);
+
+  /// Engine-backed form: `engine` and `rel` must outlive the deriver.
+  /// Materializations run on the engine's pooled contexts (warm CPD
+  /// caches) and MaterializeUncertain batches them across the engine's
+  /// thread pool.
+  LazyDeriver(Engine* engine, const Relation* rel,
               const GibbsOptions& gibbs);
 
   /// Marginal probability that row `r` satisfies `pred` (complete rows
@@ -49,6 +59,17 @@ class LazyDeriver {
   /// Exact distribution of COUNT(σ_pred) (Poisson-binomial DP).
   Result<std::vector<double>> CountDistribution(const Predicate& pred);
 
+  /// Pre-materializes Δt for every distinct row whose outcome under
+  /// `pred` is genuinely uncertain, `batch_size` tuples per engine batch
+  /// (0 = one batch). Subsequent queries touching those rows are pure
+  /// cache lookups. Returns the number of newly materialized tuples.
+  /// Without an engine this degrades to sequential materialization; with
+  /// one, batches run in parallel (the sampled stream may then differ
+  /// from on-demand materialization — both are equally valid estimates,
+  /// and whichever lands in the memo first is served thereafter).
+  Result<size_t> MaterializeUncertain(const Predicate& pred,
+                                      size_t batch_size = 0);
+
   /// Number of tuples whose Δt has been materialized so far.
   size_t materialized() const { return cache_.size(); }
 
@@ -61,7 +82,9 @@ class LazyDeriver {
 
   const MrslModel* model_;
   const Relation* rel_;
-  GibbsSampler sampler_;
+  GibbsOptions gibbs_;
+  Engine* engine_ = nullptr;  // pooled/batched inference when set...
+  std::optional<GibbsSampler> sampler_;  // ...private sampler otherwise
   std::unordered_map<Tuple, JointDist, TupleHash> cache_;
   size_t short_circuits_ = 0;
 };

@@ -1,0 +1,153 @@
+// Workers sleep on a single condition variable keyed by a pending-task
+// counter (cheap for the coarse task sizes used here), pop newest-first
+// from their own deque for cache locality, and steal oldest-first from
+// siblings so the longest-queued work migrates first. ParallelFor
+// keeps its loop state in a shared_ptr so a straggler helper that wakes
+// after the loop finished finds the index range exhausted and exits
+// without touching anything freed.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace mrsl {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  // The increment must be ordered before the notify, and the waiters
+  // recheck pending_ under wake_mutex_, so no submission can slip into
+  // the window between a failed steal scan and the wait.
+  pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopOrSteal(size_t self, std::function<void()>* task) {
+  {  // Own queue: newest first (LIFO, cache locality).
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal from siblings: oldest first (FIFO).
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    Queue& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  while (true) {
+    if (PopOrSteal(self, &task)) {
+      pending_.fetch_sub(1);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock,
+                  [&] { return shutdown_ || pending_.load() > 0; });
+    if (shutdown_ && pending_.load() == 0) return;  // queues drained
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  struct LoopState {
+    std::function<void(size_t)> fn;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total = 0;
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->fn = fn;
+  state->total = n;
+
+  auto drain = [](const std::shared_ptr<LoopState>& s) {
+    while (true) {
+      size_t i = s->next.fetch_add(1);
+      if (i >= s->total) return;
+      s->fn(i);
+      if (s->done.fetch_add(1) + 1 == s->total) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  size_t width = num_threads() + 1;  // workers + the calling thread
+  if (max_parallelism != 0) width = std::min(width, max_parallelism);
+  width = std::min(width, n);
+  for (size_t h = 0; h + 1 < width; ++h) {
+    Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load() == state->total;
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(0);  // intentionally leaked:
+  // outlives every static-destruction-order consumer.
+  return *pool;
+}
+
+}  // namespace mrsl

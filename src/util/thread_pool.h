@@ -1,0 +1,80 @@
+// A long-lived work-stealing thread pool.
+//
+// The serving-oriented layers (core/engine.h) keep one pool alive for the
+// whole process instead of spawning std::threads per request, so steady-
+// state inference pays no thread start-up cost. Each worker owns a deque:
+// submissions are distributed round-robin, a worker pops from the front
+// of its own deque (LIFO for locality) and steals from the back of its
+// siblings' when empty. Tasks are coarse (one DAG component each), so the
+// queues are guarded by plain mutexes rather than lock-free machinery.
+//
+// Determinism note: the pool never influences results. Every task writes
+// to its own preassigned output slot and derives any randomness from its
+// own deterministic seed, so scheduling order and thread count are
+// invisible in the output (the property the concurrency tests pin down).
+
+#ifndef MRSL_UTIL_THREAD_POOL_H_
+#define MRSL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrsl {
+
+/// Fixed-size work-stealing thread pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed before joining.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for asynchronous execution.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [0, n), using at most `max_parallelism`
+  /// concurrent executors (0 = pool width + caller). The calling thread
+  /// participates, so progress is guaranteed even on a saturated pool;
+  /// returns when all n calls have finished. fn must not throw.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t)>& fn);
+
+  /// The process-wide shared pool (hardware-concurrency sized), created
+  /// on first use and alive until exit. Back-compat wrappers use this so
+  /// legacy free functions stop spawning threads per call.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(size_t self);
+  bool PopOrSteal(size_t self, std::function<void()>* task);
+
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t next_queue_ = 0;        // round-robin submission cursor
+  std::atomic<size_t> pending_{0};    // queued-but-not-started tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_THREAD_POOL_H_

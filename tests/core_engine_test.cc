@@ -1,0 +1,249 @@
+// Tests for the persistent inference engine: bit-equivalence with the
+// legacy per-call path, thread-count-independent determinism, context
+// reuse across successive batches, and the end-to-end batched APIs.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "core/infer_single.h"
+#include "core/learner.h"
+#include "core/tuple_dag.h"
+#include "core/workload.h"
+
+namespace mrsl {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(818);
+    bn_ = BayesNet::RandomInstance(Topology::Crown(5, 2), &rng);
+    Relation train = bn_.SampleRelation(12000, &rng);
+    LearnOptions lo;
+    lo.support_threshold = 0.002;
+    auto model = LearnModel(train, lo);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+
+    Rng wl_rng(819);
+    for (int i = 0; i < 50; ++i) {
+      Tuple t = bn_.ForwardSample(&wl_rng);
+      size_t k = 1 + wl_rng.UniformInt(3);
+      for (size_t j = 0; j < k; ++j) {
+        t.set_value(static_cast<AttrId>(wl_rng.UniformInt(5)),
+                    kMissingValue);
+      }
+      workload_.push_back(std::move(t));
+    }
+  }
+
+  WorkloadOptions WOpts() {
+    WorkloadOptions o;
+    o.gibbs.samples = 300;
+    o.gibbs.burn_in = 40;
+    o.gibbs.seed = 77;
+    return o;
+  }
+
+  BayesNet bn_;
+  MrslModel model_;
+  std::vector<Tuple> workload_;
+};
+
+// The determinism contract: InferBatch must reproduce, bit for bit, the
+// pre-refactor reference — each DAG component run through the sequential
+// RunWorkload with its WorkloadComponentSeed, stitched back by node.
+TEST_F(EngineTest, BatchMatchesPerComponentSequentialReference) {
+  for (SamplingMode mode :
+       {SamplingMode::kTupleAtATime, SamplingMode::kTupleDag,
+        SamplingMode::kIndependentProduct}) {
+    TupleDag dag(workload_);
+    auto components = dag.Components();
+    std::vector<const JointDist*> by_node(dag.num_nodes(), nullptr);
+    std::vector<std::vector<JointDist>> sub_results(components.size());
+    for (size_t c = 0; c < components.size(); ++c) {
+      std::vector<Tuple> sub;
+      for (uint32_t node : components[c]) sub.push_back(dag.node(node));
+      WorkloadOptions opts = WOpts();
+      opts.gibbs.seed = WorkloadComponentSeed(opts.gibbs.seed, sub);
+      auto result = RunWorkload(model_, sub, mode, opts);
+      ASSERT_TRUE(result.ok());
+      sub_results[c] = std::move(result).value();
+      for (size_t i = 0; i < components[c].size(); ++i) {
+        by_node[components[c][i]] = &sub_results[c][i];
+      }
+    }
+
+    Engine engine(&model_);
+    auto batch = engine.InferBatch(workload_, mode, WOpts());
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), workload_.size());
+    for (size_t pos = 0; pos < workload_.size(); ++pos) {
+      EXPECT_EQ((*batch)[pos].probs(),
+                by_node[dag.workload_to_node()[pos]]->probs())
+          << "mode=" << SamplingModeName(mode) << " pos=" << pos;
+    }
+  }
+}
+
+TEST_F(EngineTest, DeterministicAcrossThreadCounts) {
+  std::vector<std::vector<JointDist>> results;
+  for (size_t threads : {1u, 2u, 8u}) {
+    EngineOptions eo;
+    eo.num_threads = threads;
+    Engine engine(&model_, eo);
+    EXPECT_EQ(engine.num_threads(), threads);
+    auto dists =
+        engine.InferBatch(workload_, SamplingMode::kTupleDag, WOpts());
+    ASSERT_TRUE(dists.ok());
+    results.push_back(std::move(dists).value());
+  }
+  for (size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].size(), results[0].size());
+    for (size_t i = 0; i < results[0].size(); ++i) {
+      EXPECT_EQ(results[r][i].probs(), results[0][i].probs())
+          << "thread config " << r << " diverged at " << i;
+    }
+  }
+}
+
+// Context reuse: successive batches on one engine reuse the same
+// contexts (pool stays at its high-water mark) with warm CPD caches, and
+// warm caches do not change results.
+TEST_F(EngineTest, ContextReuseAcrossSuccessiveBatches) {
+  Engine engine(&model_);
+  auto first = engine.InferBatch(workload_, SamplingMode::kTupleDag,
+                                 WOpts());
+  ASSERT_TRUE(first.ok());
+  EngineStats after_first = engine.stats();
+  size_t pool_after_first = engine.context_pool_size();
+  EXPECT_GT(pool_after_first, 0u);
+  EXPECT_EQ(after_first.batches, 1u);
+  EXPECT_EQ(after_first.tuples, workload_.size());
+
+  auto second = engine.InferBatch(workload_, SamplingMode::kTupleDag,
+                                  WOpts());
+  ASSERT_TRUE(second.ok());
+  EngineStats after_second = engine.stats();
+
+  // No new contexts were built for the second batch...
+  EXPECT_EQ(engine.context_pool_size(), pool_after_first);
+  EXPECT_EQ(after_second.contexts_created, after_first.contexts_created);
+  // ...its conditionals were served from the warm caches...
+  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
+  EXPECT_LT(after_second.cpd_evaluations - after_first.cpd_evaluations,
+            after_first.cpd_evaluations);
+  // ...and warm caches are invisible in the results.
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].probs(), (*second)[i].probs()) << "i=" << i;
+  }
+}
+
+TEST_F(EngineTest, SingleTupleInferMatchesSingletonBatch) {
+  Engine engine(&model_);
+  auto single = engine.Infer(workload_[0], WOpts());
+  auto batch = engine.InferBatch({workload_[0]},
+                                 SamplingMode::kTupleAtATime, WOpts());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(single->probs(), (*batch)[0].probs());
+}
+
+TEST_F(EngineTest, AllAtATimeRunsOnOneContext) {
+  // Small workload: the single global chain is slow to hit rare evidence.
+  std::vector<Tuple> small(workload_.begin(), workload_.begin() + 4);
+  WorkloadOptions opts = WOpts();
+  opts.gibbs.samples = 50;
+  opts.max_total_cycles = 200000;
+  Engine engine(&model_);
+  auto a = engine.InferBatch(small, SamplingMode::kAllAtATime, opts);
+  auto b = engine.InferBatch(small, SamplingMode::kAllAtATime, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].probs(), (*b)[i].probs());
+  }
+}
+
+TEST_F(EngineTest, InferAttributeMatchesFreeFunction) {
+  Engine engine(&model_);
+  VotingOptions voting;
+  for (size_t i = 0; i < 10; ++i) {
+    const Tuple& t = workload_[i];
+    AttrId attr = t.MissingAttrs()[0];
+    auto pooled = engine.InferAttribute(t, attr, voting);
+    auto free_fn = InferSingleAttribute(model_, t, attr, voting);
+    ASSERT_TRUE(pooled.ok());
+    ASSERT_TRUE(free_fn.ok());
+    EXPECT_EQ(pooled->probs(), free_fn->probs()) << "i=" << i;
+  }
+  EXPECT_FALSE(
+      engine.InferAttribute(workload_[0], model_.num_attrs(), voting).ok());
+}
+
+TEST_F(EngineTest, DeriveBatchCoversIncompleteRowsInOrder) {
+  Relation rel(model_.schema());
+  Rng rng(820);
+  for (int i = 0; i < 30; ++i) {
+    Tuple t = bn_.ForwardSample(&rng);
+    if (i % 3 == 0) {
+      t.set_value(static_cast<AttrId>(rng.UniformInt(5)), kMissingValue);
+    }
+    ASSERT_TRUE(rel.Append(std::move(t)).ok());
+  }
+  Engine engine(&model_);
+  auto dists =
+      engine.DeriveBatch(rel, SamplingMode::kTupleDag, WOpts());
+  ASSERT_TRUE(dists.ok());
+  const auto& incomplete = rel.IncompleteRowIndices();
+  ASSERT_EQ(dists->size(), incomplete.size());
+  for (size_t i = 0; i < incomplete.size(); ++i) {
+    EXPECT_EQ((*dists)[i].vars(),
+              rel.row(incomplete[i]).MissingAttrs());
+    EXPECT_NEAR((*dists)[i].Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST_F(EngineTest, EmptyBatchAndValidation) {
+  Engine engine(&model_);
+  WorkloadStats stats;
+  auto empty = engine.InferBatch({}, SamplingMode::kTupleDag, WOpts(),
+                                 &stats);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(stats.points_sampled, 0u);
+
+  // A complete tuple is rejected, whichever component it lands in.
+  Rng rng(821);
+  std::vector<Tuple> bad = workload_;
+  bad.push_back(bn_.ForwardSample(&rng));
+  auto result = engine.InferBatch(bad, SamplingMode::kTupleDag, WOpts());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EngineOwnershipTest, OwningEngineOutlivesSourceModel) {
+  Rng rng(822);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Chain(4, 2), &rng);
+  Relation train = bn.SampleRelation(4000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.01;
+  auto model = LearnModel(train, lo);
+  ASSERT_TRUE(model.ok());
+
+  Tuple t = bn.ForwardSample(&rng);
+  t.set_value(1, kMissingValue);
+
+  Engine engine(std::move(model).value());  // takes ownership
+  WorkloadOptions opts;
+  opts.gibbs.samples = 100;
+  opts.gibbs.burn_in = 20;
+  auto dist = engine.Infer(t, opts);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Sum(), 1.0, 1e-9);
+  EXPECT_GT(engine.stats().tuples, 0u);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -206,5 +206,94 @@ TEST(CpdCacheTest, CapBoundsInsertions) {
   EXPECT_EQ(cache.Lookup(0, 3), nullptr);
 }
 
+// The cap is per attribute, accounting is exact, and Clear evicts
+// everything (optionally re-capping) without touching the statistics.
+TEST(CpdCacheTest, CapAccountingAndClear) {
+  auto schema = Schema::Create({Attribute("a", {"0", "1"}),
+                                Attribute("b", {"0", "1", "2"})});
+  ASSERT_TRUE(schema.ok());
+  CpdCache cache(*schema, /*max_entries_per_attr=*/3);
+  EXPECT_EQ(cache.max_entries_per_attr(), 3u);
+  for (uint64_t key = 0; key < 10; ++key) {
+    cache.Insert(0, key, Cpd(2));
+    cache.Insert(1, key, Cpd(3));
+  }
+  EXPECT_EQ(cache.entries(0), 3u);  // capped per attribute...
+  EXPECT_EQ(cache.entries(1), 3u);
+  EXPECT_EQ(cache.total_entries(), 6u);  // ...not globally
+
+  ASSERT_NE(cache.Lookup(0, 0), nullptr);
+  ASSERT_EQ(cache.Lookup(0, 9), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.total_entries(), 0u);
+  EXPECT_EQ(cache.max_entries_per_attr(), 3u);  // cap survives
+  EXPECT_EQ(cache.Lookup(0, 0), nullptr);       // evicted
+  EXPECT_EQ(cache.hits(), 1u);                  // stats survive Clear
+
+  cache.Clear(/*new_max_entries_per_attr=*/1);
+  cache.Insert(0, 1, Cpd(2));
+  cache.Insert(0, 2, Cpd(2));  // over the new cap
+  EXPECT_EQ(cache.entries(0), 1u);
+}
+
+// GibbsOptions.cpd_cache_max_entries reaches the sampler's cache, and an
+// insert-only cache running against a tiny cap still answers correctly.
+TEST_F(GibbsTest, SamplerHonorsCacheCapAndStaysCorrect) {
+  Tuple t(4);
+  t.set_value(0, 0);
+
+  GibbsOptions uncapped = GOpts(400);
+  GibbsSampler reference(&model_, uncapped);
+  auto expected = reference.Infer(t);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_GT(reference.cache().total_entries(), 2u);
+
+  GibbsOptions capped = GOpts(400);
+  capped.cpd_cache_max_entries = 2;
+  GibbsSampler sampler(&model_, capped);
+  auto dist = sampler.Infer(t);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_LE(sampler.cache().entries(1), 2u);
+  EXPECT_EQ(dist->probs(), expected->probs());  // cap never alters results
+}
+
+// Reconfigure re-aims a persistent sampler: the warm CPD cache must be
+// invisible in the output, and a voting change must invalidate it.
+TEST_F(GibbsTest, ReconfigureReusesCacheWithoutChangingResults) {
+  Tuple t(4);
+  t.set_value(0, 0);
+
+  GibbsOptions opts = GOpts(500, /*seed=*/31);
+  GibbsSampler fresh(&model_, opts);
+  auto cold = fresh.Infer(t);
+  ASSERT_TRUE(cold.ok());
+
+  // Warm a sampler on a different stream, then re-aim it at `opts`.
+  GibbsSampler reused(&model_, GOpts(500, /*seed=*/99));
+  ASSERT_TRUE(reused.Infer(t).ok());
+  EXPECT_GT(reused.cache().total_entries(), 0u);
+  reused.Reconfigure(opts);
+  EXPECT_GT(reused.cache().total_entries(), 0u);  // cache kept warm
+  auto warm = reused.Infer(t);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->probs(), cold->probs());
+
+  // A different voting method computes different conditionals: the old
+  // entries must not survive.
+  GibbsOptions other_voting = opts;
+  other_voting.voting.choice = VoterChoice::kAll;
+  reused.Reconfigure(other_voting);
+  EXPECT_EQ(reused.cache().total_entries(), 0u);
+  GibbsSampler all_fresh(&model_, other_voting);
+  auto a = reused.Infer(t);
+  auto b = all_fresh.Infer(t);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->probs(), b->probs());
+}
+
 }  // namespace
 }  // namespace mrsl

@@ -177,6 +177,40 @@ TEST_P(PipelinePropertyTest, DerivedDatabasePreservesObservedCells) {
   }
 }
 
+// 6. The indexed matcher agrees with the naive linear-scan oracle on
+//    randomized evidence tuples, for both voter choices. (Matching is
+//    the hot path every inference mode funnels through; the inverted
+//    index must be a pure optimization.)
+TEST_P(PipelinePropertyTest, IndexedMatchAgreesWithLinearScan) {
+  Rng rng(GetParam() ^ 0xA11CE);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(5, 3), &rng);
+  Relation rel = bn.SampleRelation(6000, &rng);
+  auto model = LearnModel(rel, LOpts(0.002));
+  ASSERT_TRUE(model.ok());
+
+  for (size_t probe = 0; probe < 200; ++probe) {
+    // Random evidence: each cell independently missing or a random value
+    // (not necessarily one the generator would produce).
+    Tuple t(5);
+    for (AttrId a = 0; a < 5; ++a) {
+      if (rng.Bernoulli(0.35)) continue;  // leave missing
+      t.set_value(a, static_cast<ValueId>(rng.UniformInt(3)));
+    }
+    for (AttrId head = 0; head < 5; ++head) {
+      const Mrsl& lattice = model->mrsl(head);
+      for (VoterChoice choice : {VoterChoice::kAll, VoterChoice::kBest}) {
+        auto indexed = lattice.Match(t, choice);
+        auto oracle = lattice.MatchLinearScan(t, choice);
+        std::sort(indexed.begin(), indexed.end());
+        std::sort(oracle.begin(), oracle.end());
+        EXPECT_EQ(indexed, oracle)
+            << "probe " << probe << " head " << head << " choice "
+            << VoterChoiceName(choice);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
                          ::testing::Values(11, 22, 33));
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/learner.h"
 #include "core/model_io.h"
 #include "core/repair.h"
@@ -50,11 +51,19 @@ int Usage() {
       "  stats  --model model.txt\n"
       "  infer  --model model.txt --in data.csv [--out blocks.txt]\n"
       "         [--samples 2000] [--burn-in 100] [--mode dag|tuple|product]\n"
+      "         [--threads 0] [--batch-size 0]\n"
       "  repair --model model.txt --in data.csv --out repaired.csv\n"
       "         [--min-confidence 0] [--samples 2000] [--burn-in 100]\n"
+      "         [--threads 0] [--batch-size 0]\n"
       "  query  --model model.txt --in data.csv --where a=v[,b=w...]\n"
-      "         [--samples 2000]\n"
-      "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n");
+      "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
+      "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
+      "\n"
+      "  --threads N     inference thread-pool width (0 = all cores);\n"
+      "                  results are identical for every thread count\n"
+      "  --batch-size K  tuples per engine batch (0 = one batch); for\n"
+      "                  query, pre-materializes uncertain rows K at a\n"
+      "                  time\n");
   return 2;
 }
 
@@ -201,6 +210,22 @@ int CmdStats(const std::map<std::string, std::vector<std::string>>& flags) {
   return 0;
 }
 
+// Shared --threads / --batch-size handling for the engine-backed
+// subcommands.
+bool ParseEngineFlags(
+    const std::map<std::string, std::vector<std::string>>& flags,
+    EngineOptions* engine_opts, size_t* batch_size) {
+  int64_t threads = 0;
+  int64_t batch = 0;
+  if (!GetIntFlag(flags, "threads", 0, &threads) ||
+      !GetIntFlag(flags, "batch-size", 0, &batch)) {
+    return false;
+  }
+  engine_opts->num_threads = static_cast<size_t>(threads);
+  *batch_size = static_cast<size_t>(batch);
+  return true;
+}
+
 bool ParseGibbs(const std::map<std::string, std::vector<std::string>>& flags,
                 WorkloadOptions* opts, SamplingMode* mode) {
   int64_t samples = 0;
@@ -239,23 +264,30 @@ int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
   }
   WorkloadOptions opts;
   SamplingMode mode;
-  if (!ParseGibbs(flags, &opts, &mode)) return Usage();
-
-  std::vector<Tuple> workload;
-  for (uint32_t r : rel->IncompleteRowIndices()) {
-    workload.push_back(rel->row(r));
+  EngineOptions engine_opts;
+  size_t batch_size = 0;
+  if (!ParseGibbs(flags, &opts, &mode) ||
+      !ParseEngineFlags(flags, &engine_opts, &batch_size)) {
+    return Usage();
   }
-  if (workload.empty()) {
+
+  const size_t num_incomplete = rel->IncompleteRowIndices().size();
+  if (num_incomplete == 0) {
     std::printf("no incomplete rows; nothing to infer\n");
     return 0;
   }
+
+  // Batched parallel derivation through the persistent engine.
+  Engine engine(&*model, engine_opts);
   WorkloadStats stats;
-  auto dists = RunWorkload(*model, workload, mode, opts, &stats);
-  if (!dists.ok()) {
-    std::fprintf(stderr, "error: %s\n", dists.status().ToString().c_str());
+  auto all_dists = engine.DeriveBatch(*rel, mode, opts, batch_size,
+                                      &stats);
+  if (!all_dists.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 all_dists.status().ToString().c_str());
     return 1;
   }
-  auto db = ProbDatabase::FromInference(*rel, *dists);
+  auto db = ProbDatabase::FromInference(*rel, *all_dists);
   if (!db.ok()) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
@@ -274,7 +306,7 @@ int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
   std::fprintf(stderr,
                "inferred %zu tuples (%llu distinct) with %llu sampled "
                "points in %.2fs\n",
-               workload.size(),
+               num_incomplete,
                static_cast<unsigned long long>(stats.distinct_tuples),
                static_cast<unsigned long long>(stats.points_sampled),
                stats.wall_seconds);
@@ -296,12 +328,17 @@ int CmdRepair(const std::map<std::string, std::vector<std::string>>& flags) {
     return 1;
   }
   RepairOptions opts;
-  if (!ParseGibbs(flags, &opts.workload, &opts.mode)) return Usage();
+  EngineOptions engine_opts;
+  if (!ParseGibbs(flags, &opts.workload, &opts.mode) ||
+      !ParseEngineFlags(flags, &engine_opts, &opts.batch_size)) {
+    return Usage();
+  }
   if (!GetDoubleFlag(flags, "min-confidence", 0.0, &opts.min_confidence)) {
     return Usage();
   }
+  Engine engine(&*model, engine_opts);
   RepairStats stats;
-  auto repaired = RepairRelation(*model, *rel, opts, &stats);
+  auto repaired = RepairRelation(&engine, *rel, opts, &stats);
   if (!repaired.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  repaired.status().ToString().c_str());
@@ -357,10 +394,24 @@ int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
 
   GibbsOptions gibbs;
   int64_t samples = 0;
-  if (!GetIntFlag(flags, "samples", 2000, &samples)) return Usage();
+  EngineOptions engine_opts;
+  size_t batch_size = 0;
+  if (!GetIntFlag(flags, "samples", 2000, &samples) ||
+      !ParseEngineFlags(flags, &engine_opts, &batch_size)) {
+    return Usage();
+  }
   gibbs.samples = static_cast<size_t>(samples);
 
-  LazyDeriver lazy(&*model, &*rel, gibbs);
+  Engine engine(&*model, engine_opts);
+  LazyDeriver lazy(&engine, &*rel, gibbs);
+  // Pre-derive the rows this query cannot decide, batched across the
+  // engine's pool; the per-row queries below then hit the memo.
+  auto prefetched = lazy.MaterializeUncertain(pred, batch_size);
+  if (!prefetched.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 prefetched.status().ToString().c_str());
+    return 1;
+  }
   auto count = lazy.ExpectedCount(pred);
   auto exists = lazy.ProbExists(pred);
   if (!count.ok() || !exists.ok()) {
