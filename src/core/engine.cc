@@ -15,6 +15,7 @@
 
 #include "core/infer_single.h"
 #include "core/tuple_dag.h"
+#include "pdb/prob_database.h"
 #include "util/timer.h"
 
 namespace mrsl {
@@ -229,6 +230,17 @@ Result<std::vector<JointDist>> Engine::DeriveBatch(
     workload.push_back(rel.row(r));
   }
   return InferChunked(workload, mode, options, batch_size, stats);
+}
+
+Result<ProbDatabase> Engine::DeriveDatabase(const Relation& rel,
+                                            SamplingMode mode,
+                                            const WorkloadOptions& options,
+                                            double min_prob,
+                                            size_t batch_size,
+                                            WorkloadStats* stats) {
+  auto dists = DeriveBatch(rel, mode, options, batch_size, stats);
+  if (!dists.ok()) return dists.status();
+  return ProbDatabase::FromInference(rel, *dists, min_prob);
 }
 
 EngineStats Engine::stats() const {

@@ -38,6 +38,12 @@
 
 namespace mrsl {
 
+// Defined in pdb/prob_database.h; forward-declared so the serving core
+// does not depend on the pdb layer's headers (pdb already includes
+// core, and the layering stays one-way). DeriveDatabase callers include
+// pdb/prob_database.h themselves.
+class ProbDatabase;
+
 /// Deterministic per-component seed: combines the request's base seed
 /// with an order-independent hash of the component's tuples. Shared by
 /// the engine and the legacy parallel runner so both produce identical
@@ -154,6 +160,16 @@ class Engine {
                                              const WorkloadOptions& options,
                                              size_t batch_size = 0,
                                              WorkloadStats* stats = nullptr);
+
+  /// DeriveBatch followed by ProbDatabase::FromInference: the one-call
+  /// path from an incomplete relation to the queryable BID database
+  /// (the input of pdb/plan.h's extensional plans). Alternatives below
+  /// `min_prob` are dropped and each block renormalized.
+  Result<ProbDatabase> DeriveDatabase(const Relation& rel, SamplingMode mode,
+                                      const WorkloadOptions& options,
+                                      double min_prob = 0.0,
+                                      size_t batch_size = 0,
+                                      WorkloadStats* stats = nullptr);
 
   /// Snapshot of the serving counters.
   EngineStats stats() const;

@@ -11,9 +11,9 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 1
+#define MRSL_VERSION_MINOR 2
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.1.0"
+#define MRSL_VERSION_STRING "1.2.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export
@@ -54,6 +54,7 @@
 
 // Probabilistic database.
 #include "pdb/lazy.h"           // IWYU pragma: export
+#include "pdb/plan.h"           // IWYU pragma: export
 #include "pdb/prob_database.h"  // IWYU pragma: export
 #include "pdb/query.h"          // IWYU pragma: export
 

@@ -41,6 +41,26 @@ Result<const JointDist*> LazyDeriver::Materialize(const Tuple& t) {
   return &ins->second;
 }
 
+Status LazyDeriver::InferPending(const std::vector<Tuple>& pending,
+                                 size_t batch_size) {
+  if (engine_ == nullptr || pending.empty()) {
+    for (const Tuple& t : pending) {
+      auto dist = Materialize(t);
+      if (!dist.ok()) return dist.status();
+    }
+    return Status::OK();
+  }
+  WorkloadOptions wl;
+  wl.gibbs = gibbs_;
+  auto dists = engine_->InferChunked(pending, SamplingMode::kTupleAtATime,
+                                     wl, batch_size);
+  if (!dists.ok()) return dists.status();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    cache_.emplace(pending[i], std::move((*dists)[i]));
+  }
+  return Status::OK();
+}
+
 Result<size_t> LazyDeriver::MaterializeUncertain(const Predicate& pred,
                                                  size_t batch_size) {
   // Distinct incomplete rows the predicate cannot decide, minus what the
@@ -54,24 +74,32 @@ Result<size_t> LazyDeriver::MaterializeUncertain(const Predicate& pred,
     if (cache_.find(t) != cache_.end() || !seen.insert(t).second) continue;
     pending.push_back(t);
   }
-
-  if (engine_ == nullptr) {
-    for (const Tuple& t : pending) {
-      auto dist = Materialize(t);
-      if (!dist.ok()) return dist.status();
-    }
-    return pending.size();
-  }
-
-  WorkloadOptions wl;
-  wl.gibbs = gibbs_;
-  auto dists = engine_->InferChunked(pending, SamplingMode::kTupleAtATime,
-                                     wl, batch_size);
-  if (!dists.ok()) return dists.status();
-  for (size_t i = 0; i < pending.size(); ++i) {
-    cache_.emplace(pending[i], std::move((*dists)[i]));
-  }
+  MRSL_RETURN_IF_ERROR(InferPending(pending, batch_size));
   return pending.size();
+}
+
+Result<ProbDatabase> LazyDeriver::MaterializeDatabase(size_t batch_size,
+                                                      double min_prob) {
+  // Distinct incomplete rows still missing from the memo.
+  std::vector<Tuple> pending;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (uint32_t r : rel_->IncompleteRowIndices()) {
+    const Tuple& t = rel_->row(r);
+    if (cache_.find(t) != cache_.end() || !seen.insert(t).second) continue;
+    pending.push_back(t);
+  }
+  MRSL_RETURN_IF_ERROR(InferPending(pending, batch_size));
+  // Assemble in IncompleteRowIndices order, as FromInference expects.
+  std::vector<JointDist> dists;
+  dists.reserve(rel_->IncompleteRowIndices().size());
+  for (uint32_t r : rel_->IncompleteRowIndices()) {
+    auto it = cache_.find(rel_->row(r));
+    if (it == cache_.end()) {
+      return Status::Internal("incomplete row missing from memo");
+    }
+    dists.push_back(it->second);
+  }
+  return ProbDatabase::FromInference(*rel_, dists, min_prob);
 }
 
 Result<double> LazyDeriver::RowProbability(size_t row,

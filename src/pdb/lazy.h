@@ -70,6 +70,17 @@ class LazyDeriver {
   Result<size_t> MaterializeUncertain(const Predicate& pred,
                                       size_t batch_size = 0);
 
+  /// Fully materializes the BID database for the relation: Δt for every
+  /// distinct incomplete row (reusing the memo, batching new inference
+  /// `batch_size` tuples per engine batch when an engine backs the
+  /// deriver), assembled via ProbDatabase::FromInference. This is the
+  /// bridge from lazy per-predicate answering to the plan algebra
+  /// (pdb/plan.h), whose Scan needs every block. Alternatives below
+  /// `min_prob` are dropped and the block renormalized (see
+  /// ProbDatabase::FromInference).
+  Result<ProbDatabase> MaterializeDatabase(size_t batch_size = 0,
+                                           double min_prob = 0.0);
+
   /// Number of tuples whose Δt has been materialized so far.
   size_t materialized() const { return cache_.size(); }
 
@@ -79,6 +90,11 @@ class LazyDeriver {
 
  private:
   Result<const JointDist*> Materialize(const Tuple& t);
+
+  /// Infers Δt for every tuple of `pending` into the memo: one engine
+  /// batch of `batch_size` tuples at a time when an engine backs the
+  /// deriver, sequentially on the private sampler otherwise.
+  Status InferPending(const std::vector<Tuple>& pending, size_t batch_size);
 
   const MrslModel* model_;
   const Relation* rel_;

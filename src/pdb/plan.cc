@@ -1,0 +1,1103 @@
+// Extensional plan evaluation with a lineage-driven safety check.
+//
+// Every row event is summarized by the set of base blocks it reads plus,
+// for "simple" events, the exact alternative set of its one block. The
+// two exact regimes are (a) block-disjoint lineages -> independence
+// (probabilities multiply, unions complement-multiply) and (b) simple
+// events on the same block -> disjointness (alternative sets intersect /
+// union exactly). Everything else is correlated, and the evaluator
+// dissociates: Frechet-style oblivious bounds ([max(0, p+q-1), min(p,q)]
+// for AND, [max(p,q), min(1, p+q)] for OR) replace the point estimate.
+// All combination rules are monotone in their operands, so interval
+// endpoints propagate soundly through arbitrarily nested plans.
+//
+// The Monte-Carlo oracle partitions trials into fixed chunks, seeds each
+// chunk purely from (seed, chunk index), tallies integers, and merges in
+// chunk order — bit-identical output for every thread count, the same
+// contract core/engine.h makes for inference.
+
+#include "pdb/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace mrsl {
+namespace {
+
+double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+// Sorted-unique merge of two block-key sets.
+std::vector<uint64_t> UnionKeys(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool KeysIntersect(const std::vector<uint64_t>& a,
+                   const std::vector<uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+// Clamped mass of an alternative set of one block (alts sorted, unique).
+double AltSetMass(const ProbDatabase& db, size_t block,
+                  const std::vector<uint32_t>& alts) {
+  double mass = 0.0;
+  for (uint32_t j : alts) mass += db.block(block).alternatives[j].prob;
+  return Clamp01(mass);
+}
+
+struct Event {
+  ProbInterval prob;
+  Lineage lineage;
+};
+
+// Disjoint-set union over event indices, used to cluster events that
+// share base blocks (the correlation structure).
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Groups `events` into connected components of the shared-block graph,
+// each component listed by ascending first event index (deterministic).
+std::vector<std::vector<size_t>> CorrelationComponents(
+    const std::vector<const Event*>& events) {
+  Dsu dsu(events.size());
+  std::unordered_map<uint64_t, size_t> owner;  // block key -> event index
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (uint64_t key : events[i]->lineage.blocks) {
+      auto [it, inserted] = owner.emplace(key, i);
+      if (!inserted) dsu.Union(i, it->second);
+    }
+  }
+  std::unordered_map<size_t, size_t> slot;  // root -> component position
+  std::vector<std::vector<size_t>> components;
+  for (size_t i = 0; i < events.size(); ++i) {
+    size_t root = dsu.Find(i);
+    auto [it, inserted] = slot.emplace(root, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].push_back(i);
+  }
+  return components;
+}
+
+// OR of all `events`. Exact when the correlation components are each a
+// single event or a set of simple events on one shared block; otherwise
+// the component dissociates to Frechet bounds and *exact is cleared.
+Event DisjoinEvents(const std::vector<const Event*>& events,
+                    const std::vector<const ProbDatabase*>& sources,
+                    bool* exact) {
+  assert(!events.empty());
+  if (events.size() == 1) return *events[0];
+
+  std::vector<std::vector<size_t>> components =
+      CorrelationComponents(events);
+
+  std::vector<Event> merged;
+  merged.reserve(components.size());
+  for (const std::vector<size_t>& comp : components) {
+    if (comp.size() == 1) {
+      merged.push_back(*events[comp[0]]);
+      continue;
+    }
+    bool all_simple_same_block = true;
+    for (size_t i : comp) {
+      const Lineage& l = events[i]->lineage;
+      if (!l.simple || l.source != events[comp[0]]->lineage.source ||
+          l.block != events[comp[0]]->lineage.block) {
+        all_simple_same_block = false;
+        break;
+      }
+    }
+    Event ev;
+    if (all_simple_same_block) {
+      // Disjoint-union rule: the events are alternative sets of one
+      // block, so their union's mass is exact.
+      const Lineage& first = events[comp[0]]->lineage;
+      std::vector<uint32_t> alts;
+      for (size_t i : comp) {
+        const std::vector<uint32_t>& more = events[i]->lineage.alts;
+        alts.insert(alts.end(), more.begin(), more.end());
+      }
+      std::sort(alts.begin(), alts.end());
+      alts.erase(std::unique(alts.begin(), alts.end()), alts.end());
+      ev.lineage.simple = true;
+      ev.lineage.source = first.source;
+      ev.lineage.block = first.block;
+      ev.lineage.blocks = first.blocks;
+      ev.prob = ProbInterval::Exact(
+          AltSetMass(*sources[first.source], first.block, alts));
+      ev.lineage.alts = std::move(alts);
+    } else {
+      // Correlated component: dissociate to Frechet disjunction bounds.
+      double lo = 0.0;
+      double hi = 0.0;
+      for (size_t i : comp) {
+        lo = std::max(lo, events[i]->prob.lo);
+        hi += events[i]->prob.hi;
+        ev.lineage.blocks =
+            UnionKeys(ev.lineage.blocks, events[i]->lineage.blocks);
+      }
+      ev.prob = ProbInterval::Bounds(lo, std::min(1.0, hi));
+      *exact = false;
+    }
+    merged.push_back(std::move(ev));
+  }
+
+  if (merged.size() == 1) return merged[0];
+
+  // Components touch disjoint blocks, hence are independent: the union
+  // complement-multiplies. 1 - prod(1 - p) is monotone in every p, so
+  // interval endpoints map through directly.
+  Event out;
+  double none_lo = 1.0;
+  double none_hi = 1.0;
+  for (const Event& ev : merged) {
+    none_lo *= (1.0 - ev.prob.lo);
+    none_hi *= (1.0 - ev.prob.hi);
+    out.lineage.blocks = UnionKeys(out.lineage.blocks, ev.lineage.blocks);
+  }
+  out.prob = ProbInterval::Bounds(Clamp01(1.0 - none_lo),
+                                  Clamp01(1.0 - none_hi));
+  return out;
+}
+
+// AND of two row events (Join). Sets *impossible for same-block events
+// with non-intersecting alternative sets (the joined pair can never
+// coexist); clears *exact when dissociation bounds were needed.
+Event ConjoinEvents(const Event& a, const Event& b,
+                    const std::vector<const ProbDatabase*>& sources,
+                    bool* exact, bool* impossible) {
+  *impossible = false;
+  Event out;
+  if (a.lineage.simple && b.lineage.simple &&
+      a.lineage.source == b.lineage.source &&
+      a.lineage.block == b.lineage.block) {
+    // Same block: the chosen alternative must lie in both sets.
+    std::vector<uint32_t> alts;
+    std::set_intersection(a.lineage.alts.begin(), a.lineage.alts.end(),
+                          b.lineage.alts.begin(), b.lineage.alts.end(),
+                          std::back_inserter(alts));
+    if (alts.empty()) {
+      *impossible = true;
+      return out;
+    }
+    out.lineage.simple = true;
+    out.lineage.source = a.lineage.source;
+    out.lineage.block = a.lineage.block;
+    out.lineage.blocks = a.lineage.blocks;
+    out.prob = ProbInterval::Exact(
+        AltSetMass(*sources[a.lineage.source], a.lineage.block, alts));
+    out.lineage.alts = std::move(alts);
+    return out;
+  }
+  out.lineage.blocks = UnionKeys(a.lineage.blocks, b.lineage.blocks);
+  if (!KeysIntersect(a.lineage.blocks, b.lineage.blocks)) {
+    // Independent operands: probabilities multiply, exactly.
+    out.prob = ProbInterval::Bounds(a.prob.lo * b.prob.lo,
+                                    a.prob.hi * b.prob.hi);
+    return out;
+  }
+  // Correlated operands: Frechet conjunction bounds.
+  out.prob = ProbInterval::Bounds(
+      std::max(0.0, a.prob.lo + b.prob.lo - 1.0),
+      std::min(a.prob.hi, b.prob.hi));
+  *exact = false;
+  return out;
+}
+
+Status ValidateSource(size_t source,
+                      const std::vector<const ProbDatabase*>& sources) {
+  if (source >= sources.size() || sources[source] == nullptr) {
+    return Status::InvalidArgument("scan source out of range: " +
+                                   std::to_string(source));
+  }
+  return Status::OK();
+}
+
+Attribute RenamedAttribute(const Attribute& src, std::string name) {
+  std::vector<std::string> labels;
+  for (size_t v = 0; v < src.cardinality(); ++v) {
+    labels.push_back(src.label(static_cast<ValueId>(v)));
+  }
+  return Attribute(std::move(name), std::move(labels));
+}
+
+// Concatenated join schema; right-hand names are suffixed with "_r"
+// (repeatedly, so nested joins stay collision-free).
+Result<Schema> ConcatSchemas(const Schema& left, const Schema& right) {
+  std::unordered_set<std::string> used;
+  std::vector<Attribute> attrs;
+  for (AttrId a = 0; a < left.num_attrs(); ++a) {
+    attrs.push_back(left.attr(a));
+    used.insert(left.attr(a).name());
+  }
+  for (AttrId a = 0; a < right.num_attrs(); ++a) {
+    const Attribute& src = right.attr(a);
+    std::string name = src.name() + "_r";
+    while (used.count(name) != 0) name += "_r";
+    used.insert(name);
+    attrs.push_back(RenamedAttribute(src, std::move(name)));
+  }
+  return Schema::Create(std::move(attrs));
+}
+
+// Output schema of a projection; a column projected twice gets numeric
+// suffixes ("a", "a_2", ...) so the schema stays valid.
+Result<Schema> ProjectSchema(const Schema& child,
+                             const std::vector<AttrId>& attrs) {
+  std::unordered_set<std::string> used;
+  std::vector<Attribute> kept;
+  for (AttrId a : attrs) {
+    if (a >= child.num_attrs()) {
+      return Status::InvalidArgument("project attr out of range");
+    }
+    const Attribute& src = child.attr(a);
+    std::string name = src.name();
+    for (int suffix = 2; used.count(name) != 0; ++suffix) {
+      name = src.name() + "_" + std::to_string(suffix);
+    }
+    used.insert(name);
+    kept.push_back(RenamedAttribute(src, std::move(name)));
+  }
+  return Schema::Create(std::move(kept));
+}
+
+Result<PlanResult> EvalNode(const PlanNode& node,
+                            const std::vector<const ProbDatabase*>& sources) {
+  switch (node.op) {
+    case PlanNode::Op::kScan: {
+      MRSL_RETURN_IF_ERROR(ValidateSource(node.source, sources));
+      const ProbDatabase& db = *sources[node.source];
+      PlanResult out;
+      out.schema = db.schema();
+      for (size_t b = 0; b < db.num_blocks(); ++b) {
+        const Block& block = db.block(b);
+        for (size_t j = 0; j < block.alternatives.size(); ++j) {
+          PlanRow row;
+          row.tuple = block.alternatives[j].tuple;
+          row.prob = ProbInterval::Exact(Clamp01(block.alternatives[j].prob));
+          row.lineage.simple = true;
+          row.lineage.source = static_cast<uint32_t>(node.source);
+          row.lineage.block = b;
+          row.lineage.alts = {static_cast<uint32_t>(j)};
+          row.lineage.blocks = {
+              Lineage::BlockKey(static_cast<uint32_t>(node.source), b)};
+          out.rows.push_back(std::move(row));
+        }
+      }
+      return out;
+    }
+
+    case PlanNode::Op::kSelect: {
+      auto child = EvalNode(*node.left, sources);
+      if (!child.ok()) return child.status();
+      AttrMask touched = node.pred.AttrsTouched();
+      if (child->schema.num_attrs() < kMaxAttributes &&
+          (touched >> child->schema.num_attrs()) != 0) {
+        return Status::InvalidArgument("select predicate attr out of range");
+      }
+      PlanResult out;
+      out.schema = child->schema;
+      out.safe = child->safe;
+      for (PlanRow& row : child->rows) {
+        // Row values are certain, so selection filters rows without
+        // touching their events or probabilities.
+        if (node.pred.Eval(row.tuple)) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+
+    case PlanNode::Op::kProject: {
+      auto child = EvalNode(*node.left, sources);
+      if (!child.ok()) return child.status();
+      auto schema = ProjectSchema(child->schema, node.attrs);
+      if (!schema.ok()) return schema.status();
+
+      // Group rows by projected value, first-seen order.
+      std::unordered_map<Tuple, size_t, TupleHash> index;
+      std::vector<std::pair<Tuple, std::vector<size_t>>> groups;
+      for (size_t r = 0; r < child->rows.size(); ++r) {
+        Tuple proj(node.attrs.size());
+        for (size_t k = 0; k < node.attrs.size(); ++k) {
+          proj.set_value(static_cast<AttrId>(k),
+                         child->rows[r].tuple.value(node.attrs[k]));
+        }
+        auto [it, inserted] = index.emplace(proj, groups.size());
+        if (inserted) groups.emplace_back(std::move(proj),
+                                          std::vector<size_t>());
+        groups[it->second].second.push_back(r);
+      }
+
+      PlanResult out;
+      out.schema = std::move(schema).value();
+      out.safe = child->safe;
+      std::vector<Event> events(child->rows.size());
+      for (size_t r = 0; r < child->rows.size(); ++r) {
+        events[r] = Event{child->rows[r].prob, child->rows[r].lineage};
+      }
+      for (auto& [proj, members] : groups) {
+        std::vector<const Event*> group;
+        group.reserve(members.size());
+        for (size_t r : members) group.push_back(&events[r]);
+        Event ev = DisjoinEvents(group, sources, &out.safe);
+        out.rows.push_back(PlanRow{std::move(proj), ev.prob,
+                                   std::move(ev.lineage)});
+      }
+      return out;
+    }
+
+    case PlanNode::Op::kJoin: {
+      auto left = EvalNode(*node.left, sources);
+      if (!left.ok()) return left.status();
+      auto right = EvalNode(*node.right, sources);
+      if (!right.ok()) return right.status();
+      if (node.left_attr >= left->schema.num_attrs() ||
+          node.right_attr >= right->schema.num_attrs()) {
+        return Status::InvalidArgument("join attribute out of range");
+      }
+      auto schema = ConcatSchemas(left->schema, right->schema);
+      if (!schema.ok()) return schema.status();
+
+      std::unordered_map<ValueId, std::vector<size_t>> right_index;
+      for (size_t r = 0; r < right->rows.size(); ++r) {
+        right_index[right->rows[r].tuple.value(node.right_attr)]
+            .push_back(r);
+      }
+
+      PlanResult out;
+      out.schema = std::move(schema).value();
+      out.safe = left->safe && right->safe;
+      const size_t ln = left->schema.num_attrs();
+      const size_t rn = right->schema.num_attrs();
+      for (const PlanRow& lr : left->rows) {
+        auto it = right_index.find(lr.tuple.value(node.left_attr));
+        if (it == right_index.end()) continue;
+        for (size_t r : it->second) {
+          const PlanRow& rr = right->rows[r];
+          bool impossible = false;
+          Event ev = ConjoinEvents(Event{lr.prob, lr.lineage},
+                                   Event{rr.prob, rr.lineage}, sources,
+                                   &out.safe, &impossible);
+          if (impossible) continue;
+          Tuple joined(ln + rn);
+          for (AttrId a = 0; a < ln; ++a) {
+            joined.set_value(a, lr.tuple.value(a));
+          }
+          for (AttrId a = 0; a < rn; ++a) {
+            joined.set_value(static_cast<AttrId>(ln + a),
+                             rr.tuple.value(a));
+          }
+          out.rows.push_back(PlanRow{std::move(joined), ev.prob,
+                                     std::move(ev.lineage)});
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+}  // namespace
+
+std::string ProbInterval::ToString() const {
+  if (exact()) return FormatDouble(lo, 4);
+  return "[" + FormatDouble(lo, 4) + ", " + FormatDouble(hi, 4) + "]";
+}
+
+PlanPtr ScanPlan(size_t source) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanNode::Op::kScan;
+  node->source = source;
+  return node;
+}
+
+PlanPtr SelectPlan(Predicate pred, PlanPtr child) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanNode::Op::kSelect;
+  node->pred = std::move(pred);
+  node->left = std::move(child);
+  return node;
+}
+
+PlanPtr ProjectPlan(std::vector<AttrId> attrs, PlanPtr child) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanNode::Op::kProject;
+  node->attrs = std::move(attrs);
+  node->left = std::move(child);
+  return node;
+}
+
+PlanPtr JoinPlan(PlanPtr left, PlanPtr right, AttrId left_attr,
+                 AttrId right_attr) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanNode::Op::kJoin;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->left_attr = left_attr;
+  node->right_attr = right_attr;
+  return node;
+}
+
+Result<Schema> PlanOutputSchema(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  switch (plan.op) {
+    case PlanNode::Op::kScan: {
+      MRSL_RETURN_IF_ERROR(ValidateSource(plan.source, sources));
+      return sources[plan.source]->schema();
+    }
+    case PlanNode::Op::kSelect: {
+      auto child = PlanOutputSchema(*plan.left, sources);
+      if (!child.ok()) return child.status();
+      // The oracle paths (MonteCarloPlanOracle, EvaluatePlanInWorld)
+      // validate plans only through this function before calling
+      // Predicate::Eval, whose cell access is unchecked.
+      AttrMask touched = plan.pred.AttrsTouched();
+      if (child->num_attrs() < kMaxAttributes &&
+          (touched >> child->num_attrs()) != 0) {
+        return Status::InvalidArgument("select predicate attr out of range");
+      }
+      return child;
+    }
+    case PlanNode::Op::kProject: {
+      auto child = PlanOutputSchema(*plan.left, sources);
+      if (!child.ok()) return child.status();
+      return ProjectSchema(*child, plan.attrs);
+    }
+    case PlanNode::Op::kJoin: {
+      auto left = PlanOutputSchema(*plan.left, sources);
+      if (!left.ok()) return left.status();
+      auto right = PlanOutputSchema(*plan.right, sources);
+      if (!right.ok()) return right.status();
+      if (plan.left_attr >= left->num_attrs() ||
+          plan.right_attr >= right->num_attrs()) {
+        return Status::InvalidArgument("join attribute out of range");
+      }
+      return ConcatSchemas(*left, *right);
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<std::string> PlanToString(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  switch (plan.op) {
+    case PlanNode::Op::kScan: {
+      MRSL_RETURN_IF_ERROR(ValidateSource(plan.source, sources));
+      return "scan(" + std::to_string(plan.source) + ")";
+    }
+    case PlanNode::Op::kSelect: {
+      auto schema = PlanOutputSchema(*plan.left, sources);
+      if (!schema.ok()) return schema.status();
+      auto child = PlanToString(*plan.left, sources);
+      if (!child.ok()) return child.status();
+      return "select(" + plan.pred.ToString(*schema) + "; " + *child + ")";
+    }
+    case PlanNode::Op::kProject: {
+      auto schema = PlanOutputSchema(*plan.left, sources);
+      if (!schema.ok()) return schema.status();
+      auto child = PlanToString(*plan.left, sources);
+      if (!child.ok()) return child.status();
+      std::vector<std::string> names;
+      for (AttrId a : plan.attrs) {
+        if (a >= schema->num_attrs()) {
+          return Status::InvalidArgument("project attr out of range");
+        }
+        names.push_back(schema->attr(a).name());
+      }
+      return "project(" + Join(names, ",") + "; " + *child + ")";
+    }
+    case PlanNode::Op::kJoin: {
+      auto lschema = PlanOutputSchema(*plan.left, sources);
+      if (!lschema.ok()) return lschema.status();
+      auto rschema = PlanOutputSchema(*plan.right, sources);
+      if (!rschema.ok()) return rschema.status();
+      if (plan.left_attr >= lschema->num_attrs() ||
+          plan.right_attr >= rschema->num_attrs()) {
+        return Status::InvalidArgument("join attribute out of range");
+      }
+      auto left = PlanToString(*plan.left, sources);
+      if (!left.ok()) return left.status();
+      auto right = PlanToString(*plan.right, sources);
+      if (!right.ok()) return right.status();
+      return "join(" + *left + "; " + *right + "; " +
+             lschema->attr(plan.left_attr).name() + "=" +
+             rschema->attr(plan.right_attr).name() + ")";
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<PlanResult> EvaluatePlan(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  return EvalNode(plan, sources);
+}
+
+std::vector<DistinctMarginal> DistinctMarginals(
+    const PlanResult& result,
+    const std::vector<const ProbDatabase*>& sources) {
+  std::unordered_map<Tuple, size_t, TupleHash> index;
+  std::vector<std::pair<Tuple, std::vector<size_t>>> groups;
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    auto [it, inserted] = index.emplace(result.rows[r].tuple, groups.size());
+    if (inserted) {
+      groups.emplace_back(result.rows[r].tuple, std::vector<size_t>());
+    }
+    groups[it->second].second.push_back(r);
+  }
+  std::vector<Event> events(result.rows.size());
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    events[r] = Event{result.rows[r].prob, result.rows[r].lineage};
+  }
+  std::vector<DistinctMarginal> out;
+  out.reserve(groups.size());
+  bool exact = true;  // per-marginal exactness shows in the interval
+  for (auto& [tuple, members] : groups) {
+    std::vector<const Event*> group;
+    group.reserve(members.size());
+    for (size_t r : members) group.push_back(&events[r]);
+    Event ev = DisjoinEvents(group, sources, &exact);
+    out.push_back(DistinctMarginal{std::move(tuple), ev.prob});
+  }
+  return out;
+}
+
+Result<ExistsResult> EvaluateExists(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  auto result = EvaluatePlan(plan, sources);
+  if (!result.ok()) return result.status();
+  ExistsResult out;
+  out.safe = result->safe;
+  if (result->rows.empty()) {
+    out.prob = ProbInterval::Exact(0.0);
+    return out;
+  }
+  std::vector<Event> events(result->rows.size());
+  std::vector<const Event*> ptrs(result->rows.size());
+  for (size_t r = 0; r < result->rows.size(); ++r) {
+    events[r] = Event{result->rows[r].prob, result->rows[r].lineage};
+    ptrs[r] = &events[r];
+  }
+  Event ev = DisjoinEvents(ptrs, sources, &out.safe);
+  out.prob = ev.prob;
+  return out;
+}
+
+Result<CountResult> EvaluateCount(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  auto result = EvaluatePlan(plan, sources);
+  if (!result.ok()) return result.status();
+  CountResult out;
+  out.safe = result->safe;
+
+  // Linearity of expectation: the expected bag count is the sum of row
+  // probabilities regardless of correlation, so the interval sum is
+  // always sound and exact whenever every row is exact.
+  double lo = 0.0;
+  double hi = 0.0;
+  bool all_exact = true;
+  for (const PlanRow& row : result->rows) {
+    lo += row.prob.lo;
+    hi += row.prob.hi;
+    all_exact = all_exact && row.prob.exact();
+  }
+  out.expected = ProbInterval::Bounds(lo, hi);
+
+  // The full count distribution needs independent Bernoulli
+  // contributions: rows in distinct correlation components, or simple
+  // same-block rows with pairwise-disjoint alternative sets (at most one
+  // of them exists per world -> one Bernoulli of the summed mass).
+  if (!all_exact) return out;
+  std::vector<const Event*> ptrs;
+  std::vector<Event> events(result->rows.size());
+  for (size_t r = 0; r < result->rows.size(); ++r) {
+    events[r] = Event{result->rows[r].prob, result->rows[r].lineage};
+    ptrs.push_back(&events[r]);
+  }
+  std::vector<double> bernoullis;
+  for (const std::vector<size_t>& comp : CorrelationComponents(ptrs)) {
+    if (comp.size() == 1) {
+      bernoullis.push_back(events[comp[0]].prob.lo);
+      continue;
+    }
+    double mass = 0.0;
+    size_t distinct_alts = 0;
+    std::vector<uint32_t> seen;
+    bool mergeable = true;
+    for (size_t i : comp) {
+      const Lineage& l = events[i].lineage;
+      if (!l.simple || l.source != events[comp[0]].lineage.source ||
+          l.block != events[comp[0]].lineage.block) {
+        mergeable = false;
+        break;
+      }
+      seen.insert(seen.end(), l.alts.begin(), l.alts.end());
+      distinct_alts += l.alts.size();
+      mass += events[i].prob.lo;
+    }
+    if (mergeable) {
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      // Overlapping alternative sets would let one world satisfy two
+      // rows at once — the contribution is no longer Bernoulli.
+      if (seen.size() != distinct_alts) mergeable = false;
+    }
+    if (!mergeable) return out;  // expected interval only
+    bernoullis.push_back(Clamp01(mass));
+  }
+
+  std::vector<double> dist(1, 1.0);
+  for (double q : bernoullis) {
+    dist.push_back(0.0);
+    for (size_t k = dist.size() - 1; k > 0; --k) {
+      dist[k] = dist[k] * (1.0 - q) + dist[k - 1] * q;
+    }
+    dist[0] *= (1.0 - q);
+  }
+  out.has_distribution = true;
+  out.distribution = std::move(dist);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Plan text parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Splits the argument list of "op( ... )" on top-level ';', respecting
+// nested parentheses. `text` excludes the outer parens.
+Result<std::vector<std::string_view>> SplitArgs(std::string_view text) {
+  std::vector<std::string_view> args;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) return Status::InvalidArgument("unbalanced ')'");
+    }
+    if (c == ';' && depth == 0) {
+      args.push_back(Trim(text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) return Status::InvalidArgument("unbalanced '('");
+  args.push_back(Trim(text.substr(start)));
+  return args;
+}
+
+// "op" and the parenthesized payload of "op( ... )"; payload is empty
+// (and *has_args false) for a bare identifier like "scan".
+Status SplitCall(std::string_view text, std::string_view* op,
+                 std::string_view* payload, bool* has_args) {
+  text = Trim(text);
+  size_t paren = text.find('(');
+  if (paren == std::string_view::npos) {
+    *op = text;
+    *payload = std::string_view();
+    *has_args = false;
+    return Status::OK();
+  }
+  if (text.empty() || text.back() != ')') {
+    return Status::InvalidArgument("expected ')' at end of: " +
+                                   std::string(text));
+  }
+  *op = Trim(text.substr(0, paren));
+  *payload = text.substr(paren + 1, text.size() - paren - 2);
+  *has_args = true;
+  return Status::OK();
+}
+
+Result<AttrId> ResolveAttr(std::string_view name, const Schema& schema) {
+  AttrId id = 0;
+  if (!schema.FindAttr(std::string(Trim(name)), &id)) {
+    return Status::InvalidArgument("unknown attribute: " +
+                                   std::string(Trim(name)));
+  }
+  return id;
+}
+
+Result<Predicate> ParsePredicateText(std::string_view text,
+                                     const Schema& schema) {
+  std::string norm(Trim(text));
+  if (norm.empty() || norm == "true" || norm == "TRUE") return Predicate();
+  // Predicate::ToString joins atoms with " AND "; accept it back.
+  for (size_t pos = 0; (pos = norm.find(" AND ", pos)) != std::string::npos;) {
+    norm.replace(pos, 5, " & ");
+  }
+  Predicate pred;
+  for (const std::string& atom : Split(norm, '&')) {
+    std::string_view a = Trim(atom);
+    size_t ne = a.find("!=");
+    size_t eq = a.find('=');
+    bool negated = ne != std::string_view::npos;
+    size_t op_pos = negated ? ne : eq;
+    if (op_pos == std::string_view::npos) {
+      return Status::InvalidArgument("bad predicate atom: " + std::string(a));
+    }
+    auto attr = ResolveAttr(a.substr(0, op_pos), schema);
+    if (!attr.ok()) return attr.status();
+    std::string label(Trim(a.substr(op_pos + (negated ? 2 : 1))));
+    ValueId value = schema.attr(*attr).Find(label);
+    if (value == kMissingValue) {
+      return Status::InvalidArgument("unknown value '" + label +
+                                     "' for attribute " +
+                                     schema.attr(*attr).name());
+    }
+    pred = pred.And(negated ? Predicate::Ne(*attr, value)
+                            : Predicate::Eq(*attr, value));
+  }
+  return pred;
+}
+
+struct ParsedNode {
+  PlanPtr plan;
+  Schema schema;
+};
+
+Result<ParsedNode> ParseNodeText(
+    std::string_view text, const std::vector<const ProbDatabase*>& sources) {
+  std::string_view op;
+  std::string_view payload;
+  bool has_args = false;
+  MRSL_RETURN_IF_ERROR(SplitCall(text, &op, &payload, &has_args));
+
+  if (op == "scan") {
+    size_t source = 0;
+    if (has_args && !Trim(payload).empty()) {
+      int64_t idx = 0;
+      if (!ParseInt(Trim(payload), &idx) || idx < 0) {
+        return Status::InvalidArgument("bad scan source: " +
+                                       std::string(payload));
+      }
+      source = static_cast<size_t>(idx);
+    }
+    MRSL_RETURN_IF_ERROR(ValidateSource(source, sources));
+    return ParsedNode{ScanPlan(source), sources[source]->schema()};
+  }
+  if (!has_args) {
+    return Status::InvalidArgument("unknown plan operator: " +
+                                   std::string(op));
+  }
+  auto args = SplitArgs(payload);
+  if (!args.ok()) return args.status();
+
+  if (op == "select") {
+    if (args->size() != 2) {
+      return Status::InvalidArgument("select(pred; node) takes 2 arguments");
+    }
+    auto child = ParseNodeText((*args)[1], sources);
+    if (!child.ok()) return child.status();
+    auto pred = ParsePredicateText((*args)[0], child->schema);
+    if (!pred.ok()) return pred.status();
+    Schema schema = child->schema;
+    return ParsedNode{SelectPlan(std::move(pred).value(),
+                                 std::move(child->plan)),
+                      std::move(schema)};
+  }
+  if (op == "project") {
+    if (args->size() != 2) {
+      return Status::InvalidArgument(
+          "project(attrs; node) takes 2 arguments");
+    }
+    auto child = ParseNodeText((*args)[1], sources);
+    if (!child.ok()) return child.status();
+    std::vector<AttrId> attrs;
+    for (const std::string& name : Split((*args)[0], ',')) {
+      auto attr = ResolveAttr(name, child->schema);
+      if (!attr.ok()) return attr.status();
+      attrs.push_back(*attr);
+    }
+    auto schema = ProjectSchema(child->schema, attrs);
+    if (!schema.ok()) return schema.status();
+    return ParsedNode{ProjectPlan(std::move(attrs), std::move(child->plan)),
+                      std::move(schema).value()};
+  }
+  if (op == "join") {
+    if (args->size() != 3) {
+      return Status::InvalidArgument(
+          "join(left; right; attr=attr) takes 3 arguments");
+    }
+    auto left = ParseNodeText((*args)[0], sources);
+    if (!left.ok()) return left.status();
+    auto right = ParseNodeText((*args)[1], sources);
+    if (!right.ok()) return right.status();
+    std::string_view cond = (*args)[2];
+    size_t eq = cond.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("join condition must be attr=attr");
+    }
+    auto la = ResolveAttr(cond.substr(0, eq), left->schema);
+    if (!la.ok()) return la.status();
+    auto ra = ResolveAttr(cond.substr(eq + 1), right->schema);
+    if (!ra.ok()) return ra.status();
+    auto schema = ConcatSchemas(left->schema, right->schema);
+    if (!schema.ok()) return schema.status();
+    return ParsedNode{JoinPlan(std::move(left->plan), std::move(right->plan),
+                               *la, *ra),
+                      std::move(schema).value()};
+  }
+  return Status::InvalidArgument("unknown plan operator: " + std::string(op));
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParsePlan(std::string_view text,
+                              const std::vector<const ProbDatabase*>& sources) {
+  std::string_view trimmed = Trim(text);
+  std::string_view op;
+  std::string_view payload;
+  bool has_args = false;
+  MRSL_RETURN_IF_ERROR(SplitCall(trimmed, &op, &payload, &has_args));
+
+  ParsedQuery out;
+  std::string_view body = trimmed;
+  if (op == "exists" || op == "count") {
+    if (!has_args) {
+      return Status::InvalidArgument(std::string(op) + " needs a plan");
+    }
+    out.kind = op == "exists" ? ParsedQuery::Kind::kExists
+                              : ParsedQuery::Kind::kCount;
+    body = payload;
+  }
+  auto node = ParseNodeText(body, sources);
+  if (!node.ok()) return node.status();
+  out.plan = std::move(node->plan);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The Monte-Carlo differential-testing oracle.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// SplitMix64 finalizer over (seed, chunk): a pure function, so chunk c
+// always replays the same worlds whatever thread executes it.
+uint64_t OracleChunkSeed(uint64_t seed, uint64_t chunk) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (chunk + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic single-world evaluation; the plan must be validated
+// before the trial loop (this cannot fail).
+void EvalWorld(const PlanNode& node,
+               const std::vector<const ProbDatabase*>& sources,
+               const std::vector<std::vector<int32_t>>& choices,
+               std::vector<Tuple>* out) {
+  switch (node.op) {
+    case PlanNode::Op::kScan: {
+      const ProbDatabase& db = *sources[node.source];
+      const std::vector<int32_t>& picks = choices[node.source];
+      for (size_t b = 0; b < db.num_blocks(); ++b) {
+        if (picks[b] == kNoAlternative) continue;
+        out->push_back(
+            db.block(b).alternatives[static_cast<size_t>(picks[b])].tuple);
+      }
+      return;
+    }
+    case PlanNode::Op::kSelect: {
+      std::vector<Tuple> child;
+      EvalWorld(*node.left, sources, choices, &child);
+      for (Tuple& t : child) {
+        if (node.pred.Eval(t)) out->push_back(std::move(t));
+      }
+      return;
+    }
+    case PlanNode::Op::kProject: {
+      std::vector<Tuple> child;
+      EvalWorld(*node.left, sources, choices, &child);
+      std::unordered_set<Tuple, TupleHash> seen;
+      for (const Tuple& t : child) {
+        Tuple proj(node.attrs.size());
+        for (size_t k = 0; k < node.attrs.size(); ++k) {
+          proj.set_value(static_cast<AttrId>(k), t.value(node.attrs[k]));
+        }
+        if (seen.insert(proj).second) out->push_back(std::move(proj));
+      }
+      return;
+    }
+    case PlanNode::Op::kJoin: {
+      std::vector<Tuple> left;
+      std::vector<Tuple> right;
+      EvalWorld(*node.left, sources, choices, &left);
+      EvalWorld(*node.right, sources, choices, &right);
+      std::unordered_map<ValueId, std::vector<const Tuple*>> right_index;
+      for (const Tuple& t : right) {
+        right_index[t.value(node.right_attr)].push_back(&t);
+      }
+      const size_t rn = right.empty() ? 0 : right[0].num_attrs();
+      for (const Tuple& lt : left) {
+        auto it = right_index.find(lt.value(node.left_attr));
+        if (it == right_index.end()) continue;
+        const size_t ln = lt.num_attrs();
+        for (const Tuple* rt : it->second) {
+          Tuple joined(ln + rn);
+          for (AttrId a = 0; a < ln; ++a) joined.set_value(a, lt.value(a));
+          for (AttrId a = 0; a < rn; ++a) {
+            joined.set_value(static_cast<AttrId>(ln + a), rt->value(a));
+          }
+          out->push_back(std::move(joined));
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> EvaluatePlanInWorld(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
+    const std::vector<std::vector<int32_t>>& choices) {
+  MRSL_RETURN_IF_ERROR(PlanOutputSchema(plan, sources).status());
+  if (choices.size() != sources.size()) {
+    return Status::InvalidArgument("need one choice vector per source");
+  }
+  for (size_t s = 0; s < sources.size(); ++s) {
+    if (choices[s].size() != sources[s]->num_blocks()) {
+      return Status::InvalidArgument("choice vector/block count mismatch");
+    }
+  }
+  std::vector<Tuple> out;
+  EvalWorld(plan, sources, choices, &out);
+  return out;
+}
+
+Result<OracleResult> MonteCarloPlanOracle(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
+    const OracleOptions& options) {
+  auto schema = PlanOutputSchema(plan, sources);
+  if (!schema.ok()) return schema.status();
+  if (options.trials == 0) {
+    return Status::InvalidArgument("oracle needs at least one trial");
+  }
+
+  const size_t chunk_size = std::max<size_t>(1, options.chunk_size);
+  const size_t num_chunks = (options.trials + chunk_size - 1) / chunk_size;
+
+  // Integer tallies per chunk; merged in chunk order below, so the
+  // result is a pure function of (plan, sources, trials, seed).
+  struct ChunkTally {
+    uint64_t nonempty = 0;
+    uint64_t total_count = 0;
+    std::vector<uint64_t> count_hist;
+    std::vector<std::pair<Tuple, uint64_t>> tuple_counts;  // first-seen order
+  };
+  std::vector<ChunkTally> tallies(num_chunks);
+
+  auto run_chunk = [&](size_t c) {
+    ChunkTally& tally = tallies[c];
+    Rng rng(OracleChunkSeed(options.seed, c));
+    std::vector<std::vector<int32_t>> choices(sources.size());
+    std::unordered_map<Tuple, size_t, TupleHash> index;
+    std::unordered_set<Tuple, TupleHash> distinct;
+    std::vector<Tuple> bag;
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(options.trials, begin + chunk_size);
+    for (size_t t = begin; t < end; ++t) {
+      for (size_t s = 0; s < sources.size(); ++s) {
+        SampleWorldChoices(*sources[s], &rng, &choices[s]);
+      }
+      bag.clear();
+      EvalWorld(plan, sources, choices, &bag);
+      if (!bag.empty()) ++tally.nonempty;
+      tally.total_count += bag.size();
+      if (tally.count_hist.size() <= bag.size()) {
+        tally.count_hist.resize(bag.size() + 1, 0);
+      }
+      ++tally.count_hist[bag.size()];
+      distinct.clear();
+      for (const Tuple& tuple : bag) {
+        if (!distinct.insert(tuple).second) continue;
+        auto [it, inserted] = index.emplace(tuple, tally.tuple_counts.size());
+        if (inserted) tally.tuple_counts.emplace_back(tuple, 0);
+        ++tally.tuple_counts[it->second].second;
+      }
+    }
+  };
+
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    pool.ParallelFor(num_chunks, options.num_threads, run_chunk);
+  } else {
+    ThreadPool::Global().ParallelFor(num_chunks, 0, run_chunk);
+  }
+
+  OracleResult out;
+  out.trials = options.trials;
+  out.schema = std::move(schema).value();
+  uint64_t nonempty = 0;
+  uint64_t total_count = 0;
+  std::vector<uint64_t> hist;
+  std::unordered_map<Tuple, size_t, TupleHash> index;
+  std::vector<std::pair<Tuple, uint64_t>> tuple_counts;
+  for (const ChunkTally& tally : tallies) {
+    nonempty += tally.nonempty;
+    total_count += tally.total_count;
+    if (hist.size() < tally.count_hist.size()) {
+      hist.resize(tally.count_hist.size(), 0);
+    }
+    for (size_t k = 0; k < tally.count_hist.size(); ++k) {
+      hist[k] += tally.count_hist[k];
+    }
+    for (const auto& [tuple, count] : tally.tuple_counts) {
+      auto [it, inserted] = index.emplace(tuple, tuple_counts.size());
+      if (inserted) tuple_counts.emplace_back(tuple, 0);
+      tuple_counts[it->second].second += count;
+    }
+  }
+  const double n = static_cast<double>(options.trials);
+  out.exists = static_cast<double>(nonempty) / n;
+  out.expected_count = static_cast<double>(total_count) / n;
+  if (hist.empty()) hist.resize(1, options.trials);
+  out.count_distribution.reserve(hist.size());
+  for (uint64_t h : hist) {
+    out.count_distribution.push_back(static_cast<double>(h) / n);
+  }
+  out.marginals.reserve(tuple_counts.size());
+  for (auto& [tuple, count] : tuple_counts) {
+    out.marginals.push_back(
+        ProbTuple{std::move(tuple), static_cast<double>(count) / n});
+  }
+  return out;
+}
+
+}  // namespace mrsl

@@ -8,6 +8,7 @@
 
 #include "pdb/prob_database.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -24,6 +25,10 @@ double Block::TotalMass() const {
   double mass = 0.0;
   for (const Alternative& a : alternatives) mass += a.prob;
   return mass;
+}
+
+double Block::AbsentMass() const {
+  return std::max(0.0, 1.0 - TotalMass());
 }
 
 Status ProbDatabase::AddCertain(Tuple t) {
@@ -106,7 +111,7 @@ uint64_t ProbDatabase::NumPossibleWorlds() const {
   uint64_t worlds = 1;
   for (const Block& b : blocks_) {
     uint64_t choices = b.alternatives.size() +
-                       (b.TotalMass() < 1.0 - kMassEpsilon ? 1 : 0);
+                       (b.AbsentMass() > kMassEpsilon ? 1 : 0);
     if (worlds > std::numeric_limits<uint64_t>::max() / choices) {
       return std::numeric_limits<uint64_t>::max();
     }
@@ -137,7 +142,7 @@ Status ProbDatabase::ForEachWorld(
       rec(i + 1, p * a.prob);
       world.pop_back();
     }
-    double absent = 1.0 - b.TotalMass();
+    double absent = b.AbsentMass();
     if (absent > kMassEpsilon) rec(i + 1, p * absent);
   };
   rec(0, 1.0);

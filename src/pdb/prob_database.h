@@ -36,8 +36,16 @@ struct Block {
   std::vector<Alternative> alternatives;
 
   /// Total probability mass; 1 - TotalMass() is the chance the block
-  /// contributes no tuple to a world.
+  /// contributes no tuple to a world. May exceed 1 by up to the
+  /// validation epsilon (AddBlock tolerates tiny floating-point
+  /// overshoot), so consumers must not assume 1 - TotalMass() >= 0.
   double TotalMass() const;
+
+  /// Probability that the block contributes no tuple, clamped to
+  /// [0, 1]: max(0, 1 - TotalMass()). Use this instead of hand-rolled
+  /// 1 - TotalMass() arithmetic, which goes (slightly) negative when a
+  /// block's mass overshoots 1 within the epsilon.
+  double AbsentMass() const;
 };
 
 /// A BID probabilistic database.

@@ -216,26 +216,39 @@ Result<JoinResult> EquiJoin(const ProbDatabase& left,
   return result;
 }
 
+void SampleWorldChoices(const ProbDatabase& db, Rng* rng,
+                        std::vector<int32_t>* choices) {
+  choices->resize(db.num_blocks());
+  std::vector<double> weights;
+  for (size_t i = 0; i < db.num_blocks(); ++i) {
+    const Block& b = db.block(i);
+    // Sample an alternative (or absence) from the block. AbsentMass is
+    // clamped, so a block whose mass overshoots 1 within the validation
+    // epsilon never yields a negative weight.
+    weights.clear();
+    for (const Alternative& a : b.alternatives) weights.push_back(a.prob);
+    double absent = b.AbsentMass();
+    if (absent > 0.0) weights.push_back(absent);
+    size_t pick = rng->SampleDiscrete(weights);
+    (*choices)[i] = pick < b.alternatives.size()
+                        ? static_cast<int32_t>(pick)
+                        : kNoAlternative;
+  }
+}
+
 std::vector<double> MonteCarloCountDistribution(const ProbDatabase& db,
                                                 const Predicate& pred,
                                                 size_t trials, Rng* rng) {
   std::vector<double> counts(db.num_blocks() + 1, 0.0);
-  std::vector<double> weights;
+  std::vector<int32_t> choices;
   for (size_t t = 0; t < trials; ++t) {
+    SampleWorldChoices(db, rng, &choices);
     size_t count = 0;
     for (size_t i = 0; i < db.num_blocks(); ++i) {
-      const Block& b = db.block(i);
-      // Sample an alternative (or absence) from the block.
-      weights.clear();
-      double mass = 0.0;
-      for (const Alternative& a : b.alternatives) {
-        weights.push_back(a.prob);
-        mass += a.prob;
-      }
-      if (mass < 1.0) weights.push_back(1.0 - mass);
-      size_t pick = rng->SampleDiscrete(weights);
-      if (pick < b.alternatives.size() &&
-          pred.Eval(b.alternatives[pick].tuple)) {
+      int32_t pick = choices[i];
+      if (pick != kNoAlternative &&
+          pred.Eval(db.block(i).alternatives[static_cast<size_t>(pick)]
+                        .tuple)) {
         ++count;
       }
     }

@@ -10,6 +10,7 @@
 #define MRSL_PDB_QUERY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,17 @@ struct JoinResult {
 Result<JoinResult> EquiJoin(const ProbDatabase& left,
                             const ProbDatabase& right, AttrId left_attr,
                             AttrId right_attr);
+
+/// Sentinel world choice: the block contributes no tuple to the world.
+inline constexpr int32_t kNoAlternative = -1;
+
+/// Samples one possible world of `db`: per block, the index of the
+/// chosen alternative, or kNoAlternative with the block's (clamped)
+/// absent mass. `choices` is resized to db.num_blocks(). This is the
+/// shared sampling primitive behind MonteCarloCountDistribution and the
+/// plan-generic oracle (pdb/plan.h).
+void SampleWorldChoices(const ProbDatabase& db, Rng* rng,
+                        std::vector<int32_t>* choices);
 
 /// Monte-Carlo oracle: samples `trials` possible worlds and returns the
 /// empirical distribution of COUNT(σ_pred) (index k = P(count = k)).

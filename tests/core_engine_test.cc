@@ -109,35 +109,45 @@ TEST_F(EngineTest, DeterministicAcrossThreadCounts) {
   }
 }
 
-// Context reuse: successive batches on one engine reuse the same
-// contexts (pool stays at its high-water mark) with warm CPD caches, and
-// warm caches do not change results.
+// Context reuse: successive batches on one engine reuse pooled contexts
+// with warm CPD caches, and warm caches do not change results. The
+// deterministic invariant is the cap — with at most N concurrent
+// executors, the engine never constructs more than N contexts no matter
+// how many batches run. (Asserting that batch 2 adds no contexts over
+// batch 1's pool races on batch 1's scheduling-dependent high-water
+// mark and flaked; the cap does not.)
 TEST_F(EngineTest, ContextReuseAcrossSuccessiveBatches) {
-  Engine engine(&model_);
+  EngineOptions eo;
+  eo.num_threads = 2;
+  Engine engine(&model_, eo);
   auto first = engine.InferBatch(workload_, SamplingMode::kTupleDag,
                                  WOpts());
   ASSERT_TRUE(first.ok());
   EngineStats after_first = engine.stats();
-  size_t pool_after_first = engine.context_pool_size();
-  EXPECT_GT(pool_after_first, 0u);
+  EXPECT_GT(engine.context_pool_size(), 0u);
   EXPECT_EQ(after_first.batches, 1u);
   EXPECT_EQ(after_first.tuples, workload_.size());
 
   auto second = engine.InferBatch(workload_, SamplingMode::kTupleDag,
                                   WOpts());
   ASSERT_TRUE(second.ok());
-  EngineStats after_second = engine.stats();
+  auto third = engine.InferBatch(workload_, SamplingMode::kTupleDag,
+                                 WOpts());
+  ASSERT_TRUE(third.ok());
+  EngineStats after_third = engine.stats();
 
-  // No new contexts were built for the second batch...
-  EXPECT_EQ(engine.context_pool_size(), pool_after_first);
-  EXPECT_EQ(after_second.contexts_created, after_first.contexts_created);
-  // ...its conditionals were served from the warm caches...
-  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
-  EXPECT_LT(after_second.cpd_evaluations - after_first.cpd_evaluations,
+  // Three batches, many components each — still at most num_threads
+  // contexts ever constructed: the later batches ran on reused ones.
+  EXPECT_LE(after_third.contexts_created, 2u);
+  EXPECT_LE(engine.context_pool_size(), 2u);
+  // The repeat batches were served from the warm caches...
+  EXPECT_GT(after_third.cache_hits, after_first.cache_hits);
+  EXPECT_LT((after_third.cpd_evaluations - after_first.cpd_evaluations) / 2,
             after_first.cpd_evaluations);
   // ...and warm caches are invisible in the results.
   for (size_t i = 0; i < first->size(); ++i) {
     EXPECT_EQ((*first)[i].probs(), (*second)[i].probs()) << "i=" << i;
+    EXPECT_EQ((*first)[i].probs(), (*third)[i].probs()) << "i=" << i;
   }
 }
 

@@ -9,16 +9,23 @@
 //     observed attributes count exactly like the incomplete relation.
 //  5. Masking then repairing with a perfect (low-noise) generator
 //     recovers most cells; repairs never alter observed cells.
+//  6. The indexed matcher agrees with the linear-scan oracle.
+//  7. Differential testing of the extensional plan algebra: on random
+//     BID databases and random plans, exact (safe) results fall inside
+//     the Monte-Carlo oracle's confidence band, and dissociation
+//     [lower, upper] bounds always bracket the oracle estimate.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 
 #include "bn/bayes_net.h"
 #include "core/gibbs.h"
 #include "core/learner.h"
 #include "core/workload.h"
 #include "expfw/metrics.h"
+#include "pdb/plan.h"
 #include "pdb/query.h"
 #include "util/rng.h"
 
@@ -209,6 +216,202 @@ TEST_P(PipelinePropertyTest, IndexedMatchAgreesWithLinearScan) {
       }
     }
   }
+}
+
+// --- 7. Plan algebra vs. the possible-world oracle -----------------------
+
+namespace plan_diff {
+
+Schema ThreeAttrSchema() {
+  auto s = Schema::Create({Attribute("a", {"a0", "a1"}),
+                           Attribute("b", {"b0", "b1", "b2"}),
+                           Attribute("c", {"c0", "c1"})});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+// A random BID database: 4-7 blocks of 1-3 complete alternatives; about
+// half the blocks keep some absent mass (total < 1).
+ProbDatabase RandomBid(const Schema& schema, Rng* rng) {
+  ProbDatabase db(schema);
+  size_t blocks = 4 + rng->UniformInt(4);
+  for (size_t i = 0; i < blocks; ++i) {
+    Block block;
+    size_t alts = 1 + rng->UniformInt(3);
+    double remaining = rng->Bernoulli(0.5) ? 1.0 : 0.4 + 0.5 * rng->NextDouble();
+    for (size_t j = 0; j < alts; ++j) {
+      Tuple t(schema.num_attrs());
+      for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+        t.set_value(a, static_cast<ValueId>(
+                           rng->UniformInt(schema.attr(a).cardinality())));
+      }
+      double p = j + 1 == alts ? remaining
+                               : remaining * (0.2 + 0.6 * rng->NextDouble());
+      remaining -= p;
+      block.alternatives.push_back({std::move(t), p});
+    }
+    // Distinct alternatives only (duplicates are legal but make the
+    // fixture's hand bookkeeping murky).
+    EXPECT_TRUE(db.AddBlock(std::move(block)).ok());
+  }
+  return db;
+}
+
+Predicate RandomPred(const Schema& schema, Rng* rng) {
+  Predicate pred;
+  size_t atoms = 1 + rng->UniformInt(2);
+  for (size_t k = 0; k < atoms; ++k) {
+    AttrId a = static_cast<AttrId>(rng->UniformInt(schema.num_attrs()));
+    ValueId v = static_cast<ValueId>(
+        rng->UniformInt(schema.attr(a).cardinality()));
+    pred = pred.And(rng->Bernoulli(0.3) ? Predicate::Ne(a, v)
+                                        : Predicate::Eq(a, v));
+  }
+  return pred;
+}
+
+// A random plan over `sources`: optionally-selected scans, optionally
+// joined (possibly with the SAME source — the unsafe shape), optionally
+// projected. Exercises every operator.
+PlanPtr RandomPlan(const std::vector<const ProbDatabase*>& sources,
+                   Rng* rng, size_t* out_arity) {
+  size_t s1 = rng->UniformInt(sources.size());
+  PlanPtr plan = ScanPlan(s1);
+  const Schema& schema1 = sources[s1]->schema();
+  if (rng->Bernoulli(0.7)) {
+    plan = SelectPlan(RandomPred(schema1, rng), std::move(plan));
+  }
+  size_t arity = schema1.num_attrs();
+  if (rng->Bernoulli(0.5)) {
+    size_t s2 = rng->UniformInt(sources.size());
+    PlanPtr rhs = ScanPlan(s2);
+    const Schema& schema2 = sources[s2]->schema();
+    if (rng->Bernoulli(0.5)) {
+      rhs = SelectPlan(RandomPred(schema2, rng), std::move(rhs));
+    }
+    plan = JoinPlan(std::move(plan), std::move(rhs),
+                    static_cast<AttrId>(rng->UniformInt(arity)),
+                    static_cast<AttrId>(
+                        rng->UniformInt(schema2.num_attrs())));
+    arity += schema2.num_attrs();
+  }
+  if (rng->Bernoulli(0.6)) {
+    size_t keep = 1 + rng->UniformInt(2);
+    std::vector<AttrId> attrs;
+    for (size_t k = 0; k < keep; ++k) {
+      attrs.push_back(static_cast<AttrId>(rng->UniformInt(arity)));
+    }
+    plan = ProjectPlan(attrs, std::move(plan));
+    arity = attrs.size();
+  }
+  *out_arity = arity;
+  return plan;
+}
+
+// Verifies one plan against the 20k-world oracle: exact marginals and
+// aggregates within the Monte-Carlo confidence band, intervals always
+// bracketing the oracle estimate.
+void CheckPlanAgainstOracle(const PlanNode& plan,
+                            const std::vector<const ProbDatabase*>& sources,
+                            uint64_t seed) {
+  auto result = EvaluatePlan(plan, sources);
+  ASSERT_TRUE(result.ok());
+  auto exists = EvaluateExists(plan, sources);
+  auto count = EvaluateCount(plan, sources);
+  ASSERT_TRUE(exists.ok());
+  ASSERT_TRUE(count.ok());
+
+  OracleOptions oo;
+  oo.trials = 20000;
+  oo.seed = seed;
+  auto oracle = MonteCarloPlanOracle(plan, sources, oo);
+  ASSERT_TRUE(oracle.ok());
+
+  // At 20k trials the binomial standard error is <= 0.0035; 0.02 is a
+  // ~5.7 sigma band.
+  const double tol = 0.02;
+  std::map<std::vector<ValueId>, double> freq;
+  for (const ProbTuple& pt : oracle->marginals) {
+    freq[pt.tuple.values()] = pt.prob;
+  }
+  auto marginals = DistinctMarginals(*result, sources);
+  std::map<std::vector<ValueId>, ProbInterval> extensional;
+  for (const DistinctMarginal& m : marginals) {
+    extensional[m.tuple.values()] = m.prob;
+  }
+  // The oracle can only produce tuples the extensional result predicts.
+  for (const auto& [values, f] : freq) {
+    ASSERT_TRUE(extensional.count(values) != 0u)
+        << "oracle tuple missing extensionally (freq " << f << ")";
+  }
+  for (const DistinctMarginal& m : marginals) {
+    auto it = freq.find(m.tuple.values());
+    double f = it == freq.end() ? 0.0 : it->second;
+    if (m.prob.exact()) {
+      EXPECT_NEAR(m.prob.lo, f, tol);
+    } else {
+      EXPECT_LE(m.prob.lo - tol, f);
+      EXPECT_GE(m.prob.hi + tol, f);
+    }
+  }
+
+  if (exists->prob.exact()) {
+    EXPECT_NEAR(exists->prob.lo, oracle->exists, tol);
+  } else {
+    EXPECT_LE(exists->prob.lo - tol, oracle->exists);
+    EXPECT_GE(exists->prob.hi + tol, oracle->exists);
+  }
+
+  // Count means have a larger spread than frequencies; scale the band.
+  const double count_tol =
+      0.05 * std::max(1.0, count->expected.hi - count->expected.lo + 1.0) +
+      0.05 * std::max(1.0, count->expected.hi);
+  if (count->expected.exact()) {
+    EXPECT_NEAR(count->expected.lo, oracle->expected_count, count_tol);
+  } else {
+    EXPECT_LE(count->expected.lo - count_tol, oracle->expected_count);
+    EXPECT_GE(count->expected.hi + count_tol, oracle->expected_count);
+  }
+  if (count->has_distribution) {
+    for (size_t k = 0; k < count->distribution.size(); ++k) {
+      double got = k < oracle->count_distribution.size()
+                       ? oracle->count_distribution[k]
+                       : 0.0;
+      EXPECT_NEAR(count->distribution[k], got, tol) << "count=" << k;
+    }
+  }
+}
+
+}  // namespace plan_diff
+
+TEST_P(PipelinePropertyTest, PlanAlgebraMatchesPossibleWorldOracle) {
+  using namespace plan_diff;
+  Rng rng(GetParam() ^ 0x91A4F00DULL);
+  Schema schema = ThreeAttrSchema();
+  ProbDatabase db1 = RandomBid(schema, &rng);
+  ProbDatabase db2 = RandomBid(schema, &rng);
+  std::vector<const ProbDatabase*> sources = {&db1, &db2};
+
+  size_t unsafe_seen = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    size_t arity = 0;
+    PlanPtr plan = RandomPlan(sources, &rng, &arity);
+    auto result = EvaluatePlan(*plan, sources);
+    ASSERT_TRUE(result.ok());
+    unsafe_seen += result->safe ? 0 : 1;
+    CheckPlanAgainstOracle(*plan, sources,
+                           GetParam() * 101 + static_cast<uint64_t>(trial));
+  }
+
+  // The canonical unsafe shape — projecting away the join attribute of
+  // a self-join — must dissociate, and its bounds must bracket the
+  // oracle (the acceptance criterion's randomized unsafe-plan trial).
+  PlanPtr unsafe = ProjectPlan(
+      {2}, JoinPlan(ScanPlan(0), ScanPlan(0), 0, 0));
+  auto unsafe_result = EvaluatePlan(*unsafe, sources);
+  ASSERT_TRUE(unsafe_result.ok());
+  EXPECT_FALSE(unsafe_result->safe);
+  CheckPlanAgainstOracle(*unsafe, sources, GetParam() * 777);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,

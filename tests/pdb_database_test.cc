@@ -8,6 +8,9 @@
 
 #include <cmath>
 
+#include "pdb/query.h"
+#include "util/rng.h"
+
 namespace mrsl {
 namespace {
 
@@ -169,6 +172,41 @@ TEST(ProbDatabaseTest, FromInferenceMinProbPrunes) {
   ASSERT_TRUE(db.ok());
   ASSERT_EQ(db->block(0).alternatives.size(), 2u);  // 0.005 pruned
   EXPECT_NEAR(db->block(0).TotalMass(), 1.0, 1e-9);  // renormalized
+}
+
+// Regression: AddBlock tolerates floating-point mass up to 1 + 1e-6, so
+// consumers of TotalMass() must clamp instead of computing a (slightly)
+// negative absent probability. AbsentMass() is the clamped accessor.
+TEST(ProbDatabaseTest, MassSlightlyAboveOneIsClamped) {
+  ProbDatabase db(TwoAttrSchema());
+  Block b;
+  b.alternatives.push_back({Tuple({0, 0}), 0.5});
+  b.alternatives.push_back({Tuple({1, 0}), 0.5000004});  // mass 1 + 4e-7
+  ASSERT_TRUE(db.AddBlock(b).ok());
+  ASSERT_GT(db.block(0).TotalMass(), 1.0);
+  EXPECT_DOUBLE_EQ(db.block(0).AbsentMass(), 0.0);
+
+  // No phantom "absent" world, and no negative world probability.
+  EXPECT_EQ(db.NumPossibleWorlds(), 2u);
+  double total = 0.0;
+  ASSERT_TRUE(db.ForEachWorld(10,
+                              [&](const std::vector<const Tuple*>&,
+                                  double p) {
+                                EXPECT_GE(p, 0.0);
+                                total += p;
+                              })
+                  .ok());
+  EXPECT_NEAR(total, 1.0, 1e-6);
+
+  // World sampling never hands SampleDiscrete a negative weight and
+  // always picks a real alternative.
+  Rng rng(99);
+  std::vector<int32_t> choices;
+  for (int t = 0; t < 200; ++t) {
+    SampleWorldChoices(db, &rng, &choices);
+    ASSERT_EQ(choices.size(), 1u);
+    EXPECT_NE(choices[0], kNoAlternative);
+  }
 }
 
 TEST(ProbDatabaseTest, ToStringRendersBlocks) {

@@ -16,6 +16,13 @@
 //           [--samples N]
 //           Lazy query-targeted derivation: expected count / existence
 //           probability of rows matching the conjunction.
+//   query   --model model.txt --in data.csv --plan "<plan>"
+//           [--oracle N] [--min-prob p]
+//           Extensional plan evaluation over the fully derived BID
+//           database: select/project/join/exists/count with exact
+//           probabilities on safe plans and [lower, upper] dissociation
+//           bounds on unsafe ones; --oracle N cross-checks against N
+//           Monte-Carlo sampled possible worlds.
 //   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
 //           Pick the support threshold by masked holdout log-loss.
 //
@@ -25,6 +32,8 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -34,6 +43,7 @@
 #include "core/tuning.h"
 #include "core/workload.h"
 #include "pdb/lazy.h"
+#include "pdb/plan.h"
 #include "pdb/prob_database.h"
 #include "relational/discretizer.h"
 #include "util/csv.h"
@@ -57,6 +67,12 @@ int Usage() {
       "         [--threads 0] [--batch-size 0]\n"
       "  query  --model model.txt --in data.csv --where a=v[,b=w...]\n"
       "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
+      "  query  --model model.txt --in data.csv --plan PLAN\n"
+      "         [--oracle 0] [--min-prob 0] [--samples 2000]\n"
+      "         [--threads 0] [--batch-size 0]\n"
+      "         PLAN: scan | select(pred; node) | project(attrs; node)\n"
+      "               | join(node; node; a=b) | exists(node) | count(node)\n"
+      "         e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"
       "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
       "\n"
       "  --threads N     inference thread-pool width (0 = all cores);\n"
@@ -277,17 +293,12 @@ int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
     return 0;
   }
 
-  // Batched parallel derivation through the persistent engine.
+  // Batched parallel derivation through the persistent engine, straight
+  // to the queryable BID database.
   Engine engine(&*model, engine_opts);
   WorkloadStats stats;
-  auto all_dists = engine.DeriveBatch(*rel, mode, opts, batch_size,
-                                      &stats);
-  if (!all_dists.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 all_dists.status().ToString().c_str());
-    return 1;
-  }
-  auto db = ProbDatabase::FromInference(*rel, *all_dists);
+  auto db = engine.DeriveDatabase(*rel, mode, opts, /*min_prob=*/0.0,
+                                  batch_size, &stats);
   if (!db.ok()) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
@@ -356,10 +367,141 @@ int CmdRepair(const std::map<std::string, std::vector<std::string>>& flags) {
   return 0;
 }
 
+// Extensional plan evaluation over the fully derived BID database:
+// parse --plan against the derived schema, evaluate bottom-up (exact on
+// safe plans, dissociation bounds on unsafe ones), optionally
+// cross-check with the Monte-Carlo possible-world oracle.
+int RunPlanQuery(const MrslModel& model, const Relation& rel,
+                 const std::map<std::string, std::vector<std::string>>& flags,
+                 const std::string& plan_text) {
+  GibbsOptions gibbs;
+  int64_t samples = 0;
+  int64_t oracle_trials = 0;
+  double min_prob = 0.0;
+  EngineOptions engine_opts;
+  size_t batch_size = 0;
+  if (!GetIntFlag(flags, "samples", 2000, &samples) ||
+      !GetIntFlag(flags, "oracle", 0, &oracle_trials) ||
+      !GetDoubleFlag(flags, "min-prob", 0.0, &min_prob) ||
+      !ParseEngineFlags(flags, &engine_opts, &batch_size)) {
+    return Usage();
+  }
+  gibbs.samples = static_cast<size_t>(samples);
+
+  Engine engine(&model, engine_opts);
+  LazyDeriver lazy(&engine, &rel, gibbs);
+  auto db = lazy.MaterializeDatabase(batch_size, min_prob);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<const ProbDatabase*> sources = {&*db};
+
+  auto parsed = ParsePlan(plan_text, sources);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto rendered = PlanToString(*parsed->plan, sources);
+  std::printf("PLAN %s  (%zu blocks)\n",
+              rendered.ok() ? rendered->c_str() : plan_text.c_str(),
+              db->num_blocks());
+
+  // The oracle estimate, when requested (shared by all three kinds).
+  bool with_oracle = oracle_trials > 0;
+  OracleResult oracle;
+  if (with_oracle) {
+    OracleOptions oo;
+    oo.trials = static_cast<size_t>(oracle_trials);
+    oo.num_threads = engine_opts.num_threads;
+    auto estimated = MonteCarloPlanOracle(*parsed->plan, sources, oo);
+    if (!estimated.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   estimated.status().ToString().c_str());
+      return 1;
+    }
+    oracle = std::move(estimated).value();
+  }
+
+  switch (parsed->kind) {
+    case ParsedQuery::Kind::kRelation: {
+      auto result = EvaluatePlan(*parsed->plan, sources);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      auto marginals = DistinctMarginals(*result, sources);
+      std::printf("%s: %zu distinct tuples\n",
+                  result->safe ? "exact" : "dissociation bounds",
+                  marginals.size());
+      std::unordered_map<Tuple, double, TupleHash> freq;
+      for (const ProbTuple& pt : oracle.marginals) {
+        freq.emplace(pt.tuple, pt.prob);
+      }
+      for (const DistinctMarginal& m : marginals) {
+        std::printf("  %s  p=%s", m.tuple.ToString(result->schema).c_str(),
+                    m.prob.ToString().c_str());
+        if (with_oracle) {
+          auto it = freq.find(m.tuple);
+          std::printf("  oracle=%.4f", it == freq.end() ? 0.0 : it->second);
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
+    case ParsedQuery::Kind::kExists: {
+      auto exists = EvaluateExists(*parsed->plan, sources);
+      if (!exists.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     exists.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("P(result non-empty) = %s  (%s)\n",
+                  exists->prob.ToString().c_str(),
+                  exists->safe ? "exact" : "dissociation bounds");
+      if (with_oracle) {
+        std::printf("oracle (%zu worlds):  %.4f\n", oracle.trials,
+                    oracle.exists);
+      }
+      return 0;
+    }
+    case ParsedQuery::Kind::kCount: {
+      auto count = EvaluateCount(*parsed->plan, sources);
+      if (!count.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     count.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("E[count] = %s  (%s)\n",
+                  count->expected.ToString().c_str(),
+                  count->safe ? "exact" : "dissociation bounds");
+      if (count->has_distribution) {
+        for (size_t k = 0; k < count->distribution.size() && k < 16; ++k) {
+          if (count->distribution[k] < 1e-9) continue;
+          std::printf("  P(count=%zu) = %.6f\n", k,
+                      count->distribution[k]);
+        }
+      }
+      if (with_oracle) {
+        std::printf("oracle (%zu worlds):  E[count] = %.4f\n",
+                    oracle.trials, oracle.expected_count);
+      }
+      return 0;
+    }
+  }
+  return 1;
+}
+
 int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
   std::string model_path = GetFlag(flags, "model", "");
   std::string where = GetFlag(flags, "where", "");
-  if (model_path.empty() || where.empty()) return Usage();
+  std::string plan_text = GetFlag(flags, "plan", "");
+  // Exactly one of --where (lazy path) / --plan (extensional algebra).
+  if (model_path.empty() || where.empty() == plan_text.empty()) {
+    return Usage();
+  }
   auto model = LoadModelFile(model_path);
   if (!model.ok()) {
     std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
@@ -369,6 +511,10 @@ int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
   if (!rel.ok()) {
     std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
     return 1;
+  }
+
+  if (!plan_text.empty()) {
+    return RunPlanQuery(*model, *rel, flags, plan_text);
   }
 
   // Parse the conjunction against the *model's* schema (the source of
