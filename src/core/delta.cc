@@ -1,0 +1,189 @@
+// ApplyDelta validates every row index against the pre-delta relation
+// and rejects conflicting changes up front, so a delta either applies
+// atomically or not at all. PlanIncrementalDerivation mirrors
+// Engine::InferBatch's partitioning exactly (TupleDag over the raw
+// workload, Components() in node-id order) — any divergence here would
+// silently break the store's bit-identity guarantee, which the tests
+// cross-check against from-scratch derivations.
+
+#include "core/delta.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/tuple_dag.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace mrsl {
+
+Result<Relation> ApplyDelta(const Relation& rel,
+                            const RelationDelta& delta) {
+  const size_t arity = rel.schema().num_attrs();
+  std::unordered_set<uint32_t> touched;
+  for (const RelationDelta::Update& u : delta.updates) {
+    if (u.row >= rel.num_rows()) {
+      return Status::OutOfRange("update row out of range: " +
+                                std::to_string(u.row));
+    }
+    if (u.tuple.num_attrs() != arity) {
+      return Status::InvalidArgument("update tuple arity mismatch");
+    }
+    if (!touched.insert(u.row).second) {
+      return Status::InvalidArgument("row changed twice in one delta: " +
+                                     std::to_string(u.row));
+    }
+  }
+  for (uint32_t r : delta.deletes) {
+    if (r >= rel.num_rows()) {
+      return Status::OutOfRange("delete row out of range: " +
+                                std::to_string(r));
+    }
+    if (!touched.insert(r).second) {
+      return Status::InvalidArgument("row changed twice in one delta: " +
+                                     std::to_string(r));
+    }
+  }
+  for (const Tuple& t : delta.inserts) {
+    if (t.num_attrs() != arity) {
+      return Status::InvalidArgument("insert tuple arity mismatch");
+    }
+  }
+
+  std::vector<Tuple> rows(rel.rows());
+  for (const RelationDelta::Update& u : delta.updates) {
+    rows[u.row] = u.tuple;
+  }
+  std::vector<uint32_t> deletes = delta.deletes;
+  std::sort(deletes.begin(), deletes.end(), std::greater<uint32_t>());
+  for (uint32_t r : deletes) {
+    rows.erase(rows.begin() + r);
+  }
+  rows.insert(rows.end(), delta.inserts.begin(), delta.inserts.end());
+
+  Relation out(rel.schema());
+  for (Tuple& t : rows) {
+    MRSL_RETURN_IF_ERROR(out.Append(std::move(t)));
+  }
+  return out;
+}
+
+namespace {
+
+// Parses the value cells of one delta CSV row into a tuple.
+Result<Tuple> ParseDeltaTuple(const Schema& schema,
+                              const std::vector<std::string>& cells,
+                              size_t first_value_cell) {
+  Tuple t(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const std::string& cell = cells[first_value_cell + a];
+    if (cell.empty() || cell == "?") continue;
+    ValueId v = schema.attr(a).Find(cell);
+    if (v == kMissingValue) {
+      return Status::InvalidArgument("unknown value '" + cell +
+                                     "' for attribute " +
+                                     schema.attr(a).name());
+    }
+    t.set_value(a, v);
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<RelationDelta> ParseDeltaCsv(const Schema& schema,
+                                    std::string_view text) {
+  MRSL_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                        ParseCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("delta CSV has no header");
+  }
+  const size_t want_cols = 2 + schema.num_attrs();
+  const std::vector<std::string>& header = rows[0];
+  if (header.size() != want_cols || header[0] != "op" ||
+      header[1] != "row") {
+    return Status::InvalidArgument(
+        "delta CSV header must be op,row,<schema attributes>");
+  }
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (header[2 + a] != schema.attr(a).name()) {
+      return Status::InvalidArgument("delta CSV column " +
+                                     std::to_string(2 + a) + " is '" +
+                                     header[2 + a] + "', want '" +
+                                     schema.attr(a).name() + "'");
+    }
+  }
+
+  RelationDelta delta;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& cells = rows[r];
+    if (cells.size() != want_cols) {
+      return Status::InvalidArgument("delta CSV row " + std::to_string(r) +
+                                     " has " + std::to_string(cells.size()) +
+                                     " cells, want " +
+                                     std::to_string(want_cols));
+    }
+    const std::string& op = cells[0];
+    if (op == "insert") {
+      if (!cells[1].empty()) {
+        return Status::InvalidArgument("insert must leave the row cell empty");
+      }
+      MRSL_ASSIGN_OR_RETURN(Tuple t, ParseDeltaTuple(schema, cells, 2));
+      delta.inserts.push_back(std::move(t));
+      continue;
+    }
+    int64_t row_index = 0;
+    if (!ParseInt(cells[1], &row_index) || row_index < 0 ||
+        row_index > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("bad row index '" + cells[1] +
+                                     "' for op " + op);
+    }
+    if (op == "update") {
+      RelationDelta::Update u;
+      u.row = static_cast<uint32_t>(row_index);
+      MRSL_ASSIGN_OR_RETURN(u.tuple, ParseDeltaTuple(schema, cells, 2));
+      delta.updates.push_back(std::move(u));
+    } else if (op == "delete") {
+      delta.deletes.push_back(static_cast<uint32_t>(row_index));
+    } else {
+      return Status::InvalidArgument("unknown delta op '" + op +
+                                     "' (want insert/update/delete)");
+    }
+  }
+  return delta;
+}
+
+IncrementalPlan PlanIncrementalDerivation(
+    const std::vector<Tuple>& workload,
+    const std::function<bool(const std::vector<Tuple>&)>& is_clean) {
+  IncrementalPlan plan;
+  if (workload.empty()) return plan;
+
+  TupleDag dag(workload);
+  for (const std::vector<uint32_t>& nodes : dag.Components()) {
+    std::vector<Tuple> sub;
+    sub.reserve(nodes.size());
+    for (uint32_t n : nodes) sub.push_back(dag.node(n));
+    const bool clean = is_clean(sub);
+    plan.dirty.push_back(!clean);
+    if (!clean) {
+      ++plan.num_dirty_components;
+      plan.dirty_workload.insert(plan.dirty_workload.end(), sub.begin(),
+                                 sub.end());
+    }
+    plan.components.push_back(std::move(sub));
+  }
+  return plan;
+}
+
+size_t TupleVectorHash::operator()(const std::vector<Tuple>& tuples) const {
+  TupleHash hasher;
+  size_t h = 0x9E3779B97F4A7C15ULL;
+  for (const Tuple& t : tuples) {
+    h ^= hasher(t) + 0x9E3779B9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace mrsl

@@ -1,0 +1,110 @@
+// Relation deltas and the incremental-derivation planner.
+//
+// A RelationDelta is the serving-side unit of change: tuples inserted,
+// rows replaced in place, rows deleted. ApplyDelta materializes the
+// post-delta relation; PlanIncrementalDerivation partitions the new
+// workload into the subsumption-DAG components the engine would execute
+// (core/engine.h) and classifies each as clean (an identical ordered
+// component existed before, so its cached Δt values are bit-identical to
+// what a from-scratch derivation would produce) or dirty (must be
+// re-inferred). Because the engine seeds every component purely from its
+// ordered tuple list, re-inferring only the dirty components and reusing
+// the clean ones reproduces a full derivation bit for bit — the
+// invariant the versioned store (pdb/store.h) is built on.
+
+#ifndef MRSL_CORE_DELTA_H_
+#define MRSL_CORE_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// A batch of changes against one relation version. Deletes and updates
+/// address rows by index in the PRE-delta relation; the delta applies as
+/// updates first, then deletes (higher indices first), then inserts
+/// appended in order — so row indices never shift under the caller's
+/// feet while the delta is being described.
+struct RelationDelta {
+  struct Update {
+    uint32_t row = 0;  // index in the pre-delta relation
+    Tuple tuple;       // full replacement row ("?" cells allowed)
+  };
+
+  std::vector<Tuple> inserts;
+  std::vector<Update> updates;
+  std::vector<uint32_t> deletes;  // indices in the pre-delta relation
+
+  bool empty() const {
+    return inserts.empty() && updates.empty() && deletes.empty();
+  }
+
+  /// True when the delta leaves every surviving pre-delta row at its old
+  /// index (no deletes): updated rows keep their position and inserts
+  /// only append. Block-granular cache carry-forward (pdb/plan_cache.h)
+  /// requires this.
+  bool IndexStable() const { return deletes.empty(); }
+};
+
+/// Materializes the post-delta relation. Fails on out-of-range row
+/// indices, duplicate updates/deletes of the same row, an update and a
+/// delete addressing the same row, or arity mismatches.
+Result<Relation> ApplyDelta(const Relation& rel, const RelationDelta& delta);
+
+/// Parses a delta from CSV. The header must be `op,row` followed by the
+/// schema's attribute names in order; each data row is one change:
+///
+///   insert,,20,HS,?,?     appended tuple (row cell empty)
+///   update,3,20,BS,?,100K  replaces row 3 wholesale
+///   delete,7,,,,           removes row 7 (value cells ignored)
+///
+/// Values resolve against `schema` (labels must already exist — the
+/// inference model cannot complete unseen labels); "?" or an empty cell
+/// marks a missing value.
+Result<RelationDelta> ParseDeltaCsv(const Schema& schema,
+                                    std::string_view text);
+
+/// The engine-exact component partition of a workload, with each
+/// component classified clean/dirty by the caller's cache predicate.
+struct IncrementalPlan {
+  /// Ordered sub-workloads, exactly as Engine::InferBatch would build
+  /// them over `workload`: distinct tuples, grouped into subsumption-DAG
+  /// components, each listed in first-appearance (node-id) order.
+  std::vector<std::vector<Tuple>> components;
+
+  /// components[i] needs re-inference (no identical cached component).
+  std::vector<bool> dirty;
+
+  /// Concatenation of the dirty components, in component order. Feeding
+  /// this to Engine::InferBatch as ONE batch re-creates exactly the
+  /// dirty components with their canonical per-component seeds.
+  std::vector<Tuple> dirty_workload;
+
+  size_t num_dirty_components = 0;
+};
+
+/// Partitions `workload` (incomplete tuples, duplicates allowed) into
+/// engine components and marks each dirty unless `is_clean(component)`
+/// says an identical ordered component is already cached.
+IncrementalPlan PlanIncrementalDerivation(
+    const std::vector<Tuple>& workload,
+    const std::function<bool(const std::vector<Tuple>&)>& is_clean);
+
+/// Order-dependent hash over a tuple sequence — the cache key of an
+/// engine component (the per-component seed and sweep schedule both
+/// depend on tuple order, so order is part of identity).
+struct TupleVectorHash {
+  size_t operator()(const std::vector<Tuple>& tuples) const;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_CORE_DELTA_H_

@@ -11,9 +11,9 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 2
+#define MRSL_VERSION_MINOR 3
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.2.0"
+#define MRSL_VERSION_STRING "1.3.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export
@@ -40,6 +40,7 @@
 #include "bn/topology.h"   // IWYU pragma: export
 
 // The MRSL core.
+#include "core/delta.h"              // IWYU pragma: export
 #include "core/diagnostics.h"        // IWYU pragma: export
 #include "core/engine.h"             // IWYU pragma: export
 #include "core/gibbs.h"              // IWYU pragma: export
@@ -55,8 +56,11 @@
 // Probabilistic database.
 #include "pdb/lazy.h"           // IWYU pragma: export
 #include "pdb/plan.h"           // IWYU pragma: export
+#include "pdb/plan_cache.h"     // IWYU pragma: export
 #include "pdb/prob_database.h"  // IWYU pragma: export
 #include "pdb/query.h"          // IWYU pragma: export
+#include "pdb/snapshot_io.h"    // IWYU pragma: export
+#include "pdb/store.h"          // IWYU pragma: export
 
 // Experiment framework.
 #include "expfw/datagen.h"   // IWYU pragma: export

@@ -9,6 +9,8 @@
 
 #include <unordered_set>
 
+#include "pdb/store.h"
+
 namespace mrsl {
 
 LazyDeriver::LazyDeriver(const MrslModel* model, const Relation* rel,
@@ -23,6 +25,26 @@ LazyDeriver::LazyDeriver(Engine* engine, const Relation* rel,
       rel_(rel),
       gibbs_(gibbs),
       engine_(engine) {}
+
+size_t LazyDeriver::SeedFromSnapshot(const StoreSnapshot& snapshot) {
+  // ValueIds are only meaningful against the schema that produced them:
+  // names, cardinalities, and labels must all match or a cached Δt
+  // would silently describe different values. Seed nothing otherwise.
+  if (!CheckSchemasMatch(rel_->schema(), snapshot.base().schema()).ok()) {
+    return 0;
+  }
+
+  size_t seeded = 0;
+  for (size_t r = 0; r < rel_->num_rows(); ++r) {
+    const Tuple& t = rel_->row(r);
+    if (t.IsComplete() || cache_.find(t) != cache_.end()) continue;
+    const JointDist* dist = snapshot.FindDist(t);
+    if (dist == nullptr) continue;
+    cache_.emplace(t, *dist);
+    ++seeded;
+  }
+  return seeded;
+}
 
 Result<const JointDist*> LazyDeriver::Materialize(const Tuple& t) {
   auto it = cache_.find(t);

@@ -30,6 +30,8 @@
 
 namespace mrsl {
 
+class StoreSnapshot;  // pdb/store.h
+
 /// Query-driven view over an incomplete relation and an MRSL model.
 class LazyDeriver {
  public:
@@ -80,6 +82,18 @@ class LazyDeriver {
   /// ProbDatabase::FromInference).
   Result<ProbDatabase> MaterializeDatabase(size_t batch_size = 0,
                                            double min_prob = 0.0);
+
+  /// Warms the memo from a store epoch (pdb/store.h): every distinct
+  /// incomplete tuple of this deriver's relation whose Δt the snapshot
+  /// already carries is copied into the cache, so subsequent queries on
+  /// those rows run without inference. Returns the number of tuples
+  /// newly seeded; seeds nothing (returns 0) unless the snapshot's
+  /// schema matches the relation's exactly — names, cardinalities, and
+  /// labels — since ValueIds are only meaningful against the schema
+  /// that produced them. The snapshot must also have been derived
+  /// under this deriver's Gibbs options for the memo to stay
+  /// equivalent to on-demand materialization.
+  size_t SeedFromSnapshot(const StoreSnapshot& snapshot);
 
   /// Number of tuples whose Δt has been materialized so far.
   size_t materialized() const { return cache_.size(); }

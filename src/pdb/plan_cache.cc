@@ -1,0 +1,183 @@
+// The contribution walk pushes a dirty block's NEW alternatives down the
+// plan tree as concrete candidate rows: Scan of the block's source emits
+// them, Select filters them with the real predicate, Project rewrites
+// them. The moment values stop being concrete (a Join would need the
+// other side's rows) the walk turns conservative and reports "may
+// contribute" — soundness over precision. Everything else here is a
+// plain LRU keyed by the plan's canonical text.
+
+#include "pdb/plan_cache.h"
+
+#include <algorithm>
+
+namespace mrsl {
+namespace {
+
+constexpr uint64_t kBlockIndexMask = (uint64_t{1} << 40) - 1;
+
+// Candidate rows a single block could push through a plan subtree.
+struct Contribution {
+  bool conservative = false;      // value flow unknown past a join
+  std::vector<Tuple> candidates;  // concrete candidate rows otherwise
+
+  bool Any() const { return conservative || !candidates.empty(); }
+};
+
+Contribution WalkContribution(const PlanNode& node, uint32_t source,
+                              size_t block_index, const Block& block) {
+  switch (node.op) {
+    case PlanNode::Op::kScan: {
+      Contribution c;
+      if (node.source != source) return c;
+      c.candidates.reserve(block.alternatives.size());
+      for (const Alternative& a : block.alternatives) {
+        c.candidates.push_back(a.tuple);
+      }
+      return c;
+    }
+    case PlanNode::Op::kSelect: {
+      Contribution c = WalkContribution(*node.left, source, block_index,
+                                        block);
+      if (c.conservative) return c;
+      std::vector<Tuple> kept;
+      for (Tuple& t : c.candidates) {
+        if (node.pred.Eval(t)) kept.push_back(std::move(t));
+      }
+      c.candidates = std::move(kept);
+      return c;
+    }
+    case PlanNode::Op::kProject: {
+      Contribution c = WalkContribution(*node.left, source, block_index,
+                                        block);
+      if (c.conservative) return c;
+      for (Tuple& t : c.candidates) {
+        Tuple proj(node.attrs.size());
+        for (size_t k = 0; k < node.attrs.size(); ++k) {
+          proj.set_value(static_cast<AttrId>(k), t.value(node.attrs[k]));
+        }
+        t = std::move(proj);
+      }
+      return c;
+    }
+    case PlanNode::Op::kJoin: {
+      Contribution left = WalkContribution(*node.left, source, block_index,
+                                           block);
+      Contribution right = WalkContribution(*node.right, source,
+                                            block_index, block);
+      Contribution c;
+      // Past a join the block's rows mix with unknown partner rows; any
+      // surviving candidate on either side means "maybe".
+      c.conservative = left.Any() || right.Any();
+      return c;
+    }
+  }
+  Contribution c;
+  c.conservative = true;  // unknown operator: stay sound
+  return c;
+}
+
+}  // namespace
+
+bool BlockMayContribute(const PlanNode& plan, uint32_t source,
+                        size_t block_index, const Block& block) {
+  return WalkContribution(plan, source, block_index, block).Any();
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const PlanEvaluation> PlanCache::Lookup(
+    const std::string& text, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(text);
+  if (it == index_.end() || it->second->epoch != epoch) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->eval;
+}
+
+void PlanCache::Insert(const std::string& text, PlanPtr plan,
+                       uint64_t epoch,
+                       std::vector<uint64_t> touched_blocks,
+                       std::shared_ptr<const PlanEvaluation> eval) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  Entry entry;
+  entry.text = text;
+  entry.plan = std::move(plan);
+  entry.epoch = epoch;
+  entry.touched_blocks = std::move(touched_blocks);
+  entry.eval = std::move(eval);
+  lru_.push_front(std::move(entry));
+  index_[text] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().text);
+    lru_.pop_back();
+    ++stats_.evicted;
+  }
+}
+
+void PlanCache::OnCommit(uint64_t new_epoch, bool index_stable,
+                         const std::vector<uint64_t>& dirty_blocks,
+                         const ProbDatabase& new_db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    // Only entries evaluated at the epoch this commit supersedes can be
+    // carried forward: an older entry (e.g. inserted by a reader that
+    // was still pinned on a previous epoch while a commit raced past)
+    // skipped that commit's invalidation checks and must be dropped.
+    bool keep = index_stable && it->epoch + 1 == new_epoch;
+    if (keep) {
+      for (uint64_t key : dirty_blocks) {
+        if (std::binary_search(it->touched_blocks.begin(),
+                               it->touched_blocks.end(), key)) {
+          keep = false;  // the old result depended on this block
+          break;
+        }
+        const uint32_t source = static_cast<uint32_t>(key >> 40);
+        const size_t block = static_cast<size_t>(key & kBlockIndexMask);
+        if (block >= new_db.num_blocks() ||
+            BlockMayContribute(*it->plan, source, block,
+                               new_db.block(block))) {
+          keep = false;  // the new block could add rows to the result
+          break;
+        }
+      }
+    }
+    if (keep) {
+      it->epoch = new_epoch;
+      ++stats_.carried_forward;
+      ++it;
+    } else {
+      index_.erase(it->text);
+      it = lru_.erase(it);
+      ++stats_.invalidated;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mrsl

@@ -41,11 +41,15 @@ Status ProbDatabase::AddCertain(Tuple t) {
 }
 
 Status ProbDatabase::AddBlock(Block block) {
-  if (block.alternatives.empty()) {
+  return AddSharedBlock(std::make_shared<const Block>(std::move(block)));
+}
+
+Status ProbDatabase::AddSharedBlock(std::shared_ptr<const Block> block) {
+  if (block == nullptr || block->alternatives.empty()) {
     return Status::InvalidArgument("block has no alternatives");
   }
   double mass = 0.0;
-  for (const Alternative& a : block.alternatives) {
+  for (const Alternative& a : block->alternatives) {
     if (a.tuple.num_attrs() != schema_.num_attrs()) {
       return Status::InvalidArgument("alternative arity mismatch");
     }
@@ -63,6 +67,29 @@ Status ProbDatabase::AddBlock(Block block) {
   }
   blocks_.push_back(std::move(block));
   return Status::OK();
+}
+
+Result<Block> BlockFromInference(const Tuple& row, const JointDist& dist,
+                                 double min_prob) {
+  Block block;
+  std::vector<ValueId> combo(dist.vars().size());
+  for (uint64_t code = 0; code < dist.size(); ++code) {
+    double p = dist.prob(code);
+    if (p <= 0.0 || p < min_prob) continue;
+    dist.codec().DecodeInto(code, combo.data());
+    Tuple completed = row;
+    for (size_t i = 0; i < dist.vars().size(); ++i) {
+      completed.set_value(dist.vars()[i], combo[i]);
+    }
+    block.alternatives.push_back(Alternative{std::move(completed), p});
+  }
+  // Renormalize after the min_prob cut so the block stays a proper Δt.
+  double mass = block.TotalMass();
+  if (mass <= 0.0) {
+    return Status::Internal("block lost all probability mass");
+  }
+  for (Alternative& a : block.alternatives) a.prob /= mass;
+  return block;
 }
 
 Result<ProbDatabase> ProbDatabase::FromInference(
@@ -83,25 +110,9 @@ Result<ProbDatabase> ProbDatabase::FromInference(
       MRSL_RETURN_IF_ERROR(db.AddCertain(row));
       continue;
     }
-    const JointDist& dist = dists[next_dist++];
-    Block block;
-    std::vector<ValueId> combo(dist.vars().size());
-    for (uint64_t code = 0; code < dist.size(); ++code) {
-      double p = dist.prob(code);
-      if (p <= 0.0 || p < min_prob) continue;
-      dist.codec().DecodeInto(code, combo.data());
-      Tuple completed = row;
-      for (size_t i = 0; i < dist.vars().size(); ++i) {
-        completed.set_value(dist.vars()[i], combo[i]);
-      }
-      block.alternatives.push_back(Alternative{std::move(completed), p});
-    }
-    // Renormalize after the min_prob cut so the block stays a proper Δt.
-    double mass = block.TotalMass();
-    if (mass <= 0.0) {
-      return Status::Internal("block lost all probability mass");
-    }
-    for (Alternative& a : block.alternatives) a.prob /= mass;
+    MRSL_ASSIGN_OR_RETURN(Block block,
+                          BlockFromInference(row, dists[next_dist++],
+                                             min_prob));
     MRSL_RETURN_IF_ERROR(db.AddBlock(std::move(block)));
   }
   return db;
@@ -109,7 +120,8 @@ Result<ProbDatabase> ProbDatabase::FromInference(
 
 uint64_t ProbDatabase::NumPossibleWorlds() const {
   uint64_t worlds = 1;
-  for (const Block& b : blocks_) {
+  for (const std::shared_ptr<const Block>& bp : blocks_) {
+    const Block& b = *bp;
     uint64_t choices = b.alternatives.size() +
                        (b.AbsentMass() > kMassEpsilon ? 1 : 0);
     if (worlds > std::numeric_limits<uint64_t>::max() / choices) {
@@ -136,7 +148,7 @@ Status ProbDatabase::ForEachWorld(
       fn(world, p);
       return;
     }
-    const Block& b = blocks_[i];
+    const Block& b = *blocks_[i];
     for (const Alternative& a : b.alternatives) {
       world.push_back(&a.tuple);
       rec(i + 1, p * a.prob);
@@ -154,7 +166,7 @@ std::string ProbDatabase::ToString(size_t max_blocks) const {
                     " blocks\n";
   for (size_t i = 0; i < blocks_.size() && i < max_blocks; ++i) {
     out += "block " + std::to_string(i) + ":\n";
-    for (const Alternative& a : blocks_[i].alternatives) {
+    for (const Alternative& a : blocks_[i]->alternatives) {
       out += "  " + a.tuple.ToString(schema_) + "  p=" +
              FormatDouble(a.prob, 4) + "\n";
     }

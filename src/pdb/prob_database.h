@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,18 @@ struct Block {
   double AbsentMass() const;
 };
 
-/// A BID probabilistic database.
+/// Derives one block from an incomplete row and its inferred Δt: every
+/// combination of `dist` completes the row's missing cells, alternatives
+/// below `min_prob` are dropped, and the block is renormalized to full
+/// mass. Blocks are pure functions of (row, dist, min_prob) — the
+/// versioned store (pdb/store.h) relies on this to reuse blocks across
+/// epochs bit-identically.
+Result<Block> BlockFromInference(const Tuple& row, const JointDist& dist,
+                                 double min_prob = 0.0);
+
+/// A BID probabilistic database. Blocks are held behind shared immutable
+/// pointers, so two databases (e.g. consecutive store epochs) can share
+/// every block the newer one did not change.
 class ProbDatabase {
  public:
   ProbDatabase() = default;
@@ -56,7 +68,13 @@ class ProbDatabase {
 
   const Schema& schema() const { return schema_; }
   size_t num_blocks() const { return blocks_.size(); }
-  const Block& block(size_t i) const { return blocks_[i]; }
+  const Block& block(size_t i) const { return *blocks_[i]; }
+
+  /// The shared handle of block `i`, for structural sharing across
+  /// database versions (see pdb/store.h).
+  const std::shared_ptr<const Block>& shared_block(size_t i) const {
+    return blocks_[i];
+  }
 
   /// Adds a certain tuple (single alternative, probability 1).
   /// Fails if `t` is incomplete or of the wrong arity.
@@ -65,6 +83,10 @@ class ProbDatabase {
   /// Adds a block. Fails if any alternative is incomplete, a probability
   /// is outside [0, 1], or the block's mass exceeds 1 (+ epsilon).
   Status AddBlock(Block block);
+
+  /// Adds an already-validated shared block without copying it — the
+  /// structural-sharing path. Runs the same validation as AddBlock.
+  Status AddSharedBlock(std::shared_ptr<const Block> block);
 
   /// Builds the probabilistic database the paper derives: complete rows
   /// of `rel` become certain tuples; for the i-th incomplete row, the
@@ -92,7 +114,7 @@ class ProbDatabase {
 
  private:
   Schema schema_;
-  std::vector<Block> blocks_;
+  std::vector<std::shared_ptr<const Block>> blocks_;
 };
 
 }  // namespace mrsl

@@ -1,0 +1,376 @@
+// Serialization is append-only over std::string; deserialization runs
+// through a bounds-checked cursor that validates every count against the
+// bytes actually remaining BEFORE allocating, so a truncated or
+// bit-flipped file fails with Status::Corruption instead of a bad_alloc
+// or a crash. The checksum covers the payload only (the header states
+// the payload size), and doubles round-trip as raw bits so a reloaded
+// snapshot is bit-identical to the one that was saved.
+
+#include "pdb/snapshot_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/csv.h"
+
+namespace mrsl {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'R', 'S', 'L', 'S', 'N', 'A', 'P'};
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked read cursor over the payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Status Bytes(void* out, size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("snapshot payload truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint8_t> U8() {
+    uint8_t v = 0;
+    MRSL_RETURN_IF_ERROR(Bytes(&v, 1));
+    return v;
+  }
+
+  Result<uint32_t> U32() {
+    unsigned char b[4];
+    MRSL_RETURN_IF_ERROR(Bytes(b, 4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    unsigned char b[8];
+    MRSL_RETURN_IF_ERROR(Bytes(b, 8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  Result<int32_t> I32() {
+    MRSL_ASSIGN_OR_RETURN(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+
+  Result<double> F64() {
+    MRSL_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> String() {
+    MRSL_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (remaining() < n) {
+      return Status::Corruption("snapshot string runs past payload");
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Validates that `count` items of at least `min_bytes_each` bytes can
+  /// still fit — the guard against allocating from corrupt counts.
+  Status Fits(uint64_t count, uint64_t min_bytes_each) {
+    if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
+      return Status::Corruption("snapshot count exceeds payload size");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void PutTuple(std::string* out, const Tuple& t) {
+  for (AttrId a = 0; a < t.num_attrs(); ++a) PutI32(out, t.value(a));
+}
+
+Result<Tuple> ReadTuple(Cursor* in, const Schema& schema) {
+  Tuple t(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    MRSL_ASSIGN_OR_RETURN(int32_t v, in->I32());
+    if (v != kMissingValue &&
+        (v < 0 || static_cast<size_t>(v) >= schema.attr(a).cardinality())) {
+      return Status::Corruption("snapshot tuple value out of domain");
+    }
+    t.set_value(a, v);
+  }
+  return t;
+}
+
+void PutDist(std::string* out, const JointDist& d) {
+  PutU32(out, static_cast<uint32_t>(d.vars().size()));
+  for (AttrId v : d.vars()) PutU32(out, v);
+  for (size_t i = 0; i < d.vars().size(); ++i) {
+    PutU32(out, d.codec().card(i));
+  }
+  PutU64(out, d.size());
+  for (uint64_t code = 0; code < d.size(); ++code) {
+    PutF64(out, d.prob(code));
+  }
+}
+
+Result<JointDist> ReadDist(Cursor* in, const Schema& schema) {
+  MRSL_ASSIGN_OR_RETURN(uint32_t nvars, in->U32());
+  if (nvars > schema.num_attrs()) {
+    return Status::Corruption("snapshot distribution has too many vars");
+  }
+  std::vector<AttrId> vars(nvars);
+  for (uint32_t i = 0; i < nvars; ++i) {
+    MRSL_ASSIGN_OR_RETURN(vars[i], in->U32());
+    if (vars[i] >= schema.num_attrs()) {
+      return Status::Corruption("snapshot distribution var out of range");
+    }
+  }
+  std::vector<uint32_t> cards(nvars);
+  for (uint32_t i = 0; i < nvars; ++i) {
+    MRSL_ASSIGN_OR_RETURN(cards[i], in->U32());
+    if (cards[i] != schema.attr(vars[i]).cardinality()) {
+      return Status::Corruption("snapshot distribution cardinality mismatch");
+    }
+  }
+  MRSL_ASSIGN_OR_RETURN(uint64_t ncells, in->U64());
+  // Validate the implied cell count BEFORE JointDist allocates it: a
+  // crafted file with two huge-cardinality vars would otherwise force a
+  // multi-gigabyte allocation ahead of any size check.
+  uint64_t expected_cells = 1;
+  for (uint32_t c : cards) {
+    if (c == 0 ||
+        expected_cells > std::numeric_limits<uint64_t>::max() / c) {
+      return Status::Corruption("snapshot distribution size overflows");
+    }
+    expected_cells *= c;
+  }
+  if (expected_cells != ncells) {
+    return Status::Corruption("snapshot distribution cell count mismatch");
+  }
+  MRSL_RETURN_IF_ERROR(in->Fits(ncells, 8));
+  JointDist dist(std::move(vars), std::move(cards));
+  for (uint64_t code = 0; code < ncells; ++code) {
+    MRSL_ASSIGN_OR_RETURN(double p, in->F64());
+    dist.set_prob(code, p);
+  }
+  return dist;
+}
+
+}  // namespace
+
+uint64_t SnapshotChecksum(std::string_view payload) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string SerializeSnapshot(const SnapshotImage& image) {
+  std::string payload;
+  PutU64(&payload, image.epoch);
+  PutU8(&payload, static_cast<uint8_t>(image.mode));
+  PutF64(&payload, image.min_prob);
+  const GibbsOptions& g = image.workload.gibbs;
+  PutU64(&payload, g.burn_in);
+  PutU64(&payload, g.samples);
+  PutU8(&payload, static_cast<uint8_t>(g.voting.choice));
+  PutU8(&payload, static_cast<uint8_t>(g.voting.scheme));
+  PutU8(&payload, g.enable_cpd_cache ? 1 : 0);
+  PutU64(&payload, g.cpd_cache_max_entries);
+  PutF64(&payload, g.smoothing_epsilon);
+  PutU64(&payload, g.seed);
+  PutU64(&payload, image.workload.max_total_cycles);
+
+  const Schema& schema = image.base.schema();
+  PutU32(&payload, static_cast<uint32_t>(schema.num_attrs()));
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const Attribute& attr = schema.attr(a);
+    PutString(&payload, attr.name());
+    PutU32(&payload, static_cast<uint32_t>(attr.cardinality()));
+    for (size_t v = 0; v < attr.cardinality(); ++v) {
+      PutString(&payload, attr.label(static_cast<ValueId>(v)));
+    }
+  }
+
+  PutU64(&payload, image.base.num_rows());
+  for (size_t r = 0; r < image.base.num_rows(); ++r) {
+    PutTuple(&payload, image.base.row(r));
+  }
+
+  PutU64(&payload, image.components.size());
+  for (const SnapshotComponentImage& comp : image.components) {
+    PutU64(&payload, comp.tuples.size());
+    for (const Tuple& t : comp.tuples) PutTuple(&payload, t);
+    for (const std::shared_ptr<const JointDist>& d : comp.dists) {
+      PutDist(&payload, *d);
+    }
+  }
+
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kSnapshotFormatVersion);
+  PutU64(&out, payload.size());
+  PutU64(&out, SnapshotChecksum(payload));
+  out += payload;
+  return out;
+}
+
+Result<SnapshotImage> DeserializeSnapshot(std::string_view bytes) {
+  constexpr size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 8;
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("snapshot shorter than its header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a snapshot file (bad magic)");
+  }
+  Cursor header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+  MRSL_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  MRSL_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
+  MRSL_ASSIGN_OR_RETURN(uint64_t checksum, header.U64());
+  std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() != payload_size) {
+    return Status::Corruption("snapshot payload size mismatch: header says " +
+                              std::to_string(payload_size) + ", file has " +
+                              std::to_string(payload.size()));
+  }
+  if (SnapshotChecksum(payload) != checksum) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  Cursor in(payload);
+  SnapshotImage image;
+  MRSL_ASSIGN_OR_RETURN(image.epoch, in.U64());
+  MRSL_ASSIGN_OR_RETURN(uint8_t mode, in.U8());
+  if (mode > static_cast<uint8_t>(SamplingMode::kIndependentProduct)) {
+    return Status::Corruption("snapshot sampling mode out of range");
+  }
+  image.mode = static_cast<SamplingMode>(mode);
+  MRSL_ASSIGN_OR_RETURN(image.min_prob, in.F64());
+  GibbsOptions& g = image.workload.gibbs;
+  MRSL_ASSIGN_OR_RETURN(g.burn_in, in.U64());
+  MRSL_ASSIGN_OR_RETURN(g.samples, in.U64());
+  MRSL_ASSIGN_OR_RETURN(uint8_t choice, in.U8());
+  MRSL_ASSIGN_OR_RETURN(uint8_t scheme, in.U8());
+  if (choice > static_cast<uint8_t>(VoterChoice::kBest) ||
+      scheme > static_cast<uint8_t>(VotingScheme::kWeighted)) {
+    return Status::Corruption("snapshot voting options out of range");
+  }
+  g.voting.choice = static_cast<VoterChoice>(choice);
+  g.voting.scheme = static_cast<VotingScheme>(scheme);
+  MRSL_ASSIGN_OR_RETURN(uint8_t cache_on, in.U8());
+  g.enable_cpd_cache = cache_on != 0;
+  MRSL_ASSIGN_OR_RETURN(g.cpd_cache_max_entries, in.U64());
+  MRSL_ASSIGN_OR_RETURN(g.smoothing_epsilon, in.F64());
+  MRSL_ASSIGN_OR_RETURN(g.seed, in.U64());
+  MRSL_ASSIGN_OR_RETURN(image.workload.max_total_cycles, in.U64());
+
+  MRSL_ASSIGN_OR_RETURN(uint32_t num_attrs, in.U32());
+  if (num_attrs > kMaxAttributes) {
+    return Status::Corruption("snapshot schema has too many attributes");
+  }
+  std::vector<Attribute> attrs;
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    MRSL_ASSIGN_OR_RETURN(std::string name, in.String());
+    MRSL_ASSIGN_OR_RETURN(uint32_t card, in.U32());
+    MRSL_RETURN_IF_ERROR(in.Fits(card, 4));
+    std::vector<std::string> labels;
+    labels.reserve(card);
+    for (uint32_t v = 0; v < card; ++v) {
+      MRSL_ASSIGN_OR_RETURN(std::string label, in.String());
+      labels.push_back(std::move(label));
+    }
+    attrs.emplace_back(std::move(name), std::move(labels));
+  }
+  MRSL_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+
+  image.base = Relation(schema);
+  MRSL_ASSIGN_OR_RETURN(uint64_t num_rows, in.U64());
+  MRSL_RETURN_IF_ERROR(in.Fits(num_rows, 4 * std::max<size_t>(1, num_attrs)));
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    MRSL_ASSIGN_OR_RETURN(Tuple t, ReadTuple(&in, schema));
+    MRSL_RETURN_IF_ERROR(image.base.Append(std::move(t)));
+  }
+
+  MRSL_ASSIGN_OR_RETURN(uint64_t num_components, in.U64());
+  MRSL_RETURN_IF_ERROR(in.Fits(num_components, 8));
+  for (uint64_t c = 0; c < num_components; ++c) {
+    MRSL_ASSIGN_OR_RETURN(uint64_t ntuples, in.U64());
+    MRSL_RETURN_IF_ERROR(
+        in.Fits(ntuples, 4 * std::max<size_t>(1, num_attrs)));
+    SnapshotComponentImage comp;
+    comp.tuples.reserve(ntuples);
+    for (uint64_t t = 0; t < ntuples; ++t) {
+      MRSL_ASSIGN_OR_RETURN(Tuple tuple, ReadTuple(&in, schema));
+      comp.tuples.push_back(std::move(tuple));
+    }
+    comp.dists.reserve(ntuples);
+    for (uint64_t t = 0; t < ntuples; ++t) {
+      MRSL_ASSIGN_OR_RETURN(JointDist dist, ReadDist(&in, schema));
+      comp.dists.push_back(std::make_shared<const JointDist>(std::move(dist)));
+    }
+    image.components.push_back(std::move(comp));
+  }
+
+  if (!in.done()) {
+    return Status::Corruption("snapshot has trailing bytes");
+  }
+  return image;
+}
+
+Status SaveSnapshotFile(const SnapshotImage& image,
+                        const std::string& path) {
+  return WriteFile(path, SerializeSnapshot(image));
+}
+
+Result<SnapshotImage> LoadSnapshotFile(const std::string& path) {
+  MRSL_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  return DeserializeSnapshot(bytes);
+}
+
+}  // namespace mrsl

@@ -1,0 +1,73 @@
+// Binary snapshot format for the versioned BID store (pdb/store.h).
+//
+// A snapshot file carries everything needed to resume serving and stay
+// incremental after a restart: the epoch, the derivation options the
+// store must keep using (sampling mode, Gibbs parameters, min_prob — a
+// cached Δt is only reusable under the exact options that produced it),
+// the base relation (schema + rows), and every derivation component
+// with its per-tuple joint distributions, raw double bits included.
+// Blocks are NOT serialized: they are pure functions of (row, Δt,
+// min_prob) and are rebuilt deterministically on load, which also makes
+// save → load → save byte-identical.
+//
+// Layout (all integers little-endian, doubles as raw IEEE-754 bits):
+//
+//   [magic "MRSLSNAP"][version u32][payload_size u64][fnv1a64 checksum]
+//   [payload]
+//
+// Loads fail with a clean Status (never crash) on short files, bad
+// magic, unsupported versions, checksum mismatches, and any count that
+// does not fit the remaining bytes.
+
+#ifndef MRSL_PDB_SNAPSHOT_IO_H_
+#define MRSL_PDB_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/workload.h"
+#include "relational/joint_dist.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Current snapshot format version.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// One derivation component: the engine's ordered sub-workload and the
+/// inferred Δt of each tuple, aligned.
+struct SnapshotComponentImage {
+  std::vector<Tuple> tuples;
+  std::vector<std::shared_ptr<const JointDist>> dists;
+};
+
+/// The serializable content of a store snapshot.
+struct SnapshotImage {
+  uint64_t epoch = 0;
+  SamplingMode mode = SamplingMode::kTupleDag;
+  WorkloadOptions workload;  // gibbs parameters + cycle cap
+  double min_prob = 0.0;
+  Relation base;
+  std::vector<SnapshotComponentImage> components;
+};
+
+/// Serializes `image` to the binary snapshot format.
+std::string SerializeSnapshot(const SnapshotImage& image);
+
+/// Parses a serialized snapshot; Corruption/InvalidArgument on damage.
+Result<SnapshotImage> DeserializeSnapshot(std::string_view bytes);
+
+/// File conveniences.
+Status SaveSnapshotFile(const SnapshotImage& image, const std::string& path);
+Result<SnapshotImage> LoadSnapshotFile(const std::string& path);
+
+/// FNV-1a 64-bit checksum (exposed for the corruption tests).
+uint64_t SnapshotChecksum(std::string_view payload);
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_SNAPSHOT_IO_H_

@@ -1,0 +1,370 @@
+// Commit pipeline: partition the new workload into engine components
+// (PlanIncrementalDerivation mirrors Engine::InferBatch exactly), batch
+// every dirty component through ONE InferBatch call — concatenating
+// whole components preserves each component's ordered tuple list, hence
+// its canonical seed, hence bit-identity with a from-scratch derivation
+// — then assemble the new database, aliasing the previous epoch's block
+// pointers wherever neither the row nor its Δt changed. Publication is
+// a single atomic_store; readers pin epochs with atomic_load and never
+// take the writer mutex.
+
+#include "pdb/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "pdb/plan.h"
+#include "pdb/snapshot_io.h"
+#include "util/timer.h"
+
+namespace mrsl {
+
+const JointDist* StoreSnapshot::FindDist(const Tuple& t) const {
+  auto it = dist_index_.find(t);
+  return it == dist_index_.end() ? nullptr : it->second.get();
+}
+
+BidStore::BidStore(Engine* engine, StoreOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity) {}
+
+SnapshotPtr BidStore::snapshot() const {
+  return std::atomic_load(&head_);
+}
+
+uint64_t BidStore::epoch() const {
+  SnapshotPtr snap = snapshot();
+  return snap == nullptr ? 0 : snap->epoch();
+}
+
+StoreOptions BidStore::options() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return options_;
+}
+
+Result<CommitStats> BidStore::Commit(Relation rel) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SnapshotPtr parent = std::atomic_load(&head_);
+  const uint64_t next_epoch = parent == nullptr ? 1 : parent->epoch() + 1;
+  // A wholesale replacement has no index mapping to the parent: block
+  // positions may shift arbitrarily, so the plan cache cannot carry
+  // entries forward (component-level Δt reuse still applies).
+  return CommitInternal(std::move(rel), parent.get(), next_epoch,
+                        /*index_stable=*/false);
+}
+
+Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SnapshotPtr parent = std::atomic_load(&head_);
+  if (parent == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyDelta needs a base epoch: call Commit or Restore first");
+  }
+  MRSL_ASSIGN_OR_RETURN(Relation new_rel,
+                        mrsl::ApplyDelta(parent->base(), delta));
+  return CommitInternal(std::move(new_rel), parent.get(),
+                        parent->epoch() + 1, delta.IndexStable());
+}
+
+Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
+                                             const StoreSnapshot* parent,
+                                             uint64_t epoch,
+                                             bool index_stable) {
+  if (options_.mode == SamplingMode::kAllAtATime) {
+    return Status::InvalidArgument(
+        "kAllAtATime has no component structure to re-derive "
+        "incrementally; use another sampling mode");
+  }
+  WallTimer timer;
+  CommitStats stats;
+  stats.epoch = epoch;
+  stats.index_stable = index_stable;
+
+  // The engine workload: incomplete rows in row order (duplicates kept,
+  // exactly what Engine::DeriveBatch would submit).
+  std::vector<Tuple> workload;
+  for (uint32_t r : new_rel.IncompleteRowIndices()) {
+    workload.push_back(new_rel.row(r));
+  }
+
+  IncrementalPlan plan = PlanIncrementalDerivation(
+      workload, [parent](const std::vector<Tuple>& component) {
+        return parent != nullptr &&
+               parent->component_index_.count(component) != 0;
+      });
+  stats.components_total = plan.components.size();
+  stats.components_reinferred = plan.num_dirty_components;
+  stats.tuples_reinferred = plan.dirty_workload.size();
+  for (const std::vector<Tuple>& component : plan.components) {
+    stats.tuples_total += component.size();
+  }
+
+  // One batch over the concatenated dirty components: same per-component
+  // sub-workloads and seeds as a full derivation, so the results are
+  // bit-identical to deriving everything from scratch.
+  std::vector<JointDist> fresh;
+  if (!plan.dirty_workload.empty()) {
+    MRSL_ASSIGN_OR_RETURN(
+        fresh, engine_->InferBatch(plan.dirty_workload, options_.mode,
+                                   options_.workload, &stats.inference));
+  }
+
+  auto snap = std::make_shared<StoreSnapshot>();
+  snap->epoch_ = epoch;
+
+  // Stitch components: clean ones alias the parent's shared Δt pointers,
+  // dirty ones adopt the fresh results in concatenation order.
+  size_t next_fresh = 0;
+  std::unordered_set<const JointDist*> from_parent_dists;
+  for (size_t c = 0; c < plan.components.size(); ++c) {
+    StoreSnapshot::Component comp;
+    comp.tuples = plan.components[c];
+    if (plan.dirty[c]) {
+      comp.dists.reserve(comp.tuples.size());
+      for (size_t i = 0; i < comp.tuples.size(); ++i) {
+        comp.dists.push_back(
+            std::make_shared<const JointDist>(std::move(fresh[next_fresh])));
+        ++next_fresh;
+      }
+    } else {
+      const StoreSnapshot::Component& old =
+          parent->components_[parent->component_index_.at(comp.tuples)];
+      comp.dists = old.dists;
+      for (const std::shared_ptr<const JointDist>& d : comp.dists) {
+        from_parent_dists.insert(d.get());
+      }
+    }
+    for (size_t i = 0; i < comp.tuples.size(); ++i) {
+      snap->dist_index_.emplace(comp.tuples[i], comp.dists[i]);
+    }
+    snap->component_index_.emplace(comp.tuples, snap->components_.size());
+    snap->components_.push_back(std::move(comp));
+  }
+
+  // Assemble the database, sharing every block whose row and Δt both
+  // survived from the parent epoch. Everything else is rebuilt (a pure
+  // function of row, Δt, and min_prob) and reported dirty to the plan
+  // cache.
+  auto db = std::make_shared<ProbDatabase>(new_rel.schema());
+  std::vector<uint64_t> dirty_block_keys;
+  std::unordered_map<Tuple, bool, TupleHash> reused_from_parent;
+  for (size_t r = 0; r < new_rel.num_rows(); ++r) {
+    const Tuple& row = new_rel.row(r);
+    std::shared_ptr<const Block> block;
+    auto cached = snap->block_cache_.find(row);
+    if (cached != snap->block_cache_.end()) {
+      block = cached->second;  // duplicate row within this commit
+    } else {
+      bool reusable = false;
+      if (parent != nullptr) {
+        auto old = parent->block_cache_.find(row);
+        if (old != parent->block_cache_.end()) {
+          if (row.IsComplete()) {
+            reusable = true;  // certain blocks depend on the row alone
+          } else {
+            auto dist = snap->dist_index_.find(row);
+            reusable = dist != snap->dist_index_.end() &&
+                       from_parent_dists.count(dist->second.get()) != 0;
+          }
+          if (reusable) block = old->second;
+        }
+      }
+      if (!reusable) {
+        if (row.IsComplete()) {
+          Block fresh_block;
+          fresh_block.alternatives.push_back(Alternative{row, 1.0});
+          block = std::make_shared<const Block>(std::move(fresh_block));
+        } else {
+          auto dist = snap->dist_index_.find(row);
+          if (dist == snap->dist_index_.end()) {
+            return Status::Internal("incomplete row missing its Δt");
+          }
+          MRSL_ASSIGN_OR_RETURN(
+              Block fresh_block,
+              BlockFromInference(row, *dist->second, options_.min_prob));
+          block = std::make_shared<const Block>(std::move(fresh_block));
+        }
+      }
+      snap->block_cache_.emplace(row, block);
+      reused_from_parent.emplace(row, reusable);
+    }
+    MRSL_RETURN_IF_ERROR(db->AddSharedBlock(block));
+    if (reused_from_parent.at(row)) ++stats.blocks_reused;
+    // Dirty reporting for the plan cache is POSITIONAL, not content
+    // based: an index-stable update that rewrites row r to a tuple some
+    // other row already had reuses that tuple's block object (correct
+    // structural sharing) but still changes what block index r holds —
+    // cached plans that read index r must be invalidated. Clean means
+    // "the parent epoch had this very block object at this very index".
+    const size_t index = db->num_blocks() - 1;
+    const bool position_clean =
+        index_stable && parent != nullptr &&
+        index < parent->database().num_blocks() &&
+        block.get() == parent->shared_database()->shared_block(index).get();
+    if (!position_clean) {
+      dirty_block_keys.push_back(Lineage::BlockKey(0, index));
+    }
+  }
+  stats.blocks_total = db->num_blocks();
+
+  snap->db_ = std::move(db);
+  snap->base_ = std::move(new_rel);
+
+  std::sort(dirty_block_keys.begin(), dirty_block_keys.end());
+  plan_cache_.OnCommit(epoch, index_stable, dirty_block_keys,
+                       snap->database());
+
+  std::atomic_store(&head_, SnapshotPtr(std::move(snap)));
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Result<StoreQueryResult> BidStore::Query(const std::string& plan_text) {
+  SnapshotPtr snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("store has no epoch yet");
+  }
+  std::vector<const ProbDatabase*> sources = {&snap->database()};
+  MRSL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParsePlan(plan_text, sources));
+  MRSL_ASSIGN_OR_RETURN(std::string rendered,
+                        PlanToString(*parsed.plan, sources));
+  StoreQueryResult out;
+  out.epoch = snap->epoch();
+  switch (parsed.kind) {
+    case ParsedQuery::Kind::kRelation:
+      out.canonical_text = rendered;
+      break;
+    case ParsedQuery::Kind::kExists:
+      out.canonical_text = "exists(" + rendered + ")";
+      break;
+    case ParsedQuery::Kind::kCount:
+      out.canonical_text = "count(" + rendered + ")";
+      break;
+  }
+
+  if (auto hit = plan_cache_.Lookup(out.canonical_text, out.epoch)) {
+    out.from_cache = true;
+    out.eval = std::move(hit);
+    return out;
+  }
+
+  auto eval = std::make_shared<PlanEvaluation>();
+  eval->kind = parsed.kind;
+  MRSL_ASSIGN_OR_RETURN(eval->result, EvaluatePlan(*parsed.plan, sources));
+  switch (parsed.kind) {
+    case ParsedQuery::Kind::kRelation:
+      eval->marginals = DistinctMarginals(eval->result, sources);
+      break;
+    case ParsedQuery::Kind::kExists: {
+      MRSL_ASSIGN_OR_RETURN(eval->exists,
+                            EvaluateExists(*parsed.plan, sources));
+      break;
+    }
+    case ParsedQuery::Kind::kCount: {
+      MRSL_ASSIGN_OR_RETURN(eval->count,
+                            EvaluateCount(*parsed.plan, sources));
+      break;
+    }
+  }
+
+  // The entry's dependency set: every block any surviving row reads.
+  std::vector<uint64_t> touched;
+  for (const PlanRow& row : eval->result.rows) {
+    touched.insert(touched.end(), row.lineage.blocks.begin(),
+                   row.lineage.blocks.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()),
+                touched.end());
+  plan_cache_.Insert(out.canonical_text, parsed.plan, out.epoch,
+                     std::move(touched), eval);
+  out.eval = std::move(eval);
+  return out;
+}
+
+Status BidStore::SaveSnapshot(const std::string& path) const {
+  // Epoch and options must be captured as a consistent pair — Restore
+  // swaps both, and a file pairing one epoch's components with another
+  // restore's options would poison every cached Δt it carries.
+  SnapshotPtr snap;
+  StoreOptions opts;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    snap = std::atomic_load(&head_);
+    opts = options_;
+  }
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("store has no epoch to save");
+  }
+  SnapshotImage image;
+  image.epoch = snap->epoch();
+  image.mode = opts.mode;
+  image.workload = opts.workload;
+  image.min_prob = opts.min_prob;
+  image.base = snap->base();
+  image.components.reserve(snap->components().size());
+  for (const StoreSnapshot::Component& comp : snap->components()) {
+    SnapshotComponentImage ci;
+    ci.tuples = comp.tuples;
+    ci.dists = comp.dists;
+    image.components.push_back(std::move(ci));
+  }
+  return SaveSnapshotFile(image, path);
+}
+
+Status BidStore::Restore(const std::string& path) {
+  MRSL_ASSIGN_OR_RETURN(SnapshotImage image, LoadSnapshotFile(path));
+
+  // The snapshot's ValueIds are indices into ITS schema's label lists;
+  // feeding them to a model with different labels would silently
+  // misinterpret every cell, so names, cardinalities, and labels must
+  // all line up.
+  Status compatible =
+      CheckSchemasMatch(engine_->model().schema(), image.base.schema());
+  if (!compatible.ok()) {
+    return Status::InvalidArgument("snapshot does not fit the engine's "
+                                   "model: " +
+                                   compatible.message());
+  }
+
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+
+  // A pseudo-parent carrying the file's derivation cache: the commit
+  // below then reuses every saved component and re-infers only what the
+  // file is missing (nothing, for an intact snapshot).
+  StoreSnapshot seed;
+  for (SnapshotComponentImage& ci : image.components) {
+    StoreSnapshot::Component comp;
+    comp.tuples = std::move(ci.tuples);
+    comp.dists = std::move(ci.dists);
+    for (size_t i = 0; i < comp.tuples.size(); ++i) {
+      if (i >= comp.dists.size()) {
+        return Status::Corruption("snapshot component missing dists");
+      }
+      seed.dist_index_.emplace(comp.tuples[i], comp.dists[i]);
+    }
+    seed.component_index_.emplace(comp.tuples, seed.components_.size());
+    seed.components_.push_back(std::move(comp));
+  }
+
+  // Adopt the file's derivation options only around the commit — the
+  // seed's cached Δt values are only valid under them.
+  const StoreOptions previous_options = options_;
+  options_.mode = image.mode;
+  options_.workload = image.workload;
+  options_.min_prob = image.min_prob;
+  auto committed = CommitInternal(std::move(image.base), &seed, image.epoch,
+                                  /*index_stable=*/false);
+  if (!committed.ok()) {
+    // Nothing was published: roll the options back too, or a later
+    // commit would reuse the CURRENT epoch's cached components under
+    // options that did not produce them.
+    options_ = previous_options;
+    return committed.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace mrsl

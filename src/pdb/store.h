@@ -1,0 +1,200 @@
+// The versioned BID store: epoch snapshots, incremental re-derivation,
+// and snapshot serving.
+//
+// A BidStore owns a sequence of immutable StoreSnapshot epochs, each a
+// (base relation, derived ProbDatabase) pair plus the derivation cache
+// that makes the next commit incremental. Readers call snapshot() — a
+// lock-free atomic shared_ptr load — and keep the returned epoch pinned
+// for as long as they use it; writers run Commit/ApplyDelta under a
+// single-writer mutex and publish the new epoch atomically, so a reader
+// always observes one fully consistent epoch and never blocks.
+//
+// Incrementality: the engine derives Δt per subsumption-DAG component
+// with a seed that is a pure function of the component's ordered tuple
+// list (core/engine.h). A commit therefore partitions the new workload
+// into components (core/delta.h), reuses the previous epoch's results
+// for every component whose ordered tuple list is unchanged, and
+// re-infers ONLY the dirty components — in one batch, so the result is
+// bit-identical to a from-scratch derivation at any thread count.
+// Untouched blocks are shared structurally (shared_ptr) with the
+// previous epoch; rebuilt and appended block keys are reported to the
+// plan cache, which invalidates at block granularity (pdb/plan_cache.h).
+//
+// Restart: SaveSnapshot writes the current epoch to the binary format
+// of pdb/snapshot_io.h; Restore adopts a saved epoch (derivation
+// options included) without re-running inference.
+
+#ifndef MRSL_PDB_STORE_H_
+#define MRSL_PDB_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "pdb/plan_cache.h"
+#include "pdb/prob_database.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Store construction knobs: how derivations run and how results are
+/// materialized. These are part of each snapshot's identity — cached Δt
+/// values are only reused under the options that produced them.
+struct StoreOptions {
+  /// Sampling strategy for derivations. kAllAtATime is rejected (its one
+  /// global chain has no component structure to re-derive incrementally).
+  SamplingMode mode = SamplingMode::kTupleDag;
+
+  /// Gibbs parameters + cycle cap used for every derivation.
+  WorkloadOptions workload;
+
+  /// Alternatives below this probability are dropped from blocks (see
+  /// ProbDatabase::FromInference).
+  double min_prob = 0.0;
+
+  /// Plan-cache capacity (entries).
+  size_t plan_cache_capacity = 64;
+};
+
+/// One immutable epoch of the store. Snapshots are published behind
+/// shared_ptr<const StoreSnapshot>; everything here is safe to read
+/// concurrently and never mutates after publication.
+class StoreSnapshot {
+ public:
+  /// One derivation component: the engine's ordered sub-workload and the
+  /// shared Δt of each tuple (aligned). Clean commits alias these
+  /// pointers across epochs.
+  struct Component {
+    std::vector<Tuple> tuples;
+    std::vector<std::shared_ptr<const JointDist>> dists;
+  };
+
+  uint64_t epoch() const { return epoch_; }
+  const Relation& base() const { return base_; }
+  const ProbDatabase& database() const { return *db_; }
+  const std::shared_ptr<const ProbDatabase>& shared_database() const {
+    return db_;
+  }
+  const std::vector<Component>& components() const { return components_; }
+
+  /// The cached Δt of `t`, or nullptr when `t` is not a distinct
+  /// incomplete tuple of this epoch (used by LazyDeriver seeding).
+  const JointDist* FindDist(const Tuple& t) const;
+
+ private:
+  friend class BidStore;
+
+  uint64_t epoch_ = 0;
+  Relation base_;
+  std::shared_ptr<const ProbDatabase> db_;
+  std::vector<Component> components_;
+
+  // Ordered component tuples -> index into components_.
+  std::unordered_map<std::vector<Tuple>, size_t, TupleVectorHash>
+      component_index_;
+  // Distinct incomplete tuple -> its Δt (aliases components_' entries).
+  std::unordered_map<Tuple, std::shared_ptr<const JointDist>, TupleHash>
+      dist_index_;
+  // Source row tuple -> derived block, for structural reuse.
+  std::unordered_map<Tuple, std::shared_ptr<const Block>, TupleHash>
+      block_cache_;
+};
+
+using SnapshotPtr = std::shared_ptr<const StoreSnapshot>;
+
+/// What one commit did — the observable contract of incrementality.
+struct CommitStats {
+  uint64_t epoch = 0;              // epoch the commit published
+  size_t components_total = 0;     // components in the new derivation
+  size_t components_reinferred = 0;
+  size_t tuples_total = 0;         // distinct incomplete tuples
+  size_t tuples_reinferred = 0;    // tuples actually sent to the engine
+  size_t blocks_total = 0;
+  size_t blocks_reused = 0;        // blocks shared with the previous epoch
+  bool index_stable = false;       // block indices map 1:1 from the parent
+  double wall_seconds = 0.0;
+  WorkloadStats inference;         // the engine's cost counters
+};
+
+/// A cache-aware query answer: the evaluation plus where it came from.
+struct StoreQueryResult {
+  uint64_t epoch = 0;
+  bool from_cache = false;
+  std::string canonical_text;  // PlanToString rendering (the cache key)
+  std::shared_ptr<const PlanEvaluation> eval;
+};
+
+/// The epoch-versioned store. All methods are thread-safe: reads are
+/// lock-free, writes serialize on an internal single-writer mutex.
+class BidStore {
+ public:
+  /// `engine` must outlive the store and is shared with other users (the
+  /// store only issues batched InferBatch calls).
+  explicit BidStore(Engine* engine, StoreOptions options = StoreOptions());
+
+  /// Derives the first epoch (or wholesale-replaces the base relation;
+  /// replacement commits reuse any component that survived unchanged but
+  /// clear the plan cache, since block indices may shift arbitrarily).
+  Result<CommitStats> Commit(Relation rel);
+
+  /// Applies `delta` to the current epoch's relation, re-infers only the
+  /// dirtied components, and publishes the next epoch. Requires a prior
+  /// Commit or Restore.
+  Result<CommitStats> ApplyDelta(const RelationDelta& delta);
+
+  /// The current epoch, pinned for the caller (nullptr before the first
+  /// commit). Lock-free.
+  SnapshotPtr snapshot() const;
+
+  /// Current epoch number (0 before the first commit). Lock-free.
+  uint64_t epoch() const;
+
+  /// The store's derivation options, by value: Restore() replaces them
+  /// with a snapshot's saved options, so a reference would race with a
+  /// concurrent restore.
+  StoreOptions options() const;
+
+  Engine* engine() const { return engine_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+
+  /// Parses and evaluates `plan_text` against the current epoch, serving
+  /// from the plan cache when the canonical plan was already evaluated
+  /// at this epoch (entries carried across commits included).
+  Result<StoreQueryResult> Query(const std::string& plan_text);
+
+  /// Persists the current epoch to `path` (snapshot_io format). Fails
+  /// before the first commit.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Replaces the store's state with a saved epoch: adopts the file's
+  /// derivation options and epoch number and rebuilds the database from
+  /// the cached distributions — no inference unless the file is missing
+  /// components (then only those are re-inferred). Clears the plan cache.
+  Status Restore(const std::string& path);
+
+ private:
+  /// Shared commit path. `parent` supplies reuse caches (may be null);
+  /// `epoch` is the number to publish; `index_stable` gates block-level
+  /// plan-cache carry-forward.
+  Result<CommitStats> CommitInternal(Relation new_rel,
+                                     const StoreSnapshot* parent,
+                                     uint64_t epoch, bool index_stable);
+
+  Engine* engine_;
+  StoreOptions options_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex writer_mutex_;  // serializes commits
+  SnapshotPtr head_;                 // atomic_load/atomic_store access
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_STORE_H_

@@ -82,4 +82,37 @@ AttrMask Schema::FullMask() const {
                              : ((AttrMask{1} << attrs_.size()) - 1);
 }
 
+Status CheckSchemasMatch(const Schema& expected, const Schema& actual) {
+  if (expected.num_attrs() != actual.num_attrs()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(actual.num_attrs()) +
+        " attributes, want " + std::to_string(expected.num_attrs()));
+  }
+  for (AttrId a = 0; a < expected.num_attrs(); ++a) {
+    const Attribute& want = expected.attr(a);
+    const Attribute& got = actual.attr(a);
+    if (want.name() != got.name()) {
+      return Status::InvalidArgument("attribute '" + got.name() +
+                                     "' does not match expected '" +
+                                     want.name() + "'");
+    }
+    if (want.cardinality() != got.cardinality()) {
+      return Status::InvalidArgument(
+          "attribute '" + got.name() + "' has " +
+          std::to_string(got.cardinality()) + " labels, want " +
+          std::to_string(want.cardinality()));
+    }
+    for (size_t v = 0; v < want.cardinality(); ++v) {
+      if (want.label(static_cast<ValueId>(v)) !=
+          got.label(static_cast<ValueId>(v))) {
+        return Status::InvalidArgument(
+            "label '" + got.label(static_cast<ValueId>(v)) +
+            "' of attribute '" + got.name() + "' does not match expected '" +
+            want.label(static_cast<ValueId>(v)) + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace mrsl

@@ -74,6 +74,13 @@ class Schema {
   std::unordered_map<std::string, AttrId> by_name_;
 };
 
+/// OK iff `actual` matches `expected` attribute by attribute — names,
+/// cardinalities, and labels. ValueIds are indices into a schema's
+/// label lists, so any consumer about to interpret tuples from one
+/// schema against another (snapshot restore, cache seeding) must pass
+/// this check first; the error message names the first mismatch.
+Status CheckSchemasMatch(const Schema& expected, const Schema& actual);
+
 }  // namespace mrsl
 
 #endif  // MRSL_RELATIONAL_SCHEMA_H_

@@ -75,6 +75,7 @@ class Tuple {
   bool operator==(const Tuple& other) const {
     return values_ == other.values_;
   }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
 
  private:
   std::vector<ValueId> values_;

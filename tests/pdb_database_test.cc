@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "pdb/query.h"
 #include "util/rng.h"
@@ -216,6 +219,128 @@ TEST(ProbDatabaseTest, ToStringRendersBlocks) {
   EXPECT_NE(s.find("1 blocks"), std::string::npos);
   EXPECT_NE(s.find("inc=100K"), std::string::npos);
   EXPECT_NE(s.find("p=1.0000"), std::string::npos);
+}
+
+// Unambiguous world signature: per-block chosen tuple values in block
+// order, absent blocks marked. Alternatives are distinct across the
+// fixture's blocks, so two different choice vectors never collide.
+std::string WorldSignature(const ProbDatabase& db,
+                           const std::vector<int32_t>& choices) {
+  std::string sig;
+  for (size_t b = 0; b < db.num_blocks(); ++b) {
+    if (choices[b] == kNoAlternative) {
+      sig += "_|";
+      continue;
+    }
+    const Tuple& t =
+        db.block(b).alternatives[static_cast<size_t>(choices[b])].tuple;
+    for (AttrId a = 0; a < t.num_attrs(); ++a) {
+      sig += std::to_string(t.value(a)) + ",";
+    }
+    sig += "|";
+  }
+  return sig;
+}
+
+// Property test: the enumerated world masses form a probability
+// distribution, and SampleWorldChoices draws worlds at exactly those
+// frequencies (within Monte-Carlo tolerance, deterministic seed).
+TEST(ProbDatabaseTest, ForEachWorldMatchesSampledWorldFrequencies) {
+  ProbDatabase db(TwoAttrSchema());
+  ASSERT_TRUE(db.AddCertain(Tuple({0, 0})).ok());
+  Block full;  // full mass, two alternatives
+  full.alternatives.push_back({Tuple({0, 1}), 0.6});
+  full.alternatives.push_back({Tuple({1, 0}), 0.4});
+  ASSERT_TRUE(db.AddBlock(std::move(full)).ok());
+  Block partial;  // 0.3 absent mass
+  partial.alternatives.push_back({Tuple({1, 1}), 0.7});
+  ASSERT_TRUE(db.AddBlock(std::move(partial)).ok());
+
+  // Enumerate every world. ForEachWorld hands over chosen tuples in
+  // block order with absent blocks skipped; rebuild the signature by
+  // matching tuples back to blocks (alternatives are unique here).
+  std::map<std::string, double> enumerated;
+  double total_mass = 0.0;
+  uint64_t worlds = 0;
+  ASSERT_TRUE(
+      db.ForEachWorld(
+            64,
+            [&](const std::vector<const Tuple*>& tuples, double p) {
+              std::vector<int32_t> choices(db.num_blocks(),
+                                           kNoAlternative);
+              size_t next = 0;
+              for (size_t b = 0; b < db.num_blocks(); ++b) {
+                if (next < tuples.size()) {
+                  const Block& block = db.block(b);
+                  for (size_t j = 0; j < block.alternatives.size(); ++j) {
+                    if (&block.alternatives[j].tuple == tuples[next]) {
+                      choices[b] = static_cast<int32_t>(j);
+                      ++next;
+                      break;
+                    }
+                  }
+                }
+              }
+              enumerated[WorldSignature(db, choices)] += p;
+              total_mass += p;
+              ++worlds;
+            })
+          .ok());
+  EXPECT_EQ(worlds, db.NumPossibleWorlds());
+  EXPECT_EQ(worlds, 4u);  // 1 * 2 * (1 + absent)
+  EXPECT_NEAR(total_mass, 1.0, 1e-12);
+
+  // Sample worlds and tally the same signatures.
+  Rng rng(0xF00D);
+  std::vector<int32_t> choices;
+  std::map<std::string, double> freq;
+  const size_t trials = 20000;
+  for (size_t t = 0; t < trials; ++t) {
+    SampleWorldChoices(db, &rng, &choices);
+    freq[WorldSignature(db, choices)] += 1.0 / trials;
+  }
+
+  // Agreement both ways: every enumerated world is sampled at its mass,
+  // and nothing outside the enumeration is ever sampled.
+  for (const auto& [sig, mass] : enumerated) {
+    auto it = freq.find(sig);
+    double observed = it == freq.end() ? 0.0 : it->second;
+    EXPECT_NEAR(observed, mass, 0.02) << "world " << sig;
+  }
+  for (const auto& [sig, observed] : freq) {
+    EXPECT_NE(enumerated.find(sig), enumerated.end())
+        << "sampled impossible world " << sig << " at " << observed;
+  }
+}
+
+// Randomized fixtures: world masses always sum to 1, whatever the block
+// structure (absent mass, single alternatives, epsilon overshoot).
+TEST(ProbDatabaseTest, ForEachWorldMassesAlwaysSumToOne) {
+  Rng rng(0x5EED);
+  for (int round = 0; round < 20; ++round) {
+    ProbDatabase db(TwoAttrSchema());
+    const size_t blocks = 1 + rng.UniformInt(4);
+    for (size_t b = 0; b < blocks; ++b) {
+      Block block;
+      const size_t alts = 1 + rng.UniformInt(3);
+      double remaining = rng.Bernoulli(0.5) ? 1.0 : 0.9 * rng.NextDouble();
+      for (size_t j = 0; j < alts; ++j) {
+        Tuple t({static_cast<ValueId>(rng.UniformInt(2)),
+                 static_cast<ValueId>(rng.UniformInt(2))});
+        double p = (j + 1 == alts) ? remaining
+                                   : remaining * 0.5 * rng.NextDouble();
+        remaining -= p;
+        block.alternatives.push_back({std::move(t), p});
+      }
+      ASSERT_TRUE(db.AddBlock(std::move(block)).ok());
+    }
+    double total = 0.0;
+    ASSERT_TRUE(db.ForEachWorld(4096,
+                                [&](const std::vector<const Tuple*>&,
+                                    double p) { total += p; })
+                    .ok());
+    EXPECT_NEAR(total, 1.0, 1e-6) << "round " << round;
+  }
 }
 
 }  // namespace

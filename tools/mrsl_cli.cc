@@ -22,20 +22,32 @@
 //           database: select/project/join/exists/count with exact
 //           probabilities on safe plans and [lower, upper] dissociation
 //           bounds on unsafe ones; --oracle N cross-checks against N
-//           Monte-Carlo sampled possible worlds.
+//           Monte-Carlo sampled possible worlds. --plan-file reads the
+//           plan text from a file (large plans without shell quoting).
+//   update  --model model.txt --snapshot store.bin [--in data.csv]
+//           [--delta delta.csv] [--samples N] [--burn-in B]
+//           Versioned-store maintenance: restore the store from the
+//           snapshot file (or derive epoch 1 from --in when the file
+//           does not exist yet), apply an optional delta CSV with
+//           incremental re-derivation, and save the new epoch back.
 //   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
 //           Pick the support threshold by masked holdout log-loss.
 //
+// Unknown flags are usage errors (exit 2), never silently ignored.
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <set>
 #include <string>
+#include <system_error>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/engine.h"
 #include "core/learner.h"
 #include "core/model_io.h"
@@ -45,6 +57,7 @@
 #include "pdb/lazy.h"
 #include "pdb/plan.h"
 #include "pdb/prob_database.h"
+#include "pdb/store.h"
 #include "relational/discretizer.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -55,7 +68,7 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: mrsl <learn|stats|infer|repair|query|tune> [options]\n"
+      "usage: mrsl <learn|stats|infer|repair|query|update|tune> [options]\n"
       "  learn  --in data.csv --out model.txt [--support 0.01]\n"
       "         [--max-itemsets 1000] [--discretize col:buckets:width|freq]\n"
       "  stats  --model model.txt\n"
@@ -68,11 +81,15 @@ int Usage() {
       "  query  --model model.txt --in data.csv --where a=v[,b=w...]\n"
       "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
       "  query  --model model.txt --in data.csv --plan PLAN\n"
-      "         [--oracle 0] [--min-prob 0] [--samples 2000]\n"
-      "         [--threads 0] [--batch-size 0]\n"
+      "         [--plan-file plan.txt] [--oracle 0] [--min-prob 0]\n"
+      "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
       "         PLAN: scan | select(pred; node) | project(attrs; node)\n"
       "               | join(node; node; a=b) | exists(node) | count(node)\n"
       "         e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"
+      "  update --model model.txt --snapshot store.bin [--in data.csv]\n"
+      "         [--delta delta.csv] [--samples 2000] [--burn-in 100]\n"
+      "         [--mode dag|tuple|product] [--min-prob 0] [--threads 0]\n"
+      "         delta CSV: header op,row,<attrs>; rows insert/update/delete\n"
       "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
       "\n"
       "  --threads N     inference thread-pool width (0 = all cores);\n"
@@ -83,13 +100,25 @@ int Usage() {
   return 2;
 }
 
-// Parses --key value pairs; returns false on stray arguments.
+// Parses --key value pairs; returns false on stray arguments and on
+// flags the subcommand does not accept (silently ignoring a typo like
+// --sample would run with defaults the user never asked for).
 bool ParseFlags(int argc, char** argv, int start,
+                const std::set<std::string>& allowed,
                 std::map<std::string, std::vector<std::string>>* flags) {
   for (int i = start; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) return false;
-    (*flags)[arg.substr(2)].push_back(argv[++i]);
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "stray argument: %s\n", arg.c_str());
+      return false;
+    }
+    std::string key = arg.substr(2);
+    if (allowed.count(key) == 0) {
+      std::fprintf(stderr, "unknown flag for this subcommand: %s\n",
+                   arg.c_str());
+      return false;
+    }
+    (*flags)[std::move(key)].push_back(argv[++i]);
   }
   return true;
 }
@@ -498,6 +527,23 @@ int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
   std::string model_path = GetFlag(flags, "model", "");
   std::string where = GetFlag(flags, "where", "");
   std::string plan_text = GetFlag(flags, "plan", "");
+  std::string plan_file = GetFlag(flags, "plan-file", "");
+  if (!plan_file.empty()) {
+    if (!plan_text.empty()) {
+      std::fprintf(stderr, "--plan and --plan-file are exclusive\n");
+      return Usage();
+    }
+    auto text = ReadFile(plan_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    plan_text = std::string(Trim(*text));
+    if (plan_text.empty()) {
+      std::fprintf(stderr, "plan file %s is empty\n", plan_file.c_str());
+      return 2;
+    }
+  }
   // Exactly one of --where (lazy path) / --plan (extensional algebra).
   if (model_path.empty() || where.empty() == plan_text.empty()) {
     return Usage();
@@ -576,6 +622,138 @@ int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
   return 0;
 }
 
+void PrintCommitStats(const char* what, const CommitStats& stats) {
+  std::printf(
+      "%s: epoch %llu — re-inferred %zu/%zu tuples "
+      "(%zu/%zu components), reused %zu/%zu blocks, %.3fs\n",
+      what, static_cast<unsigned long long>(stats.epoch),
+      stats.tuples_reinferred, stats.tuples_total,
+      stats.components_reinferred, stats.components_total,
+      stats.blocks_reused, stats.blocks_total, stats.wall_seconds);
+}
+
+// Versioned-store maintenance: restore-or-derive, optionally apply a
+// delta with incremental re-derivation, save the new epoch back.
+int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string model_path = GetFlag(flags, "model", "");
+  std::string snapshot_path = GetFlag(flags, "snapshot", "");
+  if (model_path.empty() || snapshot_path.empty()) return Usage();
+  auto model = LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  StoreOptions store_opts;
+  EngineOptions engine_opts;
+  int64_t threads = 0;
+  if (!ParseGibbs(flags, &store_opts.workload, &store_opts.mode) ||
+      !GetIntFlag(flags, "threads", 0, &threads) ||
+      !GetDoubleFlag(flags, "min-prob", 0.0, &store_opts.min_prob)) {
+    return Usage();
+  }
+  engine_opts.num_threads = static_cast<size_t>(threads);
+
+  Engine engine(&*model, engine_opts);
+  BidStore store(&engine, store_opts);
+
+  // Restore from the snapshot when it exists; otherwise derive epoch 1
+  // from --in. Existence is checked explicitly — an existing but
+  // unreadable/corrupt file must fail loudly, never fall through to a
+  // fresh derivation that would overwrite the epoch history.
+  std::error_code probe_ec;
+  bool have_snapshot = std::filesystem::exists(snapshot_path, probe_ec);
+  if (probe_ec) {
+    std::fprintf(stderr, "error probing %s: %s\n", snapshot_path.c_str(),
+                 probe_ec.message().c_str());
+    return 1;
+  }
+  if (have_snapshot) {
+    Status st = store.Restore(snapshot_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error restoring %s: %s\n",
+                   snapshot_path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %s at epoch %llu (%zu blocks)\n",
+                snapshot_path.c_str(),
+                static_cast<unsigned long long>(store.epoch()),
+                store.snapshot()->database().num_blocks());
+    if (flags.count("in") != 0) {
+      std::fprintf(stderr,
+                   "note: --in ignored — %s already holds epoch %llu; "
+                   "delete the snapshot to re-derive from the CSV, or "
+                   "describe the changes with --delta\n",
+                   snapshot_path.c_str(),
+                   static_cast<unsigned long long>(store.epoch()));
+    }
+    // The snapshot's saved derivation options supersede any flags (the
+    // cached Δt values are only reusable under them) — say so instead
+    // of silently overriding the user.
+    for (const char* key : {"samples", "burn-in", "mode", "min-prob"}) {
+      if (flags.count(key) != 0) {
+        std::fprintf(stderr,
+                     "note: --%s ignored — the snapshot's saved "
+                     "derivation options take precedence (samples=%zu, "
+                     "burn-in=%zu, mode=%s, min-prob=%g)\n",
+                     key, store.options().workload.gibbs.samples,
+                     store.options().workload.gibbs.burn_in,
+                     SamplingModeName(store.options().mode),
+                     store.options().min_prob);
+        break;
+      }
+    }
+  } else {
+    auto rel = LoadInput(flags);
+    if (!rel.ok()) {
+      std::fprintf(stderr,
+                   "error: %s (no snapshot at %s; --in is required to "
+                   "derive the first epoch)\n",
+                   rel.status().ToString().c_str(), snapshot_path.c_str());
+      return 1;
+    }
+    auto committed = store.Commit(std::move(rel).value());
+    if (!committed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   committed.status().ToString().c_str());
+      return 1;
+    }
+    PrintCommitStats("derived", *committed);
+  }
+
+  std::string delta_path = GetFlag(flags, "delta", "");
+  if (!delta_path.empty()) {
+    auto text = ReadFile(delta_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto delta = ParseDeltaCsv(store.snapshot()->base().schema(), *text);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   delta.status().ToString().c_str());
+      return 1;
+    }
+    auto committed = store.ApplyDelta(*delta);
+    if (!committed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   committed.status().ToString().c_str());
+      return 1;
+    }
+    PrintCommitStats("applied delta", *committed);
+  }
+
+  Status saved = store.SaveSnapshot(snapshot_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved epoch %llu -> %s\n",
+              static_cast<unsigned long long>(store.epoch()),
+              snapshot_path.c_str());
+  return 0;
+}
+
 int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
   auto rel = LoadInput(flags);
   if (!rel.ok()) {
@@ -618,14 +796,35 @@ int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
 int main(int argc, char** argv) {
   using namespace mrsl;
   if (argc < 2) return Usage();
-  std::map<std::string, std::vector<std::string>> flags;
-  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+  // The flags each subcommand accepts; anything else is a usage error.
+  static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
+      {"learn", {"in", "out", "support", "max-itemsets", "discretize"}},
+      {"stats", {"model"}},
+      {"infer",
+       {"model", "in", "out", "samples", "burn-in", "mode", "threads",
+        "batch-size"}},
+      {"repair",
+       {"model", "in", "out", "min-confidence", "samples", "burn-in",
+        "mode", "threads", "batch-size"}},
+      {"query",
+       {"model", "in", "where", "plan", "plan-file", "oracle", "min-prob",
+        "samples", "threads", "batch-size"}},
+      {"update",
+       {"model", "in", "delta", "snapshot", "samples", "burn-in", "mode",
+        "min-prob", "threads"}},
+      {"tune", {"in", "candidates", "holdout"}},
+  };
   std::string cmd = argv[1];
+  auto allowed = kAllowedFlags.find(cmd);
+  if (allowed == kAllowedFlags.end()) return Usage();
+  std::map<std::string, std::vector<std::string>> flags;
+  if (!ParseFlags(argc, argv, 2, allowed->second, &flags)) return Usage();
   if (cmd == "learn") return CmdLearn(flags);
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "infer") return CmdInfer(flags);
   if (cmd == "repair") return CmdRepair(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "update") return CmdUpdate(flags);
   if (cmd == "tune") return CmdTune(flags);
-  return Usage();
+  return Usage();  // a command in kAllowedFlags must also dispatch here
 }
