@@ -1,0 +1,240 @@
+// Closed-loop load driver for the serving subsystem: N keep-alive
+// connections hammer POST /query with a cached single-relation plan
+// against an in-process server, and the driver reports QPS and p50/p99
+// latency per connection count.
+//
+// Exit code doubles as a perf gate (like bench_incremental's 5x rule):
+// cached single-relation plans must clear >= 10k queries/sec at 8
+// connections, the ROADMAP's serving floor. --json writes the usual
+// machine-readable trajectory file.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "pdb/store.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+constexpr double kGateQps = 10000.0;
+constexpr size_t kGateConnections = 8;
+
+Tuple T(std::vector<int> vals) {
+  Tuple t(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    t.set_value(static_cast<AttrId>(i), vals[i]);
+  }
+  return t;
+}
+
+struct LoadResult {
+  size_t connections = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms->size() - 1) + 0.5);
+  return (*sorted_ms)[std::min(idx, sorted_ms->size() - 1)];
+}
+
+LoadResult RunClosedLoop(uint16_t port, const std::string& plan,
+                         size_t connections, double duration_s) {
+  std::vector<std::vector<double>> latencies_ms(connections);
+  std::vector<size_t> errors(connections, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c]() {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        ++errors[c];
+        return;
+      }
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      WallTimer window;
+      while (window.ElapsedSeconds() < duration_s) {
+        WallTimer one;
+        auto resp = client.RoundTrip("POST", "/query", plan);
+        if (resp.ok() && resp->status == 200) {
+          latencies_ms[c].push_back(one.ElapsedMillis());
+        } else {
+          ++errors[c];
+          if (!resp.ok()) return;  // connection died; stop this client
+        }
+      }
+    });
+  }
+  WallTimer wall;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  LoadResult result;
+  result.connections = connections;
+  result.seconds = elapsed;
+  std::vector<double> merged;
+  for (size_t c = 0; c < connections; ++c) {
+    result.errors += errors[c];
+    merged.insert(merged.end(), latencies_ms[c].begin(),
+                  latencies_ms[c].end());
+  }
+  result.requests = merged.size();
+  result.qps = elapsed > 0.0 ? static_cast<double>(merged.size()) / elapsed
+                             : 0.0;
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = Percentile(&merged, 0.50);
+  result.p99_ms = Percentile(&merged, 0.99);
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("bench_serve",
+                "HTTP serving throughput: closed-loop QPS and latency vs. "
+                "connection count on cached single-relation plans",
+                flags.full);
+
+  // One small derived store (the pdb_store_test fixture shape): the
+  // cached-plan path under test touches the plan cache and the HTTP
+  // stack, not inference.
+  Rng rng(77);
+  BayesNet bn = BayesNet::RandomInstance(Topology::Crown(4, 3), &rng);
+  Relation train = bn.SampleRelation(6000, &rng);
+  const Schema schema = train.schema();
+  LearnOptions lo;
+  lo.support_threshold = 0.002;
+  auto model = LearnModel(train, lo);
+  if (!model.ok()) {
+    std::fprintf(stderr, "learn failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine(&*model);
+  StoreOptions so;
+  so.workload.gibbs.samples = 120;
+  so.workload.gibbs.burn_in = 20;
+  so.workload.gibbs.seed = 4242;
+  BidStore store(&engine, so);
+  {
+    Relation rel(schema);
+    const std::vector<std::vector<int>> rows = {
+        {0, 1, 2, 0}, {0, 0, -1, -1}, {0, 0, 1, -1},
+        {1, 0, 2, 1}, {1, 1, -1, -1}, {2, 2, 0, -1},
+        {2, 2, -1, 0}, {2, 2, -1, -1}, {2, 0, 1, 1}};
+    for (const auto& r : rows) {
+      if (!rel.Append(T(r)).ok()) {
+        std::fprintf(stderr, "bad fixture row\n");
+        return 1;
+      }
+    }
+    auto committed = store.Commit(std::move(rel));
+    if (!committed.ok()) {
+      std::fprintf(stderr, "commit failed: %s\n",
+                   committed.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServerOptions server_opts;
+  server_opts.max_inflight = 256;
+  HttpServer server(server_opts);
+  StoreService service(&store);
+  service.Attach(&server);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  const std::string plan = "count(select(" + schema.attr(0).name() + "=" +
+                           schema.attr(0).label(0) + "; scan))";
+  {
+    // Warm the plan cache so the loop measures the cached path.
+    HttpClient warm;
+    auto ok = warm.Connect("127.0.0.1", server.port());
+    auto resp = ok.ok() ? warm.RoundTrip("POST", "/query", plan)
+                        : Result<HttpResponseMessage>(ok);
+    if (!resp.ok() || resp->status != 200) {
+      std::fprintf(stderr, "warm-up query failed\n");
+      server.Stop();
+      return 1;
+    }
+  }
+
+  std::vector<size_t> counts = {1, 2, 4, 8};
+  if (flags.full) {
+    counts.push_back(16);
+    counts.push_back(32);
+  }
+  const double duration_s = flags.full ? 4.0 : 1.5;
+
+  std::printf("%-12s %-10s %-10s %-10s %-10s %-8s\n", "connections",
+              "requests", "qps", "p50_ms", "p99_ms", "errors");
+  std::vector<LoadResult> results;
+  double qps_at_gate = 0.0;
+  for (size_t connections : counts) {
+    LoadResult r = RunClosedLoop(server.port(), plan, connections,
+                                 duration_s);
+    std::printf("%-12zu %-10zu %-10.0f %-10.3f %-10.3f %-8zu\n",
+                r.connections, r.requests, r.qps, r.p50_ms, r.p99_ms,
+                r.errors);
+    if (connections == kGateConnections) qps_at_gate = r.qps;
+    results.push_back(r);
+  }
+  server.Stop();
+
+  const bool gate_pass = qps_at_gate >= kGateQps;
+  std::printf("\ngate: %.0f qps at %zu connections (need >= %.0f): %s\n",
+              qps_at_gate, kGateConnections, kGateQps,
+              gate_pass ? "PASS" : "FAIL");
+
+  if (!flags.json_path.empty()) {
+    bench::JsonObject json;
+    json.SetStr("bench", "serve").SetBool("full", flags.full);
+    json.SetStr("plan", plan);
+    json.SetNum("gate_qps", kGateQps);
+    json.SetInt("gate_connections", kGateConnections);
+    json.SetNum("qps_at_gate", qps_at_gate);
+    json.SetBool("gate_pass", gate_pass);
+    std::vector<bench::JsonObject> rows;
+    for (const LoadResult& r : results) {
+      bench::JsonObject row;
+      row.SetInt("connections", r.connections)
+          .SetInt("requests", r.requests)
+          .SetNum("seconds", r.seconds)
+          .SetNum("qps", r.qps)
+          .SetNum("p50_ms", r.p50_ms)
+          .SetNum("p99_ms", r.p99_ms)
+          .SetInt("errors", r.errors);
+      rows.push_back(row);
+    }
+    json.SetArray("rows", rows);
+    if (!json.WriteTo(flags.json_path)) return 1;
+  }
+  return gate_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mrsl
+
+int main(int argc, char** argv) { return mrsl::Run(argc, argv); }

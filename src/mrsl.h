@@ -11,12 +11,13 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 3
+#define MRSL_VERSION_MINOR 4
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.3.0"
+#define MRSL_VERSION_STRING "1.4.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export
+#include "util/metrics.h"      // IWYU pragma: export
 #include "util/mixed_radix.h"  // IWYU pragma: export
 #include "util/result.h"       // IWYU pragma: export
 #include "util/rng.h"          // IWYU pragma: export
@@ -61,6 +62,11 @@
 #include "pdb/query.h"          // IWYU pragma: export
 #include "pdb/snapshot_io.h"    // IWYU pragma: export
 #include "pdb/store.h"          // IWYU pragma: export
+
+// Network serving layer.
+#include "server/http.h"     // IWYU pragma: export
+#include "server/server.h"   // IWYU pragma: export
+#include "server/service.h"  // IWYU pragma: export
 
 // Experiment framework.
 #include "expfw/datagen.h"   // IWYU pragma: export

@@ -106,6 +106,11 @@ void PlanCache::Insert(const std::string& text, PlanPtr plan,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(text);
   if (it != index_.end()) {
+    // A reader pinned on a superseded epoch (the server's QueryOn path)
+    // may finish its evaluation after a fresher one was cached; its
+    // stale insert must not evict the entry that Lookup can actually
+    // serve.
+    if (it->second->epoch >= epoch) return;
     lru_.erase(it->second);
     index_.erase(it);
   }

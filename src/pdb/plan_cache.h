@@ -60,7 +60,9 @@ class PlanCache {
 
   /// Caches an evaluation of `plan` (parsed from `text`) performed at
   /// `epoch`. `touched_blocks` is the sorted, unique union of the block
-  /// keys of every result row's lineage.
+  /// keys of every result row's lineage. A no-op when the cache already
+  /// holds `text` at the same or a newer epoch (a pinned-snapshot reader
+  /// finishing late must not evict the servable entry).
   void Insert(const std::string& text, PlanPtr plan, uint64_t epoch,
               std::vector<uint64_t> touched_blocks,
               std::shared_ptr<const PlanEvaluation> eval);

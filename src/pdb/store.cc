@@ -55,12 +55,20 @@ Result<CommitStats> BidStore::Commit(Relation rel) {
                         /*index_stable=*/false);
 }
 
-Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta) {
+Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
+                                         uint64_t expected_epoch) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   SnapshotPtr parent = std::atomic_load(&head_);
   if (parent == nullptr) {
     return Status::FailedPrecondition(
         "ApplyDelta needs a base epoch: call Commit or Restore first");
+  }
+  if (expected_epoch != 0 && parent->epoch() != expected_epoch) {
+    return Status::FailedPrecondition(
+        "delta targets epoch " + std::to_string(expected_epoch) +
+        " but the store is at epoch " +
+        std::to_string(parent->epoch()) +
+        "; re-read the current epoch and re-address the delta");
   }
   MRSL_ASSIGN_OR_RETURN(Relation new_rel,
                         mrsl::ApplyDelta(parent->base(), delta));
@@ -222,7 +230,25 @@ Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
 }
 
 Result<StoreQueryResult> BidStore::Query(const std::string& plan_text) {
+  return QueryOn(snapshot(), plan_text);
+}
+
+std::vector<Result<StoreQueryResult>> BidStore::QueryBatch(
+    const std::vector<std::string>& plan_texts) {
+  // One atomic load pins the epoch for the whole batch: every answer
+  // comes from the same consistent snapshot no matter how many commits
+  // land while the batch is being evaluated.
   SnapshotPtr snap = snapshot();
+  std::vector<Result<StoreQueryResult>> results;
+  results.reserve(plan_texts.size());
+  for (const std::string& text : plan_texts) {
+    results.push_back(QueryOn(snap, text));
+  }
+  return results;
+}
+
+Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
+                                           const std::string& plan_text) {
   if (snap == nullptr) {
     return Status::FailedPrecondition("store has no epoch yet");
   }
@@ -284,7 +310,7 @@ Result<StoreQueryResult> BidStore::Query(const std::string& plan_text) {
   return out;
 }
 
-Status BidStore::SaveSnapshot(const std::string& path) const {
+Result<SnapshotImage> BidStore::BuildSnapshotImage() const {
   // Epoch and options must be captured as a consistent pair — Restore
   // swaps both, and a file pairing one epoch's components with another
   // restore's options would poison every cached Δt it carries.
@@ -311,7 +337,19 @@ Status BidStore::SaveSnapshot(const std::string& path) const {
     ci.dists = comp.dists;
     image.components.push_back(std::move(ci));
   }
+  return image;
+}
+
+Status BidStore::SaveSnapshot(const std::string& path) const {
+  MRSL_ASSIGN_OR_RETURN(SnapshotImage image, BuildSnapshotImage());
   return SaveSnapshotFile(image, path);
+}
+
+Result<std::string> BidStore::SerializeCurrentSnapshot(
+    uint64_t* epoch) const {
+  MRSL_ASSIGN_OR_RETURN(SnapshotImage image, BuildSnapshotImage());
+  if (epoch != nullptr) *epoch = image.epoch;
+  return SerializeSnapshot(image);
 }
 
 Status BidStore::Restore(const std::string& path) {

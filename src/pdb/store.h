@@ -40,6 +40,7 @@
 #include "core/workload.h"
 #include "pdb/plan_cache.h"
 #include "pdb/prob_database.h"
+#include "pdb/snapshot_io.h"
 #include "util/result.h"
 
 namespace mrsl {
@@ -147,7 +148,15 @@ class BidStore {
   /// Applies `delta` to the current epoch's relation, re-infers only the
   /// dirtied components, and publishes the next epoch. Requires a prior
   /// Commit or Restore.
-  Result<CommitStats> ApplyDelta(const RelationDelta& delta);
+  ///
+  /// `expected_epoch` (when non-zero) is a compare-and-swap guard for
+  /// index-addressed deltas: the commit proceeds only if the current
+  /// epoch still equals it, otherwise FailedPrecondition. Deltas carry
+  /// row indices of the epoch their author read — applying them after
+  /// an interleaved commit shifted those indices would silently mutate
+  /// the wrong rows (the server's concurrent /update hazard).
+  Result<CommitStats> ApplyDelta(const RelationDelta& delta,
+                                 uint64_t expected_epoch = 0);
 
   /// The current epoch, pinned for the caller (nullptr before the first
   /// commit). Lock-free.
@@ -169,6 +178,30 @@ class BidStore {
   /// at this epoch (entries carried across commits included).
   Result<StoreQueryResult> Query(const std::string& plan_text);
 
+  /// Query against an explicitly pinned snapshot of THIS store — the
+  /// hook behind the server's batched query pass: the caller pins one
+  /// epoch and evaluates any number of plans against it while commits
+  /// race ahead. Cache interaction stays sound: hits are served only
+  /// when the entry's epoch matches `snap`'s, and an insert stamped with
+  /// a superseded epoch is simply never served and dropped at the next
+  /// commit.
+  Result<StoreQueryResult> QueryOn(const SnapshotPtr& snap,
+                                   const std::string& plan_text);
+
+  /// Evaluates every plan in `plan_texts` against ONE pinned snapshot
+  /// (the current epoch at entry), in order, through the plan cache.
+  /// Results align with the inputs; a concurrent commit never splits the
+  /// batch across epochs.
+  std::vector<Result<StoreQueryResult>> QueryBatch(
+      const std::vector<std::string>& plan_texts);
+
+  /// The current epoch as snapshot_io bytes (what SaveSnapshot writes,
+  /// without the file) — the GET /snapshot payload. Fails before the
+  /// first commit. `epoch` (optional) receives the serialized epoch,
+  /// which a racing commit may already have superseded.
+  Result<std::string> SerializeCurrentSnapshot(
+      uint64_t* epoch = nullptr) const;
+
   /// Persists the current epoch to `path` (snapshot_io format). Fails
   /// before the first commit.
   Status SaveSnapshot(const std::string& path) const;
@@ -186,6 +219,10 @@ class BidStore {
   Result<CommitStats> CommitInternal(Relation new_rel,
                                      const StoreSnapshot* parent,
                                      uint64_t epoch, bool index_stable);
+
+  /// Captures (head, options) as a consistent pair and builds the
+  /// serializable image behind SaveSnapshot / SerializeCurrentSnapshot.
+  Result<SnapshotImage> BuildSnapshotImage() const;
 
   Engine* engine_;
   StoreOptions options_;

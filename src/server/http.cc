@@ -1,0 +1,390 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+// Cap on waiting for a non-blocking socket to become writable again
+// (see HttpWriteAll).
+constexpr int kSendTimeoutMs = 30000;
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Splits "k1=v1&k2=v2" into a decoded parameter map.
+void ParseQueryString(std::string_view qs,
+                      std::map<std::string, std::string>* out) {
+  for (const std::string& pair : Split(qs, '&')) {
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      (*out)[UrlDecode(pair)] = "";
+    } else {
+      (*out)[UrlDecode(std::string_view(pair).substr(0, eq))] =
+          UrlDecode(std::string_view(pair).substr(eq + 1));
+    }
+  }
+}
+
+// Parses the header block between `begin` and `end` (exclusive of the
+// blank line) into lower-cased name -> value. Returns false on malformed
+// lines.
+bool ParseHeaderBlock(std::string_view block,
+                      std::map<std::string, std::string>* headers,
+                      std::string* error) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      *error = "obsolete header folding is not supported";
+      return false;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      *error = "malformed header line";
+      return false;
+    }
+    (*headers)[ToLower(line.substr(0, colon))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+// Shared by request and response parsing: locates the header terminator
+// and enforces the header-size cap — also on a block that arrived
+// complete (a terminator past the cap must not bless what an
+// incremental feed would have rejected).
+HttpParseState FindHeaderEnd(std::string_view buffer, size_t* header_end,
+                             std::string* error) {
+  const size_t end = buffer.find("\r\n\r\n");
+  if (end == std::string_view::npos ? buffer.size() > kMaxHttpHeaderBytes
+                                    : end > kMaxHttpHeaderBytes) {
+    *error = "header block exceeds " + std::to_string(kMaxHttpHeaderBytes) +
+             " bytes";
+    return HttpParseState::kError;
+  }
+  if (end == std::string_view::npos) return HttpParseState::kNeedMore;
+  *header_end = end;
+  return HttpParseState::kDone;
+}
+
+// Reads and bounds-checks Content-Length (0 when absent).
+bool ParseContentLength(const std::map<std::string, std::string>& headers,
+                        size_t* length, std::string* error) {
+  *length = 0;
+  auto it = headers.find("content-length");
+  if (it == headers.end()) return true;
+  int64_t n = 0;
+  if (!ParseInt(it->second, &n) || n < 0) {
+    *error = "unparseable Content-Length";
+    return false;
+  }
+  if (static_cast<uint64_t>(n) > kMaxHttpBodyBytes) {
+    *error = "body exceeds " + std::to_string(kMaxHttpBodyBytes) + " bytes";
+    return false;
+  }
+  *length = static_cast<size_t>(n);
+  return true;
+}
+
+}  // namespace
+
+Status HttpWriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking socket with a full send buffer: wait for
+        // writability, bounded — a peer that stopped reading must fail
+        // the write (closing the connection) rather than pin the
+        // writing thread forever.
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kSendTimeoutMs);
+        if (ready > 0) continue;
+        return Status::IOError(ready == 0 ? "send timed out (slow reader)"
+                                          : std::string("poll: ") +
+                                                std::strerror(errno));
+      }
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+bool HttpTrySendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // would block, peer gone, or hard error
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpRequest::QueryParam(const std::string& key,
+                                    const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+std::string HttpResponseMessage::Header(const std::string& name,
+                                        const std::string& fallback) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? fallback : it->second;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexDigit(s[i + 1]) >= 0 &&
+               HexDigit(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(s[i + 1]) * 16 + HexDigit(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+HttpParseState ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                size_t* consumed, std::string* error) {
+  size_t header_end = 0;
+  const HttpParseState found = FindHeaderEnd(buffer, &header_end, error);
+  if (found != HttpParseState::kDone) return found;
+
+  const size_t line_end = buffer.find("\r\n");
+  std::string_view request_line = buffer.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    *error = "malformed request line";
+    return HttpParseState::kError;
+  }
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    *error = "unsupported HTTP version";
+    return HttpParseState::kError;
+  }
+
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const size_t q = req.target.find('?');
+  req.path = req.target.substr(0, q);
+  if (q != std::string::npos) {
+    ParseQueryString(std::string_view(req.target).substr(q + 1), &req.query);
+  }
+
+  if (!ParseHeaderBlock(buffer.substr(line_end + 2, header_end - line_end - 2),
+                        &req.headers, error)) {
+    return HttpParseState::kError;
+  }
+  if (req.headers.count("transfer-encoding") != 0) {
+    *error = "chunked transfer encoding is not supported";
+    return HttpParseState::kError;
+  }
+  size_t content_length = 0;
+  if (!ParseContentLength(req.headers, &content_length, error)) {
+    return HttpParseState::kError;
+  }
+  const size_t total = header_end + 4 + content_length;
+  if (buffer.size() < total) return HttpParseState::kNeedMore;
+  req.body = std::string(buffer.substr(header_end + 4, content_length));
+
+  const std::string connection =
+      ToLower(req.headers.count("connection") ? req.headers.at("connection")
+                                              : "");
+  req.keep_alive = version == "HTTP/1.1"
+                       ? connection.find("close") == std::string::npos
+                       : connection.find("keep-alive") != std::string::npos;
+
+  *out = std::move(req);
+  *consumed = total;
+  return HttpParseState::kDone;
+}
+
+std::string_view HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(HttpStatusText(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::Connect(const std::string& ip, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address: " + ip);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IOError("connect " + ip + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Result<HttpResponseMessage> HttpClient::RoundTrip(
+    const std::string& method, const std::string& target,
+    std::string_view body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: loopback\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  MRSL_RETURN_IF_ERROR(HttpWriteAll(fd_, request));
+
+  // Read until the full response (headers + Content-Length body) is in.
+  char chunk[16384];
+  for (;;) {
+    size_t header_end = 0;
+    std::string parse_error;
+    if (FindHeaderEnd(buffer_, &header_end, &parse_error) ==
+        HttpParseState::kDone) {
+      const size_t line_end = buffer_.find("\r\n");
+      std::string_view status_line =
+          std::string_view(buffer_).substr(0, line_end);
+      if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+        Close();
+        return Status::IOError("malformed status line");
+      }
+      HttpResponseMessage msg;
+      int64_t code = 0;
+      if (!ParseInt(status_line.substr(9, 3), &code)) {
+        Close();
+        return Status::IOError("malformed status code");
+      }
+      msg.status = static_cast<int>(code);
+      if (!ParseHeaderBlock(std::string_view(buffer_).substr(
+                                line_end + 2, header_end - line_end - 2),
+                            &msg.headers, &parse_error)) {
+        Close();
+        return Status::IOError("malformed response headers: " + parse_error);
+      }
+      size_t content_length = 0;
+      if (!ParseContentLength(msg.headers, &content_length, &parse_error)) {
+        Close();
+        return Status::IOError(parse_error);
+      }
+      const size_t total = header_end + 4 + content_length;
+      if (buffer_.size() >= total) {
+        msg.body = buffer_.substr(header_end + 4, content_length);
+        buffer_.erase(0, total);
+        return msg;
+      }
+    } else if (!parse_error.empty()) {
+      Close();
+      return Status::IOError(parse_error);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      Close();
+      return Status::IOError(std::string("recv: ") + err);
+    }
+    if (n == 0) {
+      Close();
+      return Status::IOError("connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace mrsl

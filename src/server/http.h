@@ -1,0 +1,141 @@
+// Dependency-free HTTP/1.1 message handling for the embedded server.
+//
+// The wire protocol deliberately covers only what the serving layer
+// needs: request lines, headers, Content-Length bodies, query strings,
+// and keep-alive — no chunked transfer, no TLS, no multipart. The parser
+// is incremental (feed it a growing buffer, it says "need more" until a
+// full message is present) so the server's IO loop can interleave many
+// slow connections without threads parked on partial reads.
+//
+// The client half (HttpClient) is a small blocking keep-alive client
+// used by the smoke tests and the bench_serve load driver; it speaks
+// exactly the subset the server emits.
+
+#ifndef MRSL_SERVER_HTTP_H_
+#define MRSL_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Parser limits: a request whose headers or body exceed these is
+/// rejected with 400 rather than buffered without bound.
+inline constexpr size_t kMaxHttpHeaderBytes = 64 * 1024;
+inline constexpr size_t kMaxHttpBodyBytes = 256 * 1024 * 1024;
+
+/// One parsed request. Header names are lower-cased; query parameter
+/// keys and values are percent-decoded ('+' decodes to space).
+struct HttpRequest {
+  std::string method;                          // as sent (upper case)
+  std::string target;                          // raw request target
+  std::string path;                            // target up to '?'
+  std::map<std::string, std::string> query;    // decoded ?k=v params
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+  bool keep_alive = true;
+
+  /// The query parameter `key`, or `fallback` when absent. Returns by
+  /// value: a reference into the map would dangle for the fallback case
+  /// (the fallback argument is usually a temporary).
+  std::string QueryParam(const std::string& key,
+                         const std::string& fallback) const;
+};
+
+/// Outcome of one incremental parse attempt.
+enum class HttpParseState {
+  kNeedMore,  // the buffer holds a prefix of a valid message
+  kDone,      // *out is filled; *consumed bytes belong to this message
+  kError,     // protocol violation; *error says what
+};
+
+/// Tries to parse one full request from the front of `buffer`. On kDone,
+/// `*consumed` is the total bytes of the message (pipelined data may
+/// follow). On kError, `*error` holds a human-readable reason.
+HttpParseState ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                size_t* consumed, std::string* error);
+
+/// A response under construction. `extra_headers` are emitted verbatim
+/// after the standard Content-Type / Content-Length / Connection trio.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+std::string_view HttpStatusText(int status);
+
+/// Renders the full wire form of `response`. `keep_alive` selects the
+/// Connection header, which must match what the server then does.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+/// Percent-decodes `s` ('+' becomes space; bad escapes pass through).
+std::string UrlDecode(std::string_view s);
+
+/// Writes all of `data` to `fd` (retrying short writes and EINTR,
+/// SIGPIPE suppressed). Shared by the server's response paths.
+Status HttpWriteAll(int fd, std::string_view data);
+
+/// Best-effort non-blocking write (MSG_DONTWAIT): returns false when
+/// the socket would block (or fails) before the whole payload is out.
+/// The IO thread uses this for inline error responses so a client that
+/// stopped reading can never wedge the accept/read loop — the caller
+/// closes the connection instead.
+bool HttpTrySendAll(int fd, std::string_view data);
+
+/// A parsed response, as seen by HttpClient.
+struct HttpResponseMessage {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// The header `name` (lower-cased), or `fallback` when absent. By
+  /// value for the same lifetime reason as HttpRequest::QueryParam.
+  std::string Header(const std::string& name,
+                     const std::string& fallback) const;
+};
+
+/// Blocking keep-alive client for loopback testing and load generation.
+/// Not thread-safe; use one per connection/thread.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to a dotted-quad IPv4 address (e.g. "127.0.0.1").
+  Status Connect(const std::string& ip, uint16_t port);
+
+  /// Sends one request and blocks for the full response. The connection
+  /// is kept alive across calls; a server-initiated close surfaces as an
+  /// IOError and requires a fresh Connect. `extra_headers` are emitted
+  /// verbatim after the standard ones.
+  Result<HttpResponseMessage> RoundTrip(
+      const std::string& method, const std::string& target,
+      std::string_view body = {},
+      const std::string& content_type = "text/plain",
+      const std::vector<std::pair<std::string, std::string>>&
+          extra_headers = {});
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the previous response
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_SERVER_HTTP_H_

@@ -1,0 +1,366 @@
+#include "server/service.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/delta.h"
+#include "pdb/plan.h"
+#include "util/string_util.h"
+
+namespace mrsl {
+namespace {
+
+// JSON string escaping: quote, backslash, and control characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips doubles exactly, so a response body is a pure
+// function of the evaluation — the whole-epoch smoke test compares
+// bodies byte for byte.
+void AppendNum(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendInterval(std::string* out, const ProbInterval& p) {
+  *out += "{\"lo\":";
+  AppendNum(out, p.lo);
+  *out += ",\"hi\":";
+  AppendNum(out, p.hi);
+  *out += "}";
+}
+
+int HttpCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse JsonError(const Status& status) {
+  HttpResponse resp;
+  resp.status = HttpCodeFor(status);
+  resp.body = "{\"error\":\"" + JsonEscape(status.ToString()) + "\"}\n";
+  return resp;
+}
+
+std::string RenderQueryBody(const StoreQueryResult& result,
+                            const OracleResult* oracle) {
+  const PlanEvaluation& eval = *result.eval;
+  std::string body = "{\"epoch\":" + std::to_string(result.epoch) +
+                     ",\"plan\":\"" + JsonEscape(result.canonical_text) +
+                     "\"";
+  switch (eval.kind) {
+    case ParsedQuery::Kind::kRelation: {
+      body += ",\"kind\":\"relation\",\"safe\":";
+      body += eval.result.safe ? "true" : "false";
+      body += ",\"rows\":[";
+      const Schema& schema = eval.result.schema;
+      for (size_t i = 0; i < eval.marginals.size(); ++i) {
+        const DistinctMarginal& m = eval.marginals[i];
+        if (i > 0) body += ",";
+        body += "{\"values\":[";
+        for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+          if (a > 0) body += ",";
+          const ValueId v = m.tuple.value(a);
+          body += "\"";
+          body += v == kMissingValue ? "?"
+                                     : JsonEscape(schema.attr(a).label(v));
+          body += "\"";
+        }
+        body += "],\"p\":";
+        AppendInterval(&body, m.prob);
+        body += "}";
+      }
+      body += "]";
+      break;
+    }
+    case ParsedQuery::Kind::kExists:
+      body += ",\"kind\":\"exists\",\"safe\":";
+      body += eval.exists.safe ? "true" : "false";
+      body += ",\"exists\":";
+      AppendInterval(&body, eval.exists.prob);
+      break;
+    case ParsedQuery::Kind::kCount:
+      body += ",\"kind\":\"count\",\"safe\":";
+      body += eval.count.safe ? "true" : "false";
+      body += ",\"count\":";
+      AppendInterval(&body, eval.count.expected);
+      if (eval.count.has_distribution) {
+        body += ",\"distribution\":[";
+        for (size_t k = 0; k < eval.count.distribution.size(); ++k) {
+          if (k > 0) body += ",";
+          AppendNum(&body, eval.count.distribution[k]);
+        }
+        body += "]";
+      }
+      break;
+  }
+  if (oracle != nullptr) {
+    body += ",\"oracle\":{\"trials\":" + std::to_string(oracle->trials) +
+            ",\"exists\":";
+    AppendNum(&body, oracle->exists);
+    body += ",\"expected_count\":";
+    AppendNum(&body, oracle->expected_count);
+    body += "}";
+  }
+  body += "}\n";
+  return body;
+}
+
+}  // namespace
+
+struct StoreService::PendingQuery {
+  std::string text;
+  Result<StoreQueryResult> result = Status::Internal("not evaluated");
+  bool done = false;
+};
+
+StoreService::StoreService(BidStore* store, StoreServiceOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+void StoreService::Attach(HttpServer* server) {
+  metrics_ = server->metrics();
+  server->Handle("POST", "/query",
+                 [this](const HttpRequest& r) { return HandleQuery(r); });
+  server->Handle("POST", "/update",
+                 [this](const HttpRequest& r) { return HandleUpdate(r); });
+  server->Handle("GET", "/snapshot",
+                 [this](const HttpRequest& r) { return HandleSnapshot(r); });
+  server->Handle("GET", "/healthz",
+                 [this](const HttpRequest& r) { return HandleHealthz(r); });
+  server->Handle("GET", "/metrics",
+                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+}
+
+uint64_t StoreService::queries_served() const {
+  return metrics_ == nullptr
+             ? 0
+             : metrics_
+                   ->GetCounter("mrsl_queries_total",
+                                "Plans evaluated through the store.")
+                   ->value();
+}
+
+Result<StoreQueryResult> StoreService::BatchedQuery(const std::string& text) {
+  auto mine = std::make_shared<PendingQuery>();
+  mine->text = text;
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  batch_queue_.push_back(mine);
+  // Leadership rotates per drained group: a leader evaluates ONE group
+  // (which contains its own entry whenever fewer than max_batch entries
+  // are ahead of it), releases leadership, and returns as soon as its
+  // entry is done. Under sustained load the next waiter leads the next
+  // group, so no request's response is delayed behind later arrivals.
+  for (;;) {
+    if (mine->done) return std::move(mine->result);
+    if (leader_active_) {
+      batch_cv_.wait(lock);
+      continue;
+    }
+    leader_active_ = true;
+    const size_t group_size =
+        batch_queue_.size() < options_.max_batch ? batch_queue_.size()
+                                                 : options_.max_batch;
+    std::vector<std::shared_ptr<PendingQuery>> group(
+        batch_queue_.begin(), batch_queue_.begin() + group_size);
+    batch_queue_.erase(batch_queue_.begin(),
+                       batch_queue_.begin() + group_size);
+    lock.unlock();
+
+    std::vector<std::string> texts;
+    texts.reserve(group.size());
+    for (const auto& p : group) texts.push_back(p->text);
+    // One pinned snapshot, one PlanCache-aware pass, for the whole group.
+    std::vector<Result<StoreQueryResult>> results =
+        store_->QueryBatch(texts);
+    metrics_
+        ->GetHistogram("mrsl_query_batch_size",
+                       "Plans per pinned-snapshot batch group.",
+                       {1, 2, 4, 8, 16, 32, 64, 128})
+        ->Observe(static_cast<double>(group.size()));
+
+    lock.lock();
+    for (size_t i = 0; i < group.size(); ++i) {
+      group[i]->result = std::move(results[i]);
+      group[i]->done = true;
+    }
+    leader_active_ = false;
+    batch_cv_.notify_all();
+  }
+}
+
+HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
+  const std::string text(Trim(request.body));
+  if (text.empty()) {
+    return JsonError(Status::InvalidArgument(
+        "empty body; POST the plan text, e.g. count(scan)"));
+  }
+  int64_t oracle_trials = 0;
+  const std::string oracle_param = request.QueryParam("oracle", "");
+  if (!oracle_param.empty() &&
+      (!ParseInt(oracle_param, &oracle_trials) || oracle_trials < 0 ||
+       static_cast<size_t>(oracle_trials) > options_.max_oracle_trials)) {
+    return JsonError(Status::InvalidArgument(
+        "?oracle must be an integer in [0, " +
+        std::to_string(options_.max_oracle_trials) + "]"));
+  }
+
+  Result<StoreQueryResult> result = Status::Internal("unreachable");
+  OracleResult oracle;
+  const bool with_oracle = oracle_trials > 0;
+  if (with_oracle) {
+    // The oracle needs the evaluation's own snapshot, so heavy oracle
+    // queries pin one themselves instead of riding the batcher.
+    SnapshotPtr snap = store_->snapshot();
+    result = store_->QueryOn(snap, text);
+    if (result.ok()) {
+      std::vector<const ProbDatabase*> sources = {&snap->database()};
+      auto parsed = ParsePlan(result->canonical_text, sources);
+      if (!parsed.ok()) return JsonError(parsed.status());
+      OracleOptions oo;
+      oo.trials = static_cast<size_t>(oracle_trials);
+      auto estimated = MonteCarloPlanOracle(*parsed->plan, sources, oo);
+      if (!estimated.ok()) return JsonError(estimated.status());
+      oracle = std::move(estimated).value();
+    }
+  } else {
+    result = BatchedQuery(text);
+  }
+  if (!result.ok()) return JsonError(result.status());
+
+  metrics_
+      ->GetCounter("mrsl_queries_total",
+                   "Plans evaluated through the store.")
+      ->Increment();
+  metrics_
+      ->GetCounter("mrsl_query_cache_total", "Plan-cache consultations.",
+                   {{"result", result->from_cache ? "hit" : "miss"}})
+      ->Increment();
+
+  HttpResponse resp;
+  resp.body = RenderQueryBody(*result, with_oracle ? &oracle : nullptr);
+  resp.extra_headers.emplace_back("X-Mrsl-Epoch",
+                                  std::to_string(result->epoch));
+  resp.extra_headers.emplace_back("X-Mrsl-Cache",
+                                  result->from_cache ? "hit" : "miss");
+  return resp;
+}
+
+HttpResponse StoreService::HandleUpdate(const HttpRequest& request) {
+  if (!options_.allow_update) {
+    HttpResponse resp;
+    resp.status = 405;
+    resp.body = "{\"error\":\"updates are disabled on this replica\"}\n";
+    return resp;
+  }
+  SnapshotPtr snap = store_->snapshot();
+  if (snap == nullptr) {
+    return JsonError(
+        Status::FailedPrecondition("store has no epoch to update"));
+  }
+  auto delta = ParseDeltaCsv(snap->base().schema(), request.body);
+  if (!delta.ok()) return JsonError(delta.status());
+
+  // Row-indexed deltas (updates/deletes) address rows of a specific
+  // epoch; applying them after another commit shifted the indices would
+  // silently hit the wrong rows. Default the compare-and-swap guard to
+  // the epoch this request was parsed against; a client can pin another
+  // via the X-Mrsl-Epoch request header. Pure-insert deltas commute
+  // across epochs and skip the guard unless the client pins one.
+  uint64_t expected_epoch =
+      delta->updates.empty() && delta->deletes.empty() ? 0 : snap->epoch();
+  auto epoch_header = request.headers.find("x-mrsl-epoch");
+  if (epoch_header != request.headers.end()) {
+    int64_t claimed = 0;
+    if (!ParseInt(epoch_header->second, &claimed) || claimed <= 0) {
+      return JsonError(Status::InvalidArgument(
+          "X-Mrsl-Epoch must be a positive integer"));
+    }
+    expected_epoch = static_cast<uint64_t>(claimed);
+  }
+  auto stats = store_->ApplyDelta(*delta, expected_epoch);
+  if (!stats.ok()) return JsonError(stats.status());  // races answer 409
+
+  metrics_
+      ->GetCounter("mrsl_store_commits_total",
+                   "Delta commits applied through POST /update.")
+      ->Increment();
+
+  std::string body =
+      "{\"epoch\":" + std::to_string(stats->epoch) +
+      ",\"components_total\":" + std::to_string(stats->components_total) +
+      ",\"components_reinferred\":" +
+      std::to_string(stats->components_reinferred) +
+      ",\"tuples_total\":" + std::to_string(stats->tuples_total) +
+      ",\"tuples_reinferred\":" + std::to_string(stats->tuples_reinferred) +
+      ",\"blocks_total\":" + std::to_string(stats->blocks_total) +
+      ",\"blocks_reused\":" + std::to_string(stats->blocks_reused) +
+      ",\"index_stable\":" + (stats->index_stable ? "true" : "false") +
+      ",\"points_sampled\":" +
+      std::to_string(stats->inference.points_sampled) + ",\"wall_seconds\":";
+  AppendNum(&body, stats->wall_seconds);
+  body += "}\n";
+
+  HttpResponse resp;
+  resp.body = std::move(body);
+  resp.extra_headers.emplace_back("X-Mrsl-Epoch",
+                                  std::to_string(stats->epoch));
+  return resp;
+}
+
+HttpResponse StoreService::HandleSnapshot(const HttpRequest&) {
+  uint64_t epoch = 0;
+  auto bytes = store_->SerializeCurrentSnapshot(&epoch);
+  if (!bytes.ok()) return JsonError(bytes.status());
+  HttpResponse resp;
+  resp.content_type = "application/octet-stream";
+  resp.body = std::move(bytes).value();
+  resp.extra_headers.emplace_back("X-Mrsl-Epoch", std::to_string(epoch));
+  return resp;
+}
+
+HttpResponse StoreService::HandleHealthz(const HttpRequest&) {
+  HttpResponse resp;
+  resp.body = "{\"status\":\"ok\",\"epoch\":" +
+              std::to_string(store_->epoch()) + "}\n";
+  return resp;
+}
+
+HttpResponse StoreService::HandleMetrics(const HttpRequest&) {
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4";
+  resp.body = metrics_->RenderPrometheus();
+  return resp;
+}
+
+}  // namespace mrsl

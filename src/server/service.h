@@ -1,0 +1,106 @@
+// StoreService: the HTTP face of a BidStore.
+//
+// Endpoints (all on the loopback server of server.h):
+//
+//   POST /query      body = plan text (pdb/plan.h syntax). Answers JSON:
+//                    epoch, canonical plan, kind, safety flag, and the
+//                    kind's payload (rows with [lower, upper] marginals /
+//                    exists interval / expected count + distribution).
+//                    `?oracle=N` adds a Monte-Carlo cross-check over N
+//                    sampled worlds (the CLI's --oracle). The body is a
+//                    pure function of (epoch, plan, oracle) — cache
+//                    status travels in the X-Mrsl-Cache header so that
+//                    hits and misses stay byte-identical.
+//   POST /update     body = delta CSV (core/delta.h). Applies the delta
+//                    with incremental re-derivation and answers the
+//                    commit stats as JSON. Row-indexed deltas (updates/
+//                    deletes) are guarded by an epoch compare-and-swap:
+//                    if another commit landed since this request's
+//                    epoch (or the one pinned via the X-Mrsl-Epoch
+//                    request header), the answer is 409 and nothing is
+//                    applied — re-read and re-address the delta.
+//   GET  /snapshot   the current epoch as snapshot_io bytes.
+//   GET  /healthz    liveness + current epoch.
+//   GET  /metrics    Prometheus text: the server's per-endpoint series
+//                    plus this service's batch/cache/commit series.
+//
+// Query batching: handler tasks enqueue their plan text and, when no
+// leader is active, one of them becomes the batch leader. The leader
+// drains ONE group (up to max_batch entries) and evaluates it through
+// ONE pinned snapshot (BidStore::QueryBatch) — so concurrent /query
+// requests resolve against one consistent epoch and share one
+// PlanCache-aware pass — then releases leadership and returns as soon
+// as its own entry is answered. Under sustained load the next waiter
+// leads the next group (no request is delayed behind later arrivals);
+// no dedicated batching thread exists, so an idle server burns
+// nothing.
+
+#ifndef MRSL_SERVER_SERVICE_H_
+#define MRSL_SERVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pdb/store.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace mrsl {
+
+struct StoreServiceOptions {
+  /// Cap on plans evaluated per drained batch group (keeps one leader
+  /// pass from starving its own followers behind a huge group).
+  size_t max_batch = 64;
+
+  /// Cap on ?oracle trials (the oracle is CPU-heavy; a remote caller
+  /// must not be able to order up an unbounded amount of sampling).
+  size_t max_oracle_trials = 200000;
+
+  /// When false, POST /update answers 405 — a read-only replica.
+  bool allow_update = true;
+};
+
+/// Binds a BidStore to an HttpServer. The store, engine, and server must
+/// outlive the service; the service must outlive the server's Stop().
+class StoreService {
+ public:
+  explicit StoreService(BidStore* store,
+                        StoreServiceOptions options = StoreServiceOptions());
+
+  /// Registers every endpoint on `server` and adopts its metrics
+  /// registry. Call before server->Start().
+  void Attach(HttpServer* server);
+
+  /// Queries evaluated since Attach (batched + solo), for tests.
+  uint64_t queries_served() const;
+
+ private:
+  struct PendingQuery;
+
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleUpdate(const HttpRequest& request);
+  HttpResponse HandleSnapshot(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+
+  /// Enqueues `text`, runs or joins the batch leader, returns this
+  /// query's result (see the batching note above).
+  Result<StoreQueryResult> BatchedQuery(const std::string& text);
+
+  BidStore* store_;
+  StoreServiceOptions options_;
+  MetricsRegistry* metrics_ = nullptr;  // owned by the attached server
+
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  bool leader_active_ = false;
+  std::vector<std::shared_ptr<PendingQuery>> batch_queue_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_SERVER_SERVICE_H_

@@ -1,0 +1,146 @@
+#include "util/metrics.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mrsl {
+namespace {
+
+// Prometheus label values escape backslash, double quote, and newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Inserts `extra` into a rendered label string, e.g.
+// ('{a="b"}', 'le="0.1"') -> '{a="b",le="0.1"}'.
+std::string WithExtraLabel(const std::string& rendered,
+                           const std::string& extra) {
+  if (rendered.empty()) return "{" + extra + "}";
+  std::string out = rendered;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+std::string FormatNum(double v) {
+  // %.10g keeps bucket bounds like 0.01 rendering as "0.01", not the
+  // 17-significant-digit binary expansion.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "bounds must strictly increase");
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t b = 0;
+  while (b < bounds_.size() && value > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const MetricLabels& labels) {
+  const std::string key = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  auto it = family.counters.find(key);
+  if (it == family.counters.end()) {
+    it = family.counters.emplace(key, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const MetricLabels& labels) {
+  const std::string key = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.is_histogram = true;
+  auto it = family.histograms.find(key);
+  if (it == family.histograms.end()) {
+    it = family.histograms
+             .emplace(key, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name +
+           (family.is_histogram ? " histogram\n" : " counter\n");
+    for (const auto& [labels, counter] : family.counters) {
+      out += name + labels + " " + std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [labels, hist] : family.histograms) {
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b <= hist->bounds().size(); ++b) {
+        cumulative += hist->bucket_count(b);
+        const std::string le =
+            b < hist->bounds().size() ? FormatNum(hist->bounds()[b]) : "+Inf";
+        out += name + "_bucket" +
+               WithExtraLabel(labels, "le=\"" + le + "\"") + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum" + labels + " " + FormatNum(hist->sum()) + "\n";
+      out += name + "_count" + labels + " " +
+             std::to_string(hist->count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<double> MetricsRegistry::DefaultLatencyBoundsSeconds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+          30.0, 100.0};
+}
+
+}  // namespace mrsl

@@ -1,0 +1,128 @@
+// Reusable serving metrics: counters, latency histograms, and a
+// registry that renders the Prometheus text exposition format.
+//
+// The server layer (src/server/) instruments every endpoint with a
+// request counter and a latency histogram; anything else in the process
+// (plan cache, store commits, batchers) can hang its own series off the
+// same registry and they all come out of one GET /metrics scrape.
+//
+// Concurrency model: registration (GetCounter / GetHistogram) takes the
+// registry mutex and returns a stable pointer — registries never move or
+// drop a registered series. Observations on the returned objects are
+// lock-free atomics, so the hot path (one Increment + one Observe per
+// request) never contends on the registry. Rendering walks the families
+// under the mutex but reads the atomics with relaxed loads; a scrape
+// concurrent with traffic sees some consistent recent value of every
+// series, which is all Prometheus asks for.
+
+#ifndef MRSL_UTIL_METRICS_H_
+#define MRSL_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrsl {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket histogram (Prometheus "histogram" type): cumulative
+/// bucket counts are computed at render time from the per-bucket tallies
+/// kept here. Bounds are upper-inclusive (`v <= bound`), matching
+/// Prometheus `le` semantics; one implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing (asserted). The histogram owns
+  /// bounds.size() + 1 buckets; the last is +Inf.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};  // CAS-accumulated (no atomic fetch_add
+                                  // for doubles in C++17)
+};
+
+/// Label set of one series, e.g. {{"endpoint", "/query"}}. Order given
+/// at registration is preserved in the rendered output.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// A family-ordered registry of counters and histograms.
+///
+/// A (name, labels) pair identifies one series; registering it twice
+/// returns the same object, so call sites can re-register on every
+/// request without keeping pointers around (though keeping the pointer
+/// skips the registry mutex).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a counter series. The help text of the first
+  /// registration of `name` wins. Never returns nullptr; the pointer
+  /// stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const MetricLabels& labels = {});
+
+  /// Registers (or finds) a histogram series with the given bucket
+  /// bounds (ignored when the series already exists).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const MetricLabels& labels = {});
+
+  /// The Prometheus text exposition format: families in name order, one
+  /// # HELP / # TYPE header each, series in label order. Histograms emit
+  /// cumulative _bucket{le=...} series plus _sum and _count.
+  std::string RenderPrometheus() const;
+
+  /// Request-latency bucket bounds shared by the serving layers:
+  /// 100µs .. ~100s, quarter-decade steps.
+  static std::vector<double> DefaultLatencyBoundsSeconds();
+
+ private:
+  struct Family {
+    std::string help;
+    bool is_histogram = false;
+    // Rendered label string ('{k="v",...}' or "") -> series.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_METRICS_H_

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <ostream>
+
 namespace mrsl {
 
 std::string_view StatusCodeName(StatusCode code) {
@@ -30,6 +32,10 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
 }
 
 }  // namespace mrsl

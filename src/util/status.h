@@ -9,6 +9,7 @@
 #ifndef MRSL_UTIL_STATUS_H_
 #define MRSL_UTIL_STATUS_H_
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -86,6 +87,11 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Streams ToString() — lets error paths write
+/// `std::cerr << "error: " << status << "\n"` instead of spelling out
+/// the conversion at every call site.
+std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Propagates a non-OK status to the caller.
 #define MRSL_RETURN_IF_ERROR(expr)               \

@@ -467,6 +467,23 @@ TEST_F(StoreTest, PlanCacheInvalidatesWhenRowCopiesAnExistingTuple) {
             before->eval->count.expected.lo + 1.0);
 }
 
+// A pinned-snapshot reader (the server's QueryOn) finishing after a
+// fresher evaluation was cached must not evict the servable entry with
+// its stale one.
+TEST_F(StoreTest, PlanCacheKeepsNewerEntryOverStaleInsert) {
+  ProbDatabase db(schema_);
+  PlanCache cache(4);
+  auto fresh_eval = std::make_shared<PlanEvaluation>();
+  auto stale_eval = std::make_shared<PlanEvaluation>();
+  cache.Insert("p", ScanPlan(0), /*epoch=*/2, {}, fresh_eval);
+  cache.Insert("p", ScanPlan(0), /*epoch=*/1, {}, stale_eval);
+  EXPECT_EQ(cache.Lookup("p", 2).get(), fresh_eval.get());
+  // A genuinely newer insert still replaces.
+  auto newer_eval = std::make_shared<PlanEvaluation>();
+  cache.Insert("p", ScanPlan(0), /*epoch=*/3, {}, newer_eval);
+  EXPECT_EQ(cache.Lookup("p", 3).get(), newer_eval.get());
+}
+
 // An entry can only be carried forward by the commit that immediately
 // follows its evaluation epoch: an older one (inserted by a reader
 // pinned on a past snapshot while commits raced ahead) skipped an
@@ -490,12 +507,106 @@ TEST_F(StoreTest, PlanCacheDropsEntriesThatSkippedACommit) {
   EXPECT_NE(cache.Lookup("q", 3), nullptr);
 }
 
+// QueryBatch (the server's batched query hook) pins ONE snapshot for
+// the whole batch: answers all carry that epoch even when a commit
+// lands mid-batch, and duplicates within the batch hit the cache.
+TEST_F(StoreTest, QueryBatchPinsOneSnapshotAcrossCommits) {
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+
+  const std::string count_plan = "count(select(" + schema_.attr(0).name() +
+                                 "=" + schema_.attr(0).label(0) +
+                                 "; scan))";
+  const std::string exists_plan = "exists(scan)";
+  auto results =
+      store.QueryBatch({count_plan, exists_plan, count_plan, "bogus("});
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());  // per-plan errors don't sink the batch
+  EXPECT_EQ(results[0]->epoch, 1u);
+  EXPECT_EQ(results[1]->epoch, 1u);
+  EXPECT_FALSE(results[0]->from_cache);
+  EXPECT_TRUE(results[2]->from_cache);  // duplicate hits within the batch
+  EXPECT_EQ(results[2]->eval.get(), results[0]->eval.get());
+
+  // QueryOn keeps answering on an explicitly pinned past epoch while
+  // the store moves on; a pinned-snapshot evaluation computed after the
+  // commit matches the pre-commit answer bit for bit.
+  SnapshotPtr pinned = store.snapshot();
+  RelationDelta d;
+  d.inserts.push_back(T({1, 2, -1, -1}));
+  ASSERT_TRUE(store.ApplyDelta(d).ok());
+  EXPECT_EQ(store.epoch(), 2u);
+  auto stale = store.QueryOn(pinned, exists_plan);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->epoch, 1u);
+  EXPECT_EQ(stale->eval->exists.prob.lo,
+            results[1]->eval->exists.prob.lo);
+  EXPECT_EQ(stale->eval->exists.prob.hi,
+            results[1]->eval->exists.prob.hi);
+
+  // The current epoch still answers through Query/the cache as usual.
+  auto fresh = store.Query(exists_plan);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->epoch, 2u);
+}
+
+// SerializeCurrentSnapshot (the GET /snapshot payload) returns exactly
+// the bytes SaveSnapshot would write.
+TEST_F(StoreTest, SerializedSnapshotBytesMatchTheSavedFile) {
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  EXPECT_FALSE(store.SerializeCurrentSnapshot().ok());  // no epoch yet
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+
+  uint64_t epoch = 0;
+  auto bytes = store.SerializeCurrentSnapshot(&epoch);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(epoch, 1u);
+  const std::string path = ::testing::TempDir() + "/serialize_match.bin";
+  ASSERT_TRUE(store.SaveSnapshot(path).ok());
+  auto file_bytes = ReadFile(path);
+  ASSERT_TRUE(file_bytes.ok());
+  EXPECT_EQ(*bytes, *file_bytes);
+  std::remove(path.c_str());
+}
+
 TEST_F(StoreTest, RejectsAllAtATimeMode) {
   Engine engine(&model_);
   StoreOptions so = SOpts();
   so.mode = SamplingMode::kAllAtATime;
   BidStore store(&engine, so);
   EXPECT_FALSE(store.Commit(BaseRelation()).ok());
+}
+
+// The epoch compare-and-swap guard behind concurrent POST /update: an
+// index-addressed delta authored against epoch E must not apply after
+// another commit moved the store past E.
+TEST_F(StoreTest, ApplyDeltaHonorsExpectedEpoch) {
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+
+  // Matching guard: applies.
+  RelationDelta d1;
+  d1.deletes.push_back(7);
+  ASSERT_TRUE(store.ApplyDelta(d1, /*expected_epoch=*/1).ok());
+  EXPECT_EQ(store.epoch(), 2u);
+
+  // Stale guard (another commit won the race): FailedPrecondition and
+  // nothing published.
+  RelationDelta d2;
+  d2.deletes.push_back(0);
+  auto stale = store.ApplyDelta(d2, /*expected_epoch=*/1);
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.epoch(), 2u);
+
+  // expected_epoch = 0 skips the guard (the single-writer CLI path).
+  ASSERT_TRUE(store.ApplyDelta(d2).ok());
+  EXPECT_EQ(store.epoch(), 3u);
 }
 
 TEST_F(StoreTest, ApplyDeltaRequiresAnEpoch) {

@@ -1,0 +1,408 @@
+// Tests for the HTTP layer and the embedded server: incremental request
+// parsing, response serialization, routing (404/405), admission control
+// (503 on overload), keep-alive + pipelining, and graceful drain.
+
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace mrsl {
+namespace {
+
+HttpParseState Parse(const std::string& wire, HttpRequest* req,
+                     size_t* consumed) {
+  std::string error;
+  return ParseHttpRequest(wire, req, consumed, &error);
+}
+
+TEST(HttpParseTest, ParsesGetWithQueryParams) {
+  HttpRequest req;
+  size_t consumed = 0;
+  const std::string wire =
+      "GET /query?oracle=100&name=a%20b+c HTTP/1.1\r\n"
+      "Host: x\r\n"
+      "\r\n";
+  ASSERT_EQ(Parse(wire, &req, &consumed), HttpParseState::kDone);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/query");
+  EXPECT_EQ(req.QueryParam("oracle", ""), "100");
+  EXPECT_EQ(req.QueryParam("name", ""), "a b c");
+  EXPECT_EQ(req.QueryParam("absent", "fallback"), "fallback");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(req.headers.at("host"), "x");
+}
+
+TEST(HttpParseTest, ParsesPostBodyByContentLength) {
+  HttpRequest req;
+  size_t consumed = 0;
+  const std::string wire =
+      "POST /update HTTP/1.1\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "hello worldTRAILING";
+  ASSERT_EQ(Parse(wire, &req, &consumed), HttpParseState::kDone);
+  EXPECT_EQ(req.body, "hello world");
+  // Pipelined bytes after the message are not consumed.
+  EXPECT_EQ(consumed, wire.size() - 8);
+}
+
+TEST(HttpParseTest, IncrementalFeedNeedsMoreUntilComplete) {
+  const std::string wire =
+      "POST /q HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpRequest req;
+    size_t consumed = 0;
+    EXPECT_EQ(Parse(wire.substr(0, cut), &req, &consumed),
+              HttpParseState::kNeedMore)
+        << "cut at " << cut;
+  }
+  HttpRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(Parse(wire, &req, &consumed), HttpParseState::kDone);
+  EXPECT_EQ(req.body, "body");
+}
+
+TEST(HttpParseTest, RejectsGarbageAndUnsupportedFeatures) {
+  HttpRequest req;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ParseHttpRequest("garbage\r\n\r\n", &req, &consumed, &error),
+            HttpParseState::kError);
+  EXPECT_EQ(
+      ParseHttpRequest("GET / HTTP/2.0\r\n\r\n", &req, &consumed, &error),
+      HttpParseState::kError);
+  EXPECT_EQ(ParseHttpRequest(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                &req, &consumed, &error),
+            HttpParseState::kError);
+  EXPECT_EQ(ParseHttpRequest(
+                "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &req,
+                &consumed, &error),
+            HttpParseState::kError);
+  // Oversized header block fails instead of buffering forever...
+  std::string huge = "GET / HTTP/1.1\r\nX: ";
+  huge.append(kMaxHttpHeaderBytes + 10, 'a');
+  EXPECT_EQ(ParseHttpRequest(huge, &req, &consumed, &error),
+            HttpParseState::kError);
+  // ...and also when the terminator arrives in the same buffer — a
+  // complete block past the cap is just as rejected as a partial one.
+  huge += "\r\n\r\n";
+  EXPECT_EQ(ParseHttpRequest(huge, &req, &consumed, &error),
+            HttpParseState::kError);
+}
+
+TEST(HttpParseTest, ConnectionCloseAndHttp10Defaults) {
+  HttpRequest req;
+  size_t consumed = 0;
+  ASSERT_EQ(Parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", &req,
+                  &consumed),
+            HttpParseState::kDone);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(Parse("GET / HTTP/1.0\r\n\r\n", &req, &consumed),
+            HttpParseState::kDone);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(Parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", &req,
+                  &consumed),
+            HttpParseState::kDone);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpResponseTest, SerializesStatusHeadersAndBody) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.content_type = "text/plain";
+  resp.body = "overloaded\n";
+  resp.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeHttpResponse(resp, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\noverloaded\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live server behavior over a loopback socket.
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = ServerOptions()) {
+    server_ = std::make_unique<HttpServer>(options);
+    server_->Handle("GET", "/ping", [](const HttpRequest&) {
+      HttpResponse resp;
+      resp.body = "pong";
+      return resp;
+    });
+    server_->Handle("POST", "/echo", [](const HttpRequest& req) {
+      HttpResponse resp;
+      resp.body = req.body;
+      return resp;
+    });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Result<HttpResponseMessage> Call(HttpClient* client,
+                                   const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "") {
+    if (!client->connected()) {
+      Status st = client->Connect("127.0.0.1", server_->port());
+      if (!st.ok()) return st;
+    }
+    return client->RoundTrip(method, target, body);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerTest, RoutesAndErrorsOverRealSockets) {
+  StartServer();
+  HttpClient client;
+  auto pong = Call(&client, "GET", "/ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->status, 200);
+  EXPECT_EQ(pong->body, "pong");
+
+  auto echo = Call(&client, "POST", "/echo", "payload");
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo->body, "payload");
+
+  auto missing = Call(&client, "GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto wrong_method = Call(&client, "POST", "/ping");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+  EXPECT_EQ(wrong_method->Header("allow", ""), "GET");
+
+  // All four answered on ONE keep-alive connection.
+  EXPECT_EQ(server_->requests_served(), 4u);
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, ManyConnectionsManyRequests) {
+  StartServer();
+  constexpr int kClients = 8;
+  constexpr int kRequests = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&]() {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        auto resp =
+            client.RoundTrip("POST", "/echo", std::to_string(i));
+        if (!resp.ok() || resp->status != 200 ||
+            resp->body != std::to_string(i)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->requests_served(),
+            static_cast<uint64_t>(kClients) * kRequests);
+}
+
+TEST_F(ServerTest, AdmissionControlSheds503WhenFull) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  server_ = std::make_unique<HttpServer>(options);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  server_->Handle("GET", "/slow", [&](const HttpRequest&) {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+    HttpResponse resp;
+    resp.body = "done";
+    return resp;
+  });
+  ASSERT_TRUE(server_->Start().ok());
+
+  // First request occupies the only in-flight slot...
+  std::thread slow_caller([&]() {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto resp = client.RoundTrip("GET", "/slow");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+  });
+  while (entered.load() == 0) std::this_thread::yield();
+
+  // ...so a second one is shed with 503 + Retry-After, instantly.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto shed = client.RoundTrip("GET", "/slow");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(shed->Header("retry-after", ""), "1");
+  EXPECT_EQ(server_->requests_shed(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  slow_caller.join();
+
+  // With the slot free again the same connection is served normally.
+  auto ok = client.RoundTrip("GET", "/slow");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+}
+
+TEST_F(ServerTest, GracefulStopFinishesInFlightRequests) {
+  ServerOptions options;
+  server_ = std::make_unique<HttpServer>(options);
+  std::atomic<int> entered{0};
+  server_->Handle("GET", "/slowish", [&](const HttpRequest&) {
+    entered.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    HttpResponse resp;
+    resp.body = "finished";
+    return resp;
+  });
+  ASSERT_TRUE(server_->Start().ok());
+
+  Result<HttpResponseMessage> inflight = Status::Internal("unset");
+  std::thread caller([&]() {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    inflight = client.RoundTrip("GET", "/slowish");
+  });
+  while (entered.load() == 0) std::this_thread::yield();
+
+  // Stop must wait for the dispatched request and deliver its response.
+  server_->Stop();
+  caller.join();
+  ASSERT_TRUE(inflight.ok()) << inflight.status().ToString();
+  EXPECT_EQ(inflight->status, 200);
+  EXPECT_EQ(inflight->body, "finished");
+
+  // New connections are refused after Stop.
+  HttpClient late;
+  if (late.Connect("127.0.0.1", server_->port()).ok()) {
+    EXPECT_FALSE(late.RoundTrip("GET", "/slowish").ok());
+  }
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  // True pipelining: both requests land in one send, so the second sits
+  // buffered on the connection while the first is being handled — the
+  // handback path must parse it and answer in order.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string two_requests =
+      "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n"
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\ntwo";
+  ASSERT_TRUE(HttpWriteAll(fd, two_requests).ok());
+
+  // Read until both responses are in (each ends with its 3-/4-byte
+  // body; the second body is "two").
+  std::string stream;
+  char chunk[4096];
+  while (stream.find("pong") == std::string::npos ||
+         stream.find("two") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection closed before both responses";
+    stream.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // Two 200s, in request order.
+  const size_t first_status = stream.find("HTTP/1.1 200");
+  const size_t second_status = stream.find("HTTP/1.1 200", first_status + 1);
+  ASSERT_NE(first_status, std::string::npos);
+  ASSERT_NE(second_status, std::string::npos);
+  EXPECT_LT(stream.find("pong"), second_status);
+  EXPECT_GT(stream.find("two"), second_status);
+  EXPECT_EQ(server_->requests_served(), 2u);
+}
+
+// A client that floods error-producing requests without ever reading
+// its responses must lose its connection, not wedge the IO thread: all
+// other clients stay served and Stop() still returns.
+TEST_F(ServerTest, ErrorFloodFromNonReadingClientDoesNotWedgeServer) {
+  StartServer();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // ~8000 pipelined 404s is far more response bytes than a loopback
+  // send buffer holds; the old blocking inline write would park the IO
+  // thread on this socket forever.
+  std::string flood;
+  for (int i = 0; i < 8000; ++i) {
+    flood += "GET /no-such-route HTTP/1.1\r\nHost: x\r\n\r\n";
+  }
+  (void)HttpTrySendAll(fd, flood);  // best effort; we never read
+
+  // Another client must still get served promptly.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto resp = client.RoundTrip("GET", "/ping");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  ::close(fd);
+  server_->Stop();  // and the drain still returns
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, MalformedRequestGets400AndClose) {
+  StartServer();
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  // HttpClient only emits valid requests, so poke the socket directly
+  // via a bogus method line through RoundTrip's target (spaces break
+  // the request line).
+  auto resp = client.RoundTrip("GET", "/with space");
+  // Either a clean 400 or a closed connection is acceptable — the
+  // server must not crash or hang.
+  if (resp.ok()) {
+    EXPECT_EQ(resp->status, 400);
+  }
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace mrsl

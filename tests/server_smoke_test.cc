@@ -1,0 +1,377 @@
+// End-to-end smoke test of the serving subsystem over real loopback
+// sockets: the full endpoint surface, byte-identity of HTTP answers
+// with the in-process (CLI) query path, and the whole-epoch guarantee —
+// a /query racing an /update commit returns a body byte-identical to
+// either the pre- or post-commit epoch, never a mix (the store-label
+// race tests, extended through the server).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "pdb/snapshot_io.h"
+#include "pdb/store.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "util/csv.h"
+
+namespace mrsl {
+namespace {
+
+Tuple T(std::vector<int> vals) {
+  Tuple t(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    t.set_value(static_cast<AttrId>(i), vals[i]);
+  }
+  return t;
+}
+
+class ServerSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    bn_ = BayesNet::RandomInstance(Topology::Crown(4, 3), &rng);
+    Relation train = bn_.SampleRelation(6000, &rng);
+    schema_ = train.schema();
+    LearnOptions lo;
+    lo.support_threshold = 0.002;
+    auto model = LearnModel(train, lo);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+
+    engine_ = std::make_unique<Engine>(&model_);
+    StoreOptions so;
+    so.workload.gibbs.samples = 120;
+    so.workload.gibbs.burn_in = 20;
+    so.workload.gibbs.seed = 4242;
+    store_ = std::make_unique<BidStore>(engine_.get(), so);
+    ASSERT_TRUE(store_->Commit(BaseRelation()).ok());
+
+    service_ = std::make_unique<StoreService>(store_.get());
+    server_ = std::make_unique<HttpServer>();
+    service_->Attach(server_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  // The StoreTest fixture relation: three subsumption components plus
+  // three complete rows.
+  Relation BaseRelation() {
+    Relation rel(schema_);
+    EXPECT_TRUE(rel.Append(T({0, 1, 2, 0})).ok());
+    EXPECT_TRUE(rel.Append(T({0, 0, -1, -1})).ok());
+    EXPECT_TRUE(rel.Append(T({0, 0, 1, -1})).ok());
+    EXPECT_TRUE(rel.Append(T({1, 0, 2, 1})).ok());
+    EXPECT_TRUE(rel.Append(T({1, 1, -1, -1})).ok());
+    EXPECT_TRUE(rel.Append(T({2, 2, 0, -1})).ok());
+    EXPECT_TRUE(rel.Append(T({2, 2, -1, 0})).ok());
+    EXPECT_TRUE(rel.Append(T({2, 2, -1, -1})).ok());
+    EXPECT_TRUE(rel.Append(T({2, 0, 1, 1})).ok());
+    return rel;
+  }
+
+  // A plan that reads real probability mass: count rows with attr0 = 0.
+  std::string CountPlan() {
+    return "count(select(" + schema_.attr(0).name() + "=" +
+           schema_.attr(0).label(0) + "; scan))";
+  }
+
+  // Delta CSV inserting the singleton component (1, 2, ?, ?).
+  std::string InsertDeltaCsv() {
+    std::string csv = "op,row";
+    for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+      csv += "," + schema_.attr(a).name();
+    }
+    csv += "\ninsert,," + schema_.attr(0).label(1) + "," +
+           schema_.attr(1).label(2) + ",?,?\n";
+    return csv;
+  }
+
+  Result<HttpResponseMessage> Call(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "") {
+    HttpClient client;
+    MRSL_RETURN_IF_ERROR(client.Connect("127.0.0.1", server_->port()));
+    return client.RoundTrip(method, target, body);
+  }
+
+  BayesNet bn_;
+  Schema schema_;
+  MrslModel model_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<BidStore> store_;
+  std::unique_ptr<StoreService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerSmokeTest, HealthzReportsTheEpoch) {
+  auto resp = Call("GET", "/healthz");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"status\":\"ok\",\"epoch\":1}\n");
+}
+
+TEST_F(ServerSmokeTest, QueryAnswersMatchTheInProcessPath) {
+  auto resp = Call("POST", "/query", CountPlan());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->Header("x-mrsl-cache", ""), "miss");
+  EXPECT_EQ(resp->Header("x-mrsl-epoch", ""), "1");
+
+  // The in-process evaluation (the CLI path) must agree bit for bit:
+  // the body embeds %.17g renderings of the same doubles.
+  auto direct = store_->Query(CountPlan());
+  ASSERT_TRUE(direct.ok());
+  char lo[64];
+  std::snprintf(lo, sizeof(lo), "%.17g",
+                direct->eval->count.expected.lo);
+  EXPECT_NE(resp->body.find(std::string("\"count\":{\"lo\":") + lo),
+            std::string::npos)
+      << resp->body;
+
+  // Same plan again: a cache hit with a byte-identical body.
+  auto again = Call("POST", "/query", CountPlan());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Header("x-mrsl-cache", ""), "hit");
+  EXPECT_EQ(again->body, resp->body);
+}
+
+TEST_F(ServerSmokeTest, RelationAndExistsAndOracleKinds) {
+  const std::string select_plan = "select(" + schema_.attr(0).name() + "=" +
+                                  schema_.attr(0).label(0) + "; scan)";
+  auto rows = Call("POST", "/query", select_plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->status, 200);
+  EXPECT_NE(rows->body.find("\"kind\":\"relation\""), std::string::npos);
+  EXPECT_NE(rows->body.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(rows->body.find("\"values\":[\"" + schema_.attr(0).label(0)),
+            std::string::npos);
+
+  auto exists = Call("POST", "/query", "exists(" + select_plan + ")");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_NE(exists->body.find("\"kind\":\"exists\""), std::string::npos);
+
+  auto oracle =
+      Call("POST", "/query?oracle=2000", "exists(" + select_plan + ")");
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(oracle->status, 200);
+  EXPECT_NE(oracle->body.find("\"oracle\":{\"trials\":2000"),
+            std::string::npos);
+
+  // Deterministic oracle: identical request, identical body.
+  auto oracle2 =
+      Call("POST", "/query?oracle=2000", "exists(" + select_plan + ")");
+  ASSERT_TRUE(oracle2.ok());
+  EXPECT_EQ(oracle2->body, oracle->body);
+}
+
+TEST_F(ServerSmokeTest, BadRequestsGetCleanJsonErrors) {
+  auto empty = Call("POST", "/query", "   ");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->status, 400);
+  auto bad_plan = Call("POST", "/query", "frobnicate(scan)");
+  ASSERT_TRUE(bad_plan.ok());
+  EXPECT_EQ(bad_plan->status, 400);
+  EXPECT_NE(bad_plan->body.find("\"error\""), std::string::npos);
+  auto bad_oracle = Call("POST", "/query?oracle=-5", "count(scan)");
+  ASSERT_TRUE(bad_oracle.ok());
+  EXPECT_EQ(bad_oracle->status, 400);
+  auto bad_delta = Call("POST", "/update", "not,a,delta\n");
+  ASSERT_TRUE(bad_delta.ok());
+  EXPECT_EQ(bad_delta->status, 400);
+}
+
+TEST_F(ServerSmokeTest, UpdateCommitsAndInvalidatesQueries) {
+  auto before = Call("POST", "/query", CountPlan());
+  ASSERT_TRUE(before.ok());
+
+  auto update = Call("POST", "/update", InsertDeltaCsv());
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  ASSERT_EQ(update->status, 200) << update->body;
+  EXPECT_NE(update->body.find("\"epoch\":2"), std::string::npos);
+  EXPECT_NE(update->body.find("\"components_reinferred\":1"),
+            std::string::npos);
+  EXPECT_EQ(update->Header("x-mrsl-epoch", ""), "2");
+
+  auto after = Call("POST", "/query", CountPlan());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Header("x-mrsl-epoch", ""), "2");
+  // The inserted row has attr0 = label(1): the count of attr0 = label(0)
+  // rows is unchanged, and the entry may even have carried forward — but
+  // the epoch stamp in the body must move.
+  EXPECT_NE(after->body.find("\"epoch\":2"), std::string::npos);
+}
+
+// Concurrent index-addressed updates can't silently hit shifted rows:
+// the loser of an epoch race gets 409, not a wrong-row mutation.
+TEST_F(ServerSmokeTest, StaleRowAddressedUpdateAnswers409) {
+  // A delete delta is row-addressed, so it defaults to a CAS on the
+  // epoch it was parsed against. Pin epoch 1 explicitly, commit an
+  // insert in between, then watch the stale delete bounce.
+  std::string delete_csv = "op,row";
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    delete_csv += "," + schema_.attr(a).name();
+  }
+  delete_csv += "\ndelete,8,,,,\n";
+
+  ASSERT_EQ(Call("POST", "/update", InsertDeltaCsv())->status, 200);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto stale = client.RoundTrip("POST", "/update", delete_csv,
+                                "text/csv", {{"X-Mrsl-Epoch", "1"}});
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->status, 409);
+  EXPECT_NE(stale->body.find("re-read"), std::string::npos);
+  EXPECT_EQ(store_->epoch(), 2u);  // nothing applied
+
+  // Addressed against the current epoch it applies.
+  auto fresh = client.RoundTrip("POST", "/update", delete_csv,
+                                "text/csv", {{"X-Mrsl-Epoch", "2"}});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->status, 200) << fresh->body;
+  EXPECT_EQ(store_->epoch(), 3u);
+
+  // Pure inserts commute and need no pin even across epochs.
+  auto insert = client.RoundTrip("POST", "/update", InsertDeltaCsv(),
+                                 "text/csv");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->status, 200) << insert->body;
+}
+
+TEST_F(ServerSmokeTest, SnapshotEndpointServesLoadableBytes) {
+  auto resp = Call("GET", "/snapshot");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->Header("content-type", ""), "application/octet-stream");
+  auto image = DeserializeSnapshot(resp->body);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->epoch, 1u);
+  EXPECT_EQ(image->base.num_rows(), 9u);
+
+  // The served bytes restore a store that answers identically.
+  Engine engine2(&model_);
+  BidStore restored(&engine2, StoreOptions());
+  const std::string path = ::testing::TempDir() + "/served_snapshot.bin";
+  ASSERT_TRUE(WriteFile(path, resp->body).ok());
+  ASSERT_TRUE(restored.Restore(path).ok());
+  auto a = store_->Query(CountPlan());
+  auto b = restored.Query(CountPlan());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->eval->count.expected.lo, b->eval->count.expected.lo);
+  EXPECT_EQ(a->eval->count.expected.hi, b->eval->count.expected.hi);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerSmokeTest, MetricsExposePerEndpointSeries) {
+  ASSERT_TRUE(Call("POST", "/query", CountPlan()).ok());
+  ASSERT_TRUE(Call("POST", "/query", CountPlan()).ok());
+  ASSERT_TRUE(Call("GET", "/healthz").ok());
+  auto metrics = Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  const std::string& text = metrics->body;
+  EXPECT_NE(text.find("mrsl_http_requests_total{endpoint=\"/query\","
+                      "method=\"POST\",code=\"200\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mrsl_http_request_seconds_bucket{"
+                      "endpoint=\"/query\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_query_cache_total{result=\"hit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_query_cache_total{result=\"miss\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_query_batch_size_count"), std::string::npos);
+  EXPECT_EQ(service_->queries_served(), 2u);
+}
+
+// The acceptance-criterion test: queries racing a commit see exactly the
+// pre- or the post-commit epoch, byte for byte — never a torn mix.
+TEST_F(ServerSmokeTest, QueryDuringCommitSeesWholeEpochsOnly) {
+  // Two plans whose bodies both change shape across commits would widen
+  // coverage, but one high-traffic plan keeps the loop tight; epoch
+  // stamps inside the body catch any tear.
+  const std::string plan = CountPlan();
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto pre = Call("POST", "/query", plan);
+    ASSERT_TRUE(pre.ok());
+    ASSERT_EQ(pre->status, 200);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    std::vector<std::vector<std::string>> observed(4);
+    for (int r = 0; r < 4; ++r) {
+      readers.emplace_back([&, r]() {
+        HttpClient client;
+        if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto resp = client.RoundTrip("POST", "/query", plan);
+          if (!resp.ok() || resp->status != 200) return;
+          observed[r].push_back(resp->body);
+        }
+      });
+    }
+
+    // Give the readers a moment to race, then commit underneath them.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto update = Call("POST", "/update", InsertDeltaCsv());
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update->status, 200) << update->body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+    for (auto& t : readers) t.join();
+
+    auto post = Call("POST", "/query", plan);
+    ASSERT_TRUE(post.ok());
+    ASSERT_EQ(post->status, 200);
+    ASSERT_NE(post->body, pre->body);  // the epoch stamp moved
+
+    size_t total = 0;
+    for (const auto& bodies : observed) {
+      for (const std::string& body : bodies) {
+        ++total;
+        EXPECT_TRUE(body == pre->body || body == post->body)
+            << "torn response in cycle " << cycle << ": " << body;
+      }
+    }
+    EXPECT_GT(total, 0u) << "readers never observed the race";
+  }
+}
+
+TEST_F(ServerSmokeTest, DrainWaitsForInFlightQueries) {
+  std::atomic<int> completed{0};
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&]() {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      auto resp = client.RoundTrip("POST", "/query", CountPlan());
+      if (resp.ok() && resp->status == 200) completed.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server_->Stop();
+  for (auto& t : callers) t.join();
+  // Every request that was admitted before the drain got its answer;
+  // none were dropped mid-handling. (Some callers may have raced the
+  // listen-socket close and never connected — that's fine.)
+  EXPECT_EQ(server_->requests_served(),
+            static_cast<uint64_t>(completed.load()));
+}
+
+}  // namespace
+}  // namespace mrsl

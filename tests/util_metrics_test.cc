@@ -1,0 +1,131 @@
+// Tests for the serving metrics: counter/histogram semantics, series
+// identity in the registry, Prometheus rendering, and thread safety of
+// the hot path.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrsl {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(HistogramTest, ObservationsLandInLeBuckets) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // <= 0.1
+  h.Observe(0.1);    // le is inclusive
+  h.Observe(0.5);    // <= 1.0
+  h.Observe(100.0);  // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.1 + 0.5 + 100.0);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsIsTheSameSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests", "Requests.",
+                                   {{"endpoint", "/query"}});
+  Counter* b = registry.GetCounter("requests", "Requests.",
+                                   {{"endpoint", "/query"}});
+  Counter* other = registry.GetCounter("requests", "Requests.",
+                                       {{"endpoint", "/update"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+  EXPECT_EQ(other->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, RendersPrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("mrsl_requests_total", "Requests answered.",
+                  {{"endpoint", "/query"}, {"code", "200"}})
+      ->Increment(3);
+  Histogram* h = registry.GetHistogram("mrsl_latency_seconds",
+                                       "Request latency.", {0.01, 0.1},
+                                       {{"endpoint", "/query"}});
+  h->Observe(0.005);
+  h->Observe(0.05);
+  h->Observe(5.0);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP mrsl_requests_total Requests answered.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mrsl_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_requests_total{endpoint=\"/query\","
+                      "code=\"200\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mrsl_latency_seconds histogram\n"),
+            std::string::npos);
+  // Bucket counts are cumulative and end in +Inf == _count.
+  EXPECT_NE(text.find("mrsl_latency_seconds_bucket{endpoint=\"/query\","
+                      "le=\"0.01\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_latency_seconds_bucket{endpoint=\"/query\","
+                      "le=\"0.1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_latency_seconds_bucket{endpoint=\"/query\","
+                      "le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_latency_seconds_count{endpoint=\"/query\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "help", {{"k", "a\"b\\c\nd"}})->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("c{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentObservationsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits", "Hits.");
+  Histogram* hist = registry.GetHistogram("lat", "Latency.", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->bucket_count(0),
+            static_cast<uint64_t>(kThreads) * kPerThread / 2);
+  EXPECT_DOUBLE_EQ(hist->sum(), kThreads * (kPerThread / 2) * 1.25);
+}
+
+TEST(MetricsRegistryTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds =
+      MetricsRegistry::DefaultLatencyBoundsSeconds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "util/result.h"
 
 namespace mrsl {
@@ -32,6 +34,15 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Corruption("bad page").ToString(),
             "Corruption: bad page");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << "error: " << Status::NotFound("missing epoch") << "!";
+  EXPECT_EQ(os.str(), "error: NotFound: missing epoch!");
+  std::ostringstream ok;
+  ok << Status::OK();
+  EXPECT_EQ(ok.str(), "OK");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -30,15 +30,27 @@
 //           snapshot file (or derive epoch 1 from --in when the file
 //           does not exist yet), apply an optional delta CSV with
 //           incremental re-derivation, and save the new epoch back.
+//   serve   --model model.txt --snapshot store.bin [--in data.csv]
+//           [--port 8080] [--max-inflight 64] [--threads N]
+//           Serve the versioned store over HTTP on 127.0.0.1: POST
+//           /query (plan text), POST /update (delta CSV), GET
+//           /snapshot, GET /healthz, GET /metrics. SIGINT/SIGTERM
+//           drains in-flight requests and saves the snapshot back.
 //   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
 //           Pick the support threshold by masked holdout log-loss.
 //
-// Unknown flags are usage errors (exit 2), never silently ignored.
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Unknown flags are usage errors (exit 2), never silently ignored;
+// `mrsl <command> --help` prints that command's flags. Exit codes:
+// 0 success, 1 runtime failure, 2 usage error.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <set>
 #include <string>
@@ -59,44 +71,107 @@
 #include "pdb/prob_database.h"
 #include "pdb/store.h"
 #include "relational/discretizer.h"
+#include "server/server.h"
+#include "server/service.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
 namespace mrsl {
 namespace {
 
-int Usage() {
+// Per-subcommand usage blocks: `mrsl <cmd> --help` prints exactly one of
+// these, and a flag error inside a subcommand prints its own block
+// instead of the whole catalog.
+const std::map<std::string, std::string>& CmdUsageTexts() {
+  static const auto* kTexts = new std::map<std::string, std::string>{
+      {"learn",
+       "mrsl learn --in data.csv --out model.txt [--support 0.01]\n"
+       "    [--max-itemsets 1000] [--discretize col:buckets:width|freq]\n"
+       "  Learn an MRSL model from the complete rows of a CSV relation.\n"},
+      {"stats",
+       "mrsl stats --model model.txt\n"
+       "  Print a model summary (lattice sizes, roots).\n"},
+      {"infer",
+       "mrsl infer --model model.txt --in data.csv [--out blocks.txt]\n"
+       "    [--samples 2000] [--burn-in 100] [--mode dag|tuple|product]\n"
+       "    [--threads 0] [--batch-size 0]\n"
+       "  Derive Δt for every incomplete row; print/write the blocks.\n"},
+      {"repair",
+       "mrsl repair --model model.txt --in data.csv --out repaired.csv\n"
+       "    [--min-confidence 0] [--samples 2000] [--burn-in 100]\n"
+       "    [--mode dag|tuple|product] [--threads 0] [--batch-size 0]\n"
+       "  Replace missing cells with their most probable completion.\n"},
+      {"query",
+       "mrsl query --model model.txt --in data.csv --where a=v[,b=w...]\n"
+       "    [--samples 2000] [--threads 0] [--batch-size 0]\n"
+       "mrsl query --model model.txt --in data.csv --plan PLAN\n"
+       "    [--plan-file plan.txt] [--oracle 0] [--min-prob 0]\n"
+       "    [--samples 2000] [--threads 0] [--batch-size 0]\n"
+       "  PLAN: scan | select(pred; node) | project(attrs; node)\n"
+       "        | join(node; node; a=b) | exists(node) | count(node)\n"
+       "  e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"},
+      {"update",
+       "mrsl update --model model.txt --snapshot store.bin [--in data.csv]\n"
+       "    [--delta delta.csv] [--samples 2000] [--burn-in 100]\n"
+       "    [--mode dag|tuple|product] [--min-prob 0] [--threads 0]\n"
+       "  Restore the store from the snapshot (or derive epoch 1 from\n"
+       "  --in), apply an optional delta CSV incrementally, save back.\n"
+       "  delta CSV: header op,row,<attrs>; rows insert/update/delete\n"},
+      {"serve",
+       "mrsl serve --model model.txt --snapshot store.bin [--in data.csv]\n"
+       "    [--port 8080] [--max-inflight 64] [--samples 2000]\n"
+       "    [--burn-in 100] [--mode dag|tuple|product] [--min-prob 0]\n"
+       "    [--threads 0]\n"
+       "  Serve the versioned store over HTTP on 127.0.0.1:\n"
+       "    POST /query     plan text -> JSON rows with [lo, hi] probs\n"
+       "                    (?oracle=N adds a Monte-Carlo cross-check)\n"
+       "    POST /update    delta CSV -> incremental commit, new epoch\n"
+       "    GET  /snapshot  the current epoch as snapshot bytes\n"
+       "    GET  /healthz   liveness + epoch\n"
+       "    GET  /metrics   Prometheus text (per-endpoint counters,\n"
+       "                    latency histograms, batch/cache series)\n"
+       "  SIGINT/SIGTERM drains in-flight requests, then saves the\n"
+       "  snapshot back to --snapshot.\n"},
+      {"tune",
+       "mrsl tune --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
+       "  Pick the support threshold by masked holdout log-loss.\n"},
+  };
+  return *kTexts;
+}
+
+void PrintCmdUsage(const std::string& cmd, std::FILE* out) {
+  std::fprintf(out, "usage: %s", CmdUsageTexts().at(cmd).c_str());
+}
+
+/// Usage error scoped to one subcommand (exit code 2).
+int UsageFor(const std::string& cmd) {
+  PrintCmdUsage(cmd, stderr);
+  return 2;
+}
+
+void PrintGlobalUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: mrsl <learn|stats|infer|repair|query|update|tune> [options]\n"
-      "  learn  --in data.csv --out model.txt [--support 0.01]\n"
-      "         [--max-itemsets 1000] [--discretize col:buckets:width|freq]\n"
-      "  stats  --model model.txt\n"
-      "  infer  --model model.txt --in data.csv [--out blocks.txt]\n"
-      "         [--samples 2000] [--burn-in 100] [--mode dag|tuple|product]\n"
-      "         [--threads 0] [--batch-size 0]\n"
-      "  repair --model model.txt --in data.csv --out repaired.csv\n"
-      "         [--min-confidence 0] [--samples 2000] [--burn-in 100]\n"
-      "         [--threads 0] [--batch-size 0]\n"
-      "  query  --model model.txt --in data.csv --where a=v[,b=w...]\n"
-      "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
-      "  query  --model model.txt --in data.csv --plan PLAN\n"
-      "         [--plan-file plan.txt] [--oracle 0] [--min-prob 0]\n"
-      "         [--samples 2000] [--threads 0] [--batch-size 0]\n"
-      "         PLAN: scan | select(pred; node) | project(attrs; node)\n"
-      "               | join(node; node; a=b) | exists(node) | count(node)\n"
-      "         e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"
-      "  update --model model.txt --snapshot store.bin [--in data.csv]\n"
-      "         [--delta delta.csv] [--samples 2000] [--burn-in 100]\n"
-      "         [--mode dag|tuple|product] [--min-prob 0] [--threads 0]\n"
-      "         delta CSV: header op,row,<attrs>; rows insert/update/delete\n"
-      "  tune   --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
+      out,
+      "usage: mrsl <learn|stats|infer|repair|query|update|serve|tune> "
+      "[options]\n"
+      "run `mrsl <command> --help` for that command's flags\n"
+      "\n");
+  for (const auto& [cmd, text] : CmdUsageTexts()) {
+    (void)cmd;
+    std::fprintf(out, "%s", text.c_str());
+  }
+  std::fprintf(
+      out,
       "\n"
       "  --threads N     inference thread-pool width (0 = all cores);\n"
       "                  results are identical for every thread count\n"
       "  --batch-size K  tuples per engine batch (0 = one batch); for\n"
       "                  query, pre-materializes uncertain rows K at a\n"
       "                  time\n");
+}
+
+int Usage() {
+  PrintGlobalUsage(stderr);
   return 2;
 }
 
@@ -157,6 +232,8 @@ Result<Relation> LoadInput(
 }
 
 int CmdLearn(const std::map<std::string, std::vector<std::string>>& flags) {
+  // Shadows the global catalog: flag errors print learn's block only.
+  const auto Usage = [] { return UsageFor("learn"); };
   std::string in = GetFlag(flags, "in", "");
   std::string out = GetFlag(flags, "out", "");
   if (in.empty() || out.empty()) return Usage();
@@ -236,6 +313,7 @@ int CmdLearn(const std::map<std::string, std::vector<std::string>>& flags) {
 }
 
 int CmdStats(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("stats"); };
   std::string path = GetFlag(flags, "model", "");
   if (path.empty()) return Usage();
   auto model = LoadModelFile(path);
@@ -295,6 +373,7 @@ bool ParseGibbs(const std::map<std::string, std::vector<std::string>>& flags,
 }
 
 int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("infer"); };
   std::string model_path = GetFlag(flags, "model", "");
   if (model_path.empty()) return Usage();
   auto model = LoadModelFile(model_path);
@@ -354,6 +433,7 @@ int CmdInfer(const std::map<std::string, std::vector<std::string>>& flags) {
 }
 
 int CmdRepair(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("repair"); };
   std::string model_path = GetFlag(flags, "model", "");
   std::string out = GetFlag(flags, "out", "");
   if (model_path.empty() || out.empty()) return Usage();
@@ -403,6 +483,7 @@ int CmdRepair(const std::map<std::string, std::vector<std::string>>& flags) {
 int RunPlanQuery(const MrslModel& model, const Relation& rel,
                  const std::map<std::string, std::vector<std::string>>& flags,
                  const std::string& plan_text) {
+  const auto Usage = [] { return UsageFor("query"); };
   GibbsOptions gibbs;
   int64_t samples = 0;
   int64_t oracle_trials = 0;
@@ -524,6 +605,7 @@ int RunPlanQuery(const MrslModel& model, const Relation& rel,
 }
 
 int CmdQuery(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("query"); };
   std::string model_path = GetFlag(flags, "model", "");
   std::string where = GetFlag(flags, "where", "");
   std::string plan_text = GetFlag(flags, "plan", "");
@@ -632,9 +714,93 @@ void PrintCommitStats(const char* what, const CommitStats& stats) {
       stats.blocks_reused, stats.blocks_total, stats.wall_seconds);
 }
 
+// Shared by update and serve: restore `store` from the snapshot file
+// when it exists, otherwise derive epoch 1 from --in. Existence is
+// checked explicitly — an existing but unreadable/corrupt file must
+// fail loudly, never fall through to a fresh derivation that would
+// overwrite the epoch history. Returns 0 or the process exit code.
+int RestoreOrDerive(BidStore* store,
+                    const std::map<std::string, std::vector<std::string>>&
+                        flags,
+                    const std::string& snapshot_path) {
+  std::error_code probe_ec;
+  bool have_snapshot = std::filesystem::exists(snapshot_path, probe_ec);
+  if (probe_ec) {
+    std::fprintf(stderr, "error probing %s: %s\n", snapshot_path.c_str(),
+                 probe_ec.message().c_str());
+    return 1;
+  }
+  if (have_snapshot) {
+    Status st = store->Restore(snapshot_path);
+    if (!st.ok()) {
+      std::cerr << "error restoring " << snapshot_path << ": " << st
+                << "\n";
+      return 1;
+    }
+    std::printf("restored %s at epoch %llu (%zu blocks)\n",
+                snapshot_path.c_str(),
+                static_cast<unsigned long long>(store->epoch()),
+                store->snapshot()->database().num_blocks());
+    if (flags.count("in") != 0) {
+      std::fprintf(stderr,
+                   "note: --in ignored — %s already holds epoch %llu; "
+                   "delete the snapshot to re-derive from the CSV, or "
+                   "describe the changes with --delta\n",
+                   snapshot_path.c_str(),
+                   static_cast<unsigned long long>(store->epoch()));
+    }
+    // The snapshot's saved derivation options supersede any flags (the
+    // cached Δt values are only reusable under them) — say so instead
+    // of silently overriding the user.
+    for (const char* key : {"samples", "burn-in", "mode", "min-prob"}) {
+      if (flags.count(key) != 0) {
+        std::fprintf(stderr,
+                     "note: --%s ignored — the snapshot's saved "
+                     "derivation options take precedence (samples=%zu, "
+                     "burn-in=%zu, mode=%s, min-prob=%g)\n",
+                     key, store->options().workload.gibbs.samples,
+                     store->options().workload.gibbs.burn_in,
+                     SamplingModeName(store->options().mode),
+                     store->options().min_prob);
+        break;
+      }
+    }
+  } else {
+    auto rel = LoadInput(flags);
+    if (!rel.ok()) {
+      std::cerr << "error: " << rel.status() << " (no snapshot at "
+                << snapshot_path
+                << "; --in is required to derive the first epoch)\n";
+      return 1;
+    }
+    auto committed = store->Commit(std::move(rel).value());
+    if (!committed.ok()) {
+      std::cerr << "error: " << committed.status() << "\n";
+      return 1;
+    }
+    PrintCommitStats("derived", *committed);
+  }
+  return 0;
+}
+
+// Parses the store/engine flags shared by update and serve.
+bool ParseStoreFlags(
+    const std::map<std::string, std::vector<std::string>>& flags,
+    StoreOptions* store_opts, EngineOptions* engine_opts) {
+  int64_t threads = 0;
+  if (!ParseGibbs(flags, &store_opts->workload, &store_opts->mode) ||
+      !GetIntFlag(flags, "threads", 0, &threads) ||
+      !GetDoubleFlag(flags, "min-prob", 0.0, &store_opts->min_prob)) {
+    return false;
+  }
+  engine_opts->num_threads = static_cast<size_t>(threads);
+  return true;
+}
+
 // Versioned-store maintenance: restore-or-derive, optionally apply a
 // delta with incremental re-derivation, save the new epoch back.
 int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("update"); };
   std::string model_path = GetFlag(flags, "model", "");
   std::string snapshot_path = GetFlag(flags, "snapshot", "");
   if (model_path.empty() || snapshot_path.empty()) return Usage();
@@ -646,80 +812,12 @@ int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
 
   StoreOptions store_opts;
   EngineOptions engine_opts;
-  int64_t threads = 0;
-  if (!ParseGibbs(flags, &store_opts.workload, &store_opts.mode) ||
-      !GetIntFlag(flags, "threads", 0, &threads) ||
-      !GetDoubleFlag(flags, "min-prob", 0.0, &store_opts.min_prob)) {
-    return Usage();
-  }
-  engine_opts.num_threads = static_cast<size_t>(threads);
+  if (!ParseStoreFlags(flags, &store_opts, &engine_opts)) return Usage();
 
   Engine engine(&*model, engine_opts);
   BidStore store(&engine, store_opts);
-
-  // Restore from the snapshot when it exists; otherwise derive epoch 1
-  // from --in. Existence is checked explicitly — an existing but
-  // unreadable/corrupt file must fail loudly, never fall through to a
-  // fresh derivation that would overwrite the epoch history.
-  std::error_code probe_ec;
-  bool have_snapshot = std::filesystem::exists(snapshot_path, probe_ec);
-  if (probe_ec) {
-    std::fprintf(stderr, "error probing %s: %s\n", snapshot_path.c_str(),
-                 probe_ec.message().c_str());
-    return 1;
-  }
-  if (have_snapshot) {
-    Status st = store.Restore(snapshot_path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "error restoring %s: %s\n",
-                   snapshot_path.c_str(), st.ToString().c_str());
-      return 1;
-    }
-    std::printf("restored %s at epoch %llu (%zu blocks)\n",
-                snapshot_path.c_str(),
-                static_cast<unsigned long long>(store.epoch()),
-                store.snapshot()->database().num_blocks());
-    if (flags.count("in") != 0) {
-      std::fprintf(stderr,
-                   "note: --in ignored — %s already holds epoch %llu; "
-                   "delete the snapshot to re-derive from the CSV, or "
-                   "describe the changes with --delta\n",
-                   snapshot_path.c_str(),
-                   static_cast<unsigned long long>(store.epoch()));
-    }
-    // The snapshot's saved derivation options supersede any flags (the
-    // cached Δt values are only reusable under them) — say so instead
-    // of silently overriding the user.
-    for (const char* key : {"samples", "burn-in", "mode", "min-prob"}) {
-      if (flags.count(key) != 0) {
-        std::fprintf(stderr,
-                     "note: --%s ignored — the snapshot's saved "
-                     "derivation options take precedence (samples=%zu, "
-                     "burn-in=%zu, mode=%s, min-prob=%g)\n",
-                     key, store.options().workload.gibbs.samples,
-                     store.options().workload.gibbs.burn_in,
-                     SamplingModeName(store.options().mode),
-                     store.options().min_prob);
-        break;
-      }
-    }
-  } else {
-    auto rel = LoadInput(flags);
-    if (!rel.ok()) {
-      std::fprintf(stderr,
-                   "error: %s (no snapshot at %s; --in is required to "
-                   "derive the first epoch)\n",
-                   rel.status().ToString().c_str(), snapshot_path.c_str());
-      return 1;
-    }
-    auto committed = store.Commit(std::move(rel).value());
-    if (!committed.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   committed.status().ToString().c_str());
-      return 1;
-    }
-    PrintCommitStats("derived", *committed);
-  }
+  const int rc = RestoreOrDerive(&store, flags, snapshot_path);
+  if (rc != 0) return rc;
 
   std::string delta_path = GetFlag(flags, "delta", "");
   if (!delta_path.empty()) {
@@ -754,7 +852,101 @@ int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
   return 0;
 }
 
+// Self-pipe for the serve drain: the signal handler may only call
+// async-signal-safe functions, so it writes one byte and the serve loop,
+// blocked on the pipe, does the actual Stop().
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int) {
+  const char byte = 1;
+  (void)!write(g_shutdown_pipe[1], &byte, 1);
+}
+
+// Network serving: restore-or-derive like update, then serve the store
+// over HTTP until SIGINT/SIGTERM, drain, and save the snapshot back.
+int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("serve"); };
+  std::string model_path = GetFlag(flags, "model", "");
+  std::string snapshot_path = GetFlag(flags, "snapshot", "");
+  if (model_path.empty() || snapshot_path.empty()) return Usage();
+  auto model = LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::cerr << "error: " << model.status() << "\n";
+    return 1;
+  }
+
+  StoreOptions store_opts;
+  EngineOptions engine_opts;
+  int64_t port = 0;
+  int64_t max_inflight = 0;
+  if (!ParseStoreFlags(flags, &store_opts, &engine_opts) ||
+      !GetIntFlag(flags, "port", 8080, &port) || port > 65535 ||
+      !GetIntFlag(flags, "max-inflight", 64, &max_inflight) ||
+      max_inflight == 0) {
+    return Usage();
+  }
+
+  Engine engine(&*model, engine_opts);
+  BidStore store(&engine, store_opts);
+  const int rc = RestoreOrDerive(&store, flags, snapshot_path);
+  if (rc != 0) return rc;
+
+  // The drain pipe and handlers go in before the listen socket opens, so
+  // a signal racing the start-up is never lost.
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  ServerOptions server_opts;
+  server_opts.port = static_cast<uint16_t>(port);
+  server_opts.max_inflight = static_cast<size_t>(max_inflight);
+  HttpServer server(server_opts);
+  StoreService service(&store);
+  service.Attach(&server);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error starting server: " << started << "\n";
+    return 1;
+  }
+  std::printf(
+      "serving epoch %llu on http://127.0.0.1:%u  "
+      "(engine threads=%zu, max-inflight=%zu)\n"
+      "endpoints: POST /query  POST /update  GET /snapshot  "
+      "GET /healthz  GET /metrics\n"
+      "Ctrl-C drains and saves the snapshot\n",
+      static_cast<unsigned long long>(store.epoch()), server.port(),
+      engine.num_threads(), server_opts.max_inflight);
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutdown signal received: draining...\n");
+  server.Stop();
+  std::printf("drained: %llu requests served, %llu shed by admission "
+              "control\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.requests_shed()));
+
+  Status saved = store.SaveSnapshot(snapshot_path);
+  if (!saved.ok()) {
+    std::cerr << "error saving snapshot: " << saved << "\n";
+    return 1;
+  }
+  std::printf("saved epoch %llu -> %s\n",
+              static_cast<unsigned long long>(store.epoch()),
+              snapshot_path.c_str());
+  return 0;
+}
+
 int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("tune"); };
   auto rel = LoadInput(flags);
   if (!rel.ok()) {
     std::fprintf(stderr, "error: %s\n", rel.status().ToString().c_str());
@@ -812,19 +1004,39 @@ int main(int argc, char** argv) {
       {"update",
        {"model", "in", "delta", "snapshot", "samples", "burn-in", "mode",
         "min-prob", "threads"}},
+      {"serve",
+       {"model", "in", "snapshot", "port", "max-inflight", "samples",
+        "burn-in", "mode", "min-prob", "threads"}},
       {"tune", {"in", "candidates", "holdout"}},
   };
   std::string cmd = argv[1];
+  // An explicit help request succeeds on stdout, same as the
+  // per-subcommand form below.
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintGlobalUsage(stdout);
+    return 0;
+  }
   auto allowed = kAllowedFlags.find(cmd);
   if (allowed == kAllowedFlags.end()) return Usage();
+  // `mrsl <cmd> --help` prints that subcommand's flags and succeeds.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintCmdUsage(cmd, stdout);
+      return 0;
+    }
+  }
   std::map<std::string, std::vector<std::string>> flags;
-  if (!ParseFlags(argc, argv, 2, allowed->second, &flags)) return Usage();
+  if (!ParseFlags(argc, argv, 2, allowed->second, &flags)) {
+    return UsageFor(cmd);
+  }
   if (cmd == "learn") return CmdLearn(flags);
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "infer") return CmdInfer(flags);
   if (cmd == "repair") return CmdRepair(flags);
   if (cmd == "query") return CmdQuery(flags);
   if (cmd == "update") return CmdUpdate(flags);
+  if (cmd == "serve") return CmdServe(flags);
   if (cmd == "tune") return CmdTune(flags);
   return Usage();  // a command in kAllowedFlags must also dispatch here
 }
