@@ -1,0 +1,482 @@
+// Durability benchmark: acked-updates/sec as a function of WAL sync
+// discipline and write concurrency, plus recovery replay time as a
+// function of log length.
+//
+// Two views of the same write path:
+//   service level — N writer threads drive StoreService::BatchedUpdate
+//     directly (the group-commit engine, fsync included). This is the
+//     gated phase: it isolates exactly what group commit changes. A
+//     fixed update total per configuration keeps relation growth — and
+//     so per-commit copy cost — identical across configurations.
+//   HTTP level — a closed loop of persistent connections POSTing
+//     /update through the full socket stack. Reported for context; on a
+//     single-core host the socket stack serializes identically for
+//     every sync mode and masks the durability amortization the gate is
+//     about.
+//
+// Configurations:
+//   per-update : sync-mode always, update batching off — every update
+//                pays its own commit and its own fdatasync (the naive
+//                durable baseline).
+//   group      : sync-mode group, batching on — the commit leader folds
+//                concurrent inserts into one commit and issues ONE
+//                fdatasync per drained group.
+//   none       : no syncing at all (--full only) — the ceiling set by
+//                everything except durability.
+//
+// Exit code doubles as the perf gate: group commit must sustain >= 5x
+// the per-update-fsync throughput at 8 writers. --json writes the
+// machine-readable trajectory file.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "pdb/store.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "util/timer.h"
+
+namespace mrsl {
+namespace {
+
+constexpr double kGateRatio = 5.0;
+constexpr size_t kGateConnections = 8;
+
+Tuple T(std::vector<int> vals) {
+  Tuple t(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    t.set_value(static_cast<AttrId>(i), vals[i]);
+  }
+  return t;
+}
+
+struct WalBenchFixture {
+  BayesNet bn;
+  Schema schema;
+  MrslModel model;
+
+  static WalBenchFixture Make() {
+    WalBenchFixture f;
+    Rng rng(77);
+    f.bn = BayesNet::RandomInstance(Topology::Crown(4, 3), &rng);
+    Relation train = f.bn.SampleRelation(6000, &rng);
+    f.schema = train.schema();
+    LearnOptions lo;
+    lo.support_threshold = 0.002;
+    auto model = LearnModel(train, lo);
+    if (!model.ok()) {
+      std::fprintf(stderr, "learn failed: %s\n",
+                   model.status().ToString().c_str());
+      std::abort();
+    }
+    f.model = std::move(model).value();
+    return f;
+  }
+
+  Relation BaseRelation() const {
+    Relation rel(schema);
+    const std::vector<std::vector<int>> rows = {
+        {0, 1, 2, 0}, {0, 0, -1, -1}, {0, 0, 1, -1},
+        {1, 0, 2, 1}, {1, 1, -1, -1}, {2, 2, 0, -1},
+        {2, 2, -1, 0}, {2, 2, -1, -1}, {2, 0, 1, 1}};
+    for (const auto& r : rows) {
+      if (!rel.Append(T(r)).ok()) std::abort();
+    }
+    return rel;
+  }
+
+  StoreOptions SOpts() const {
+    StoreOptions so;
+    so.workload.gibbs.samples = 120;
+    so.workload.gibbs.burn_in = 20;
+    so.workload.gibbs.seed = 4242;
+    return so;
+  }
+
+  // Complete-row insert: no inference, so the loop measures the commit
+  // and durability path, not the sampler.
+  std::string InsertDeltaCsv(int salt) const {
+    std::string csv = "op,row";
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      csv += "," + schema.attr(a).name();
+    }
+    csv += "\ninsert,";
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      csv += "," + schema.attr(a).label((salt + a) % 2);
+    }
+    csv += "\n";
+    return csv;
+  }
+};
+
+void RemoveTree(const std::string& path) {
+  if (DIR* d = ::opendir(path.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      RemoveTree(path + "/" + name);
+    }
+    ::closedir(d);
+    ::rmdir(path.c_str());
+  } else {
+    std::remove(path.c_str());
+  }
+}
+
+struct WriteResult {
+  std::string config;
+  size_t connections = 0;
+  size_t acked = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  uint64_t wal_syncs = 0;
+  uint64_t wal_records = 0;
+};
+
+// A fixed quota of updates pushed through BatchedUpdate by `writers`
+// concurrent threads. Fixed-count (not fixed-duration) so every
+// configuration ends at the same relation size and pays the same total
+// copy cost — the measured difference is purely commit/fsync
+// amortization.
+WriteResult RunServiceStorm(const WalBenchFixture& f,
+                            const std::string& config, WalSyncMode mode,
+                            size_t max_update_batch, size_t writers,
+                            size_t total_updates,
+                            const std::string& wal_dir) {
+  RemoveTree(wal_dir);
+  Engine engine(&f.model);
+  BidStore store(&engine, f.SOpts());
+  if (!store.Commit(f.BaseRelation()).ok()) std::abort();
+  if (!store.OpenWal(wal_dir, mode).ok()) std::abort();
+  StoreServiceOptions service_opts;
+  service_opts.max_update_batch = max_update_batch;
+  StoreService service(&store, service_opts);
+
+  std::atomic<size_t> issued{0};
+  std::vector<size_t> acked(writers, 0);
+  std::vector<size_t> errors(writers, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w]() {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (;;) {
+        if (issued.fetch_add(1, std::memory_order_relaxed) >= total_updates) {
+          return;
+        }
+        RelationDelta d;
+        d.inserts.push_back(
+            T({static_cast<int>(w % 2), static_cast<int>((w + 1) % 2), 0, 1}));
+        if (service.BatchedUpdate(std::move(d), 0).ok()) {
+          ++acked[w];
+        } else {
+          ++errors[w];
+        }
+      }
+    });
+  }
+  WallTimer wall;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  WriteResult r;
+  r.config = config;
+  r.connections = writers;
+  r.seconds = elapsed;
+  for (size_t w = 0; w < writers; ++w) {
+    r.acked += acked[w];
+    r.errors += errors[w];
+  }
+  r.qps = elapsed > 0.0 ? static_cast<double>(r.acked) / elapsed : 0.0;
+  r.wal_syncs = store.wal_stats().syncs;
+  r.wal_records = store.wal_stats().records_appended;
+  RemoveTree(wal_dir);
+  return r;
+}
+
+// One closed-loop write storm against a fresh store + WAL + server.
+WriteResult RunWriteStorm(const WalBenchFixture& f, const std::string& config,
+                          WalSyncMode mode, size_t max_update_batch,
+                          size_t connections, double duration_s,
+                          const std::string& wal_dir) {
+  RemoveTree(wal_dir);
+  Engine engine(&f.model);
+  BidStore store(&engine, f.SOpts());
+  auto committed = store.Commit(f.BaseRelation());
+  if (!committed.ok()) std::abort();
+  auto wal = store.OpenWal(wal_dir, mode);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 wal.status().ToString().c_str());
+    std::abort();
+  }
+
+  ServerOptions server_opts;
+  server_opts.max_inflight = 256;
+  HttpServer server(server_opts);
+  StoreServiceOptions service_opts;
+  service_opts.max_update_batch = max_update_batch;
+  StoreService service(&store, service_opts);
+  service.Attach(&server);
+  if (!server.Start().ok()) std::abort();
+
+  std::vector<size_t> acked(connections, 0);
+  std::vector<size_t> errors(connections, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c]() {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++errors[c];
+        return;
+      }
+      const std::string csv = f.InsertDeltaCsv(static_cast<int>(c));
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      WallTimer window;
+      while (window.ElapsedSeconds() < duration_s) {
+        auto resp = client.RoundTrip("POST", "/update", csv, "text/csv");
+        if (resp.ok() && resp->status == 200) {
+          ++acked[c];
+        } else {
+          ++errors[c];
+          if (!resp.ok()) return;
+        }
+      }
+    });
+  }
+  WallTimer wall;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  WriteResult r;
+  r.config = config;
+  r.connections = connections;
+  r.seconds = elapsed;
+  for (size_t c = 0; c < connections; ++c) {
+    r.acked += acked[c];
+    r.errors += errors[c];
+  }
+  r.qps = elapsed > 0.0 ? static_cast<double>(r.acked) / elapsed : 0.0;
+  r.wal_syncs = store.wal_stats().syncs;
+  r.wal_records = store.wal_stats().records_appended;
+  server.Stop();
+  RemoveTree(wal_dir);
+  return r;
+}
+
+struct ReplayResult {
+  size_t records = 0;
+  uint64_t log_bytes = 0;
+  double seconds = 0.0;
+  double records_per_sec = 0.0;
+};
+
+// Recovery cost: write a K-record log, then time a cold store replaying
+// it on top of the base snapshot.
+ReplayResult RunReplay(const WalBenchFixture& f, size_t records,
+                       const std::string& dir) {
+  RemoveTree(dir);
+  ::mkdir(dir.c_str(), 0755);
+  const std::string snap_path = dir + "/store.bin";
+  const std::string wal_dir = dir + "/wal";
+  {
+    Engine engine(&f.model);
+    BidStore store(&engine, f.SOpts());
+    if (!store.Commit(f.BaseRelation()).ok()) std::abort();
+    if (!store.SaveSnapshot(snap_path).ok()) std::abort();
+    if (!store.OpenWal(wal_dir, WalSyncMode::kNone).ok()) std::abort();
+    RelationDelta d;
+    d.inserts.push_back(T({0, 1, 2, 0}));
+    for (size_t i = 0; i < records; ++i) {
+      if (!store.ApplyDelta(d).ok()) std::abort();
+    }
+  }
+  ReplayResult r;
+  r.records = records;
+  {
+    Engine engine(&f.model);
+    BidStore store(&engine, StoreOptions());
+    if (!store.Restore(snap_path).ok()) std::abort();
+    WallTimer timer;
+    auto rec = store.OpenWal(wal_dir, WalSyncMode::kNone);
+    r.seconds = timer.ElapsedSeconds();
+    if (!rec.ok() || rec->replayed_records != records) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   rec.ok() ? "record count mismatch"
+                            : rec.status().ToString().c_str());
+      std::abort();
+    }
+    r.log_bytes = store.wal_stats().live_bytes;
+  }
+  r.records_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(records) / r.seconds : 0.0;
+  RemoveTree(dir);
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  bench::Banner("bench_wal",
+                "durable write path: acked-updates/sec vs WAL sync mode "
+                "and concurrency, and replay time vs log length",
+                flags.full);
+
+  WalBenchFixture f = WalBenchFixture::Make();
+  const std::string scratch =
+      "/tmp/mrsl_bench_wal_" + std::to_string(static_cast<long>(::getpid()));
+  ::mkdir(scratch.c_str(), 0755);
+
+  struct Config {
+    std::string name;
+    WalSyncMode mode;
+    size_t max_update_batch;
+  };
+  std::vector<Config> configs = {
+      {"per-update", WalSyncMode::kAlways, 1},
+      {"group", WalSyncMode::kGroup, 32},
+  };
+  if (flags.full) configs.push_back({"none", WalSyncMode::kNone, 32});
+
+  std::vector<size_t> counts = {1, 4, 8};
+  if (flags.full) counts.push_back(16);
+  const size_t total_updates = flags.full ? 4000 : 1500;
+
+  std::printf("service level (%zu updates each; gate source)\n",
+              total_updates);
+  std::printf("%-12s %-12s %-10s %-10s %-10s %-10s %-8s\n", "config",
+              "writers", "acked", "qps", "syncs", "records", "errors");
+  std::vector<WriteResult> service_results;
+  double per_update_at_gate = 0.0;
+  double group_at_gate = 0.0;
+  for (const Config& config : configs) {
+    for (size_t writers : counts) {
+      WriteResult r = RunServiceStorm(f, config.name, config.mode,
+                                      config.max_update_batch, writers,
+                                      total_updates, scratch + "/wal");
+      std::printf("%-12s %-12zu %-10zu %-10.0f %-10llu %-10llu %-8zu\n",
+                  r.config.c_str(), r.connections, r.acked, r.qps,
+                  static_cast<unsigned long long>(r.wal_syncs),
+                  static_cast<unsigned long long>(r.wal_records), r.errors);
+      if (writers == kGateConnections) {
+        if (config.name == "per-update") per_update_at_gate = r.qps;
+        if (config.name == "group") group_at_gate = r.qps;
+      }
+      service_results.push_back(r);
+    }
+  }
+
+  const double duration_s = flags.full ? 3.0 : 1.2;
+  std::printf("\nHTTP level (closed loop, %.1fs windows)\n", duration_s);
+  std::printf("%-12s %-12s %-10s %-10s %-10s %-10s %-8s\n", "config",
+              "connections", "acked", "qps", "syncs", "records", "errors");
+  std::vector<WriteResult> results;
+  for (const Config& config : configs) {
+    for (size_t connections : counts) {
+      WriteResult r = RunWriteStorm(f, config.name, config.mode,
+                                    config.max_update_batch, connections,
+                                    duration_s, scratch + "/wal");
+      std::printf("%-12s %-12zu %-10zu %-10.0f %-10llu %-10llu %-8zu\n",
+                  r.config.c_str(), r.connections, r.acked, r.qps,
+                  static_cast<unsigned long long>(r.wal_syncs),
+                  static_cast<unsigned long long>(r.wal_records), r.errors);
+      results.push_back(r);
+    }
+  }
+
+  std::printf("\n%-10s %-12s %-12s %-12s\n", "records", "log_bytes",
+              "replay_s", "records/s");
+  std::vector<size_t> lengths = {250, 500, 1000};
+  if (flags.full) {
+    lengths.push_back(2000);
+    lengths.push_back(4000);
+  }
+  std::vector<ReplayResult> replays;
+  for (size_t records : lengths) {
+    ReplayResult r = RunReplay(f, records, scratch + "/replay");
+    std::printf("%-10zu %-12llu %-12.3f %-12.0f\n", r.records,
+                static_cast<unsigned long long>(r.log_bytes), r.seconds,
+                r.records_per_sec);
+    replays.push_back(r);
+  }
+  RemoveTree(scratch);
+
+  const double ratio =
+      per_update_at_gate > 0.0 ? group_at_gate / per_update_at_gate : 0.0;
+  const bool gate_pass = ratio >= kGateRatio;
+  std::printf("\ngate: group %.0f vs per-update %.0f acked/sec at %zu "
+              "writers (service level) — %.1fx (need >= %.1fx): %s\n",
+              group_at_gate, per_update_at_gate, kGateConnections, ratio,
+              kGateRatio, gate_pass ? "PASS" : "FAIL");
+
+  if (!flags.json_path.empty()) {
+    bench::JsonObject json;
+    json.SetStr("bench", "wal").SetBool("full", flags.full);
+    json.SetNum("gate_ratio", kGateRatio);
+    json.SetInt("gate_connections", kGateConnections);
+    json.SetNum("per_update_qps_at_gate", per_update_at_gate);
+    json.SetNum("group_qps_at_gate", group_at_gate);
+    json.SetNum("ratio", ratio);
+    json.SetBool("gate_pass", gate_pass);
+    std::vector<bench::JsonObject> service_rows;
+    for (const WriteResult& r : service_results) {
+      bench::JsonObject row;
+      row.SetStr("config", r.config)
+          .SetInt("writers", r.connections)
+          .SetInt("acked", r.acked)
+          .SetNum("seconds", r.seconds)
+          .SetNum("qps", r.qps)
+          .SetInt("wal_syncs", r.wal_syncs)
+          .SetInt("wal_records", r.wal_records)
+          .SetInt("errors", r.errors);
+      service_rows.push_back(row);
+    }
+    json.SetArray("service_rows", service_rows);
+    std::vector<bench::JsonObject> rows;
+    for (const WriteResult& r : results) {
+      bench::JsonObject row;
+      row.SetStr("config", r.config)
+          .SetInt("connections", r.connections)
+          .SetInt("acked", r.acked)
+          .SetNum("seconds", r.seconds)
+          .SetNum("qps", r.qps)
+          .SetInt("wal_syncs", r.wal_syncs)
+          .SetInt("wal_records", r.wal_records)
+          .SetInt("errors", r.errors);
+      rows.push_back(row);
+    }
+    json.SetArray("http_rows", rows);
+    std::vector<bench::JsonObject> replay_rows;
+    for (const ReplayResult& r : replays) {
+      bench::JsonObject row;
+      row.SetInt("records", r.records)
+          .SetInt("log_bytes", r.log_bytes)
+          .SetNum("seconds", r.seconds)
+          .SetNum("records_per_sec", r.records_per_sec);
+      replay_rows.push_back(row);
+    }
+    json.SetArray("replay_rows", replay_rows);
+    if (!json.WriteTo(flags.json_path)) return 1;
+  }
+  return gate_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mrsl
+
+int main(int argc, char** argv) { return mrsl::Run(argc, argv); }

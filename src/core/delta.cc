@@ -15,6 +15,7 @@
 #include "core/tuple_dag.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "util/wire.h"
 
 namespace mrsl {
 
@@ -78,7 +79,15 @@ Result<Tuple> ParseDeltaTuple(const Schema& schema,
   Tuple t(schema.num_attrs());
   for (AttrId a = 0; a < schema.num_attrs(); ++a) {
     const std::string& cell = cells[first_value_cell + a];
-    if (cell.empty() || cell == "?") continue;
+    // Missing must be spelled "?": an empty cell is what a truncated
+    // line looks like, and silently reading it as missing would apply a
+    // weakened row instead of rejecting the damage.
+    if (cell.empty()) {
+      return Status::InvalidArgument(
+          "empty value cell for attribute " + schema.attr(a).name() +
+          " (use '?' for a missing value)");
+    }
+    if (cell == "?") continue;
     ValueId v = schema.attr(a).Find(cell);
     if (v == kMissingValue) {
       return Status::InvalidArgument("unknown value '" + cell +
@@ -150,6 +159,91 @@ Result<RelationDelta> ParseDeltaCsv(const Schema& schema,
       return Status::InvalidArgument("unknown delta op '" + op +
                                      "' (want insert/update/delete)");
     }
+  }
+  return delta;
+}
+
+namespace {
+
+void PutDeltaTuple(std::string* out, const Tuple& t) {
+  for (AttrId a = 0; a < t.num_attrs(); ++a) {
+    wire::PutI32(out, t.value(a));
+  }
+}
+
+Result<Tuple> ReadDeltaTuple(wire::Cursor* in, const Schema& schema) {
+  Tuple t(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    MRSL_ASSIGN_OR_RETURN(int32_t v, in->I32());
+    if (v != kMissingValue &&
+        (v < 0 || static_cast<size_t>(v) >= schema.attr(a).cardinality())) {
+      return Status::Corruption("delta tuple value out of domain");
+    }
+    t.set_value(a, v);
+  }
+  return t;
+}
+
+}  // namespace
+
+void SerializeDelta(std::string* out, const RelationDelta& delta) {
+  uint32_t arity = 0;
+  if (!delta.inserts.empty()) {
+    arity = delta.inserts[0].num_attrs();
+  } else if (!delta.updates.empty()) {
+    arity = delta.updates[0].tuple.num_attrs();
+  }
+  wire::PutU32(out, arity);
+  wire::PutU32(out, static_cast<uint32_t>(delta.inserts.size()));
+  for (const Tuple& t : delta.inserts) PutDeltaTuple(out, t);
+  wire::PutU32(out, static_cast<uint32_t>(delta.updates.size()));
+  for (const RelationDelta::Update& u : delta.updates) {
+    wire::PutU32(out, u.row);
+    PutDeltaTuple(out, u.tuple);
+  }
+  wire::PutU32(out, static_cast<uint32_t>(delta.deletes.size()));
+  for (uint32_t r : delta.deletes) wire::PutU32(out, r);
+}
+
+Result<RelationDelta> DeserializeDelta(const Schema& schema,
+                                       std::string_view bytes) {
+  wire::Cursor in(bytes);
+  MRSL_ASSIGN_OR_RETURN(uint32_t arity, in.U32());
+  RelationDelta delta;
+  const uint64_t tuple_bytes = 4 * std::max<uint64_t>(1, arity);
+  MRSL_ASSIGN_OR_RETURN(uint32_t n_inserts, in.U32());
+  // The arity only matters once a tuple has to be decoded against the
+  // schema; a pure-delete delta serializes arity 0.
+  if (n_inserts > 0 && arity != schema.num_attrs()) {
+    return Status::Corruption("delta arity does not match the schema");
+  }
+  MRSL_RETURN_IF_ERROR(in.Fits(n_inserts, tuple_bytes));
+  delta.inserts.reserve(n_inserts);
+  for (uint32_t i = 0; i < n_inserts; ++i) {
+    MRSL_ASSIGN_OR_RETURN(Tuple t, ReadDeltaTuple(&in, schema));
+    delta.inserts.push_back(std::move(t));
+  }
+  MRSL_ASSIGN_OR_RETURN(uint32_t n_updates, in.U32());
+  if (n_updates > 0 && arity != schema.num_attrs()) {
+    return Status::Corruption("delta arity does not match the schema");
+  }
+  MRSL_RETURN_IF_ERROR(in.Fits(n_updates, 4 + tuple_bytes));
+  delta.updates.reserve(n_updates);
+  for (uint32_t i = 0; i < n_updates; ++i) {
+    RelationDelta::Update u;
+    MRSL_ASSIGN_OR_RETURN(u.row, in.U32());
+    MRSL_ASSIGN_OR_RETURN(u.tuple, ReadDeltaTuple(&in, schema));
+    delta.updates.push_back(std::move(u));
+  }
+  MRSL_ASSIGN_OR_RETURN(uint32_t n_deletes, in.U32());
+  MRSL_RETURN_IF_ERROR(in.Fits(n_deletes, 4));
+  delta.deletes.reserve(n_deletes);
+  for (uint32_t i = 0; i < n_deletes; ++i) {
+    MRSL_ASSIGN_OR_RETURN(uint32_t r, in.U32());
+    delta.deletes.push_back(r);
+  }
+  if (!in.done()) {
+    return Status::Corruption("delta has trailing bytes");
   }
   return delta;
 }

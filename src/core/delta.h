@@ -72,6 +72,24 @@ Result<Relation> ApplyDelta(const Relation& rel, const RelationDelta& delta);
 Result<RelationDelta> ParseDeltaCsv(const Schema& schema,
                                     std::string_view text);
 
+/// Appends the binary wire form of `delta` to `out` (util/wire.h
+/// primitives, little-endian) — the payload format of the write-ahead
+/// log (pdb/wal.h). Layout:
+///
+///   [u32 arity]
+///   [u32 #inserts][tuples...]
+///   [u32 #updates][(u32 row, tuple)...]
+///   [u32 #deletes][u32 rows...]
+///
+/// where a tuple is `arity` i32 cells (kMissingValue for "?").
+void SerializeDelta(std::string* out, const RelationDelta& delta);
+
+/// Parses a binary delta against `schema`: arity and every cell value
+/// are validated (Corruption on any mismatch, truncation, or trailing
+/// bytes — never a crash or partial result).
+Result<RelationDelta> DeserializeDelta(const Schema& schema,
+                                       std::string_view bytes);
+
 /// The engine-exact component partition of a workload, with each
 /// component classified clean/dirty by the caller's cache predicate.
 struct IncrementalPlan {

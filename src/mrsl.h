@@ -11,18 +11,20 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 4
+#define MRSL_VERSION_MINOR 5
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.4.0"
+#define MRSL_VERSION_STRING "1.5.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export
+#include "util/fault_file.h"   // IWYU pragma: export
 #include "util/metrics.h"      // IWYU pragma: export
 #include "util/mixed_radix.h"  // IWYU pragma: export
 #include "util/result.h"       // IWYU pragma: export
 #include "util/rng.h"          // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export
 #include "util/thread_pool.h"  // IWYU pragma: export
+#include "util/wire.h"         // IWYU pragma: export
 
 // Relational substrate.
 #include "relational/discretizer.h"  // IWYU pragma: export
@@ -62,6 +64,7 @@
 #include "pdb/query.h"          // IWYU pragma: export
 #include "pdb/snapshot_io.h"    // IWYU pragma: export
 #include "pdb/store.h"          // IWYU pragma: export
+#include "pdb/wal.h"            // IWYU pragma: export
 
 // Network serving layer.
 #include "server/http.h"     // IWYU pragma: export

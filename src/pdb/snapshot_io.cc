@@ -1,10 +1,12 @@
 // Serialization is append-only over std::string; deserialization runs
-// through a bounds-checked cursor that validates every count against the
-// bytes actually remaining BEFORE allocating, so a truncated or
-// bit-flipped file fails with Status::Corruption instead of a bad_alloc
-// or a crash. The checksum covers the payload only (the header states
-// the payload size), and doubles round-trip as raw bits so a reloaded
-// snapshot is bit-identical to the one that was saved.
+// through the bounds-checked wire::Cursor that validates every count
+// against the bytes actually remaining BEFORE allocating, so a truncated
+// or bit-flipped file fails with Status::Corruption instead of a
+// bad_alloc or a crash. The checksum covers the payload only (the header
+// states the payload size), and doubles round-trip as raw bits so a
+// reloaded snapshot is bit-identical to the one that was saved. Saves go
+// through AtomicWriteFile (temp file + fsync + rename), so a crash mid-
+// save can never leave a half-written snapshot at the target path.
 
 #include "pdb/snapshot_io.h"
 
@@ -13,123 +15,19 @@
 #include <limits>
 
 #include "util/csv.h"
+#include "util/fault_file.h"
+#include "util/wire.h"
 
 namespace mrsl {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'R', 'S', 'L', 'S', 'N', 'A', 'P'};
 
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void PutI32(std::string* out, int32_t v) {
-  PutU32(out, static_cast<uint32_t>(v));
-}
-
-void PutF64(std::string* out, double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-// Bounds-checked read cursor over the payload.
-class Cursor {
- public:
-  explicit Cursor(std::string_view data) : data_(data) {}
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool done() const { return pos_ == data_.size(); }
-
-  Status Bytes(void* out, size_t n) {
-    if (remaining() < n) {
-      return Status::Corruption("snapshot payload truncated");
-    }
-    std::memcpy(out, data_.data() + pos_, n);
-    pos_ += n;
-    return Status::OK();
-  }
-
-  Result<uint8_t> U8() {
-    uint8_t v = 0;
-    MRSL_RETURN_IF_ERROR(Bytes(&v, 1));
-    return v;
-  }
-
-  Result<uint32_t> U32() {
-    unsigned char b[4];
-    MRSL_RETURN_IF_ERROR(Bytes(b, 4));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
-    return v;
-  }
-
-  Result<uint64_t> U64() {
-    unsigned char b[8];
-    MRSL_RETURN_IF_ERROR(Bytes(b, 8));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
-    return v;
-  }
-
-  Result<int32_t> I32() {
-    MRSL_ASSIGN_OR_RETURN(uint32_t v, U32());
-    return static_cast<int32_t>(v);
-  }
-
-  Result<double> F64() {
-    MRSL_ASSIGN_OR_RETURN(uint64_t bits, U64());
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  Result<std::string> String() {
-    MRSL_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (remaining() < n) {
-      return Status::Corruption("snapshot string runs past payload");
-    }
-    std::string s(data_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  /// Validates that `count` items of at least `min_bytes_each` bytes can
-  /// still fit — the guard against allocating from corrupt counts.
-  Status Fits(uint64_t count, uint64_t min_bytes_each) {
-    if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
-      return Status::Corruption("snapshot count exceeds payload size");
-    }
-    return Status::OK();
-  }
-
- private:
-  std::string_view data_;
-  size_t pos_ = 0;
-};
-
 void PutTuple(std::string* out, const Tuple& t) {
-  for (AttrId a = 0; a < t.num_attrs(); ++a) PutI32(out, t.value(a));
+  for (AttrId a = 0; a < t.num_attrs(); ++a) wire::PutI32(out, t.value(a));
 }
 
-Result<Tuple> ReadTuple(Cursor* in, const Schema& schema) {
+Result<Tuple> ReadTuple(wire::Cursor* in, const Schema& schema) {
   Tuple t(schema.num_attrs());
   for (AttrId a = 0; a < schema.num_attrs(); ++a) {
     MRSL_ASSIGN_OR_RETURN(int32_t v, in->I32());
@@ -143,18 +41,18 @@ Result<Tuple> ReadTuple(Cursor* in, const Schema& schema) {
 }
 
 void PutDist(std::string* out, const JointDist& d) {
-  PutU32(out, static_cast<uint32_t>(d.vars().size()));
-  for (AttrId v : d.vars()) PutU32(out, v);
+  wire::PutU32(out, static_cast<uint32_t>(d.vars().size()));
+  for (AttrId v : d.vars()) wire::PutU32(out, v);
   for (size_t i = 0; i < d.vars().size(); ++i) {
-    PutU32(out, d.codec().card(i));
+    wire::PutU32(out, d.codec().card(i));
   }
-  PutU64(out, d.size());
+  wire::PutU64(out, d.size());
   for (uint64_t code = 0; code < d.size(); ++code) {
-    PutF64(out, d.prob(code));
+    wire::PutF64(out, d.prob(code));
   }
 }
 
-Result<JointDist> ReadDist(Cursor* in, const Schema& schema) {
+Result<JointDist> ReadDist(wire::Cursor* in, const Schema& schema) {
   MRSL_ASSIGN_OR_RETURN(uint32_t nvars, in->U32());
   if (nvars > schema.num_attrs()) {
     return Status::Corruption("snapshot distribution has too many vars");
@@ -200,49 +98,44 @@ Result<JointDist> ReadDist(Cursor* in, const Schema& schema) {
 }  // namespace
 
 uint64_t SnapshotChecksum(std::string_view payload) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (char c : payload) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  return wire::Fnv1a64(payload);
 }
 
 std::string SerializeSnapshot(const SnapshotImage& image) {
   std::string payload;
-  PutU64(&payload, image.epoch);
-  PutU8(&payload, static_cast<uint8_t>(image.mode));
-  PutF64(&payload, image.min_prob);
+  wire::PutU64(&payload, image.epoch);
+  wire::PutU8(&payload, static_cast<uint8_t>(image.mode));
+  wire::PutF64(&payload, image.min_prob);
   const GibbsOptions& g = image.workload.gibbs;
-  PutU64(&payload, g.burn_in);
-  PutU64(&payload, g.samples);
-  PutU8(&payload, static_cast<uint8_t>(g.voting.choice));
-  PutU8(&payload, static_cast<uint8_t>(g.voting.scheme));
-  PutU8(&payload, g.enable_cpd_cache ? 1 : 0);
-  PutU64(&payload, g.cpd_cache_max_entries);
-  PutF64(&payload, g.smoothing_epsilon);
-  PutU64(&payload, g.seed);
-  PutU64(&payload, image.workload.max_total_cycles);
+  wire::PutU64(&payload, g.burn_in);
+  wire::PutU64(&payload, g.samples);
+  wire::PutU8(&payload, static_cast<uint8_t>(g.voting.choice));
+  wire::PutU8(&payload, static_cast<uint8_t>(g.voting.scheme));
+  wire::PutU8(&payload, g.enable_cpd_cache ? 1 : 0);
+  wire::PutU64(&payload, g.cpd_cache_max_entries);
+  wire::PutF64(&payload, g.smoothing_epsilon);
+  wire::PutU64(&payload, g.seed);
+  wire::PutU64(&payload, image.workload.max_total_cycles);
 
   const Schema& schema = image.base.schema();
-  PutU32(&payload, static_cast<uint32_t>(schema.num_attrs()));
+  wire::PutU32(&payload, static_cast<uint32_t>(schema.num_attrs()));
   for (AttrId a = 0; a < schema.num_attrs(); ++a) {
     const Attribute& attr = schema.attr(a);
-    PutString(&payload, attr.name());
-    PutU32(&payload, static_cast<uint32_t>(attr.cardinality()));
+    wire::PutString(&payload, attr.name());
+    wire::PutU32(&payload, static_cast<uint32_t>(attr.cardinality()));
     for (size_t v = 0; v < attr.cardinality(); ++v) {
-      PutString(&payload, attr.label(static_cast<ValueId>(v)));
+      wire::PutString(&payload, attr.label(static_cast<ValueId>(v)));
     }
   }
 
-  PutU64(&payload, image.base.num_rows());
+  wire::PutU64(&payload, image.base.num_rows());
   for (size_t r = 0; r < image.base.num_rows(); ++r) {
     PutTuple(&payload, image.base.row(r));
   }
 
-  PutU64(&payload, image.components.size());
+  wire::PutU64(&payload, image.components.size());
   for (const SnapshotComponentImage& comp : image.components) {
-    PutU64(&payload, comp.tuples.size());
+    wire::PutU64(&payload, comp.tuples.size());
     for (const Tuple& t : comp.tuples) PutTuple(&payload, t);
     for (const std::shared_ptr<const JointDist>& d : comp.dists) {
       PutDist(&payload, *d);
@@ -250,9 +143,9 @@ std::string SerializeSnapshot(const SnapshotImage& image) {
   }
 
   std::string out(kMagic, sizeof(kMagic));
-  PutU32(&out, kSnapshotFormatVersion);
-  PutU64(&out, payload.size());
-  PutU64(&out, SnapshotChecksum(payload));
+  wire::PutU32(&out, kSnapshotFormatVersion);
+  wire::PutU64(&out, payload.size());
+  wire::PutU64(&out, SnapshotChecksum(payload));
   out += payload;
   return out;
 }
@@ -265,7 +158,8 @@ Result<SnapshotImage> DeserializeSnapshot(std::string_view bytes) {
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a snapshot file (bad magic)");
   }
-  Cursor header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+  wire::Cursor header(
+      bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
   MRSL_ASSIGN_OR_RETURN(uint32_t version, header.U32());
   if (version != kSnapshotFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version " +
@@ -283,7 +177,7 @@ Result<SnapshotImage> DeserializeSnapshot(std::string_view bytes) {
     return Status::Corruption("snapshot checksum mismatch");
   }
 
-  Cursor in(payload);
+  wire::Cursor in(payload);
   SnapshotImage image;
   MRSL_ASSIGN_OR_RETURN(image.epoch, in.U64());
   MRSL_ASSIGN_OR_RETURN(uint8_t mode, in.U8());
@@ -365,7 +259,9 @@ Result<SnapshotImage> DeserializeSnapshot(std::string_view bytes) {
 
 Status SaveSnapshotFile(const SnapshotImage& image,
                         const std::string& path) {
-  return WriteFile(path, SerializeSnapshot(image));
+  // Atomic replace: a reader (or a crash) sees either the previous
+  // complete snapshot or the new one, never a torn hybrid.
+  return AtomicWriteFile(path, SerializeSnapshot(image));
 }
 
 Result<SnapshotImage> LoadSnapshotFile(const std::string& path) {

@@ -10,6 +10,8 @@
 
 #include "pdb/store.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <unordered_set>
 #include <utility>
@@ -46,6 +48,14 @@ StoreOptions BidStore::options() const {
 
 Result<CommitStats> BidStore::Commit(Relation rel) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (wal_ != nullptr) {
+    // A wholesale replacement is not representable as a WAL record, so
+    // replaying the log over the pre-replacement snapshot would rebuild
+    // the wrong store.
+    return Status::FailedPrecondition(
+        "Commit would bypass the write-ahead log; checkpoint and reopen "
+        "instead of replacing the base relation wholesale");
+  }
   SnapshotPtr parent = std::atomic_load(&head_);
   const uint64_t next_epoch = parent == nullptr ? 1 : parent->epoch() + 1;
   // A wholesale replacement has no index mapping to the parent: block
@@ -63,6 +73,11 @@ Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
     return Status::FailedPrecondition(
         "ApplyDelta needs a base epoch: call Commit or Restore first");
   }
+  if (wal_failed_) {
+    return Status::IOError(
+        "the write-ahead log failed earlier; the store is read-only "
+        "until restarted");
+  }
   if (expected_epoch != 0 && parent->epoch() != expected_epoch) {
     return Status::FailedPrecondition(
         "delta targets epoch " + std::to_string(expected_epoch) +
@@ -72,8 +87,24 @@ Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
   }
   MRSL_ASSIGN_OR_RETURN(Relation new_rel,
                         mrsl::ApplyDelta(parent->base(), delta));
-  return CommitInternal(std::move(new_rel), parent.get(),
-                        parent->epoch() + 1, delta.IndexStable());
+  MRSL_ASSIGN_OR_RETURN(
+      CommitStats stats,
+      CommitInternal(std::move(new_rel), parent.get(), parent->epoch() + 1,
+                     delta.IndexStable()));
+  if (wal_ != nullptr) {
+    // Log after the commit published (a failed inference must not leave
+    // a phantom record) but before returning: the caller may only
+    // acknowledge once the covering Sync returned — immediately in
+    // kAlways mode, at the group leader's SyncWal otherwise.
+    Status logged = wal_->Append(stats.epoch, delta);
+    if (!logged.ok()) {
+      // Memory is now ahead of the log; further commits would leave an
+      // epoch gap that replay must reject. Freeze the write path.
+      wal_failed_ = true;
+      return logged;
+    }
+  }
+  return stats;
 }
 
 Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
@@ -311,16 +342,16 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
 }
 
 Result<SnapshotImage> BidStore::BuildSnapshotImage() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return BuildSnapshotImageLocked();
+}
+
+Result<SnapshotImage> BidStore::BuildSnapshotImageLocked() const {
   // Epoch and options must be captured as a consistent pair — Restore
   // swaps both, and a file pairing one epoch's components with another
   // restore's options would poison every cached Δt it carries.
-  SnapshotPtr snap;
-  StoreOptions opts;
-  {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
-    snap = std::atomic_load(&head_);
-    opts = options_;
-  }
+  SnapshotPtr snap = std::atomic_load(&head_);
+  StoreOptions opts = options_;
   if (snap == nullptr) {
     return Status::FailedPrecondition("store has no epoch to save");
   }
@@ -403,6 +434,97 @@ Status BidStore::Restore(const std::string& path) {
     return committed.status();
   }
   return Status::OK();
+}
+
+Result<WalRecoveryStats> BidStore::OpenWal(const std::string& dir,
+                                           WalSyncMode mode) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a write-ahead log is already open");
+  }
+  SnapshotPtr head = std::atomic_load(&head_);
+  if (head == nullptr) {
+    return Status::FailedPrecondition(
+        "OpenWal needs a base epoch: call Commit or Restore first");
+  }
+
+  MRSL_ASSIGN_OR_RETURN(WalReplay replay,
+                        ReplayWalDir(dir, head->base().schema()));
+  WalRecoveryStats recovery;
+  for (const WalRecord& record : replay.records) {
+    SnapshotPtr parent = std::atomic_load(&head_);
+    if (record.epoch <= parent->epoch()) {
+      // The snapshot the store restored from already covers this record
+      // (a checkpoint raced the crash).
+      ++recovery.skipped_records;
+      continue;
+    }
+    if (record.epoch != parent->epoch() + 1) {
+      return Status::Corruption(
+          "WAL replay hit an epoch gap: store is at " +
+          std::to_string(parent->epoch()) + ", next record is " +
+          std::to_string(record.epoch));
+    }
+    // Re-deriving the logged delta reproduces the pre-crash epoch bit
+    // for bit — the same incremental-derivation invariant every commit
+    // relies on.
+    MRSL_ASSIGN_OR_RETURN(Relation new_rel,
+                          mrsl::ApplyDelta(parent->base(), record.delta));
+    MRSL_ASSIGN_OR_RETURN(
+        CommitStats stats,
+        CommitInternal(std::move(new_rel), parent.get(), record.epoch,
+                       record.delta.IndexStable()));
+    (void)stats;
+    ++recovery.replayed_records;
+  }
+
+  if (!replay.tail.ok()) {
+    recovery.torn_tail = true;
+    struct stat st;
+    if (::stat(replay.tail_path.c_str(), &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) > replay.tail_valid_bytes) {
+      recovery.truncated_bytes =
+          static_cast<uint64_t>(st.st_size) - replay.tail_valid_bytes;
+    }
+    MRSL_RETURN_IF_ERROR(
+        TruncateWalSegment(replay.tail_path, replay.tail_valid_bytes));
+  }
+
+  MRSL_ASSIGN_OR_RETURN(
+      wal_, WriteAheadLog::Open(dir, std::atomic_load(&head_)->epoch(),
+                                mode, replay.records.size()));
+  return recovery;
+}
+
+Status BidStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (wal_ == nullptr) return Status::OK();
+  Status synced = wal_->Sync();
+  if (!synced.ok()) wal_failed_ = true;
+  return synced;
+}
+
+Status BidStore::Checkpoint(const std::string& path) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MRSL_ASSIGN_OR_RETURN(SnapshotImage image, BuildSnapshotImageLocked());
+  MRSL_RETURN_IF_ERROR(SaveSnapshotFile(image, path));
+  if (wal_ != nullptr) {
+    // The snapshot (atomically in place) now covers every record; held
+    // under the writer mutex, no commit can append past image.epoch
+    // before the compaction lands.
+    MRSL_RETURN_IF_ERROR(wal_->Compact(image.epoch));
+  }
+  return Status::OK();
+}
+
+bool BidStore::has_wal() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return wal_ != nullptr;
+}
+
+WalStats BidStore::wal_stats() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return wal_ == nullptr ? WalStats() : wal_->stats();
 }
 
 }  // namespace mrsl

@@ -41,6 +41,7 @@
 #include "pdb/plan_cache.h"
 #include "pdb/prob_database.h"
 #include "pdb/snapshot_io.h"
+#include "pdb/wal.h"
 #include "util/result.h"
 
 namespace mrsl {
@@ -122,6 +123,14 @@ struct CommitStats {
   bool index_stable = false;       // block indices map 1:1 from the parent
   double wall_seconds = 0.0;
   WorkloadStats inference;         // the engine's cost counters
+};
+
+/// What OpenWal found and did while bringing the store back up.
+struct WalRecoveryStats {
+  uint64_t replayed_records = 0;  // deltas re-applied on top of the base
+  uint64_t skipped_records = 0;   // records the base epoch already had
+  bool torn_tail = false;         // the final record was torn (crash)
+  uint64_t truncated_bytes = 0;   // torn bytes discarded from the tail
 };
 
 /// A cache-aware query answer: the evaluation plus where it came from.
@@ -212,6 +221,29 @@ class BidStore {
   /// components (then only those are re-inferred). Clears the plan cache.
   Status Restore(const std::string& path);
 
+  /// Attaches a write-ahead log in `dir` (created if missing) and makes
+  /// every subsequent ApplyDelta durable. Requires an epoch (Commit or
+  /// Restore first). Recovery happens here: any records beyond the
+  /// current epoch are replayed (re-deriving each commit, bit-identical
+  /// to the pre-crash epochs), a torn final record is discarded, and a
+  /// fresh active segment is started. Fails with Corruption on an epoch
+  /// gap or mid-log damage — losses a crash cannot explain.
+  Result<WalRecoveryStats> OpenWal(const std::string& dir, WalSyncMode mode);
+
+  /// Makes every appended-but-unsynced WAL record durable (no-op without
+  /// a WAL or in kNone mode). The group-commit leader's fsync.
+  Status SyncWal();
+
+  /// Atomically saves the current epoch to `path` and compacts the WAL
+  /// behind it (deletes every record the snapshot now covers). Runs
+  /// under the writer mutex, so no commit can slip between the save and
+  /// the compaction. Without a WAL this is SaveSnapshot.
+  Status Checkpoint(const std::string& path);
+
+  bool has_wal() const;
+  /// Mode and counters of the attached WAL (zeroes when none).
+  WalStats wal_stats() const;
+
  private:
   /// Shared commit path. `parent` supplies reuse caches (may be null);
   /// `epoch` is the number to publish; `index_stable` gates block-level
@@ -224,12 +256,23 @@ class BidStore {
   /// serializable image behind SaveSnapshot / SerializeCurrentSnapshot.
   Result<SnapshotImage> BuildSnapshotImage() const;
 
+  /// BuildSnapshotImage with writer_mutex_ already held.
+  Result<SnapshotImage> BuildSnapshotImageLocked() const;
+
   Engine* engine_;
   StoreOptions options_;
   PlanCache plan_cache_;
 
   mutable std::mutex writer_mutex_;  // serializes commits
   SnapshotPtr head_;                 // atomic_load/atomic_store access
+
+  // The durable write path (null until OpenWal). Guarded by
+  // writer_mutex_ like every other write-side structure. Once an append
+  // fails the store refuses further deltas (wal_failed_): the in-memory
+  // epoch would otherwise run ahead of the log and a later replay would
+  // hit an epoch gap.
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool wal_failed_ = false;
 };
 
 }  // namespace mrsl

@@ -1,0 +1,176 @@
+// Append-only write-ahead delta log — the durable half of the store's
+// write path (pdb/store.h).
+//
+// A WAL directory holds one or more segment files named
+// `wal-<base_epoch as 16 hex digits>.log`. Every record in a segment
+// carries an epoch strictly greater than the segment's base epoch, so a
+// snapshot saved at epoch E makes every segment with records <= E
+// garbage: compaction rotates to a fresh segment based at E and deletes
+// the rest. Segment layout:
+//
+//   file header: [magic "MRSLWAL0"][version u32][base_epoch u64]
+//   record:      [payload_len u32][fnv1a64(payload) u64][payload]
+//   payload:     [epoch u64][binary RelationDelta (core/delta.h)]
+//
+// Appends go to the kernel immediately; fdatasync runs per append
+// (kAlways), under the caller's control (kGroup — the server's commit
+// leader syncs once per drained batch), or never (kNone, benchmarks
+// only). A record may be acknowledged to a client only after the sync
+// that covers it returned — that ordering, not the write itself, is the
+// "no acked delta is ever lost" invariant.
+//
+// Replay semantics (the crash contract): a crash can only damage the
+// tail of the newest segment — a torn final record, or a segment file
+// caught before its header was complete. ReplayWalDir therefore returns
+// the longest valid record prefix plus a `tail` status: OK when the log
+// ends exactly at a record boundary, Corruption (with the segment path
+// and the valid byte count) when the tail is torn. Damage that a crash
+// cannot produce — a torn record in a non-final segment — fails the
+// whole replay instead, because silently dropping records that were
+// followed by durable ones WOULD lose acknowledged deltas.
+
+#ifndef MRSL_PDB_WAL_H_
+#define MRSL_PDB_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/delta.h"
+#include "relational/schema.h"
+#include "util/fault_file.h"
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Current WAL segment format version.
+inline constexpr uint32_t kWalFormatVersion = 1;
+
+/// When the log reaches the disk relative to the acknowledgement.
+enum class WalSyncMode {
+  kAlways,  // fdatasync inside every Append
+  kGroup,   // the caller syncs (one fsync per commit group)
+  kNone,    // never sync (benchmarks; no durability)
+};
+
+/// Parses "always" / "group" / "none" (the --sync-mode CLI values).
+Result<WalSyncMode> ParseWalSyncMode(std::string_view text);
+const char* WalSyncModeName(WalSyncMode mode);
+
+/// One replayed log record.
+struct WalRecord {
+  uint64_t epoch = 0;
+  RelationDelta delta;
+};
+
+/// One segment file of a WAL directory.
+struct WalSegmentInfo {
+  std::string path;
+  uint64_t base_epoch = 0;
+};
+
+/// The outcome of replaying a segment or a whole directory: the longest
+/// valid record prefix, and what the tail looked like.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// OK when the log ended exactly at a record boundary; Corruption when
+  /// the final record was torn (crash artifact — the prefix stands).
+  Status tail = Status::OK();
+  /// The file holding the torn tail and the byte count of its valid
+  /// prefix — what a recovery truncates to before appending again.
+  std::string tail_path;
+  uint64_t tail_valid_bytes = 0;
+};
+
+/// Counters kept by the live log (all since Open unless noted).
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t syncs = 0;
+  double sync_seconds = 0.0;   // cumulative fdatasync wall time
+  uint64_t live_records = 0;   // records in the directory (drops at
+  uint64_t live_bytes = 0;     // compaction, grows at append)
+  uint64_t segments = 0;       // segment files in the directory
+};
+
+/// Segment files of `dir` in base-epoch order. The directory is created
+/// (one level) if missing, so opening a WAL in a fresh directory works.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir);
+
+/// Replays one segment file. Fails outright only on IO errors or a file
+/// that is not a WAL segment (bad magic / unsupported version with a
+/// complete header); torn damage is reported through WalReplay::tail.
+Result<WalReplay> ReplayWalFile(const std::string& path,
+                                const Schema& schema);
+
+/// Replays every segment of `dir` in base-epoch order. Epochs must be
+/// strictly increasing across the concatenation; a torn tail is
+/// tolerated only in the final segment (see the crash contract above).
+Result<WalReplay> ReplayWalDir(const std::string& dir,
+                               const Schema& schema);
+
+/// Truncates the segment at `path` to `valid_bytes` — how a recovery
+/// discards a torn tail so the next replay sees a clean boundary.
+Status TruncateWalSegment(const std::string& path, uint64_t valid_bytes);
+
+/// The live, append side of a WAL directory. Not thread-safe: the store
+/// serializes Append/Sync/Compact under its writer mutex.
+class WriteAheadLog {
+ public:
+  /// Opens `dir` (creating it if missing) for appending on top of epoch
+  /// `base_epoch`: starts a fresh active segment `wal-<base>.log`. Any
+  /// replay must happen BEFORE Open — the active segment truncates a
+  /// same-named leftover (which, post-replay, can only hold records the
+  /// store already has). `replayed_live_records` seeds the live_records
+  /// stat (the record count the caller's replay found on disk); live
+  /// bytes are recomputed from the surviving segment files.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& dir, uint64_t base_epoch, WalSyncMode mode,
+      uint64_t replayed_live_records = 0);
+
+  /// Appends one (epoch, delta) record. Epochs must increase strictly
+  /// across appends. kAlways syncs before returning; other modes leave
+  /// the record pending until Sync().
+  Status Append(uint64_t epoch, const RelationDelta& delta);
+
+  /// fdatasync on the active segment — after this returns, every append
+  /// so far may be acknowledged.
+  Status Sync();
+
+  /// Snapshot-compaction handshake: rotates to a fresh segment based at
+  /// `through_epoch` and deletes every older segment. The caller must
+  /// guarantee no record beyond `through_epoch` exists (the store calls
+  /// this under its writer mutex right after saving a snapshot at that
+  /// epoch).
+  Status Compact(uint64_t through_epoch);
+
+  const std::string& dir() const { return dir_; }
+  WalSyncMode mode() const { return mode_; }
+  uint64_t last_epoch() const { return last_epoch_; }
+  const WalStats& stats() const { return stats_; }
+
+  /// Renders one record's framed bytes (header excluded) — exposed so
+  /// the tests and the benchmark can reason about record sizes.
+  static std::string EncodeRecord(uint64_t epoch,
+                                  const RelationDelta& delta);
+
+ private:
+  WriteAheadLog(std::string dir, WalSyncMode mode, uint64_t base_epoch);
+
+  /// Opens a fresh active segment based at `base_epoch` (truncating).
+  Status StartSegment(uint64_t base_epoch);
+
+  std::string dir_;
+  WalSyncMode mode_;
+  uint64_t last_epoch_ = 0;
+  uint64_t pending_records_ = 0;  // appended but not yet synced
+  AppendOnlyFile active_;
+  std::vector<WalSegmentInfo> segments_;  // includes the active one
+  WalStats stats_;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_PDB_WAL_H_

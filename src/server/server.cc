@@ -1,5 +1,6 @@
 // IO-thread / handler-task split: the IO thread owns accept, reads, and
-// parsing; handler tasks (on ThreadPool::Global()) own one request each
+// parsing; handler tasks (on the server's own blocking-friendly pool,
+// see ServerOptions::handler_threads) own one request each
 // and write their own response. A connection is "busy" from dispatch
 // until its task hands it back through done_ — the IO thread never
 // touches a busy socket, so reads and writes can't interleave.
@@ -20,6 +21,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -115,6 +117,13 @@ Status HttpServer::Start() {
         {{"endpoint", endpoint}});
   }
 
+  size_t handler_threads = options_.handler_threads;
+  if (handler_threads == 0) {
+    handler_threads = std::max<size_t>(
+        8, std::thread::hardware_concurrency());
+  }
+  handler_pool_ = std::make_unique<ThreadPool>(handler_threads);
+
   stopping_.store(false);
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this]() { IoLoop(); });
@@ -126,6 +135,9 @@ void HttpServer::Stop() {
   stopping_.store(true);
   Wake();
   io_thread_.join();
+  // The IO loop only exits at inflight_ == 0, so every handler task has
+  // finished; this join is of idle workers only.
+  handler_pool_.reset();
   conns_.clear();
   done_.clear();
   if (listen_fd_ >= 0) {
@@ -191,7 +203,7 @@ void HttpServer::DispatchRequest(const ConnPtr& conn, HttpRequest request) {
   conn->close_after = !request.keep_alive;
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   const Handler* handler = &routes_.at(request.path).at(request.method);
-  ThreadPool::Global().Submit(
+  handler_pool_->Submit(
       [this, conn, handler, request = std::move(request)]() {
         WallTimer timer;
         HttpResponse response = (*handler)(request);

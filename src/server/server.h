@@ -3,10 +3,13 @@
 // Threading model: one IO thread owns the listen socket and every idle
 // connection, multiplexed with poll(). When a connection has buffered a
 // complete request, the IO thread dispatches it as a task on the
-// process-wide ThreadPool::Global() — the same pool the inference engine
-// uses, so serving and inference share one set of workers and the
-// engine's ParallelFor (which always enlists the calling thread) can
-// still make progress on a saturated pool. While a request is in flight
+// server's own handler pool (`handler_threads`, default 8). Handlers
+// are kept off the process-wide compute pool deliberately: a durable
+// /update handler spends its time blocked — in fdatasync or parked in
+// the group-commit queue — and blocking tasks on a CPU-sized pool
+// serialize the very concurrency group commit exists to amortize (the
+// inference engine's ParallelFor always enlists the calling thread, so
+// it stays live on its own pool regardless). While a request is in flight
 // its connection is parked (not polled); the handler task writes the
 // response straight to the socket and hands the connection back to the
 // IO thread, which resumes parsing any pipelined bytes.
@@ -47,6 +50,8 @@
 
 namespace mrsl {
 
+class ThreadPool;
+
 struct ServerOptions {
   /// TCP port to bind on 127.0.0.1 (0 = kernel-assigned; read it back
   /// with port()).
@@ -57,6 +62,11 @@ struct ServerOptions {
 
   /// listen(2) backlog.
   int backlog = 128;
+
+  /// Handler pool width (0 = max(8, hardware concurrency)). Sized for
+  /// blocking work, not CPU count: handlers park in fsyncs and commit
+  /// queues, so more threads than cores is the normal configuration.
+  size_t handler_threads = 0;
 };
 
 /// The server. Register routes, Start(), Stop(). Routes must be
@@ -141,6 +151,9 @@ class HttpServer {
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
   uint16_t port_ = 0;
   std::thread io_thread_;
+  // Created at Start(), torn down at Stop() after the IO thread joins
+  // (inflight_ == 0 by then, so every task has finished).
+  std::unique_ptr<ThreadPool> handler_pool_;
 
   std::map<int, ConnPtr> conns_;  // IO-thread-only, keyed by fd
 

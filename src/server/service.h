@@ -34,6 +34,15 @@
 // leads the next group (no request is delayed behind later arrivals);
 // no dedicated batching thread exists, so an idle server burns
 // nothing.
+//
+// Update group commit: /update requests batch the same way on a
+// separate lane. The commit leader drains one group, merges every
+// insert-only unpinned delta into ONE combined commit (one epoch, one
+// re-derivation), applies the remaining epoch-guarded deltas
+// individually, then issues ONE BidStore::SyncWal for the whole group —
+// so N concurrent writers cost one fsync, and nobody sees HTTP 200
+// before the fsync that covers their record returned. Without a WAL the
+// sync is a no-op and the batching still amortizes commit overhead.
 
 #ifndef MRSL_SERVER_SERVICE_H_
 #define MRSL_SERVER_SERVICE_H_
@@ -55,6 +64,11 @@ struct StoreServiceOptions {
   /// Cap on plans evaluated per drained batch group (keeps one leader
   /// pass from starving its own followers behind a huge group).
   size_t max_batch = 64;
+
+  /// Cap on deltas committed per drained update group — the group-commit
+  /// unit: one leader drains a group, commits it, and issues ONE WAL
+  /// fsync for all of it before anyone is acknowledged.
+  size_t max_update_batch = 32;
 
   /// Cap on ?oracle trials (the oracle is CPU-heavy; a remote caller
   /// must not be able to order up an unbounded amount of sampling).
@@ -78,8 +92,19 @@ class StoreService {
   /// Queries evaluated since Attach (batched + solo), for tests.
   uint64_t queries_served() const;
 
+  /// Group commit: enqueues the delta, runs or joins the commit leader,
+  /// returns once this delta is committed AND the WAL fsync covering it
+  /// returned (the durability line an HTTP 200 stands for). Insert-only
+  /// deltas with no epoch pin merge into one combined commit (one
+  /// epoch); everything in the drained group shares one fsync. Public
+  /// as the embedded programmatic write entry — /update is this plus
+  /// CSV parsing and a JSON envelope.
+  Result<CommitStats> BatchedUpdate(RelationDelta delta,
+                                    uint64_t expected_epoch);
+
  private:
   struct PendingQuery;
+  struct PendingUpdate;
 
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleUpdate(const HttpRequest& request);
@@ -91,6 +116,14 @@ class StoreService {
   /// query's result (see the batching note above).
   Result<StoreQueryResult> BatchedQuery(const std::string& text);
 
+  /// Commits one drained group: merged inserts first, then the
+  /// individually-guarded deltas, then one SyncWal for everything.
+  void CommitUpdateGroup(
+      const std::vector<std::shared_ptr<PendingUpdate>>& group);
+
+  /// Publishes the WAL depth gauges after a commit or checkpoint.
+  void UpdateWalGauges();
+
   BidStore* store_;
   StoreServiceOptions options_;
   MetricsRegistry* metrics_ = nullptr;  // owned by the attached server
@@ -99,6 +132,16 @@ class StoreService {
   std::condition_variable batch_cv_;
   bool leader_active_ = false;
   std::vector<std::shared_ptr<PendingQuery>> batch_queue_;
+
+  // The update (group-commit) batcher — same leader rotation as the
+  // query batcher, separate lane so commits never wait behind reads.
+  std::mutex update_mutex_;
+  std::condition_variable update_cv_;
+  bool update_leader_active_ = false;
+  std::vector<std::shared_ptr<PendingUpdate>> update_queue_;
+  // Last drained group's size — the adaptive target for the commit
+  // window (1 = serial workload, window off). Guarded by update_mutex_.
+  size_t last_update_group_ = 1;
 };
 
 }  // namespace mrsl

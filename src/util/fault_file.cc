@@ -1,0 +1,160 @@
+#include "util/fault_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace mrsl {
+namespace {
+
+// The hook itself lives behind a mutex (installation is rare and
+// test-only); the flag keeps the no-hook hot path to one relaxed load.
+std::atomic<bool> g_fault_hook_installed{false};
+std::mutex g_fault_hook_mutex;
+FaultHook g_fault_hook;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_fault_hook_mutex);
+  g_fault_hook = std::move(hook);
+  g_fault_hook_installed.store(g_fault_hook != nullptr,
+                               std::memory_order_relaxed);
+}
+
+Status CheckFault(const char* op, const std::string& path) {
+  if (!g_fault_hook_installed.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(g_fault_hook_mutex);
+    hook = g_fault_hook;
+  }
+  return hook == nullptr ? Status::OK() : hook(op, path);
+}
+
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  MRSL_RETURN_IF_ERROR(CheckFault("syncdir", dir));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open directory", dir);
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) status = Errno("cannot fsync directory", dir);
+  ::close(fd);
+  return status;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status status = [&]() -> Status {
+    MRSL_RETURN_IF_ERROR(CheckFault("open", tmp));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Errno("cannot create", tmp);
+    Status io = Status::OK();
+    size_t off = 0;
+    while (io.ok() && off < content.size()) {
+      io = CheckFault("write", tmp);
+      if (!io.ok()) break;
+      const ssize_t n =
+          ::write(fd, content.data() + off, content.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        io = Errno("cannot write", tmp);
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (io.ok()) {
+      io = CheckFault("sync", tmp);
+      if (io.ok() && ::fsync(fd) != 0) io = Errno("cannot fsync", tmp);
+    }
+    if (::close(fd) != 0 && io.ok()) io = Errno("cannot close", tmp);
+    MRSL_RETURN_IF_ERROR(io);
+    MRSL_RETURN_IF_ERROR(CheckFault("rename", path));
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Errno("cannot rename " + tmp + " over", path);
+    }
+    // After the rename the new content is visible; the directory fsync
+    // pins the rename itself across a power failure.
+    return SyncParentDir(path);
+  }();
+  if (!status.ok()) ::unlink(tmp.c_str());
+  return status;
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Open(const std::string& path, bool truncate) {
+  if (fd_ >= 0) return Status::FailedPrecondition("file already open");
+  MRSL_RETURN_IF_ERROR(CheckFault("open", path));
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return Errno("cannot open for append", path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Status status = Errno("cannot stat", path);
+    ::close(fd_);
+    fd_ = -1;
+    return status;
+  }
+  path_ = path;
+  size_ = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  size_t off = 0;
+  while (off < data.size()) {
+    MRSL_RETURN_IF_ERROR(CheckFault("write", path_));
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("cannot append to", path_);
+    }
+    off += static_cast<size_t>(n);
+    size_ += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  MRSL_RETURN_IF_ERROR(CheckFault("sync", path_));
+  if (::fdatasync(fd_) != 0) return Errno("cannot fdatasync", path_);
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("cannot close", path_);
+  return Status::OK();
+}
+
+}  // namespace mrsl

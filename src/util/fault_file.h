@@ -1,0 +1,96 @@
+// Durable file primitives with injectable faults — the write path every
+// crash-safety guarantee in the tree goes through.
+//
+// Two building blocks:
+//
+//   AtomicWriteFile  writes content to a sibling temp file, fsyncs it,
+//                    renames it over the target, and fsyncs the parent
+//                    directory — so the target is always either the old
+//                    complete file or the new complete file, never a
+//                    half-written hybrid (the snapshot-compaction
+//                    requirement of pdb/store.h).
+//   AppendOnlyFile   an O_APPEND fd with explicit Sync(), the backing of
+//                    the write-ahead log (pdb/wal.h). Append returns
+//                    only after the bytes are handed to the kernel;
+//                    Sync() returns only after fdatasync, which is the
+//                    moment a record may be acknowledged.
+//
+// Fault injection: every operation consults a process-wide hook before
+// touching the file system, identified by an operation name ("open",
+// "write", "sync", "rename", "syncdir", "truncate", "unlink") and the
+// target path. A test installs a hook to fail a specific step (the hook
+// returns non-OK and the step does not run) or to simulate a crash
+// point (the hook calls _exit). The hot path costs one relaxed atomic
+// load when no hook is installed.
+
+#ifndef MRSL_UTIL_FAULT_FILE_H_
+#define MRSL_UTIL_FAULT_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace mrsl {
+
+/// Decides the fate of one file-system step: OK lets the real operation
+/// run; any other status is returned in its place (the operation is
+/// skipped). `op` is one of the operation names above.
+using FaultHook = std::function<Status(const char* op,
+                                       const std::string& path)>;
+
+/// Installs (or, with nullptr, clears) the process-wide fault hook.
+/// Tests only; not intended for concurrent installation.
+void SetFaultHook(FaultHook hook);
+
+/// Consults the installed hook (OK when none). Exposed so that other
+/// durable layers can add their own crash points.
+Status CheckFault(const char* op, const std::string& path);
+
+/// Fsyncs the directory containing `path`, making a rename or unlink in
+/// it durable.
+Status SyncParentDir(const std::string& path);
+
+/// Atomically replaces `path` with `content` (temp file + fsync + rename
+/// + parent-dir fsync). On any failure the previous `path`, if one
+/// existed, is left untouched and the temp file is cleaned up.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// An append-only file handle for log writing. Not thread-safe; the
+/// owner serializes access (the store's writer mutex, in practice).
+class AppendOnlyFile {
+ public:
+  AppendOnlyFile() = default;
+  ~AppendOnlyFile();
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+
+  /// Opens `path` for appending, creating it (0644) if missing. When
+  /// `truncate` is set the previous content is discarded.
+  Status Open(const std::string& path, bool truncate);
+
+  /// Appends all of `data` (retrying short writes). The bytes are in the
+  /// kernel after this returns, but NOT durable until Sync().
+  Status Append(std::string_view data);
+
+  /// fdatasync: everything appended so far survives a crash.
+  Status Sync();
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Bytes appended through this handle plus the size found at Open.
+  uint64_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_FAULT_FILE_H_

@@ -92,6 +92,21 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const MetricLabels& labels) {
+  const std::string key = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.is_gauge = true;
+  auto it = family.gauges.find(key);
+  if (it == family.gauges.end()) {
+    it = family.gauges.emplace(key, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds,
@@ -116,9 +131,14 @@ std::string MetricsRegistry::RenderPrometheus() const {
   for (const auto& [name, family] : families_) {
     out += "# HELP " + name + " " + family.help + "\n";
     out += "# TYPE " + name +
-           (family.is_histogram ? " histogram\n" : " counter\n");
+           (family.is_histogram
+                ? " histogram\n"
+                : family.is_gauge ? " gauge\n" : " counter\n");
     for (const auto& [labels, counter] : family.counters) {
       out += name + labels + " " + std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      out += name + labels + " " + FormatNum(gauge->value()) + "\n";
     }
     for (const auto& [labels, hist] : family.histograms) {
       uint64_t cumulative = 0;

@@ -42,6 +42,17 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A settable level (Prometheus "gauge" type) — e.g. the WAL's live
+/// record count, which drops back to zero at every compaction.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// A fixed-bucket histogram (Prometheus "histogram" type): cumulative
 /// bucket counts are computed at render time from the per-bucket tallies
 /// kept here. Bounds are upper-inclusive (`v <= bound`), matching
@@ -95,6 +106,10 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name, const std::string& help,
                       const MetricLabels& labels = {});
 
+  /// Registers (or finds) a gauge series.
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const MetricLabels& labels = {});
+
   /// Registers (or finds) a histogram series with the given bucket
   /// bounds (ignored when the series already exists).
   Histogram* GetHistogram(const std::string& name, const std::string& help,
@@ -114,8 +129,10 @@ class MetricsRegistry {
   struct Family {
     std::string help;
     bool is_histogram = false;
+    bool is_gauge = false;
     // Rendered label string ('{k="v",...}' or "") -> series.
     std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
   };
 

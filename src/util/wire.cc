@@ -1,0 +1,116 @@
+#include "util/wire.h"
+
+namespace mrsl {
+namespace wire {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+Status Cursor::Bytes(void* out, size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("payload truncated");
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> Cursor::U8() {
+  uint8_t v = 0;
+  MRSL_RETURN_IF_ERROR(Bytes(&v, 1));
+  return v;
+}
+
+Result<uint32_t> Cursor::U32() {
+  unsigned char b[4];
+  MRSL_RETURN_IF_ERROR(Bytes(b, 4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> Cursor::U64() {
+  unsigned char b[8];
+  MRSL_RETURN_IF_ERROR(Bytes(b, 8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Result<int32_t> Cursor::I32() {
+  MRSL_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<double> Cursor::F64() {
+  MRSL_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> Cursor::String() {
+  MRSL_ASSIGN_OR_RETURN(uint32_t n, U32());
+  if (remaining() < n) {
+    return Status::Corruption("string runs past payload");
+  }
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+Result<std::string_view> Cursor::View(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("payload truncated");
+  }
+  std::string_view v = data_.substr(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+Status Cursor::Fits(uint64_t count, uint64_t min_bytes_each) {
+  if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
+    return Status::Corruption("count exceeds payload size");
+  }
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace mrsl

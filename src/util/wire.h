@@ -1,0 +1,72 @@
+// Shared wire-format primitives for every on-disk binary format in the
+// tree (pdb/snapshot_io.h, pdb/wal.h, core/delta.h serialization).
+//
+// Writers append to a std::string through the Put* helpers; readers run
+// through a bounds-checked Cursor that validates every count against the
+// bytes actually remaining BEFORE allocating, so a truncated or
+// bit-flipped input fails with Status::Corruption instead of a bad_alloc
+// or a crash. All integers are little-endian; doubles travel as raw
+// IEEE-754 bits so a round trip is bit-identical.
+//
+// Everything lives under mrsl::wire so the short names (PutU32, Cursor)
+// never collide with a format's own file-local helpers.
+
+#ifndef MRSL_UTIL_WIRE_H_
+#define MRSL_UTIL_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace mrsl {
+namespace wire {
+
+/// FNV-1a 64-bit over `bytes` — the checksum every framed format uses.
+uint64_t Fnv1a64(std::string_view bytes);
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI32(std::string* out, int32_t v);
+void PutF64(std::string* out, double v);
+/// Length-prefixed (u32) string.
+void PutString(std::string* out, const std::string& s);
+
+/// Bounds-checked read cursor. Every read fails with Status::Corruption
+/// once the input runs out; nothing is consumed by a failed read.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Status Bytes(void* out, size_t n);
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<double> F64();
+  /// Length-prefixed (u32) string; the length is validated against the
+  /// remaining bytes before the copy.
+  Result<std::string> String();
+  /// A view of the next `n` bytes, consumed.
+  Result<std::string_view> View(size_t n);
+
+  /// Validates that `count` items of at least `min_bytes_each` bytes can
+  /// still fit — the guard against allocating from corrupt counts.
+  Status Fits(uint64_t count, uint64_t min_bytes_each);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_WIRE_H_

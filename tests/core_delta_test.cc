@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/tuple_dag.h"
+#include "util/rng.h"
 
 namespace mrsl {
 namespace {
@@ -151,6 +153,163 @@ TEST(ParseDeltaCsvTest, RejectsMalformedInput) {
       ParseDeltaCsv(schema, "op,row,a,b,c\ninsert,,a9,b0,c0\n").ok());
   // Short row.
   EXPECT_FALSE(ParseDeltaCsv(schema, "op,row,a,b,c\ndelete,1\n").ok());
+  // An empty value cell is truncation damage, not shorthand for '?' —
+  // accepting it would silently weaken the row.
+  EXPECT_FALSE(
+      ParseDeltaCsv(schema, "op,row,a,b,c\ninsert,,a0,,c0\n").ok());
+  EXPECT_FALSE(
+      ParseDeltaCsv(schema, "op,row,a,b,c\nupdate,1,a0,b0,\n").ok());
+}
+
+// A parsed delta the parser may legally return: every tuple carries the
+// schema's arity and only in-domain (or missing) cells. Anything else
+// escaping the parser would poison the store's write path.
+void ExpectWellFormed(const Schema& schema, const RelationDelta& delta) {
+  auto check_tuple = [&](const Tuple& t) {
+    ASSERT_EQ(t.num_attrs(), schema.num_attrs());
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      const int v = t.value(a);
+      EXPECT_GE(v, -1);
+      EXPECT_LT(v, static_cast<int>(schema.attr(a).cardinality()));
+    }
+  };
+  for (const Tuple& t : delta.inserts) check_tuple(t);
+  for (const auto& u : delta.updates) check_tuple(u.tuple);
+}
+
+// The valid document the fuzz tests damage: all three ops, missing
+// cells, and enough rows that cuts land everywhere.
+std::string ValidDeltaCsv() {
+  return "op,row,a,b,c\n"
+         "insert,,a2,?,c1\n"
+         "update,3,a0,b1,?\n"
+         "delete,1,,,\n"
+         "insert,,a0,b2,c0\n"
+         "update,0,a1,?,c1\n"
+         "delete,12,,,\n";
+}
+
+// Truncation property: cutting the CSV at EVERY byte either fails with
+// a clean status or parses a strict prefix of the full document's rows
+// — never a crash, never an invented or altered row.
+TEST(ParseDeltaCsvFuzzTest, EveryTruncationFailsCleanlyOrParsesAPrefix) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string csv = ValidDeltaCsv();
+  auto full = ParseDeltaCsv(schema, csv);
+  ASSERT_TRUE(full.ok());
+
+  for (size_t keep = 0; keep < csv.size(); ++keep) {
+    SCOPED_TRACE("kept " + std::to_string(keep) + " bytes");
+    auto cut = ParseDeltaCsv(schema, csv.substr(0, keep));
+    if (!cut.ok()) {
+      EXPECT_FALSE(cut.status().message().empty());
+      continue;
+    }
+    ExpectWellFormed(schema, *cut);
+    // Whatever parsed is a prefix of the full document, element for
+    // element — a cut mid-line can only drop rows, never mint them.
+    ASSERT_LE(cut->inserts.size(), full->inserts.size());
+    for (size_t i = 0; i < cut->inserts.size(); ++i) {
+      EXPECT_EQ(cut->inserts[i], full->inserts[i]);
+    }
+    ASSERT_LE(cut->updates.size(), full->updates.size());
+    for (size_t i = 0; i < cut->updates.size(); ++i) {
+      EXPECT_EQ(cut->updates[i].row, full->updates[i].row);
+      EXPECT_EQ(cut->updates[i].tuple, full->updates[i].tuple);
+    }
+    ASSERT_LE(cut->deletes.size(), full->deletes.size());
+    for (size_t i = 0; i < cut->deletes.size(); ++i) {
+      EXPECT_EQ(cut->deletes[i], full->deletes[i]);
+    }
+  }
+}
+
+// Mutation property: flip random bytes (any value, NUL and control
+// bytes included) and parse. The parser must return — cleanly — and
+// anything it accepts must still be well-formed and apply atomically.
+TEST(ParseDeltaCsvFuzzTest, RandomMutationsNeverCrashOrEscapeTheDomain) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string csv = ValidDeltaCsv();
+  const Relation base = BaseRelation();
+  Rng rng(20260807);
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string damaged = csv;
+    const size_t flips = 1 + rng.UniformInt(4);
+    for (size_t f = 0; f < flips; ++f) {
+      damaged[rng.UniformInt(damaged.size())] =
+          static_cast<char>(rng.UniformInt(256));
+    }
+    SCOPED_TRACE("iteration " + std::to_string(iter) + ": " + damaged);
+    auto delta = ParseDeltaCsv(schema, damaged);
+    if (!delta.ok()) {
+      EXPECT_FALSE(delta.status().message().empty());
+      continue;
+    }
+    ExpectWellFormed(schema, *delta);
+    // Application is all-or-nothing: either a new relation comes back
+    // or a clean status does; the source is immutable either way.
+    auto applied = ApplyDelta(base, *delta);
+    if (!applied.ok()) {
+      EXPECT_FALSE(applied.status().message().empty());
+    }
+    ASSERT_EQ(base.num_rows(), 4u);
+    EXPECT_EQ(base.row(0), T({0, 0, 0}));
+  }
+}
+
+// Adversarial documents that target specific parser assumptions. None
+// may crash; all must answer with a status.
+TEST(ParseDeltaCsvFuzzTest, AdversarialDocumentsAreHandled) {
+  const Schema schema = ThreeAttrSchema();
+  const std::vector<std::string> rejected = {
+      // Row index at and past the uint32 boundary games the cast.
+      "op,row,a,b,c\ndelete,4294967296,,,\n",
+      "op,row,a,b,c\ndelete,18446744073709551617,,,\n",
+      "op,row,a,b,c\ndelete,-1,,,\n",
+      "op,row,a,b,c\ndelete,0x10,,,\n",
+      "op,row,a,b,c\ndelete,1e3,,,\n",
+      // NUL bytes inside an op and inside a label.
+      std::string("op,row,a,b,c\nins\0ert,,a0,b0,c0\n", 30),
+      std::string("op,row,a,b,c\ninsert,,a\0,b0,c0\n", 30),
+      // Oversized and undersized rows.
+      "op,row,a,b,c\ninsert,,a0,b0,c0,extra\n",
+      "op,row,a,b,c\ninsert,,a0,b0\n",
+      // A 64 KiB label never allocated by any schema.
+      "op,row,a,b,c\ninsert,," + std::string(65536, 'a') + ",b0,c0\n",
+      // Case variants are distinct ops/labels, not fuzzy matches.
+      "op,row,a,b,c\nINSERT,,a0,b0,c0\n",
+      "op,row,a,b,c\ninsert,,A0,b0,c0\n",
+      // Whitespace is not trimmed into validity.
+      "op,row,a,b,c\ninsert,, a0,b0,c0\n",
+      "op,row,a,b,c\ndelete, 1,,,\n",
+      // Header games.
+      "",
+      "\n\n\n",
+      "op,row,a,b,c",  // header only, no newline: fine to accept rows=0
+      "OP,ROW,a,b,c\ninsert,,a0,b0,c0\n",
+      "op,row,a,b,c,d\ninsert,,a0,b0,c0,d0\n",
+  };
+  for (size_t i = 0; i < rejected.size(); ++i) {
+    SCOPED_TRACE("document " + std::to_string(i));
+    auto delta = ParseDeltaCsv(schema, rejected[i]);
+    if (!delta.ok()) {
+      EXPECT_FALSE(delta.status().message().empty());
+      continue;
+    }
+    // The few of these that may legally parse must parse to nothing or
+    // to well-formed rows (e.g. the bare header).
+    ExpectWellFormed(schema, *delta);
+  }
+
+  // A million-row document parses without quadratic blowup or crash
+  // (the CLI reads delta files of arbitrary size).
+  std::string big = "op,row,a,b,c\n";
+  big.reserve(big.size() + 12 * 100000);
+  for (int i = 0; i < 100000; ++i) big += "delete,1,,,\n";
+  auto parsed = ParseDeltaCsv(schema, big);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->deletes.size(), 100000u);
 }
 
 // The planner must partition exactly as Engine::InferBatch does: a

@@ -20,6 +20,7 @@
 #include "pdb/lazy.h"
 #include "pdb/snapshot_io.h"
 #include "util/csv.h"
+#include "util/fault_file.h"
 
 namespace mrsl {
 namespace {
@@ -299,6 +300,76 @@ TEST_F(StoreTest, CorruptedSnapshotsFailCleanly) {
   // The intact file still restores after all that.
   ASSERT_TRUE(WriteFile(path, *bytes).ok());
   EXPECT_TRUE(victim.Restore(path).ok());
+  std::remove(path.c_str());
+}
+
+// Snapshot saves are atomic: fail the save at EVERY filesystem step
+// (temp-file open, write, fsync, rename, directory sync) and the
+// previously saved epoch must survive intact — a reader never sees a
+// half-written file where its snapshot used to be.
+TEST_F(StoreTest, SnapshotSaveIsAtomicUnderMidSaveCrashes) {
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  const std::string path = ::testing::TempDir() + "/atomic_save.bin";
+  ASSERT_TRUE(store.SaveSnapshot(path).ok());
+  auto original = ReadFile(path);
+  ASSERT_TRUE(original.ok());
+
+  // Move the store ahead so the interrupted save would write different
+  // bytes than the file already holds.
+  RelationDelta d;
+  d.inserts.push_back(T({1, 2, -1, -1}));
+  ASSERT_TRUE(store.ApplyDelta(d).ok());
+
+  for (const char* fail_op : {"open", "write", "sync", "rename"}) {
+    SCOPED_TRACE(std::string("failing op ") + fail_op);
+    SetFaultHook([fail_op](const char* op, const std::string& target) {
+      if (std::string(op) == fail_op &&
+          target.find("atomic_save.bin") != std::string::npos) {
+        return Status::IOError(std::string("injected ") + fail_op +
+                               " crash");
+      }
+      return Status::OK();
+    });
+    Status saved = store.SaveSnapshot(path);
+    SetFaultHook(nullptr);
+    ASSERT_FALSE(saved.ok());
+
+    // The old epoch is still there, byte for byte, and still restores.
+    auto after = ReadFile(path);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *original);
+    Engine engine2(&model_);
+    BidStore restored(&engine2, StoreOptions());
+    EXPECT_TRUE(restored.Restore(path).ok());
+    EXPECT_EQ(restored.epoch(), 1u);
+  }
+
+  // A directory-sync failure after the rename may keep either epoch —
+  // both are complete files; what it must never leave is a torn one.
+  SetFaultHook([](const char* op, const std::string&) {
+    // The syncdir check sees the parent directory, not the file.
+    if (std::string(op) == "syncdir") {
+      return Status::IOError("injected syncdir crash");
+    }
+    return Status::OK();
+  });
+  Status saved = store.SaveSnapshot(path);
+  SetFaultHook(nullptr);
+  EXPECT_FALSE(saved.ok());
+  {
+    Engine engine2(&model_);
+    BidStore restored(&engine2, StoreOptions());
+    EXPECT_TRUE(restored.Restore(path).ok());
+  }
+
+  // With the faults gone the save goes through and the file advances.
+  ASSERT_TRUE(store.SaveSnapshot(path).ok());
+  Engine engine3(&model_);
+  BidStore advanced(&engine3, StoreOptions());
+  ASSERT_TRUE(advanced.Restore(path).ok());
+  EXPECT_EQ(advanced.epoch(), 2u);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,674 @@
+// Tests for the write-ahead log: binary delta round-trips, the torn-
+// write property (truncate a recorded log at EVERY byte boundary and
+// bit-flip every byte — replay must recover exactly the durable prefix,
+// never crash, and report Corruption only for genuinely torn tails),
+// segment rotation/compaction, and store recovery: replaying the WAL on
+// top of the last snapshot reproduces the pre-crash epochs bit for bit.
+
+#include "pdb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "core/learner.h"
+#include "pdb/store.h"
+#include "util/csv.h"
+#include "util/fault_file.h"
+
+namespace mrsl {
+namespace {
+
+Tuple T(std::vector<int> vals) {
+  Tuple t(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    t.set_value(static_cast<AttrId>(i), vals[i]);
+  }
+  return t;
+}
+
+Schema ThreeAttrSchema() {
+  auto s = Schema::Create({Attribute("a", {"a0", "a1", "a2"}),
+                           Attribute("b", {"b0", "b1", "b2"}),
+                           Attribute("c", {"c0", "c1"})});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+// A fresh, empty directory under the test tmpdir (repeat runs reuse the
+// tmpdir, so leftover segments must go).
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/" + tag;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void ExpectDeltaEq(const RelationDelta& a, const RelationDelta& b) {
+  ASSERT_EQ(a.inserts.size(), b.inserts.size());
+  for (size_t i = 0; i < a.inserts.size(); ++i) {
+    EXPECT_EQ(a.inserts[i], b.inserts[i]) << "insert " << i;
+  }
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].row, b.updates[i].row) << "update " << i;
+    EXPECT_EQ(a.updates[i].tuple, b.updates[i].tuple) << "update " << i;
+  }
+  EXPECT_EQ(a.deletes, b.deletes);
+}
+
+// The deltas the lightweight tests log: inserts with missing cells, an
+// update, a pure delete (arity-less on the wire), and a mixed record.
+std::vector<RelationDelta> SampleDeltas() {
+  std::vector<RelationDelta> deltas(4);
+  deltas[0].inserts.push_back(T({0, 1, -1}));
+  deltas[0].inserts.push_back(T({2, -1, 1}));
+  deltas[1].updates.push_back({3, T({1, 1, 0})});
+  deltas[2].deletes = {0, 5};
+  deltas[3].inserts.push_back(T({-1, -1, -1}));
+  deltas[3].updates.push_back({1, T({0, 0, 0})});
+  deltas[3].deletes.push_back(2);
+  return deltas;
+}
+
+TEST(WalSyncModeTest, ParsesAndNames) {
+  for (WalSyncMode mode : {WalSyncMode::kAlways, WalSyncMode::kGroup,
+                           WalSyncMode::kNone}) {
+    auto parsed = ParseWalSyncMode(WalSyncModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(ParseWalSyncMode("fsync").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseWalSyncMode("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaBinaryTest, RoundTripsEveryShape) {
+  const Schema schema = ThreeAttrSchema();
+  std::vector<RelationDelta> deltas = SampleDeltas();
+  deltas.push_back(RelationDelta());  // empty
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    SCOPED_TRACE("delta " + std::to_string(i));
+    std::string bytes;
+    SerializeDelta(&bytes, deltas[i]);
+    auto back = DeserializeDelta(schema, bytes);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ExpectDeltaEq(deltas[i], *back);
+  }
+}
+
+TEST(DeltaBinaryTest, RejectsDamageCleanly) {
+  const Schema schema = ThreeAttrSchema();
+  RelationDelta delta;
+  delta.inserts.push_back(T({0, 1, -1}));
+  delta.updates.push_back({2, T({1, -1, 0})});
+  delta.deletes.push_back(4);
+  std::string bytes;
+  SerializeDelta(&bytes, delta);
+
+  // Every strict prefix is a clean Corruption, never a crash or a
+  // partial result.
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    auto r = DeserializeDelta(schema, bytes.substr(0, keep));
+    EXPECT_FALSE(r.ok()) << "kept " << keep;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "kept " << keep;
+  }
+  // Trailing garbage is damage too — the frame length said otherwise.
+  EXPECT_EQ(DeserializeDelta(schema, bytes + "x").status().code(),
+            StatusCode::kCorruption);
+  // A cell outside the attribute's domain is caught per tuple.
+  {
+    RelationDelta bad;
+    bad.inserts.push_back(T({9, 0, 0}));
+    std::string b;
+    SerializeDelta(&b, bad);
+    EXPECT_EQ(DeserializeDelta(schema, b).status().code(),
+              StatusCode::kCorruption);
+  }
+  // An arity disagreeing with the schema is rejected up front.
+  {
+    RelationDelta two;
+    Tuple t(2);
+    t.set_value(0, 0);
+    t.set_value(1, 0);
+    two.inserts.push_back(t);
+    std::string b;
+    SerializeDelta(&b, two);
+    EXPECT_FALSE(DeserializeDelta(schema, b).ok());
+  }
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_roundtrip");
+  const std::vector<RelationDelta> deltas = SampleDeltas();
+
+  auto wal = WriteAheadLog::Open(dir, /*base_epoch=*/1, WalSyncMode::kGroup);
+  ASSERT_TRUE(wal.ok());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ASSERT_TRUE((*wal)->Append(2 + i, deltas[i]).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_EQ((*wal)->last_epoch(), 1 + deltas.size());
+  EXPECT_EQ((*wal)->stats().records_appended, deltas.size());
+  EXPECT_EQ((*wal)->stats().live_records, deltas.size());
+  EXPECT_EQ((*wal)->stats().syncs, 1u);
+  EXPECT_EQ((*wal)->stats().segments, 1u);
+
+  auto replay = ReplayWalDir(dir, schema);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->tail.ok());
+  ASSERT_EQ(replay->records.size(), deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(replay->records[i].epoch, 2 + i);
+    ExpectDeltaEq(replay->records[i].delta, deltas[i]);
+  }
+}
+
+TEST(WalTest, AppendRejectsNonIncreasingEpochs) {
+  const std::string dir = FreshDir("wal_epochs");
+  auto wal = WriteAheadLog::Open(dir, 5, WalSyncMode::kNone);
+  ASSERT_TRUE(wal.ok());
+  RelationDelta d;
+  d.inserts.push_back(T({0, 0, 0}));
+  EXPECT_FALSE((*wal)->Append(5, d).ok());  // not past the base
+  ASSERT_TRUE((*wal)->Append(6, d).ok());
+  EXPECT_FALSE((*wal)->Append(6, d).ok());  // repeat
+  EXPECT_FALSE((*wal)->Append(4, d).ok());  // regression
+  ASSERT_TRUE((*wal)->Append(9, d).ok());   // gaps within a log are fine
+}
+
+// The torn-write property: cut a recorded log at EVERY byte length.
+// Replay must return exactly the records whose bytes survived whole,
+// report tail-OK iff the cut landed on a record boundary, and point the
+// truncation recovery at that boundary.
+TEST(WalTest, TruncationAtEveryByteBoundaryRecoversTheExactPrefix) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_torn_src");
+  const std::vector<RelationDelta> deltas = SampleDeltas();
+
+  auto wal = WriteAheadLog::Open(dir, 0, WalSyncMode::kNone);
+  ASSERT_TRUE(wal.ok());
+  std::vector<size_t> boundaries;  // byte offsets where k records end
+  size_t offset = 8 + 4 + 8;       // magic + version + base epoch
+  boundaries.push_back(offset);
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ASSERT_TRUE((*wal)->Append(1 + i, deltas[i]).ok());
+    offset += WriteAheadLog::EncodeRecord(1 + i, deltas[i]).size();
+    boundaries.push_back(offset);
+  }
+  const std::string seg_path = dir + "/wal-0000000000000000.log";
+  auto bytes = ReadFile(seg_path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_EQ(bytes->size(), offset);
+
+  const std::string cut_dir = FreshDir("wal_torn_cut");
+  const std::string cut_path = cut_dir + "/wal-0000000000000000.log";
+  for (size_t keep = 0; keep <= bytes->size(); ++keep) {
+    SCOPED_TRACE("kept " + std::to_string(keep) + " bytes");
+    ASSERT_TRUE(WriteFile(cut_path, bytes->substr(0, keep)).ok());
+    auto replay = ReplayWalDir(cut_dir, schema);
+    ASSERT_TRUE(replay.ok());  // a cut is never a hard error
+
+    // Whole records below the cut, and nothing above it.
+    size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= keep) {
+      ++whole;
+    }
+    ASSERT_EQ(replay->records.size(), whole);
+    for (size_t i = 0; i < whole; ++i) {
+      EXPECT_EQ(replay->records[i].epoch, 1 + i);
+      ExpectDeltaEq(replay->records[i].delta, deltas[i]);
+    }
+
+    const bool on_boundary = keep >= boundaries[0] &&
+                             boundaries[whole] == keep;
+    if (on_boundary) {
+      EXPECT_TRUE(replay->tail.ok()) << replay->tail;
+    } else {
+      EXPECT_EQ(replay->tail.code(), StatusCode::kCorruption);
+      EXPECT_EQ(replay->tail_path, cut_path);
+      // The advertised recovery point is the last good boundary (0 for
+      // a torn header — nothing in such a file was ever acknowledged).
+      const uint64_t want = keep < boundaries[0] ? 0 : boundaries[whole];
+      EXPECT_EQ(replay->tail_valid_bytes, want);
+
+      // ... and truncating there makes the next replay clean.
+      ASSERT_TRUE(
+          TruncateWalSegment(cut_path, replay->tail_valid_bytes).ok());
+      auto again = ReplayWalDir(cut_dir, schema);
+      ASSERT_TRUE(again.ok());
+      if (replay->tail_valid_bytes == 0) {
+        // Truncated to an empty file: still a torn header, still empty.
+        EXPECT_TRUE(again->records.empty());
+      } else {
+        EXPECT_TRUE(again->tail.ok());
+        EXPECT_EQ(again->records.size(), whole);
+      }
+    }
+  }
+}
+
+// Flip every byte of a recorded log (one at a time). Replay must never
+// crash and never invent records: whatever it returns is a prefix of
+// what was written, and a fully-OK tail with a damaged byte can only
+// happen in the file header's base-epoch field (which no record bytes
+// cover — records still verify).
+TEST(WalTest, BitFlipsNeverCrashAndNeverInventRecords) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_flip_src");
+  const std::vector<RelationDelta> deltas = SampleDeltas();
+  auto wal = WriteAheadLog::Open(dir, 0, WalSyncMode::kNone);
+  ASSERT_TRUE(wal.ok());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ASSERT_TRUE((*wal)->Append(1 + i, deltas[i]).ok());
+  }
+  auto bytes = ReadFile(dir + "/wal-0000000000000000.log");
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string flip_dir = FreshDir("wal_flip_cut");
+  const std::string flip_path = flip_dir + "/wal-0000000000000000.log";
+  size_t hard_errors = 0;
+  size_t torn_tails = 0;
+  for (size_t at = 0; at < bytes->size(); ++at) {
+    SCOPED_TRACE("flipped byte " + std::to_string(at));
+    std::string damaged = *bytes;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x20);
+    ASSERT_TRUE(WriteFile(flip_path, damaged).ok());
+    auto replay = ReplayWalDir(flip_dir, schema);
+    if (!replay.ok()) {
+      // Bad magic / version / epoch-order damage: refuse wholesale.
+      ++hard_errors;
+      continue;
+    }
+    if (!replay->tail.ok()) ++torn_tails;
+    ASSERT_LE(replay->records.size(), deltas.size());
+    for (size_t i = 0; i < replay->records.size(); ++i) {
+      EXPECT_EQ(replay->records[i].epoch, 1 + i);
+      ExpectDeltaEq(replay->records[i].delta, deltas[i]);
+    }
+  }
+  // Both refusal modes must actually occur over a whole-file sweep
+  // (header flips -> hard errors; record flips -> checksum tails).
+  EXPECT_GT(hard_errors, 0u);
+  EXPECT_GT(torn_tails, 0u);
+}
+
+// A torn record in a NON-final segment cannot be a crash artifact (the
+// later segment was created after it): hard error, no silent drop.
+TEST(WalTest, MidLogDamageIsAHardError) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_midlog");
+  const std::vector<RelationDelta> deltas = SampleDeltas();
+  {
+    auto wal = WriteAheadLog::Open(dir, 0, WalSyncMode::kNone);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, deltas[0]).ok());
+    ASSERT_TRUE((*wal)->Append(2, deltas[1]).ok());
+  }
+  {
+    // A second segment on top (what a restart at epoch 2 creates).
+    auto wal = WriteAheadLog::Open(dir, 2, WalSyncMode::kNone);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(3, deltas[2]).ok());
+  }
+  // Intact: both segments replay in order.
+  auto ok_replay = ReplayWalDir(dir, schema);
+  ASSERT_TRUE(ok_replay.ok());
+  EXPECT_TRUE(ok_replay->tail.ok());
+  ASSERT_EQ(ok_replay->records.size(), 3u);
+
+  // Tear the FIRST segment's tail: the replay must refuse outright.
+  const std::string first = dir + "/wal-0000000000000000.log";
+  auto first_bytes = ReadFile(first);
+  ASSERT_TRUE(first_bytes.ok());
+  ASSERT_TRUE(
+      WriteFile(first, first_bytes->substr(0, first_bytes->size() - 3))
+          .ok());
+  auto damaged = ReplayWalDir(dir, schema);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, CrossSegmentEpochRegressionIsAHardError) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_regress");
+  RelationDelta d;
+  d.inserts.push_back(T({0, 0, 0}));
+  {
+    auto wal = WriteAheadLog::Open(dir, 0, WalSyncMode::kNone);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, d).ok());
+    ASSERT_TRUE((*wal)->Append(3, d).ok());
+  }
+  {
+    // A later segment whose first record does not advance past epoch 3.
+    auto wal = WriteAheadLog::Open(dir, 1, WalSyncMode::kNone);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(2, d).ok());
+  }
+  auto replay = ReplayWalDir(dir, schema);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, CompactRotatesAndDeletesCoveredSegments) {
+  const Schema schema = ThreeAttrSchema();
+  const std::string dir = FreshDir("wal_compact");
+  const std::vector<RelationDelta> deltas = SampleDeltas();
+  auto opened = WriteAheadLog::Open(dir, 0, WalSyncMode::kGroup);
+  ASSERT_TRUE(opened.ok());
+  WriteAheadLog* wal = opened->get();
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ASSERT_TRUE(wal->Append(1 + i, deltas[i]).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+
+  // Compaction below the newest record would drop durable data.
+  EXPECT_FALSE(wal->Compact(2).ok());
+
+  ASSERT_TRUE(wal->Compact(deltas.size()).ok());
+  EXPECT_EQ(wal->stats().live_records, 0u);
+  EXPECT_EQ(wal->stats().live_bytes, 0u);
+  EXPECT_EQ(wal->stats().segments, 1u);
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  EXPECT_EQ((*segments)[0].base_epoch, deltas.size());
+  auto empty_replay = ReplayWalDir(dir, schema);
+  ASSERT_TRUE(empty_replay.ok());
+  EXPECT_TRUE(empty_replay->tail.ok());
+  EXPECT_TRUE(empty_replay->records.empty());
+
+  // The rotated log keeps accepting and replaying appends.
+  ASSERT_TRUE(wal->Append(deltas.size() + 1, deltas[0]).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  auto replay = ReplayWalDir(dir, schema);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].epoch, deltas.size() + 1);
+}
+
+// ---------------------------------------------------------------------
+// Store recovery: snapshot + WAL == the pre-crash store, bit for bit.
+
+class WalStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    bn_ = BayesNet::RandomInstance(Topology::Crown(4, 3), &rng);
+    Relation train = bn_.SampleRelation(6000, &rng);
+    schema_ = train.schema();
+    LearnOptions lo;
+    lo.support_threshold = 0.002;
+    auto model = LearnModel(train, lo);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  Tuple S(std::vector<int> vals) { return T(std::move(vals)); }
+
+  Relation BaseRelation() {
+    Relation rel(schema_);
+    EXPECT_TRUE(rel.Append(S({0, 1, 2, 0})).ok());
+    EXPECT_TRUE(rel.Append(S({0, 0, -1, -1})).ok());
+    EXPECT_TRUE(rel.Append(S({1, 1, -1, -1})).ok());
+    EXPECT_TRUE(rel.Append(S({2, 2, 0, -1})).ok());
+    return rel;
+  }
+
+  StoreOptions SOpts() {
+    StoreOptions so;
+    so.workload.gibbs.samples = 120;
+    so.workload.gibbs.burn_in = 20;
+    so.workload.gibbs.seed = 4242;
+    return so;
+  }
+
+  static void ExpectBitIdentical(const ProbDatabase& a,
+                                 const ProbDatabase& b) {
+    ASSERT_EQ(a.num_blocks(), b.num_blocks());
+    for (size_t i = 0; i < a.num_blocks(); ++i) {
+      const Block& ba = a.block(i);
+      const Block& bb = b.block(i);
+      ASSERT_EQ(ba.alternatives.size(), bb.alternatives.size())
+          << "block " << i;
+      for (size_t j = 0; j < ba.alternatives.size(); ++j) {
+        EXPECT_EQ(ba.alternatives[j].tuple, bb.alternatives[j].tuple)
+            << "block " << i << " alt " << j;
+        EXPECT_EQ(ba.alternatives[j].prob, bb.alternatives[j].prob)
+            << "block " << i << " alt " << j;
+      }
+    }
+  }
+
+  // The two deltas every recovery scenario applies on top of epoch 1.
+  RelationDelta DeltaA() {
+    RelationDelta d;
+    d.inserts.push_back(S({1, 2, -1, -1}));
+    return d;
+  }
+  RelationDelta DeltaB() {
+    RelationDelta d;
+    d.updates.push_back({0, S({2, 0, 1, 1})});
+    d.deletes.push_back(3);
+    return d;
+  }
+
+  BayesNet bn_;
+  Schema schema_;
+  MrslModel model_;
+};
+
+TEST_F(WalStoreTest, RecoveryReplaysEverythingBeyondTheSnapshot) {
+  const std::string dir = FreshDir("walstore_replay");
+  const std::string snap_path = dir + "/store.bin";
+  const std::string late_path = dir + "/late.bin";
+
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.SaveSnapshot(snap_path).ok());
+
+  auto opened = store.OpenWal(dir, WalSyncMode::kAlways);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->replayed_records, 0u);
+  EXPECT_TRUE(store.has_wal());
+  ASSERT_TRUE(store.ApplyDelta(DeltaA()).ok());
+  ASSERT_TRUE(store.ApplyDelta(DeltaB()).ok());
+  EXPECT_EQ(store.epoch(), 3u);
+  EXPECT_EQ(store.wal_stats().records_appended, 2u);
+  ASSERT_TRUE(store.SaveSnapshot(late_path).ok());  // epoch-3 image
+
+  // "Crash": recover a second store from the OLD snapshot + the WAL.
+  Engine engine2(&model_);
+  BidStore recovered(&engine2, StoreOptions());
+  ASSERT_TRUE(recovered.Restore(snap_path).ok());
+  EXPECT_EQ(recovered.epoch(), 1u);
+  auto rec = recovered.OpenWal(dir, WalSyncMode::kGroup);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 2u);
+  EXPECT_EQ(rec->skipped_records, 0u);
+  EXPECT_FALSE(rec->torn_tail);
+  EXPECT_EQ(recovered.epoch(), 3u);
+  // A reopened log reports what survives on disk, not just what this
+  // process appended (the /metrics gauges read these).
+  EXPECT_EQ(recovered.wal_stats().live_records, 2u);
+  EXPECT_GT(recovered.wal_stats().live_bytes, 0u);
+  ExpectBitIdentical(store.snapshot()->database(),
+                     recovered.snapshot()->database());
+
+  // From the LATE snapshot, the same records are already covered.
+  Engine engine3(&model_);
+  BidStore caught_up(&engine3, StoreOptions());
+  ASSERT_TRUE(caught_up.Restore(late_path).ok());
+  auto skip = caught_up.OpenWal(dir, WalSyncMode::kGroup);
+  ASSERT_TRUE(skip.ok()) << skip.status();
+  EXPECT_EQ(skip->replayed_records, 0u);
+  EXPECT_EQ(skip->skipped_records, 2u);
+  EXPECT_EQ(caught_up.epoch(), 3u);
+
+  // ... and the recovered state matches a from-scratch derivation.
+  Engine engine4(&model_);
+  BidStore fresh(&engine4, SOpts());
+  ASSERT_TRUE(fresh.Commit(recovered.snapshot()->base()).ok());
+  ExpectBitIdentical(fresh.snapshot()->database(),
+                     recovered.snapshot()->database());
+}
+
+TEST_F(WalStoreTest, RecoveryDiscardsATornTailRecord) {
+  const std::string dir = FreshDir("walstore_torn");
+  const std::string snap_path = dir + "/store.bin";
+
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.SaveSnapshot(snap_path).ok());
+  ASSERT_TRUE(store.OpenWal(dir, WalSyncMode::kAlways).ok());
+  ASSERT_TRUE(store.ApplyDelta(DeltaA()).ok());
+  ASSERT_TRUE(store.ApplyDelta(DeltaB()).ok());
+
+  // Tear the final record: chop bytes off the active segment.
+  const std::string seg = dir + "/wal-0000000000000001.log";
+  auto bytes = ReadFile(seg);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(WriteFile(seg, bytes->substr(0, bytes->size() - 5)).ok());
+
+  Engine engine2(&model_);
+  BidStore recovered(&engine2, StoreOptions());
+  ASSERT_TRUE(recovered.Restore(snap_path).ok());
+  auto rec = recovered.OpenWal(dir, WalSyncMode::kGroup);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 1u);  // only epoch 2 survived whole
+  EXPECT_TRUE(rec->torn_tail);
+  EXPECT_GT(rec->truncated_bytes, 0u);
+  EXPECT_EQ(recovered.epoch(), 2u);
+
+  // The truncation stuck: a THIRD recovery sees a clean log.
+  Engine engine3(&model_);
+  BidStore again(&engine3, StoreOptions());
+  ASSERT_TRUE(again.Restore(snap_path).ok());
+  auto rec2 = again.OpenWal(dir + "_reopen_guard", WalSyncMode::kNone);
+  ASSERT_TRUE(rec2.ok());  // fresh dir: sanity that the fixture is sane
+  auto replay = ReplayWalFile(seg, schema_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->tail.ok());
+  EXPECT_EQ(replay->records.size(), 1u);
+}
+
+TEST_F(WalStoreTest, RecoveryRefusesAnEpochGap) {
+  const std::string dir = FreshDir("walstore_gap");
+  const std::string snap_path = dir + "/store.bin";
+
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.SaveSnapshot(snap_path).ok());
+
+  // A log whose first record is two epochs ahead of the snapshot: the
+  // epoch-2 record is missing, so replaying epoch 3 would corrupt.
+  {
+    auto wal = WriteAheadLog::Open(dir, 1, WalSyncMode::kNone);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(3, DeltaA()).ok());
+  }
+  Engine engine2(&model_);
+  BidStore recovered(&engine2, StoreOptions());
+  ASSERT_TRUE(recovered.Restore(snap_path).ok());
+  auto rec = recovered.OpenWal(dir, WalSyncMode::kGroup);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(recovered.epoch(), 1u);  // nothing was applied
+}
+
+TEST_F(WalStoreTest, CommitBypassIsRejectedWhileAWalIsAttached) {
+  const std::string dir = FreshDir("walstore_commit");
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.OpenWal(dir, WalSyncMode::kNone).ok());
+  EXPECT_EQ(store.Commit(BaseRelation()).status().code(),
+            StatusCode::kFailedPrecondition);
+  // ApplyDelta remains the (logged) write path.
+  EXPECT_TRUE(store.ApplyDelta(DeltaA()).ok());
+}
+
+TEST_F(WalStoreTest, CheckpointCompactsTheLogAndRecoveryContinues) {
+  const std::string dir = FreshDir("walstore_ckpt");
+  const std::string snap_path = dir + "/store.bin";
+
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.OpenWal(dir, WalSyncMode::kAlways).ok());
+  ASSERT_TRUE(store.ApplyDelta(DeltaA()).ok());
+  EXPECT_EQ(store.wal_stats().live_records, 1u);
+
+  ASSERT_TRUE(store.Checkpoint(snap_path).ok());
+  EXPECT_EQ(store.wal_stats().live_records, 0u);
+  EXPECT_EQ(store.wal_stats().segments, 1u);
+
+  // One more commit after the checkpoint...
+  ASSERT_TRUE(store.ApplyDelta(DeltaB()).ok());
+  EXPECT_EQ(store.epoch(), 3u);
+
+  // ... and recovery = checkpoint + the one post-checkpoint record.
+  Engine engine2(&model_);
+  BidStore recovered(&engine2, StoreOptions());
+  ASSERT_TRUE(recovered.Restore(snap_path).ok());
+  EXPECT_EQ(recovered.epoch(), 2u);
+  auto rec = recovered.OpenWal(dir, WalSyncMode::kGroup);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 1u);
+  EXPECT_EQ(recovered.epoch(), 3u);
+  ExpectBitIdentical(store.snapshot()->database(),
+                     recovered.snapshot()->database());
+}
+
+TEST_F(WalStoreTest, AFailedAppendLatchesTheStoreReadOnly) {
+  const std::string dir = FreshDir("walstore_latch");
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+  ASSERT_TRUE(store.OpenWal(dir, WalSyncMode::kAlways).ok());
+  ASSERT_TRUE(store.ApplyDelta(DeltaA()).ok());
+
+  // Fail the next WAL write at the fault layer.
+  SetFaultHook([](const char* op, const std::string& path) {
+    if (std::string_view(op) == "write" &&
+        path.find("wal-") != std::string::npos) {
+      return Status::IOError("injected write failure");
+    }
+    return Status::OK();
+  });
+  auto failed = store.ApplyDelta(DeltaB());
+  SetFaultHook(nullptr);
+  ASSERT_FALSE(failed.ok());
+
+  // The fault is gone, but the store stays read-only: its in-memory
+  // epoch ran ahead of the log, and more commits would widen the gap.
+  auto after = store.ApplyDelta(DeltaB());
+  EXPECT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kIOError);
+  // Reads still work.
+  EXPECT_NE(store.snapshot(), nullptr);
+}
+
+}  // namespace
+}  // namespace mrsl

@@ -35,6 +35,28 @@ TEST(HistogramTest, ObservationsLandInLeBuckets) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.1 + 0.5 + 100.0);
 }
 
+TEST(GaugeTest, SetReplacesTheValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(42.5);
+  EXPECT_EQ(g.value(), 42.5);
+  g.Set(1.0);  // gauges move both ways, unlike counters
+  EXPECT_EQ(g.value(), 1.0);
+}
+
+TEST(MetricsRegistryTest, GaugesRenderWithTheirOwnType) {
+  MetricsRegistry registry;
+  registry.GetGauge("mrsl_wal_live_records", "Records in the WAL.")
+      ->Set(7);
+  // Same name + labels -> same series, like counters and histograms.
+  EXPECT_EQ(registry.GetGauge("mrsl_wal_live_records", "Records in the WAL."),
+            registry.GetGauge("mrsl_wal_live_records", "Records in the WAL."));
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE mrsl_wal_live_records gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrsl_wal_live_records 7"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, SameNameAndLabelsIsTheSameSeries) {
   MetricsRegistry registry;
   Counter* a = registry.GetCounter("requests", "Requests.",

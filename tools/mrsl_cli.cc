@@ -112,14 +112,19 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "  e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"},
       {"update",
        "mrsl update --model model.txt --snapshot store.bin [--in data.csv]\n"
-       "    [--delta delta.csv] [--samples 2000] [--burn-in 100]\n"
+       "    [--delta delta.csv] [--wal-dir DIR] [--sync-mode always|group|\n"
+       "    none] [--samples 2000] [--burn-in 100]\n"
        "    [--mode dag|tuple|product] [--min-prob 0] [--threads 0]\n"
        "  Restore the store from the snapshot (or derive epoch 1 from\n"
        "  --in), apply an optional delta CSV incrementally, save back.\n"
-       "  delta CSV: header op,row,<attrs>; rows insert/update/delete\n"},
+       "  delta CSV: header op,row,<attrs>; rows insert/update/delete\n"
+       "  --wal-dir makes every commit durable before it is reported:\n"
+       "  records beyond the snapshot are replayed on start, and the\n"
+       "  final save checkpoints + compacts the log.\n"},
       {"serve",
        "mrsl serve --model model.txt --snapshot store.bin [--in data.csv]\n"
-       "    [--port 8080] [--max-inflight 64] [--samples 2000]\n"
+       "    [--port 8080] [--max-inflight 64] [--wal-dir DIR]\n"
+       "    [--sync-mode always|group|none] [--samples 2000]\n"
        "    [--burn-in 100] [--mode dag|tuple|product] [--min-prob 0]\n"
        "    [--threads 0]\n"
        "  Serve the versioned store over HTTP on 127.0.0.1:\n"
@@ -131,7 +136,10 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "    GET  /metrics   Prometheus text (per-endpoint counters,\n"
        "                    latency histograms, batch/cache series)\n"
        "  SIGINT/SIGTERM drains in-flight requests, then saves the\n"
-       "  snapshot back to --snapshot.\n"},
+       "  snapshot back to --snapshot (checkpointing + compacting the\n"
+       "  WAL when --wal-dir is set). With a WAL, every /update is\n"
+       "  fsync-durable before its HTTP 200 — kill -9 the server and\n"
+       "  restart with the same flags to replay the tail.\n"},
       {"tune",
        "mrsl tune --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
        "  Pick the support threshold by masked holdout log-loss.\n"},
@@ -783,6 +791,64 @@ int RestoreOrDerive(BidStore* store,
   return 0;
 }
 
+// Shared by update and serve: attach the write-ahead log when --wal-dir
+// is given, replaying any records the snapshot missed. Returns 0, or the
+// process exit code on failure. `*wal_enabled` reports whether a WAL is
+// now attached (the final save must Checkpoint instead of SaveSnapshot).
+int OpenWalFromFlags(BidStore* store,
+                     const std::map<std::string, std::vector<std::string>>&
+                         flags,
+                     bool* wal_enabled) {
+  *wal_enabled = false;
+  std::string wal_dir = GetFlag(flags, "wal-dir", "");
+  std::string sync_text = GetFlag(flags, "sync-mode", "group");
+  if (wal_dir.empty()) {
+    if (flags.count("sync-mode") != 0) {
+      std::fprintf(stderr, "error: --sync-mode requires --wal-dir\n");
+      return 2;
+    }
+    return 0;
+  }
+  auto mode = ParseWalSyncMode(sync_text);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "error: %s\n", mode.status().ToString().c_str());
+    return 2;
+  }
+  auto recovered = store->OpenWal(wal_dir, *mode);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "error opening WAL %s: %s\n", wal_dir.c_str(),
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  *wal_enabled = true;
+  std::printf("WAL %s (sync-mode %s): replayed %llu records, skipped "
+              "%llu%s -> epoch %llu\n",
+              wal_dir.c_str(), WalSyncModeName(*mode),
+              static_cast<unsigned long long>(recovered->replayed_records),
+              static_cast<unsigned long long>(recovered->skipped_records),
+              recovered->torn_tail ? " (discarded a torn tail record)" : "",
+              static_cast<unsigned long long>(store->epoch()));
+  return 0;
+}
+
+// The final save: with a WAL, Checkpoint (atomic save + log compaction);
+// without one, the plain snapshot write.
+int SaveOrCheckpoint(BidStore* store, const std::string& snapshot_path,
+                     bool wal_enabled) {
+  Status saved = wal_enabled ? store->Checkpoint(snapshot_path)
+                             : store->SaveSnapshot(snapshot_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error saving snapshot: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved epoch %llu -> %s%s\n",
+              static_cast<unsigned long long>(store->epoch()),
+              snapshot_path.c_str(),
+              wal_enabled ? " (WAL compacted)" : "");
+  return 0;
+}
+
 // Parses the store/engine flags shared by update and serve.
 bool ParseStoreFlags(
     const std::map<std::string, std::vector<std::string>>& flags,
@@ -818,6 +884,9 @@ int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
   BidStore store(&engine, store_opts);
   const int rc = RestoreOrDerive(&store, flags, snapshot_path);
   if (rc != 0) return rc;
+  bool wal_enabled = false;
+  const int wal_rc = OpenWalFromFlags(&store, flags, &wal_enabled);
+  if (wal_rc != 0) return wal_rc;
 
   std::string delta_path = GetFlag(flags, "delta", "");
   if (!delta_path.empty()) {
@@ -839,17 +908,16 @@ int CmdUpdate(const std::map<std::string, std::vector<std::string>>& flags) {
       return 1;
     }
     PrintCommitStats("applied delta", *committed);
+    if (wal_enabled) {
+      Status synced = store.SyncWal();
+      if (!synced.ok()) {
+        std::fprintf(stderr, "error: %s\n", synced.ToString().c_str());
+        return 1;
+      }
+    }
   }
 
-  Status saved = store.SaveSnapshot(snapshot_path);
-  if (!saved.ok()) {
-    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
-    return 1;
-  }
-  std::printf("saved epoch %llu -> %s\n",
-              static_cast<unsigned long long>(store.epoch()),
-              snapshot_path.c_str());
-  return 0;
+  return SaveOrCheckpoint(&store, snapshot_path, wal_enabled);
 }
 
 // Self-pipe for the serve drain: the signal handler may only call
@@ -890,6 +958,9 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
   BidStore store(&engine, store_opts);
   const int rc = RestoreOrDerive(&store, flags, snapshot_path);
   if (rc != 0) return rc;
+  bool wal_enabled = false;
+  const int wal_rc = OpenWalFromFlags(&store, flags, &wal_enabled);
+  if (wal_rc != 0) return wal_rc;
 
   // The drain pipe and handlers go in before the listen socket opens, so
   // a signal racing the start-up is never lost.
@@ -934,15 +1005,7 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(server.requests_shed()));
 
-  Status saved = store.SaveSnapshot(snapshot_path);
-  if (!saved.ok()) {
-    std::cerr << "error saving snapshot: " << saved << "\n";
-    return 1;
-  }
-  std::printf("saved epoch %llu -> %s\n",
-              static_cast<unsigned long long>(store.epoch()),
-              snapshot_path.c_str());
-  return 0;
+  return SaveOrCheckpoint(&store, snapshot_path, wal_enabled);
 }
 
 int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
@@ -1002,11 +1065,11 @@ int main(int argc, char** argv) {
        {"model", "in", "where", "plan", "plan-file", "oracle", "min-prob",
         "samples", "threads", "batch-size"}},
       {"update",
-       {"model", "in", "delta", "snapshot", "samples", "burn-in", "mode",
-        "min-prob", "threads"}},
+       {"model", "in", "delta", "snapshot", "wal-dir", "sync-mode",
+        "samples", "burn-in", "mode", "min-prob", "threads"}},
       {"serve",
-       {"model", "in", "snapshot", "port", "max-inflight", "samples",
-        "burn-in", "mode", "min-prob", "threads"}},
+       {"model", "in", "snapshot", "port", "max-inflight", "wal-dir",
+        "sync-mode", "samples", "burn-in", "mode", "min-prob", "threads"}},
       {"tune", {"in", "candidates", "holdout"}},
   };
   std::string cmd = argv[1];
