@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate bench_query's join-heavy throughput against the checked-in baseline.
+
+Raw plans/sec is not comparable across machines, so the check normalizes
+by the row reference evaluator measured in the SAME run: the columnar
+path must sustain at least
+
+    baseline_columnar * (current_row / baseline_row) * (1 - tolerance)
+
+plans/sec on the join-heavy workload. The row evaluator is the shared
+yardstick — it runs the same algebra on the same inputs, so its ratio
+captures machine speed, leaving only genuine columnar-path regressions.
+
+Usage: check_query_regression.py <current.json> <baseline.json> [tolerance]
+Exits non-zero on regression (default tolerance: 10%).
+"""
+
+import json
+import sys
+
+
+def gate_row(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for row in doc.get("rows", []):
+        if row.get("plan") == "join_heavy_gate":
+            return row
+    sys.exit(f"error: no join_heavy_gate row in {path}")
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    current = gate_row(sys.argv[1])
+    baseline = gate_row(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+
+    machine_scale = current["plans_per_sec_row"] / baseline["plans_per_sec_row"]
+    required = baseline["plans_per_sec"] * machine_scale * (1.0 - tolerance)
+    actual = current["plans_per_sec"]
+
+    print(f"join-heavy columnar plans/sec: {actual:.1f}")
+    print(f"baseline: {baseline['plans_per_sec']:.1f} "
+          f"(row yardstick scale {machine_scale:.2f}x -> "
+          f"required >= {required:.1f} at {tolerance:.0%} tolerance)")
+    if actual < required:
+        print("FAIL: join-heavy columnar throughput regressed beyond "
+              "tolerance", file=sys.stderr)
+        sys.exit(1)
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,9 @@
 
 // Version of the library (semver).
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 5
+#define MRSL_VERSION_MINOR 6
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.5.0"
+#define MRSL_VERSION_STRING "1.6.0"
 
 // Utilities.
 #include "util/csv.h"          // IWYU pragma: export

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "pdb/columnar.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -66,9 +67,19 @@ double AltSetMass(const ProbDatabase& db, size_t block,
   return Clamp01(mass);
 }
 
+// An owned row event (the output of a combination rule).
 struct Event {
   ProbInterval prob;
   Lineage lineage;
+};
+
+// A borrowed row event: the interval by value (16 bytes), the lineage by
+// pointer into whoever stores the row — PlanRow or ColumnBatch. The
+// combination rules below read EventRefs so neither evaluator has to
+// copy lineage vectors just to combine rows.
+struct EventRef {
+  ProbInterval prob;
+  const Lineage* lineage;
 };
 
 // Disjoint-set union over event indices, used to cluster events that
@@ -94,11 +105,11 @@ class Dsu {
 // Groups `events` into connected components of the shared-block graph,
 // each component listed by ascending first event index (deterministic).
 std::vector<std::vector<size_t>> CorrelationComponents(
-    const std::vector<const Event*>& events) {
+    const std::vector<EventRef>& events) {
   Dsu dsu(events.size());
   std::unordered_map<uint64_t, size_t> owner;  // block key -> event index
   for (size_t i = 0; i < events.size(); ++i) {
-    for (uint64_t key : events[i]->lineage.blocks) {
+    for (uint64_t key : events[i].lineage->blocks) {
       auto [it, inserted] = owner.emplace(key, i);
       if (!inserted) dsu.Union(i, it->second);
     }
@@ -117,11 +128,11 @@ std::vector<std::vector<size_t>> CorrelationComponents(
 // OR of all `events`. Exact when the correlation components are each a
 // single event or a set of simple events on one shared block; otherwise
 // the component dissociates to Frechet bounds and *exact is cleared.
-Event DisjoinEvents(const std::vector<const Event*>& events,
+Event DisjoinEvents(const std::vector<EventRef>& events,
                     const std::vector<const ProbDatabase*>& sources,
                     bool* exact) {
   assert(!events.empty());
-  if (events.size() == 1) return *events[0];
+  if (events.size() == 1) return Event{events[0].prob, *events[0].lineage};
 
   std::vector<std::vector<size_t>> components =
       CorrelationComponents(events);
@@ -130,14 +141,15 @@ Event DisjoinEvents(const std::vector<const Event*>& events,
   merged.reserve(components.size());
   for (const std::vector<size_t>& comp : components) {
     if (comp.size() == 1) {
-      merged.push_back(*events[comp[0]]);
+      merged.push_back(
+          Event{events[comp[0]].prob, *events[comp[0]].lineage});
       continue;
     }
     bool all_simple_same_block = true;
     for (size_t i : comp) {
-      const Lineage& l = events[i]->lineage;
-      if (!l.simple || l.source != events[comp[0]]->lineage.source ||
-          l.block != events[comp[0]]->lineage.block) {
+      const Lineage& l = *events[i].lineage;
+      if (!l.simple || l.source != events[comp[0]].lineage->source ||
+          l.block != events[comp[0]].lineage->block) {
         all_simple_same_block = false;
         break;
       }
@@ -146,10 +158,10 @@ Event DisjoinEvents(const std::vector<const Event*>& events,
     if (all_simple_same_block) {
       // Disjoint-union rule: the events are alternative sets of one
       // block, so their union's mass is exact.
-      const Lineage& first = events[comp[0]]->lineage;
+      const Lineage& first = *events[comp[0]].lineage;
       std::vector<uint32_t> alts;
       for (size_t i : comp) {
-        const std::vector<uint32_t>& more = events[i]->lineage.alts;
+        const std::vector<uint32_t>& more = events[i].lineage->alts;
         alts.insert(alts.end(), more.begin(), more.end());
       }
       std::sort(alts.begin(), alts.end());
@@ -166,10 +178,10 @@ Event DisjoinEvents(const std::vector<const Event*>& events,
       double lo = 0.0;
       double hi = 0.0;
       for (size_t i : comp) {
-        lo = std::max(lo, events[i]->prob.lo);
-        hi += events[i]->prob.hi;
+        lo = std::max(lo, events[i].prob.lo);
+        hi += events[i].prob.hi;
         ev.lineage.blocks =
-            UnionKeys(ev.lineage.blocks, events[i]->lineage.blocks);
+            UnionKeys(ev.lineage.blocks, events[i].lineage->blocks);
       }
       ev.prob = ProbInterval::Bounds(lo, std::min(1.0, hi));
       *exact = false;
@@ -198,34 +210,34 @@ Event DisjoinEvents(const std::vector<const Event*>& events,
 // AND of two row events (Join). Sets *impossible for same-block events
 // with non-intersecting alternative sets (the joined pair can never
 // coexist); clears *exact when dissociation bounds were needed.
-Event ConjoinEvents(const Event& a, const Event& b,
+Event ConjoinEvents(const EventRef& a, const EventRef& b,
                     const std::vector<const ProbDatabase*>& sources,
                     bool* exact, bool* impossible) {
   *impossible = false;
+  const Lineage& la = *a.lineage;
+  const Lineage& lb = *b.lineage;
   Event out;
-  if (a.lineage.simple && b.lineage.simple &&
-      a.lineage.source == b.lineage.source &&
-      a.lineage.block == b.lineage.block) {
+  if (la.simple && lb.simple && la.source == lb.source &&
+      la.block == lb.block) {
     // Same block: the chosen alternative must lie in both sets.
     std::vector<uint32_t> alts;
-    std::set_intersection(a.lineage.alts.begin(), a.lineage.alts.end(),
-                          b.lineage.alts.begin(), b.lineage.alts.end(),
-                          std::back_inserter(alts));
+    std::set_intersection(la.alts.begin(), la.alts.end(), lb.alts.begin(),
+                          lb.alts.end(), std::back_inserter(alts));
     if (alts.empty()) {
       *impossible = true;
       return out;
     }
     out.lineage.simple = true;
-    out.lineage.source = a.lineage.source;
-    out.lineage.block = a.lineage.block;
-    out.lineage.blocks = a.lineage.blocks;
+    out.lineage.source = la.source;
+    out.lineage.block = la.block;
+    out.lineage.blocks = la.blocks;
     out.prob = ProbInterval::Exact(
-        AltSetMass(*sources[a.lineage.source], a.lineage.block, alts));
+        AltSetMass(*sources[la.source], la.block, alts));
     out.lineage.alts = std::move(alts);
     return out;
   }
-  out.lineage.blocks = UnionKeys(a.lineage.blocks, b.lineage.blocks);
-  if (!KeysIntersect(a.lineage.blocks, b.lineage.blocks)) {
+  out.lineage.blocks = UnionKeys(la.blocks, lb.blocks);
+  if (!KeysIntersect(la.blocks, lb.blocks)) {
     // Independent operands: probabilities multiply, exactly.
     out.prob = ProbInterval::Bounds(a.prob.lo * b.prob.lo,
                                     a.prob.hi * b.prob.hi);
@@ -304,6 +316,11 @@ Result<PlanResult> EvalNode(const PlanNode& node,
       const ProbDatabase& db = *sources[node.source];
       PlanResult out;
       out.schema = db.schema();
+      size_t total = 0;
+      for (size_t b = 0; b < db.num_blocks(); ++b) {
+        total += db.block(b).alternatives.size();
+      }
+      out.rows.reserve(total);
       for (size_t b = 0; b < db.num_blocks(); ++b) {
         const Block& block = db.block(b);
         for (size_t j = 0; j < block.alternatives.size(); ++j) {
@@ -365,15 +382,16 @@ Result<PlanResult> EvalNode(const PlanNode& node,
       PlanResult out;
       out.schema = std::move(schema).value();
       out.safe = child->safe;
-      std::vector<Event> events(child->rows.size());
-      for (size_t r = 0; r < child->rows.size(); ++r) {
-        events[r] = Event{child->rows[r].prob, child->rows[r].lineage};
-      }
+      out.rows.reserve(groups.size());
+      std::vector<EventRef> group_events;
       for (auto& [proj, members] : groups) {
-        std::vector<const Event*> group;
-        group.reserve(members.size());
-        for (size_t r : members) group.push_back(&events[r]);
-        Event ev = DisjoinEvents(group, sources, &out.safe);
+        group_events.clear();
+        group_events.reserve(members.size());
+        for (size_t r : members) {
+          group_events.push_back(
+              EventRef{child->rows[r].prob, &child->rows[r].lineage});
+        }
+        Event ev = DisjoinEvents(group_events, sources, &out.safe);
         out.rows.push_back(PlanRow{std::move(proj), ev.prob,
                                    std::move(ev.lineage)});
       }
@@ -393,6 +411,7 @@ Result<PlanResult> EvalNode(const PlanNode& node,
       if (!schema.ok()) return schema.status();
 
       std::unordered_map<ValueId, std::vector<size_t>> right_index;
+      right_index.reserve(right->rows.size());
       for (size_t r = 0; r < right->rows.size(); ++r) {
         right_index[right->rows[r].tuple.value(node.right_attr)]
             .push_back(r);
@@ -401,16 +420,29 @@ Result<PlanResult> EvalNode(const PlanNode& node,
       PlanResult out;
       out.schema = std::move(schema).value();
       out.safe = left->safe && right->safe;
-      const size_t ln = left->schema.num_attrs();
-      const size_t rn = right->schema.num_attrs();
+      // Exact output reservation: count matches first (cheap integer
+      // pass), so the append loop never reallocates mid-join.
+      size_t matches = 0;
+      std::vector<const std::vector<size_t>*> left_matches;
+      left_matches.reserve(left->rows.size());
       for (const PlanRow& lr : left->rows) {
         auto it = right_index.find(lr.tuple.value(node.left_attr));
-        if (it == right_index.end()) continue;
-        for (size_t r : it->second) {
+        const std::vector<size_t>* m =
+            it == right_index.end() ? nullptr : &it->second;
+        if (m != nullptr) matches += m->size();
+        left_matches.push_back(m);
+      }
+      out.rows.reserve(matches);
+      const size_t ln = left->schema.num_attrs();
+      const size_t rn = right->schema.num_attrs();
+      for (size_t l = 0; l < left->rows.size(); ++l) {
+        if (left_matches[l] == nullptr) continue;
+        const PlanRow& lr = left->rows[l];
+        for (size_t r : *left_matches[l]) {
           const PlanRow& rr = right->rows[r];
           bool impossible = false;
-          Event ev = ConjoinEvents(Event{lr.prob, lr.lineage},
-                                   Event{rr.prob, rr.lineage}, sources,
+          Event ev = ConjoinEvents(EventRef{lr.prob, &lr.lineage},
+                                   EventRef{rr.prob, &rr.lineage}, sources,
                                    &out.safe, &impossible);
           if (impossible) continue;
           Tuple joined(ln + rn);
@@ -424,6 +456,438 @@ Result<PlanResult> EvalNode(const PlanNode& node,
           out.rows.push_back(PlanRow{std::move(joined), ev.prob,
                                      std::move(ev.lineage)});
         }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+// ---------------------------------------------------------------------------
+// The columnar batch evaluator (the production path). Same operators,
+// same combination rules, same row order and floating-point operations
+// as EvalNode above — but intermediate rows live in struct-of-arrays
+// ColumnBatches: values in one contiguous column per attribute, the
+// interval in flat double arrays, lineage in a side CSR table. No Tuple
+// is constructed and no PlanRow is moved until the root rematerializes,
+// and the batch combination rules below append lineage straight into
+// the output arena — zero per-row allocations in steady state, where
+// the row reference pays one or more vector allocations per event.
+// ---------------------------------------------------------------------------
+
+// Sorted-unique merge of two key spans into `out` (cleared first);
+// returns true when the spans share a key — the UnionKeys +
+// KeysIntersect pair of the row rules in one pass.
+bool MergeKeySpans(const uint64_t* a, size_t an, const uint64_t* b, size_t bn,
+                   std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(an + bn);
+  bool shared = false;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out->push_back(b[j++]);
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+      shared = true;
+    }
+  }
+  out->insert(out->end(), a + i, a + an);
+  out->insert(out->end(), b + j, b + bn);
+  return shared;
+}
+
+// Scratch reused across every batch conjoin/disjoin of one evaluation,
+// so the batch rules allocate nothing per row in steady state. Block
+// keys are dense (BlockKey packs (source, block) and blocks are
+// contiguous per source), so the "which event owns this block" lookup
+// of the correlation DSU is an epoch-stamped direct-index table rather
+// than a hash map — one array read per lineage key.
+struct EventScratch {
+  std::vector<uint32_t> alt_set;
+  std::vector<uint64_t> key_set;
+  std::vector<size_t> parent;           // DSU over group members
+  std::vector<size_t> block_base;       // per-source slot base (prefix sums)
+  std::vector<uint32_t> owner_of_block; // slot -> owning member idx
+  std::vector<uint32_t> owner_epoch;    // slot -> stamp of last write
+  uint32_t epoch = 0;
+  std::vector<uint32_t> comp_of_root;   // member idx -> component (or ~0u)
+  std::vector<std::vector<uint32_t>> components;
+  size_t num_components = 0;
+};
+
+// Concatenate + sort + unique the block keys of the member rows named
+// by `comp` — the same set the row rules build by pairwise UnionKeys
+// merging, without the quadratic blowup.
+void CollectSortedKeys(const LineageTable& lt, const uint32_t* rows,
+                       const uint32_t* comp, size_t comp_n,
+                       std::vector<uint64_t>* out) {
+  out->clear();
+  for (size_t i = 0; i < comp_n; ++i) {
+    const uint32_t r = rows[comp[i]];
+    out->insert(out->end(), lt.keys_begin(r),
+                lt.keys_begin(r) + lt.keys_size(r));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+// AND of row l of `left` and row r of `right`: appends the combined
+// interval and lineage to `out` and returns true, or returns false for
+// an impossible pair (same block, disjoint alternative sets). Mirrors
+// ConjoinEvents rule for rule — same formulas, same operation order.
+bool ConjoinRowsToBatch(const ColumnBatch& left, size_t l,
+                        const ColumnBatch& right, size_t r,
+                        const std::vector<const ProbDatabase*>& sources,
+                        ColumnBatch* out, bool* exact, EventScratch* s) {
+  const LineageTable& la = left.lineage;
+  const LineageTable& lb = right.lineage;
+  if (la.simple[l] != 0 && lb.simple[r] != 0 &&
+      la.source[l] == lb.source[r] && la.block[l] == lb.block[r]) {
+    // Same block: the chosen alternative must lie in both sets.
+    s->alt_set.clear();
+    std::set_intersection(la.alts_begin(l), la.alts_begin(l) + la.alts_size(l),
+                          lb.alts_begin(r), lb.alts_begin(r) + lb.alts_size(r),
+                          std::back_inserter(s->alt_set));
+    if (s->alt_set.empty()) return false;
+    const double mass = AltSetMass(*sources[la.source[l]],
+                                   static_cast<size_t>(la.block[l]),
+                                   s->alt_set);
+    out->lo.push_back(mass);
+    out->hi.push_back(mass);
+    out->lineage.AppendSimple(la.source[l], la.block[l], s->alt_set);
+    return true;
+  }
+  const bool shared =
+      MergeKeySpans(la.keys_begin(l), la.keys_size(l), lb.keys_begin(r),
+                    lb.keys_size(r), &s->key_set);
+  if (!shared) {
+    // Independent operands: probabilities multiply, exactly.
+    out->lo.push_back(left.lo[l] * right.lo[r]);
+    out->hi.push_back(left.hi[l] * right.hi[r]);
+  } else {
+    // Correlated operands: Frechet conjunction bounds.
+    out->lo.push_back(std::max(0.0, left.lo[l] + right.lo[r] - 1.0));
+    out->hi.push_back(std::min(left.hi[l], right.hi[r]));
+    *exact = false;
+  }
+  out->lineage.AppendComposite(s->key_set);
+  return true;
+}
+
+// OR of one projection group's member rows (`rows[0..n)` of `child`):
+// appends the merged interval and lineage to `out`. Mirrors
+// DisjoinEvents — same component structure, same formulas in the same
+// order — with one representational improvement: a correlated
+// component's key set is collected once and sort-uniqued instead of
+// merged pairwise (identical resulting set, linear instead of
+// quadratic in the component's block count).
+void DisjoinGroupToBatch(const ColumnBatch& child, const uint32_t* rows,
+                         size_t n,
+                         const std::vector<const ProbDatabase*>& sources,
+                         ColumnBatch* out, bool* exact, EventScratch* s) {
+  const LineageTable& lt = child.lineage;
+  assert(n != 0);
+  if (n == 1) {
+    out->lo.push_back(child.lo[rows[0]]);
+    out->hi.push_back(child.hi[rows[0]]);
+    out->lineage.AppendFrom(lt, rows[0]);
+    return;
+  }
+
+  // Correlation components (mirrors CorrelationComponents): DSU over
+  // the members, unioning events that share a base block; components
+  // numbered by ascending first member index.
+  s->parent.resize(n);
+  std::iota(s->parent.begin(), s->parent.end(), 0);
+  auto find = [&](size_t x) {
+    while (s->parent[x] != x) {
+      s->parent[x] = s->parent[s->parent[x]];
+      x = s->parent[x];
+    }
+    return x;
+  };
+  if (s->block_base.empty()) {
+    s->block_base.resize(sources.size() + 1, 0);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      s->block_base[i + 1] =
+          s->block_base[i] + (sources[i] != nullptr ? sources[i]->num_blocks()
+                                                    : 0);
+    }
+    s->owner_of_block.assign(s->block_base.back(), 0);
+    s->owner_epoch.assign(s->block_base.back(), 0);
+  }
+  ++s->epoch;
+  constexpr uint64_t kBlockMask = (uint64_t{1} << 40) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t* kb = lt.keys_begin(rows[i]);
+    const size_t kn = lt.keys_size(rows[i]);
+    for (size_t k = 0; k < kn; ++k) {
+      const size_t slot =
+          s->block_base[kb[k] >> 40] + static_cast<size_t>(kb[k] & kBlockMask);
+      if (s->owner_epoch[slot] != s->epoch) {
+        s->owner_epoch[slot] = s->epoch;
+        s->owner_of_block[slot] = static_cast<uint32_t>(i);
+      } else {
+        s->parent[find(i)] = find(s->owner_of_block[slot]);
+      }
+    }
+  }
+  s->comp_of_root.assign(n, UINT32_MAX);
+  s->num_components = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = find(i);
+    if (s->comp_of_root[root] == UINT32_MAX) {
+      s->comp_of_root[root] = static_cast<uint32_t>(s->num_components);
+      if (s->components.size() == s->num_components) {
+        s->components.emplace_back();
+      }
+      s->components[s->num_components].clear();
+      ++s->num_components;
+    }
+    s->components[s->comp_of_root[root]].push_back(static_cast<uint32_t>(i));
+  }
+
+  // One component: its merged event IS the output row (the row rules'
+  // merged.size() == 1 shortcut). Several: they touch disjoint blocks,
+  // hence are independent, and the union complement-multiplies in
+  // component order.
+  const bool lone = s->num_components == 1;
+  double none_lo = 1.0;
+  double none_hi = 1.0;
+  for (size_t c = 0; c < s->num_components; ++c) {
+    const std::vector<uint32_t>& comp = s->components[c];
+    double clo = 0.0;
+    double chi = 0.0;
+    if (comp.size() == 1) {
+      const uint32_t r = rows[comp[0]];
+      clo = child.lo[r];
+      chi = child.hi[r];
+      if (lone) {
+        out->lo.push_back(clo);
+        out->hi.push_back(chi);
+        out->lineage.AppendFrom(lt, r);
+        return;
+      }
+    } else {
+      const uint32_t r0 = rows[comp[0]];
+      bool all_simple_same_block = true;
+      for (uint32_t i : comp) {
+        const uint32_t r = rows[i];
+        if (lt.simple[r] == 0 || lt.source[r] != lt.source[r0] ||
+            lt.block[r] != lt.block[r0]) {
+          all_simple_same_block = false;
+          break;
+        }
+      }
+      if (all_simple_same_block) {
+        // Disjoint-union rule: alternative sets of one block union
+        // exactly.
+        s->alt_set.clear();
+        for (uint32_t i : comp) {
+          const uint32_t r = rows[i];
+          s->alt_set.insert(s->alt_set.end(), lt.alts_begin(r),
+                            lt.alts_begin(r) + lt.alts_size(r));
+        }
+        std::sort(s->alt_set.begin(), s->alt_set.end());
+        s->alt_set.erase(std::unique(s->alt_set.begin(), s->alt_set.end()),
+                         s->alt_set.end());
+        clo = chi = AltSetMass(*sources[lt.source[r0]],
+                               static_cast<size_t>(lt.block[r0]), s->alt_set);
+        if (lone) {
+          out->lo.push_back(clo);
+          out->hi.push_back(chi);
+          out->lineage.AppendSimple(lt.source[r0], lt.block[r0], s->alt_set);
+          return;
+        }
+      } else {
+        // Correlated component: dissociate to Frechet disjunction
+        // bounds.
+        for (uint32_t i : comp) {
+          const uint32_t r = rows[i];
+          clo = std::max(clo, child.lo[r]);
+          chi += child.hi[r];
+        }
+        chi = std::min(1.0, chi);
+        *exact = false;
+        if (lone) {
+          CollectSortedKeys(lt, rows, comp.data(), comp.size(), &s->key_set);
+          out->lo.push_back(clo);
+          out->hi.push_back(chi);
+          out->lineage.AppendComposite(s->key_set);
+          return;
+        }
+      }
+    }
+    none_lo *= (1.0 - clo);
+    none_hi *= (1.0 - chi);
+  }
+
+  // The combined lineage reads every member's blocks; the set is the
+  // same whether unioned pairwise (row rules) or collected and
+  // sort-uniqued once.
+  s->key_set.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows[i];
+    s->key_set.insert(s->key_set.end(), lt.keys_begin(r),
+                      lt.keys_begin(r) + lt.keys_size(r));
+  }
+  std::sort(s->key_set.begin(), s->key_set.end());
+  s->key_set.erase(std::unique(s->key_set.begin(), s->key_set.end()),
+                   s->key_set.end());
+  out->lo.push_back(Clamp01(1.0 - none_lo));
+  out->hi.push_back(Clamp01(1.0 - none_hi));
+  out->lineage.AppendComposite(s->key_set);
+}
+
+Result<ColumnBatch> EvalNodeBatch(
+    const PlanNode& node, const std::vector<const ProbDatabase*>& sources) {
+  switch (node.op) {
+    case PlanNode::Op::kScan: {
+      MRSL_RETURN_IF_ERROR(ValidateSource(node.source, sources));
+      return ScanToBatch(*sources[node.source],
+                         static_cast<uint32_t>(node.source));
+    }
+
+    case PlanNode::Op::kSelect: {
+      auto child = EvalNodeBatch(*node.left, sources);
+      if (!child.ok()) return child.status();
+      AttrMask touched = node.pred.AttrsTouched();
+      if (child->schema.num_attrs() < kMaxAttributes &&
+          (touched >> child->schema.num_attrs()) != 0) {
+        return Status::InvalidArgument("select predicate attr out of range");
+      }
+      if (node.pred.atoms().empty()) return child;
+      // Predicate sweep: each atom scans ONE column, refining the
+      // selection vector; the single gather afterwards applies it.
+      std::vector<uint32_t> sel;
+      bool first = true;
+      for (const PredicateAtom& atom : node.pred.atoms()) {
+        const std::vector<ValueId>& col = child->cols[atom.attr];
+        if (first) {
+          const size_t n = child->num_rows();
+          sel.reserve(n);
+          for (size_t r = 0; r < n; ++r) {
+            if ((col[r] == atom.value) != atom.negated) {
+              sel.push_back(static_cast<uint32_t>(r));
+            }
+          }
+          first = false;
+        } else {
+          size_t w = 0;
+          for (uint32_t r : sel) {
+            if ((col[r] == atom.value) != atom.negated) sel[w++] = r;
+          }
+          sel.resize(w);
+        }
+      }
+      child->Keep(sel);
+      return child;
+    }
+
+    case PlanNode::Op::kProject: {
+      auto child = EvalNodeBatch(*node.left, sources);
+      if (!child.ok()) return child.status();
+      auto schema = ProjectSchema(child->schema, node.attrs);
+      if (!schema.ok()) return schema.status();
+
+      // Group-id sweep over the projected columns (first-seen order),
+      // then a stable counting sort so each group's member rows are
+      // contiguous for the single disjoin pass.
+      GroupIds groups = AssignGroupIds(*child, node.attrs);
+      const size_t n = child->num_rows();
+      const size_t g_count = groups.num_groups();
+      std::vector<uint32_t> offsets(g_count + 1, 0);
+      for (size_t r = 0; r < n; ++r) ++offsets[groups.group_of_row[r] + 1];
+      for (size_t g = 0; g < g_count; ++g) offsets[g + 1] += offsets[g];
+      std::vector<uint32_t> members(n);
+      {
+        std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+        for (size_t r = 0; r < n; ++r) {
+          members[cursor[groups.group_of_row[r]]++] =
+              static_cast<uint32_t>(r);
+        }
+      }
+
+      ColumnBatch out;
+      out.SetSchema(std::move(schema).value());
+      out.safe = child->safe;
+      out.ReserveRows(g_count);
+      EventScratch scratch;
+      for (size_t g = 0; g < g_count; ++g) {
+        DisjoinGroupToBatch(*child, members.data() + offsets[g],
+                            offsets[g + 1] - offsets[g], sources, &out,
+                            &out.safe, &scratch);
+        const uint32_t rep = groups.rep_row[g];
+        for (size_t k = 0; k < node.attrs.size(); ++k) {
+          out.cols[k].push_back(child->cols[node.attrs[k]][rep]);
+        }
+      }
+      return out;
+    }
+
+    case PlanNode::Op::kJoin: {
+      auto left = EvalNodeBatch(*node.left, sources);
+      if (!left.ok()) return left.status();
+      auto right = EvalNodeBatch(*node.right, sources);
+      if (!right.ok()) return right.status();
+      if (node.left_attr >= left->schema.num_attrs() ||
+          node.right_attr >= right->schema.num_attrs()) {
+        return Status::InvalidArgument("join attribute out of range");
+      }
+      auto schema = ConcatSchemas(left->schema, right->schema);
+      if (!schema.ok()) return schema.status();
+
+      // Hash build on the raw right key column.
+      std::unordered_map<ValueId, std::vector<uint32_t>> right_index =
+          BuildKeyIndex(right->cols[node.right_attr]);
+
+      ColumnBatch out;
+      out.SetSchema(std::move(schema).value());
+      out.safe = left->safe && right->safe;
+
+      // Pass 1 — probe and combine events, recording the surviving
+      // (left, right) row pairs. Only the event math runs per pair; no
+      // values move yet.
+      const std::vector<ValueId>& left_keys = left->cols[node.left_attr];
+      const size_t left_n = left->num_rows();
+      std::vector<uint32_t> lrows;
+      std::vector<uint32_t> rrows;
+      EventScratch scratch;
+      for (size_t l = 0; l < left_n; ++l) {
+        auto it = right_index.find(left_keys[l]);
+        if (it == right_index.end()) continue;
+        for (uint32_t r : it->second) {
+          if (!ConjoinRowsToBatch(*left, l, *right, r, sources, &out,
+                                  &out.safe, &scratch)) {
+            continue;
+          }
+          lrows.push_back(static_cast<uint32_t>(l));
+          rrows.push_back(r);
+        }
+      }
+
+      // Pass 2 — batched output append: one contiguous gather per
+      // output column.
+      const size_t out_n = lrows.size();
+      const size_t ln = left->num_attrs();
+      const size_t rn = right->num_attrs();
+      for (size_t a = 0; a < ln; ++a) {
+        const std::vector<ValueId>& src = left->cols[a];
+        std::vector<ValueId>& dst = out.cols[a];
+        dst.resize(out_n);
+        for (size_t k = 0; k < out_n; ++k) dst[k] = src[lrows[k]];
+      }
+      for (size_t a = 0; a < rn; ++a) {
+        const std::vector<ValueId>& src = right->cols[a];
+        std::vector<ValueId>& dst = out.cols[ln + a];
+        dst.resize(out_n);
+        for (size_t k = 0; k < out_n; ++k) dst[k] = src[rrows[k]];
       }
       return out;
     }
@@ -563,6 +1027,13 @@ Result<std::string> PlanToString(
 
 Result<PlanResult> EvaluatePlan(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  auto batch = EvalNodeBatch(plan, sources);
+  if (!batch.ok()) return batch.status();
+  return BatchToPlanResult(std::move(*batch));
+}
+
+Result<PlanResult> EvaluatePlanRowwise(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
   return EvalNode(plan, sources);
 }
 
@@ -578,20 +1049,39 @@ std::vector<DistinctMarginal> DistinctMarginals(
     }
     groups[it->second].second.push_back(r);
   }
-  std::vector<Event> events(result.rows.size());
-  for (size_t r = 0; r < result.rows.size(); ++r) {
-    events[r] = Event{result.rows[r].prob, result.rows[r].lineage};
-  }
   std::vector<DistinctMarginal> out;
   out.reserve(groups.size());
   bool exact = true;  // per-marginal exactness shows in the interval
+  std::vector<EventRef> group_events;
   for (auto& [tuple, members] : groups) {
-    std::vector<const Event*> group;
-    group.reserve(members.size());
-    for (size_t r : members) group.push_back(&events[r]);
-    Event ev = DisjoinEvents(group, sources, &exact);
+    group_events.clear();
+    group_events.reserve(members.size());
+    for (size_t r : members) {
+      group_events.push_back(
+          EventRef{result.rows[r].prob, &result.rows[r].lineage});
+    }
+    Event ev = DisjoinEvents(group_events, sources, &exact);
     out.push_back(DistinctMarginal{std::move(tuple), ev.prob});
   }
+  return out;
+}
+
+ExistsResult ExistsFromResult(
+    const PlanResult& result,
+    const std::vector<const ProbDatabase*>& sources) {
+  ExistsResult out;
+  out.safe = result.safe;
+  if (result.rows.empty()) {
+    out.prob = ProbInterval::Exact(0.0);
+    return out;
+  }
+  std::vector<EventRef> events;
+  events.reserve(result.rows.size());
+  for (const PlanRow& row : result.rows) {
+    events.push_back(EventRef{row.prob, &row.lineage});
+  }
+  Event ev = DisjoinEvents(events, sources, &out.safe);
+  out.prob = ev.prob;
   return out;
 }
 
@@ -599,29 +1089,17 @@ Result<ExistsResult> EvaluateExists(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
   auto result = EvaluatePlan(plan, sources);
   if (!result.ok()) return result.status();
-  ExistsResult out;
-  out.safe = result->safe;
-  if (result->rows.empty()) {
-    out.prob = ProbInterval::Exact(0.0);
-    return out;
-  }
-  std::vector<Event> events(result->rows.size());
-  std::vector<const Event*> ptrs(result->rows.size());
-  for (size_t r = 0; r < result->rows.size(); ++r) {
-    events[r] = Event{result->rows[r].prob, result->rows[r].lineage};
-    ptrs[r] = &events[r];
-  }
-  Event ev = DisjoinEvents(ptrs, sources, &out.safe);
-  out.prob = ev.prob;
-  return out;
+  return ExistsFromResult(*result, sources);
 }
 
-Result<CountResult> EvaluateCount(
-    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
-  auto result = EvaluatePlan(plan, sources);
-  if (!result.ok()) return result.status();
+CountResult CountFromResult(
+    const PlanResult& result,
+    const std::vector<const ProbDatabase*>& sources) {
+  // `sources` keeps the signature parallel to ExistsFromResult; the
+  // count rules below need only the rows' own events.
+  (void)sources;
   CountResult out;
-  out.safe = result->safe;
+  out.safe = result.safe;
 
   // Linearity of expectation: the expected bag count is the sum of row
   // probabilities regardless of correlation, so the interval sum is
@@ -629,7 +1107,7 @@ Result<CountResult> EvaluateCount(
   double lo = 0.0;
   double hi = 0.0;
   bool all_exact = true;
-  for (const PlanRow& row : result->rows) {
+  for (const PlanRow& row : result.rows) {
     lo += row.prob.lo;
     hi += row.prob.hi;
     all_exact = all_exact && row.prob.exact();
@@ -641,14 +1119,13 @@ Result<CountResult> EvaluateCount(
   // same-block rows with pairwise-disjoint alternative sets (at most one
   // of them exists per world -> one Bernoulli of the summed mass).
   if (!all_exact) return out;
-  std::vector<const Event*> ptrs;
-  std::vector<Event> events(result->rows.size());
-  for (size_t r = 0; r < result->rows.size(); ++r) {
-    events[r] = Event{result->rows[r].prob, result->rows[r].lineage};
-    ptrs.push_back(&events[r]);
+  std::vector<EventRef> events;
+  events.reserve(result.rows.size());
+  for (const PlanRow& row : result.rows) {
+    events.push_back(EventRef{row.prob, &row.lineage});
   }
   std::vector<double> bernoullis;
-  for (const std::vector<size_t>& comp : CorrelationComponents(ptrs)) {
+  for (const std::vector<size_t>& comp : CorrelationComponents(events)) {
     if (comp.size() == 1) {
       bernoullis.push_back(events[comp[0]].prob.lo);
       continue;
@@ -658,9 +1135,9 @@ Result<CountResult> EvaluateCount(
     std::vector<uint32_t> seen;
     bool mergeable = true;
     for (size_t i : comp) {
-      const Lineage& l = events[i].lineage;
-      if (!l.simple || l.source != events[comp[0]].lineage.source ||
-          l.block != events[comp[0]].lineage.block) {
+      const Lineage& l = *events[i].lineage;
+      if (!l.simple || l.source != events[comp[0]].lineage->source ||
+          l.block != events[comp[0]].lineage->block) {
         mergeable = false;
         break;
       }
@@ -690,6 +1167,13 @@ Result<CountResult> EvaluateCount(
   out.has_distribution = true;
   out.distribution = std::move(dist);
   return out;
+}
+
+Result<CountResult> EvaluateCount(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
+  auto result = EvaluatePlan(plan, sources);
+  if (!result.ok()) return result.status();
+  return CountFromResult(*result, sources);
 }
 
 // ---------------------------------------------------------------------------

@@ -139,9 +139,21 @@ struct PlanResult {
   bool safe = true;
 };
 
-/// Bottom-up extensional evaluation of `plan` over `sources`.
+/// Bottom-up extensional evaluation of `plan` over `sources`. This is
+/// the production path: it runs on columnar batches (pdb/columnar.h) —
+/// Select as a predicate sweep over one column per atom, Join as a hash
+/// build on a raw key column with batched output gathers, Project as a
+/// group-id sweep plus one disjoin pass — and materializes rows only at
+/// the root. Bit-identical (row order, doubles, lineage) to the row
+/// reference evaluator below.
 Result<PlanResult> EvaluatePlan(const PlanNode& plan,
                                 const std::vector<const ProbDatabase*>& sources);
+
+/// The row-at-a-time reference evaluator: one PlanRow per intermediate
+/// row. Kept compiled as the differential baseline for the columnar
+/// path (tests hold the two to exact equality); not used in serving.
+Result<PlanResult> EvaluatePlanRowwise(
+    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources);
 
 /// Marginal appearance probability per distinct tuple value of `result`
 /// (disjoins the events of duplicate rows; exact when their lineages
@@ -162,6 +174,12 @@ struct ExistsResult {
 Result<ExistsResult> EvaluateExists(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources);
 
+/// EvaluateExists over an already-evaluated plan result — lets callers
+/// that hold the relation result (the store's query path) skip the
+/// second plan evaluation EvaluateExists would perform.
+ExistsResult ExistsFromResult(const PlanResult& result,
+                              const std::vector<const ProbDatabase*>& sources);
+
 /// COUNT(*) over the plan's bag of rows. The expectation is exact
 /// whenever every row probability is exact (linearity of expectation
 /// holds under any correlation); the full Poisson-binomial distribution
@@ -175,6 +193,11 @@ struct CountResult {
 };
 Result<CountResult> EvaluateCount(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources);
+
+/// EvaluateCount over an already-evaluated plan result (see
+/// ExistsFromResult).
+CountResult CountFromResult(const PlanResult& result,
+                            const std::vector<const ProbDatabase*>& sources);
 
 // ---------------------------------------------------------------------------
 // Plan text syntax (the CLI's `--plan` argument).

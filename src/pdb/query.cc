@@ -14,13 +14,13 @@ namespace mrsl {
 
 Predicate Predicate::Eq(AttrId attr, ValueId value) {
   Predicate p;
-  p.atoms_.push_back(Atom{attr, value, false});
+  p.atoms_.push_back(PredicateAtom{attr, value, false});
   return p;
 }
 
 Predicate Predicate::Ne(AttrId attr, ValueId value) {
   Predicate p;
-  p.atoms_.push_back(Atom{attr, value, true});
+  p.atoms_.push_back(PredicateAtom{attr, value, true});
   return p;
 }
 
@@ -31,7 +31,7 @@ Predicate Predicate::And(const Predicate& other) const {
 }
 
 bool Predicate::Eval(const Tuple& t) const {
-  for (const Atom& a : atoms_) {
+  for (const PredicateAtom& a : atoms_) {
     bool eq = t.value(a.attr) == a.value;
     if (eq == a.negated) return false;
   }
@@ -40,7 +40,7 @@ bool Predicate::Eval(const Tuple& t) const {
 
 Predicate::Tri Predicate::EvalPartial(const Tuple& t) const {
   bool unknown = false;
-  for (const Atom& a : atoms_) {
+  for (const PredicateAtom& a : atoms_) {
     ValueId v = t.value(a.attr);
     if (v == kMissingValue) {
       unknown = true;
@@ -54,7 +54,7 @@ Predicate::Tri Predicate::EvalPartial(const Tuple& t) const {
 
 AttrMask Predicate::AttrsTouched() const {
   AttrMask mask = 0;
-  for (const Atom& a : atoms_) mask |= AttrMask{1} << a.attr;
+  for (const PredicateAtom& a : atoms_) mask |= AttrMask{1} << a.attr;
   return mask;
 }
 

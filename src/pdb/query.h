@@ -20,6 +20,13 @@
 
 namespace mrsl {
 
+/// One =/!= atom of a predicate conjunction.
+struct PredicateAtom {
+  AttrId attr;
+  ValueId value;
+  bool negated;
+};
+
 /// A conjunction of (attr = value) / (attr != value) atoms.
 class Predicate {
  public:
@@ -51,13 +58,12 @@ class Predicate {
   /// e.g. "inc=100K AND nw!=500K".
   std::string ToString(const Schema& schema) const;
 
+  /// The conjunction's atoms in evaluation order — the columnar
+  /// evaluator (pdb/columnar.h) sweeps one column per atom.
+  const std::vector<PredicateAtom>& atoms() const { return atoms_; }
+
  private:
-  struct Atom {
-    AttrId attr;
-    ValueId value;
-    bool negated;
-  };
-  std::vector<Atom> atoms_;
+  std::vector<PredicateAtom> atoms_;
 };
 
 /// An answer tuple with its marginal probability.

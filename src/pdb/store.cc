@@ -284,6 +284,7 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
     return Status::FailedPrecondition("store has no epoch yet");
   }
   std::vector<const ProbDatabase*> sources = {&snap->database()};
+  WallTimer stage_timer;
   MRSL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParsePlan(plan_text, sources));
   MRSL_ASSIGN_OR_RETURN(std::string rendered,
                         PlanToString(*parsed.plan, sources));
@@ -300,6 +301,7 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
       out.canonical_text = "count(" + rendered + ")";
       break;
   }
+  out.stages.parse_seconds = stage_timer.ElapsedSeconds();
 
   if (auto hit = plan_cache_.Lookup(out.canonical_text, out.epoch)) {
     out.from_cache = true;
@@ -309,22 +311,25 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
 
   auto eval = std::make_shared<PlanEvaluation>();
   eval->kind = parsed.kind;
+  stage_timer.Reset();
   MRSL_ASSIGN_OR_RETURN(eval->result, EvaluatePlan(*parsed.plan, sources));
+  out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
+  // Combine: aggregate the evaluated rows. The aggregates reuse the
+  // relation result (ExistsFromResult / CountFromResult) instead of
+  // evaluating the plan a second time.
+  stage_timer.Reset();
   switch (parsed.kind) {
     case ParsedQuery::Kind::kRelation:
       eval->marginals = DistinctMarginals(eval->result, sources);
       break;
-    case ParsedQuery::Kind::kExists: {
-      MRSL_ASSIGN_OR_RETURN(eval->exists,
-                            EvaluateExists(*parsed.plan, sources));
+    case ParsedQuery::Kind::kExists:
+      eval->exists = ExistsFromResult(eval->result, sources);
       break;
-    }
-    case ParsedQuery::Kind::kCount: {
-      MRSL_ASSIGN_OR_RETURN(eval->count,
-                            EvaluateCount(*parsed.plan, sources));
+    case ParsedQuery::Kind::kCount:
+      eval->count = CountFromResult(eval->result, sources);
       break;
-    }
   }
+  out.stages.combine_seconds = stage_timer.ElapsedSeconds();
 
   // The entry's dependency set: every block any surviving row reads.
   std::vector<uint64_t> touched;

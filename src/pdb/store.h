@@ -133,12 +133,24 @@ struct WalRecoveryStats {
   uint64_t truncated_bytes = 0;   // torn bytes discarded from the tail
 };
 
+/// Wall time spent in each stage of answering one query. `parse` covers
+/// ParsePlan plus the canonical rendering (paid on every query, hit or
+/// miss); `evaluate` is the plan evaluation proper and `combine` the
+/// aggregation over its rows (marginals / exists / count) — both zero
+/// on a cache hit. The server exports these as per-stage histograms.
+struct QueryStageTimes {
+  double parse_seconds = 0.0;
+  double evaluate_seconds = 0.0;
+  double combine_seconds = 0.0;
+};
+
 /// A cache-aware query answer: the evaluation plus where it came from.
 struct StoreQueryResult {
   uint64_t epoch = 0;
   bool from_cache = false;
   std::string canonical_text;  // PlanToString rendering (the cache key)
   std::shared_ptr<const PlanEvaluation> eval;
+  QueryStageTimes stages;
 };
 
 /// The epoch-versioned store. All methods are thread-safe: reads are

@@ -231,6 +231,27 @@ Result<StoreQueryResult> StoreService::BatchedQuery(const std::string& text) {
   }
 }
 
+void StoreService::ObserveQueryStages(const QueryStageTimes& stages,
+                                      bool from_cache) {
+  if (metrics_ == nullptr) return;  // not attached: programmatic use
+  auto observe = [this](const char* stage, double seconds) {
+    metrics_
+        ->GetHistogram("mrsl_query_stage_seconds",
+                       "Wall time per query stage (parse covers every "
+                       "query; evaluate/combine only cache misses).",
+                       MetricsRegistry::DefaultLatencyBoundsSeconds(),
+                       {{"stage", stage}})
+        ->Observe(seconds);
+  };
+  observe("parse", stages.parse_seconds);
+  if (!from_cache) {
+    // A hit never ran these stages; observing their zeros would drown
+    // the evaluate/combine distributions in cache-hit noise.
+    observe("evaluate", stages.evaluate_seconds);
+    observe("combine", stages.combine_seconds);
+  }
+}
+
 void StoreService::UpdateWalGauges() {
   if (metrics_ == nullptr) return;  // not attached: programmatic use
   const WalStats stats = store_->wal_stats();
@@ -407,6 +428,7 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
       ->GetCounter("mrsl_query_cache_total", "Plan-cache consultations.",
                    {{"result", result->from_cache ? "hit" : "miss"}})
       ->Increment();
+  ObserveQueryStages(result->stages, result->from_cache);
 
   HttpResponse resp;
   resp.body = RenderQueryBody(*result, with_oracle ? &oracle : nullptr);

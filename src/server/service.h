@@ -121,6 +121,11 @@ class StoreService {
   void CommitUpdateGroup(
       const std::vector<std::shared_ptr<PendingUpdate>>& group);
 
+  /// Records one query's per-stage wall times into the
+  /// mrsl_query_stage_seconds{stage=parse|evaluate|combine} histograms
+  /// (evaluate/combine only on plan-cache misses).
+  void ObserveQueryStages(const QueryStageTimes& stages, bool from_cache);
+
   /// Publishes the WAL depth gauges after a commit or checkpoint.
   void UpdateWalGauges();
 
