@@ -11,6 +11,12 @@ plans/sec on the join-heavy workload. The row evaluator is the shared
 yardstick — it runs the same algebra on the same inputs, so its ratio
 captures machine speed, leaving only genuine columnar-path regressions.
 
+The bounds-width frontier (Part 2b) is gated too: at each worlds budget
+the compiled mean bounds width is a pure function of the workload, not
+the machine, so the current width must not exceed the baseline width by
+more than the tolerance (a widening envelope means the lattice search
+got worse at the same budget).
+
 Usage: check_query_regression.py <current.json> <baseline.json> [tolerance]
 Exits non-zero on regression (default tolerance: 10%).
 """
@@ -19,20 +25,49 @@ import json
 import sys
 
 
-def gate_row(path):
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def gate_row(doc, path):
     for row in doc.get("rows", []):
         if row.get("plan") == "join_heavy_gate":
             return row
     sys.exit(f"error: no join_heavy_gate row in {path}")
 
 
+def check_frontier(current_doc, baseline_doc, tolerance):
+    """Width regression check; returns False on regression."""
+    base_widths = {row["worlds_budget"]: row["mean_width"]
+                   for row in baseline_doc.get("frontier_rows", [])}
+    if not base_widths:
+        print("frontier: no baseline frontier_rows, skipping width check")
+        return True
+    ok = True
+    for row in current_doc.get("frontier_rows", []):
+        budget = row["worlds_budget"]
+        if budget not in base_widths:
+            continue
+        width, base = row["mean_width"], base_widths[budget]
+        # Widths are deterministic per workload; allow the tolerance
+        # plus an epsilon so an exactly-zero baseline stays checkable.
+        limit = base * (1.0 + tolerance) + 1e-9
+        status = "ok" if width <= limit else "REGRESSED"
+        print(f"frontier worlds_budget={budget}: width {width:.6f} "
+              f"(baseline {base:.6f}, limit {limit:.6f}) {status}")
+        if width > limit:
+            ok = False
+    return ok
+
+
 def main():
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
-    current = gate_row(sys.argv[1])
-    baseline = gate_row(sys.argv[2])
+    current_doc = load(sys.argv[1])
+    baseline_doc = load(sys.argv[2])
+    current = gate_row(current_doc, sys.argv[1])
+    baseline = gate_row(baseline_doc, sys.argv[2])
     tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
 
     machine_scale = current["plans_per_sec_row"] / baseline["plans_per_sec_row"]
@@ -43,9 +78,16 @@ def main():
     print(f"baseline: {baseline['plans_per_sec']:.1f} "
           f"(row yardstick scale {machine_scale:.2f}x -> "
           f"required >= {required:.1f} at {tolerance:.0%} tolerance)")
+    failed = False
     if actual < required:
         print("FAIL: join-heavy columnar throughput regressed beyond "
               "tolerance", file=sys.stderr)
+        failed = True
+    if not check_frontier(current_doc, baseline_doc, tolerance):
+        print("FAIL: compiled bounds width regressed beyond tolerance at "
+              "a fixed worlds budget", file=sys.stderr)
+        failed = True
+    if failed:
         sys.exit(1)
     print("PASS")
 

@@ -1182,9 +1182,35 @@ Result<CountResult> EvaluateCount(
 
 namespace {
 
+// Parse-time context: the original query buffer (so every error can
+// carry the byte offset of the offending token — views handed around
+// the parser are substrings of it) and a recursion depth guard against
+// adversarially nested input.
+struct ParseContext {
+  const char* begin = nullptr;
+  const char* end = nullptr;
+  int depth = 0;
+};
+
+constexpr int kMaxParseDepth = 64;
+
+// An InvalidArgument anchored at `where` (a substring of the original
+// text; locations outside the buffer — e.g. views of normalized copies
+// — fall back to the buffer start).
+Status ParseError(const ParseContext& ctx, std::string_view where,
+                  std::string message) {
+  size_t offset = 0;
+  if (where.data() >= ctx.begin && where.data() <= ctx.end) {
+    offset = static_cast<size_t>(where.data() - ctx.begin);
+  }
+  return Status::InvalidArgument(message + " at byte " +
+                                 std::to_string(offset));
+}
+
 // Splits the argument list of "op( ... )" on top-level ';', respecting
 // nested parentheses. `text` excludes the outer parens.
-Result<std::vector<std::string_view>> SplitArgs(std::string_view text) {
+Result<std::vector<std::string_view>> SplitArgs(std::string_view text,
+                                                const ParseContext& ctx) {
   std::vector<std::string_view> args;
   int depth = 0;
   size_t start = 0;
@@ -1193,22 +1219,25 @@ Result<std::vector<std::string_view>> SplitArgs(std::string_view text) {
     if (c == '(') ++depth;
     if (c == ')') {
       --depth;
-      if (depth < 0) return Status::InvalidArgument("unbalanced ')'");
+      if (depth < 0) {
+        return ParseError(ctx, text.substr(i), "unbalanced ')'");
+      }
     }
     if (c == ';' && depth == 0) {
       args.push_back(Trim(text.substr(start, i - start)));
       start = i + 1;
     }
   }
-  if (depth != 0) return Status::InvalidArgument("unbalanced '('");
+  if (depth != 0) return ParseError(ctx, text, "unbalanced '('");
   args.push_back(Trim(text.substr(start)));
   return args;
 }
 
 // "op" and the parenthesized payload of "op( ... )"; payload is empty
 // (and *has_args false) for a bare identifier like "scan".
-Status SplitCall(std::string_view text, std::string_view* op,
-                 std::string_view* payload, bool* has_args) {
+Status SplitCall(std::string_view text, const ParseContext& ctx,
+                 std::string_view* op, std::string_view* payload,
+                 bool* has_args) {
   text = Trim(text);
   size_t paren = text.find('(');
   if (paren == std::string_view::npos) {
@@ -1217,9 +1246,9 @@ Status SplitCall(std::string_view text, std::string_view* op,
     *has_args = false;
     return Status::OK();
   }
-  if (text.empty() || text.back() != ')') {
-    return Status::InvalidArgument("expected ')' at end of: " +
-                                   std::string(text));
+  if (text.back() != ')') {
+    return ParseError(ctx, text.substr(text.size() - 1),
+                      "expected ')' at end of: " + std::string(text));
   }
   *op = Trim(text.substr(0, paren));
   *payload = text.substr(paren + 1, text.size() - paren - 2);
@@ -1227,17 +1256,20 @@ Status SplitCall(std::string_view text, std::string_view* op,
   return Status::OK();
 }
 
-Result<AttrId> ResolveAttr(std::string_view name, const Schema& schema) {
+Result<AttrId> ResolveAttr(std::string_view name, const Schema& schema,
+                           const ParseContext& ctx,
+                           std::string_view location) {
   AttrId id = 0;
   if (!schema.FindAttr(std::string(Trim(name)), &id)) {
-    return Status::InvalidArgument("unknown attribute: " +
-                                   std::string(Trim(name)));
+    return ParseError(ctx, location,
+                      "unknown attribute: " + std::string(Trim(name)));
   }
   return id;
 }
 
 Result<Predicate> ParsePredicateText(std::string_view text,
-                                     const Schema& schema) {
+                                     const Schema& schema,
+                                     const ParseContext& ctx) {
   std::string norm(Trim(text));
   if (norm.empty() || norm == "true" || norm == "TRUE") return Predicate();
   // Predicate::ToString joins atoms with " AND "; accept it back.
@@ -1252,16 +1284,18 @@ Result<Predicate> ParsePredicateText(std::string_view text,
     bool negated = ne != std::string_view::npos;
     size_t op_pos = negated ? ne : eq;
     if (op_pos == std::string_view::npos) {
-      return Status::InvalidArgument("bad predicate atom: " + std::string(a));
+      // `a` views the normalized copy; anchor at the predicate text.
+      return ParseError(ctx, text,
+                        "bad predicate atom: " + std::string(a));
     }
-    auto attr = ResolveAttr(a.substr(0, op_pos), schema);
+    auto attr = ResolveAttr(a.substr(0, op_pos), schema, ctx, text);
     if (!attr.ok()) return attr.status();
     std::string label(Trim(a.substr(op_pos + (negated ? 2 : 1))));
     ValueId value = schema.attr(*attr).Find(label);
     if (value == kMissingValue) {
-      return Status::InvalidArgument("unknown value '" + label +
-                                     "' for attribute " +
-                                     schema.attr(*attr).name());
+      return ParseError(ctx, text,
+                        "unknown value '" + label + "' for attribute " +
+                            schema.attr(*attr).name());
     }
     pred = pred.And(negated ? Predicate::Ne(*attr, value)
                             : Predicate::Eq(*attr, value));
@@ -1274,40 +1308,54 @@ struct ParsedNode {
   Schema schema;
 };
 
-Result<ParsedNode> ParseNodeText(
-    std::string_view text, const std::vector<const ProbDatabase*>& sources) {
+Result<ParsedNode> ParseNodeText(std::string_view text,
+                                 const std::vector<const ProbDatabase*>& sources,
+                                 ParseContext* ctx) {
+  if (++ctx->depth > kMaxParseDepth) {
+    --ctx->depth;
+    return ParseError(*ctx, text,
+                      "plan nested deeper than " +
+                          std::to_string(kMaxParseDepth) + " levels");
+  }
+  struct DepthGuard {
+    ParseContext* ctx;
+    ~DepthGuard() { --ctx->depth; }
+  } guard{ctx};
+
   std::string_view op;
   std::string_view payload;
   bool has_args = false;
-  MRSL_RETURN_IF_ERROR(SplitCall(text, &op, &payload, &has_args));
+  MRSL_RETURN_IF_ERROR(SplitCall(text, *ctx, &op, &payload, &has_args));
 
   if (op == "scan") {
     size_t source = 0;
     if (has_args && !Trim(payload).empty()) {
       int64_t idx = 0;
       if (!ParseInt(Trim(payload), &idx) || idx < 0) {
-        return Status::InvalidArgument("bad scan source: " +
-                                       std::string(payload));
+        return ParseError(*ctx, payload,
+                          "bad scan source: " + std::string(payload));
       }
       source = static_cast<size_t>(idx);
     }
-    MRSL_RETURN_IF_ERROR(ValidateSource(source, sources));
+    Status valid = ValidateSource(source, sources);
+    if (!valid.ok()) return ParseError(*ctx, text, valid.message());
     return ParsedNode{ScanPlan(source), sources[source]->schema()};
   }
   if (!has_args) {
-    return Status::InvalidArgument("unknown plan operator: " +
-                                   std::string(op));
+    return ParseError(*ctx, text.empty() ? op : text,
+                      "unknown plan operator: " + std::string(op));
   }
-  auto args = SplitArgs(payload);
+  auto args = SplitArgs(payload, *ctx);
   if (!args.ok()) return args.status();
 
   if (op == "select") {
     if (args->size() != 2) {
-      return Status::InvalidArgument("select(pred; node) takes 2 arguments");
+      return ParseError(*ctx, payload,
+                        "select(pred; node) takes 2 arguments");
     }
-    auto child = ParseNodeText((*args)[1], sources);
+    auto child = ParseNodeText((*args)[1], sources, ctx);
     if (!child.ok()) return child.status();
-    auto pred = ParsePredicateText((*args)[0], child->schema);
+    auto pred = ParsePredicateText((*args)[0], child->schema, *ctx);
     if (!pred.ok()) return pred.status();
     Schema schema = child->schema;
     return ParsedNode{SelectPlan(std::move(pred).value(),
@@ -1316,14 +1364,14 @@ Result<ParsedNode> ParseNodeText(
   }
   if (op == "project") {
     if (args->size() != 2) {
-      return Status::InvalidArgument(
-          "project(attrs; node) takes 2 arguments");
+      return ParseError(*ctx, payload,
+                        "project(attrs; node) takes 2 arguments");
     }
-    auto child = ParseNodeText((*args)[1], sources);
+    auto child = ParseNodeText((*args)[1], sources, ctx);
     if (!child.ok()) return child.status();
     std::vector<AttrId> attrs;
     for (const std::string& name : Split((*args)[0], ',')) {
-      auto attr = ResolveAttr(name, child->schema);
+      auto attr = ResolveAttr(name, child->schema, *ctx, (*args)[0]);
       if (!attr.ok()) return attr.status();
       attrs.push_back(*attr);
     }
@@ -1334,21 +1382,23 @@ Result<ParsedNode> ParseNodeText(
   }
   if (op == "join") {
     if (args->size() != 3) {
-      return Status::InvalidArgument(
-          "join(left; right; attr=attr) takes 3 arguments");
+      return ParseError(*ctx, payload,
+                        "join(left; right; attr=attr) takes 3 arguments");
     }
-    auto left = ParseNodeText((*args)[0], sources);
+    auto left = ParseNodeText((*args)[0], sources, ctx);
     if (!left.ok()) return left.status();
-    auto right = ParseNodeText((*args)[1], sources);
+    auto right = ParseNodeText((*args)[1], sources, ctx);
     if (!right.ok()) return right.status();
     std::string_view cond = (*args)[2];
     size_t eq = cond.find('=');
     if (eq == std::string_view::npos) {
-      return Status::InvalidArgument("join condition must be attr=attr");
+      return ParseError(*ctx, cond, "join condition must be attr=attr");
     }
-    auto la = ResolveAttr(cond.substr(0, eq), left->schema);
+    auto la = ResolveAttr(cond.substr(0, eq), left->schema, *ctx,
+                          cond.substr(0, eq));
     if (!la.ok()) return la.status();
-    auto ra = ResolveAttr(cond.substr(eq + 1), right->schema);
+    auto ra = ResolveAttr(cond.substr(eq + 1), right->schema, *ctx,
+                          cond.substr(eq + 1));
     if (!ra.ok()) return ra.status();
     auto schema = ConcatSchemas(left->schema, right->schema);
     if (!schema.ok()) return schema.status();
@@ -1356,30 +1406,37 @@ Result<ParsedNode> ParseNodeText(
                                *la, *ra),
                       std::move(schema).value()};
   }
-  return Status::InvalidArgument("unknown plan operator: " + std::string(op));
+  return ParseError(*ctx, op, "unknown plan operator: " + std::string(op));
 }
 
 }  // namespace
 
 Result<ParsedQuery> ParsePlan(std::string_view text,
                               const std::vector<const ProbDatabase*>& sources) {
+  ParseContext ctx;
+  ctx.begin = text.data();
+  ctx.end = text.data() + text.size();
+
   std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return ParseError(ctx, trimmed, "empty plan text");
+  }
   std::string_view op;
   std::string_view payload;
   bool has_args = false;
-  MRSL_RETURN_IF_ERROR(SplitCall(trimmed, &op, &payload, &has_args));
+  MRSL_RETURN_IF_ERROR(SplitCall(trimmed, ctx, &op, &payload, &has_args));
 
   ParsedQuery out;
   std::string_view body = trimmed;
   if (op == "exists" || op == "count") {
     if (!has_args) {
-      return Status::InvalidArgument(std::string(op) + " needs a plan");
+      return ParseError(ctx, trimmed, std::string(op) + " needs a plan");
     }
     out.kind = op == "exists" ? ParsedQuery::Kind::kExists
                               : ParsedQuery::Kind::kCount;
     body = payload;
   }
-  auto node = ParseNodeText(body, sources);
+  auto node = ParseNodeText(body, sources, &ctx);
   if (!node.ok()) return node.status();
   out.plan = std::move(node->plan);
   return out;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pdb/compiler.h"
 #include "pdb/plan.h"
 #include "pdb/prob_database.h"
 
@@ -45,6 +46,16 @@ struct PlanEvaluation {
   std::vector<DistinctMarginal> marginals;   // kRelation
   ExistsResult exists;                       // kExists
   CountResult count;                         // kCount
+
+  /// Set when the safe-plan compiler produced this entry. The cache key
+  /// of a compiled entry carries CompileCacheSuffix(options), so entries
+  /// at different width targets / world budgets never collide with each
+  /// other or with plain EvaluatePlan entries. `compile_stats` has its
+  /// compile_seconds zeroed before insertion: a cached body must be
+  /// identical on hit and miss — wall time is per-request
+  /// (StoreQueryResult::stages), not part of the answer.
+  bool compiled = false;
+  CompileStats compile_stats;
 };
 
 /// A sharded-nothing, mutex-guarded LRU cache of plan evaluations, one

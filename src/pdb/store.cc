@@ -264,6 +264,11 @@ Result<StoreQueryResult> BidStore::Query(const std::string& plan_text) {
   return QueryOn(snapshot(), plan_text);
 }
 
+Result<StoreQueryResult> BidStore::Query(
+    const std::string& plan_text, const CompileOptions& compile_options) {
+  return QueryOn(snapshot(), plan_text, &compile_options);
+}
+
 std::vector<Result<StoreQueryResult>> BidStore::QueryBatch(
     const std::vector<std::string>& plan_texts) {
   // One atomic load pins the epoch for the whole batch: every answer
@@ -279,7 +284,8 @@ std::vector<Result<StoreQueryResult>> BidStore::QueryBatch(
 }
 
 Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
-                                           const std::string& plan_text) {
+                                           const std::string& plan_text,
+                                           const CompileOptions* compile) {
   if (snap == nullptr) {
     return Status::FailedPrecondition("store has no epoch yet");
   }
@@ -303,7 +309,15 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
   }
   out.stages.parse_seconds = stage_timer.ElapsedSeconds();
 
-  if (auto hit = plan_cache_.Lookup(out.canonical_text, out.epoch)) {
+  // Compiled answers depend on the compiler configuration, not just the
+  // plan: the same canonical text at two width targets yields two
+  // different envelopes. The suffix (never empty for a compiled query)
+  // keys them apart — and apart from plain-evaluator entries, whose key
+  // is the bare canonical text.
+  std::string cache_key = out.canonical_text;
+  if (compile != nullptr) cache_key += CompileCacheSuffix(*compile);
+
+  if (auto hit = plan_cache_.Lookup(cache_key, out.epoch)) {
     out.from_cache = true;
     out.eval = std::move(hit);
     return out;
@@ -311,25 +325,47 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
 
   auto eval = std::make_shared<PlanEvaluation>();
   eval->kind = parsed.kind;
-  stage_timer.Reset();
-  MRSL_ASSIGN_OR_RETURN(eval->result, EvaluatePlan(*parsed.plan, sources));
-  out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
-  // Combine: aggregate the evaluated rows. The aggregates reuse the
-  // relation result (ExistsFromResult / CountFromResult) instead of
-  // evaluating the plan a second time.
-  stage_timer.Reset();
-  switch (parsed.kind) {
-    case ParsedQuery::Kind::kRelation:
-      eval->marginals = DistinctMarginals(eval->result, sources);
-      break;
-    case ParsedQuery::Kind::kExists:
-      eval->exists = ExistsFromResult(eval->result, sources);
-      break;
-    case ParsedQuery::Kind::kCount:
-      eval->count = CountFromResult(eval->result, sources);
-      break;
+  if (compile != nullptr) {
+    stage_timer.Reset();
+    // Scope the compiler to the answers this query kind reads, mirroring
+    // the plain path's kind switch below. The cache key stays on the
+    // caller's options: the canonical text already carries the kind.
+    CompileOptions scoped = *compile;
+    scoped.want_exists = parsed.kind == ParsedQuery::Kind::kExists;
+    scoped.want_count = parsed.kind == ParsedQuery::Kind::kCount;
+    MRSL_ASSIGN_OR_RETURN(CompiledQuery cq,
+                          CompileQuery(*parsed.plan, sources, scoped));
+    out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
+    eval->compiled = true;
+    eval->result = std::move(cq.result);
+    eval->marginals = std::move(cq.marginals);
+    eval->exists = cq.exists;
+    eval->count = cq.count;
+    eval->compile_stats = cq.stats;
+    // Wall time is per-request, not part of the answer: a cache hit must
+    // return a body identical to the miss that populated it.
+    eval->compile_stats.compile_seconds = 0.0;
+  } else {
+    stage_timer.Reset();
+    MRSL_ASSIGN_OR_RETURN(eval->result, EvaluatePlan(*parsed.plan, sources));
+    out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
+    // Combine: aggregate the evaluated rows. The aggregates reuse the
+    // relation result (ExistsFromResult / CountFromResult) instead of
+    // evaluating the plan a second time.
+    stage_timer.Reset();
+    switch (parsed.kind) {
+      case ParsedQuery::Kind::kRelation:
+        eval->marginals = DistinctMarginals(eval->result, sources);
+        break;
+      case ParsedQuery::Kind::kExists:
+        eval->exists = ExistsFromResult(eval->result, sources);
+        break;
+      case ParsedQuery::Kind::kCount:
+        eval->count = CountFromResult(eval->result, sources);
+        break;
+    }
+    out.stages.combine_seconds = stage_timer.ElapsedSeconds();
   }
-  out.stages.combine_seconds = stage_timer.ElapsedSeconds();
 
   // The entry's dependency set: every block any surviving row reads.
   std::vector<uint64_t> touched;
@@ -340,7 +376,7 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()),
                 touched.end());
-  plan_cache_.Insert(out.canonical_text, parsed.plan, out.epoch,
+  plan_cache_.Insert(cache_key, parsed.plan, out.epoch,
                      std::move(touched), eval);
   out.eval = std::move(eval);
   return out;

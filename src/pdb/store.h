@@ -38,6 +38,7 @@
 #include "core/delta.h"
 #include "core/engine.h"
 #include "core/workload.h"
+#include "pdb/compiler.h"
 #include "pdb/plan_cache.h"
 #include "pdb/prob_database.h"
 #include "pdb/snapshot_io.h"
@@ -199,6 +200,15 @@ class BidStore {
   /// at this epoch (entries carried across commits included).
   Result<StoreQueryResult> Query(const std::string& plan_text);
 
+  /// Query through the safe-plan compiler (pdb/compiler.h): unsafe shapes
+  /// get a dissociation-lattice [lower, upper] envelope instead of the
+  /// evaluator's fixed-dissociation bounds. Cached under
+  /// canonical_text + CompileCacheSuffix(options), so results at
+  /// different width targets / world budgets never collide with each
+  /// other or with plain Query entries.
+  Result<StoreQueryResult> Query(const std::string& plan_text,
+                                 const CompileOptions& compile_options);
+
   /// Query against an explicitly pinned snapshot of THIS store — the
   /// hook behind the server's batched query pass: the caller pins one
   /// epoch and evaluates any number of plans against it while commits
@@ -206,8 +216,14 @@ class BidStore {
   /// when the entry's epoch matches `snap`'s, and an insert stamped with
   /// a superseded epoch is simply never served and dropped at the next
   /// commit.
+  ///
+  /// `compile` (when non-null) routes evaluation through the safe-plan
+  /// compiler with those options; the cache key then carries
+  /// CompileCacheSuffix(*compile) so compiled answers configured
+  /// differently — or the plain-evaluator answer — are distinct entries.
   Result<StoreQueryResult> QueryOn(const SnapshotPtr& snap,
-                                   const std::string& plan_text);
+                                   const std::string& plan_text,
+                                   const CompileOptions* compile = nullptr);
 
   /// Evaluates every plan in `plan_texts` against ONE pinned snapshot
   /// (the current epoch at entry), in order, through the plan cache.

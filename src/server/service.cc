@@ -135,6 +135,26 @@ std::string RenderQueryBody(const StoreQueryResult& result,
     AppendNum(&body, oracle->expected_count);
     body += "}";
   }
+  if (eval.compiled) {
+    // compile_seconds is deliberately absent: the entry is cached and a
+    // hit must serve the byte-identical body (wall time goes to the
+    // mrsl_compile_seconds metric instead).
+    const CompileStats& cs = eval.compile_stats;
+    body += ",\"compile\":{\"plan_safe\":";
+    body += cs.plan_safe ? "true" : "false";
+    body += ",\"groups_total\":" + std::to_string(cs.groups_total) +
+            ",\"groups_refined\":" + std::to_string(cs.groups_refined) +
+            ",\"worlds_expanded\":" + std::to_string(cs.worlds_expanded) +
+            ",\"mean_width_base\":";
+    AppendNum(&body, cs.mean_width_base);
+    body += ",\"mean_width_final\":";
+    AppendNum(&body, cs.mean_width_final);
+    body += ",\"width_target_met\":";
+    body += cs.width_target_met ? "true" : "false";
+    body += ",\"budget_exhausted\":";
+    body += cs.budget_exhausted ? "true" : "false";
+    body += "}";
+  }
   body += "}\n";
   return body;
 }
@@ -397,15 +417,44 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
         std::to_string(options_.max_oracle_trials) + "]"));
   }
 
+  // ?width= / ?budget_ms= select the safe-plan compiler. Validation
+  // mirrors ?oracle: a malformed or out-of-range value is a 400, never a
+  // silent fallback to the plain evaluator.
+  CompileOptions copts;
+  bool with_compile = false;
+  const std::string width_param = request.QueryParam("width", "");
+  if (!width_param.empty()) {
+    double width = 0.0;
+    if (!ParseDouble(width_param, &width) || width < 0.0 || width > 1.0) {
+      return JsonError(Status::InvalidArgument(
+          "?width must be a bounds-width target in [0, 1]"));
+    }
+    copts.width_target = width;
+    with_compile = true;
+  }
+  const std::string budget_param = request.QueryParam("budget_ms", "");
+  if (!budget_param.empty()) {
+    double budget_ms = 0.0;
+    if (!ParseDouble(budget_param, &budget_ms) || budget_ms < 0.0 ||
+        budget_ms > static_cast<double>(options_.max_compile_budget_ms)) {
+      return JsonError(Status::InvalidArgument(
+          "?budget_ms must be a number in [0, " +
+          std::to_string(options_.max_compile_budget_ms) + "]"));
+    }
+    copts.budget_ms = budget_ms;
+    with_compile = true;
+  }
+
   Result<StoreQueryResult> result = Status::Internal("unreachable");
   OracleResult oracle;
   const bool with_oracle = oracle_trials > 0;
-  if (with_oracle) {
-    // The oracle needs the evaluation's own snapshot, so heavy oracle
-    // queries pin one themselves instead of riding the batcher.
+  if (with_oracle || with_compile) {
+    // The oracle needs the evaluation's own snapshot, and compiled
+    // queries carry per-request options the batcher cannot share — both
+    // pin a snapshot themselves instead of riding the batcher.
     SnapshotPtr snap = store_->snapshot();
-    result = store_->QueryOn(snap, text);
-    if (result.ok()) {
+    result = store_->QueryOn(snap, text, with_compile ? &copts : nullptr);
+    if (result.ok() && with_oracle) {
       std::vector<const ProbDatabase*> sources = {&snap->database()};
       auto parsed = ParsePlan(result->canonical_text, sources);
       if (!parsed.ok()) return JsonError(parsed.status());
@@ -429,6 +478,22 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
                    {{"result", result->from_cache ? "hit" : "miss"}})
       ->Increment();
   ObserveQueryStages(result->stages, result->from_cache);
+  if (with_compile && result->eval->compiled) {
+    if (!result->from_cache) {
+      // Compilation IS the evaluate stage of a compiled miss.
+      metrics_
+          ->GetHistogram("mrsl_compile_seconds",
+                         "Wall time in CompileQuery (cache misses only).",
+                         MetricsRegistry::DefaultLatencyBoundsSeconds())
+          ->Observe(result->stages.evaluate_seconds);
+    }
+    metrics_
+        ->GetHistogram(
+            "mrsl_bounds_width",
+            "Mean [lower, upper] envelope width of compiled answers.",
+            {0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0})
+        ->Observe(result->eval->compile_stats.mean_width_final);
+  }
 
   HttpResponse resp;
   resp.body = RenderQueryBody(*result, with_oracle ? &oracle : nullptr);
@@ -436,6 +501,11 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
                                   std::to_string(result->epoch));
   resp.extra_headers.emplace_back("X-Mrsl-Cache",
                                   result->from_cache ? "hit" : "miss");
+  if (with_compile) {
+    resp.extra_headers.emplace_back(
+        "X-Mrsl-Compiled",
+        result->eval->compile_stats.plan_safe ? "safe" : "bounds");
+  }
   return resp;
 }
 

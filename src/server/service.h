@@ -7,10 +7,20 @@
 //                    kind's payload (rows with [lower, upper] marginals /
 //                    exists interval / expected count + distribution).
 //                    `?oracle=N` adds a Monte-Carlo cross-check over N
-//                    sampled worlds (the CLI's --oracle). The body is a
-//                    pure function of (epoch, plan, oracle) — cache
-//                    status travels in the X-Mrsl-Cache header so that
-//                    hits and misses stay byte-identical.
+//                    sampled worlds (the CLI's --oracle). `?width=W` /
+//                    `?budget_ms=B` route the plan through the safe-plan
+//                    compiler (pdb/compiler.h): unsafe shapes answer a
+//                    dissociation-lattice envelope tightened until the
+//                    mean bounds width reaches W or the time budget B is
+//                    spent (either alone works; width=0 means "as tight
+//                    as the world budget allows"). Compiled answers add
+//                    a "compile" JSON object and the X-Mrsl-Compiled
+//                    header, and are cached apart from plain answers —
+//                    the cache key carries the compiler configuration.
+//                    The body is a pure function of (epoch, plan,
+//                    oracle, compiler options) — cache status travels in
+//                    the X-Mrsl-Cache header and wall times in metrics,
+//                    so hits and misses stay byte-identical.
 //   POST /update     body = delta CSV (core/delta.h). Applies the delta
 //                    with incremental re-derivation and answers the
 //                    commit stats as JSON. Row-indexed deltas (updates/
@@ -73,6 +83,11 @@ struct StoreServiceOptions {
   /// Cap on ?oracle trials (the oracle is CPU-heavy; a remote caller
   /// must not be able to order up an unbounded amount of sampling).
   size_t max_oracle_trials = 200000;
+
+  /// Cap on ?budget_ms — the anytime compiler keeps a core busy for the
+  /// whole budget, so a remote caller must not be able to order up an
+  /// unbounded amount of refinement.
+  size_t max_compile_budget_ms = 10000;
 
   /// When false, POST /update answers 405 — a read-only replica.
   bool allow_update = true;

@@ -22,6 +22,8 @@
 
 #include "bn/bayes_net.h"
 #include "core/gibbs.h"
+#include "oracle_harness.h"
+#include "pdb/compiler.h"
 #include "core/learner.h"
 #include "core/workload.h"
 #include "expfw/metrics.h"
@@ -223,91 +225,10 @@ TEST_P(PipelinePropertyTest, IndexedMatchAgreesWithLinearScan) {
 
 namespace plan_diff {
 
-Schema ThreeAttrSchema() {
-  auto s = Schema::Create({Attribute("a", {"a0", "a1"}),
-                           Attribute("b", {"b0", "b1", "b2"}),
-                           Attribute("c", {"c0", "c1"})});
-  EXPECT_TRUE(s.ok());
-  return std::move(s).value();
-}
-
-// A random BID database: 4-7 blocks of 1-3 complete alternatives; about
-// half the blocks keep some absent mass (total < 1).
-ProbDatabase RandomBid(const Schema& schema, Rng* rng) {
-  ProbDatabase db(schema);
-  size_t blocks = 4 + rng->UniformInt(4);
-  for (size_t i = 0; i < blocks; ++i) {
-    Block block;
-    size_t alts = 1 + rng->UniformInt(3);
-    double remaining = rng->Bernoulli(0.5) ? 1.0 : 0.4 + 0.5 * rng->NextDouble();
-    for (size_t j = 0; j < alts; ++j) {
-      Tuple t(schema.num_attrs());
-      for (AttrId a = 0; a < schema.num_attrs(); ++a) {
-        t.set_value(a, static_cast<ValueId>(
-                           rng->UniformInt(schema.attr(a).cardinality())));
-      }
-      double p = j + 1 == alts ? remaining
-                               : remaining * (0.2 + 0.6 * rng->NextDouble());
-      remaining -= p;
-      block.alternatives.push_back({std::move(t), p});
-    }
-    // Distinct alternatives only (duplicates are legal but make the
-    // fixture's hand bookkeeping murky).
-    EXPECT_TRUE(db.AddBlock(std::move(block)).ok());
-  }
-  return db;
-}
-
-Predicate RandomPred(const Schema& schema, Rng* rng) {
-  Predicate pred;
-  size_t atoms = 1 + rng->UniformInt(2);
-  for (size_t k = 0; k < atoms; ++k) {
-    AttrId a = static_cast<AttrId>(rng->UniformInt(schema.num_attrs()));
-    ValueId v = static_cast<ValueId>(
-        rng->UniformInt(schema.attr(a).cardinality()));
-    pred = pred.And(rng->Bernoulli(0.3) ? Predicate::Ne(a, v)
-                                        : Predicate::Eq(a, v));
-  }
-  return pred;
-}
-
-// A random plan over `sources`: optionally-selected scans, optionally
-// joined (possibly with the SAME source — the unsafe shape), optionally
-// projected. Exercises every operator.
-PlanPtr RandomPlan(const std::vector<const ProbDatabase*>& sources,
-                   Rng* rng, size_t* out_arity) {
-  size_t s1 = rng->UniformInt(sources.size());
-  PlanPtr plan = ScanPlan(s1);
-  const Schema& schema1 = sources[s1]->schema();
-  if (rng->Bernoulli(0.7)) {
-    plan = SelectPlan(RandomPred(schema1, rng), std::move(plan));
-  }
-  size_t arity = schema1.num_attrs();
-  if (rng->Bernoulli(0.5)) {
-    size_t s2 = rng->UniformInt(sources.size());
-    PlanPtr rhs = ScanPlan(s2);
-    const Schema& schema2 = sources[s2]->schema();
-    if (rng->Bernoulli(0.5)) {
-      rhs = SelectPlan(RandomPred(schema2, rng), std::move(rhs));
-    }
-    plan = JoinPlan(std::move(plan), std::move(rhs),
-                    static_cast<AttrId>(rng->UniformInt(arity)),
-                    static_cast<AttrId>(
-                        rng->UniformInt(schema2.num_attrs())));
-    arity += schema2.num_attrs();
-  }
-  if (rng->Bernoulli(0.6)) {
-    size_t keep = 1 + rng->UniformInt(2);
-    std::vector<AttrId> attrs;
-    for (size_t k = 0; k < keep; ++k) {
-      attrs.push_back(static_cast<AttrId>(rng->UniformInt(arity)));
-    }
-    plan = ProjectPlan(attrs, std::move(plan));
-    arity = attrs.size();
-  }
-  *out_arity = arity;
-  return plan;
-}
+using oracle_harness::RandomBid;
+using oracle_harness::RandomPlan;
+using oracle_harness::RandomPred;
+using oracle_harness::ThreeAttrSchema;
 
 // Verifies one plan against the 20k-world oracle: exact marginals and
 // aggregates within the Monte-Carlo confidence band, intervals always
@@ -498,6 +419,70 @@ TEST_P(PipelinePropertyTest, PlanAlgebraMatchesPossibleWorldOracle) {
   ASSERT_TRUE(unsafe_result.ok());
   EXPECT_FALSE(unsafe_result->safe);
   CheckPlanAgainstOracle(*unsafe, sources, GetParam() * 777);
+}
+
+// 8. Monotone improvement of the safe-plan compiler: on every generated
+//    plan, the lattice-searched envelope is NESTED inside the fixed-
+//    first-operand dissociation interval EvaluatePlan reports — the
+//    compiled upper bound never exceeds the current dissociation upper
+//    bound, and the compiled lower bound never undercuts it. A compiled
+//    marginal may be missing entirely only when the compiler proved the
+//    tuple impossible, which the baseline interval must allow (lo == 0).
+TEST_P(PipelinePropertyTest, CompiledBoundsNeverWorseThanFixedDissociation) {
+  using namespace plan_diff;
+  Rng rng(GetParam() ^ 0xC0117EDULL);
+  Schema schema = ThreeAttrSchema();
+  ProbDatabase db1 = RandomBid(schema, &rng);
+  ProbDatabase db2 = RandomBid(schema, &rng);
+  std::vector<const ProbDatabase*> sources = {&db1, &db2};
+
+  std::vector<PlanPtr> plans;
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t arity = 0;
+    plans.push_back(RandomPlan(sources, &rng, &arity));
+  }
+  // The canonical correlated shapes, always in the sweep.
+  plans.push_back(ProjectPlan({2}, JoinPlan(ScanPlan(0), ScanPlan(0), 0, 0)));
+  plans.push_back(ProjectPlan({1}, JoinPlan(ScanPlan(0), ScanPlan(1), 0, 1)));
+
+  const double eps = 1e-9;
+  for (size_t pi = 0; pi < plans.size(); ++pi) {
+    const PlanNode& plan = *plans[pi];
+    auto baseline = EvaluatePlan(plan, sources);
+    ASSERT_TRUE(baseline.ok()) << "plan " << pi;
+    auto base_marginals = DistinctMarginals(*baseline, sources);
+    auto base_exists = ExistsFromResult(*baseline, sources);
+
+    auto compiled = CompileQuery(plan, sources);
+    ASSERT_TRUE(compiled.ok()) << "plan " << pi;
+    EXPECT_EQ(compiled->stats.plan_safe, baseline->safe) << "plan " << pi;
+
+    std::map<std::vector<ValueId>, ProbInterval> base;
+    for (const DistinctMarginal& m : base_marginals) {
+      base[m.tuple.values()] = m.prob;
+    }
+    std::map<std::vector<ValueId>, ProbInterval> mine;
+    for (const DistinctMarginal& m : compiled->marginals) {
+      mine[m.tuple.values()] = m.prob;
+    }
+    for (const auto& [values, prob] : mine) {
+      auto it = base.find(values);
+      ASSERT_TRUE(it != base.end())
+          << "plan " << pi << ": compiled tuple unknown to baseline";
+      EXPECT_GE(prob.lo, it->second.lo - eps) << "plan " << pi;
+      EXPECT_LE(prob.hi, it->second.hi + eps) << "plan " << pi;
+    }
+    for (const auto& [values, prob] : base) {
+      if (mine.count(values) != 0u) continue;
+      // Dropped as impossible: the baseline bound must have allowed 0.
+      EXPECT_LE(prob.lo, eps) << "plan " << pi;
+    }
+
+    EXPECT_GE(compiled->exists.prob.lo, base_exists.prob.lo - eps)
+        << "plan " << pi;
+    EXPECT_LE(compiled->exists.prob.hi, base_exists.prob.hi + eps)
+        << "plan " << pi;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 
+#include "oracle_harness.h"
 #include "paper_example.h"
 #include "pdb/query.h"
 #include "util/rng.h"
@@ -20,73 +21,10 @@
 namespace mrsl {
 namespace {
 
-Schema TwoAttrSchema() {
-  auto s = Schema::Create(
-      {Attribute("inc", {"50K", "100K"}), Attribute("nw", {"100K", "500K"})});
-  EXPECT_TRUE(s.ok());
-  return std::move(s).value();
-}
-
-// Same 3-block database as pdb_query_test: one certain block, one full
-// block, one with mass 0.9 (a possibly-absent tuple).
-ProbDatabase SmallDb() {
-  ProbDatabase db(TwoAttrSchema());
-  Block b1;
-  b1.alternatives.push_back({Tuple({1, 1}), 1.0});
-  EXPECT_TRUE(db.AddBlock(b1).ok());
-  Block b2;
-  b2.alternatives.push_back({Tuple({0, 0}), 0.3});
-  b2.alternatives.push_back({Tuple({1, 0}), 0.7});
-  EXPECT_TRUE(db.AddBlock(b2).ok());
-  Block b3;
-  b3.alternatives.push_back({Tuple({0, 1}), 0.5});
-  b3.alternatives.push_back({Tuple({1, 1}), 0.4});  // mass 0.9
-  EXPECT_TRUE(db.AddBlock(b3).ok());
-  return db;
-}
-
-// Enumerates every possible world as a choice vector (alternative index
-// per block, kNoAlternative for absence) with its probability.
-void ForEachWorldChoices(
-    const ProbDatabase& db,
-    const std::function<void(const std::vector<int32_t>&, double)>& fn) {
-  std::vector<int32_t> choices(db.num_blocks(), kNoAlternative);
-  std::function<void(size_t, double)> rec = [&](size_t i, double p) {
-    if (i == db.num_blocks()) {
-      fn(choices, p);
-      return;
-    }
-    const Block& b = db.block(i);
-    for (size_t j = 0; j < b.alternatives.size(); ++j) {
-      choices[i] = static_cast<int32_t>(j);
-      rec(i + 1, p * b.alternatives[j].prob);
-    }
-    double absent = b.AbsentMass();
-    if (absent > 1e-12) {
-      choices[i] = kNoAlternative;
-      rec(i + 1, p * absent);
-    }
-    choices[i] = kNoAlternative;
-  };
-  rec(0, 1.0);
-}
-
-// Ground-truth marginal of `target` in the plan result, by enumeration.
-double TrueMarginal(const PlanNode& plan, const ProbDatabase& db,
-                    const Tuple& target) {
-  double truth = 0.0;
-  ForEachWorldChoices(db, [&](const std::vector<int32_t>& choices, double p) {
-    auto bag = EvaluatePlanInWorld(plan, {&db}, {choices});
-    ASSERT_TRUE(bag.ok());
-    for (const Tuple& t : *bag) {
-      if (t == target) {
-        truth += p;
-        return;
-      }
-    }
-  });
-  return truth;
-}
+using oracle_harness::ForEachWorldChoices;
+using oracle_harness::SmallDb;
+using oracle_harness::TrueMarginal;
+using oracle_harness::TwoAttrSchema;
 
 TEST(ProbIntervalTest, ExactAndBounds) {
   ProbInterval e = ProbInterval::Exact(0.25);
@@ -514,6 +452,95 @@ TEST(PlanParserTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParsePlan("scan(7)", sources).ok());
   EXPECT_FALSE(ParsePlan("join(scan; scan)", sources).ok());
   EXPECT_FALSE(ParsePlan("project(ghost; scan)", sources).ok());
+}
+
+// Parser hardening: adversarial inputs must produce a clean Status
+// whose message names the byte offset of the offending token — never a
+// crash, never a silent mis-parse.
+
+TEST(PlanParserTest, ErrorsCarryByteOffsets) {
+  ProbDatabase db = SmallDb();
+  std::vector<const ProbDatabase*> sources = {&db};
+  for (const char* bad :
+       {"frobnicate(scan)", "select(inc=100K; scan", "scan(7)",
+        "select(inc=100K; scan))", "join(scan; scan)", "select(; scan(9))",
+        "project(ghost; scan)", "select(bogus=1; scan)", ""}) {
+    auto parsed = ParsePlan(bad, sources);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_NE(parsed.status().message().find("at byte"), std::string::npos)
+        << "input \"" << bad << "\" -> " << parsed.status().message();
+  }
+  // Spot-check the offsets point at the offending token.
+  auto unknown = ParsePlan("frobnicate(scan)", sources);
+  EXPECT_NE(unknown.status().message().find("at byte 0"), std::string::npos)
+      << unknown.status().message();
+  //                           0123456789012345678901
+  auto extra = ParsePlan("select(inc=100K; scan))", sources);
+  EXPECT_NE(extra.status().message().find("at byte 21"), std::string::npos)
+      << extra.status().message();
+}
+
+TEST(PlanParserTest, DeepNestingIsRejectedNotOverflowed) {
+  ProbDatabase db = SmallDb();
+  std::vector<const ProbDatabase*> sources = {&db};
+
+  auto nested = [](size_t depth) {
+    std::string text;
+    for (size_t i = 0; i < depth; ++i) text += "select(true; ";
+    text += "scan";
+    for (size_t i = 0; i < depth; ++i) text += ")";
+    return text;
+  };
+
+  // Under the cap: parses and evaluates normally (no behavior change).
+  auto ok = ParsePlan(nested(40), sources);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(EvaluatePlan(*ok->plan, sources).ok());
+
+  // Far past any sane nesting: a clean error with an offset, not a
+  // stack overflow.
+  for (size_t depth : {size_t{100}, size_t{1000}, size_t{20000}}) {
+    auto deep = ParsePlan(nested(depth), sources);
+    ASSERT_FALSE(deep.ok()) << depth;
+    EXPECT_NE(deep.status().message().find("nested deeper"),
+              std::string::npos)
+        << deep.status().message();
+    EXPECT_NE(deep.status().message().find("at byte"), std::string::npos);
+  }
+}
+
+TEST(PlanParserTest, JunkBytesNeverCrashOrMisparse) {
+  ProbDatabase db = SmallDb();
+  std::vector<const ProbDatabase*> sources = {&db};
+  // Charset biased toward the grammar's structural characters so the
+  // fuzz hits parser states, not just "unknown operator".
+  const std::string charset = "();=&,scanseletprojoinexists count0159Kwinc";
+  Rng rng(0xF022ED);
+  for (int trial = 0; trial < 3000; ++trial) {
+    size_t len = 1 + rng.UniformInt(64);
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      // Mostly charset bytes, occasionally arbitrary junk (including
+      // NUL and high bytes).
+      if (rng.Bernoulli(0.9)) {
+        text += charset[rng.UniformInt(charset.size())];
+      } else {
+        text += static_cast<char>(rng.UniformInt(256));
+      }
+    }
+    auto parsed = ParsePlan(text, sources);
+    if (!parsed.ok()) {
+      // Clean failure: a message with a location, never empty.
+      EXPECT_FALSE(parsed.status().message().empty());
+      continue;
+    }
+    // Anything accepted must be a well-formed plan: schema derivation
+    // and evaluation both succeed (no silent mis-parse).
+    ASSERT_TRUE(parsed->plan != nullptr) << text;
+    EXPECT_TRUE(PlanOutputSchema(*parsed->plan, sources).ok()) << text;
+    EXPECT_TRUE(EvaluatePlan(*parsed->plan, sources).ok()) << text;
+  }
 }
 
 // --- The Monte-Carlo oracle ----------------------------------------------

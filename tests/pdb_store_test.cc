@@ -492,6 +492,75 @@ TEST_F(StoreTest, PlanCacheHitsAndBlockGranularInvalidation) {
   EXPECT_FALSE(store.Query(plan_text)->from_cache);
 }
 
+// Satellite regression: compiled answers depend on the compiler
+// configuration, so the cache key must carry it. Before the fix the key
+// was epoch + canonical text only — an anytime query at width target A
+// would be served a stale envelope computed for width target B, and a
+// plain Query could be served a compiled envelope (or vice versa).
+TEST_F(StoreTest, CompiledQueriesKeyTheCacheByCompilerConfiguration) {
+  Engine engine(&model_);
+  BidStore store(&engine, SOpts());
+  ASSERT_TRUE(store.Commit(BaseRelation()).ok());
+
+  // Self-join on the (incomplete) attr2 projected onto attr1: correlated
+  // lineage, so different world budgets genuinely produce different
+  // envelopes.
+  const std::string a1 = schema_.attr(1).name();
+  const std::string a2 = schema_.attr(2).name();
+  const std::string plan_text =
+      "project(" + a1 + "; join(scan; scan; " + a2 + "=" + a2 + "))";
+
+  auto plain = store.Query(plan_text);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->from_cache);
+  EXPECT_FALSE(plain->eval->compiled);
+
+  CompileOptions refined;  // defaults: full world budget, no width target
+  CompileOptions oblivious;
+  oblivious.max_worlds_per_group = 0;  // envelope = the fixed dissociation
+
+  // A compiled query must not be served the plain evaluator's entry...
+  auto compiled = store.Query(plan_text, refined);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->from_cache);
+  EXPECT_TRUE(compiled->eval->compiled);
+
+  // ...nor an envelope computed under a different world budget...
+  auto base = store.Query(plan_text, oblivious);
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(base->from_cache);
+
+  // ...nor one computed for a different width target (the original bug).
+  CompileOptions wide = refined;
+  wide.width_target = 0.5;
+  CompileOptions narrow = refined;
+  narrow.width_target = 0.05;
+  auto at_wide = store.Query(plan_text, wide);
+  auto at_narrow = store.Query(plan_text, narrow);
+  ASSERT_TRUE(at_wide.ok());
+  ASSERT_TRUE(at_narrow.ok());
+  EXPECT_FALSE(at_wide->from_cache);
+  EXPECT_FALSE(at_narrow->from_cache);
+  EXPECT_NE(at_wide->eval.get(), at_narrow->eval.get());
+
+  // Repeats at the SAME configuration hit and serve the same entry.
+  auto again = store.Query(plan_text, oblivious);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(again->eval.get(), base->eval.get());
+  auto plain_again = store.Query(plan_text);
+  ASSERT_TRUE(plain_again.ok());
+  EXPECT_TRUE(plain_again->from_cache);
+  EXPECT_EQ(plain_again->eval.get(), plain->eval.get());
+  EXPECT_FALSE(plain_again->eval->compiled);
+
+  // Refinement never loosens the envelope relative to the base, and a
+  // cached compiled body is clock-free (hit == miss byte-for-byte).
+  EXPECT_LE(compiled->eval->compile_stats.mean_width_final,
+            base->eval->compile_stats.mean_width_final);
+  EXPECT_EQ(compiled->eval->compile_stats.compile_seconds, 0.0);
+}
+
 TEST_F(StoreTest, LazyDeriverSeedsFromSnapshot) {
   Engine engine(&model_);
   BidStore store(&engine, SOpts());

@@ -176,6 +176,58 @@ TEST_F(ServerSmokeTest, RelationAndExistsAndOracleKinds) {
   EXPECT_EQ(oracle2->body, oracle->body);
 }
 
+TEST_F(ServerSmokeTest, CompiledQueriesCarryEnvelopeAndCacheApart) {
+  // Self-join on the incomplete attr2: correlated lineage, so the
+  // compiler actually has something to refine.
+  const std::string a2 = schema_.attr(2).name();
+  const std::string plan = "project(" + schema_.attr(1).name() +
+                           "; join(scan; scan; " + a2 + "=" + a2 + "))";
+
+  auto compiled = Call("POST", "/query?width=0", plan);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->status, 200);
+  EXPECT_EQ(compiled->Header("x-mrsl-cache", ""), "miss");
+  EXPECT_FALSE(compiled->Header("x-mrsl-compiled", "").empty());
+  EXPECT_NE(compiled->body.find("\"compile\":{"), std::string::npos);
+  EXPECT_NE(compiled->body.find("\"mean_width_final\":"),
+            std::string::npos);
+  // compile wall time is a metric, never part of the (cacheable) body.
+  EXPECT_EQ(compiled->body.find("compile_seconds"), std::string::npos);
+
+  // Identical configuration: cache hit, byte-identical body.
+  auto hit = Call("POST", "/query?width=0", plan);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->Header("x-mrsl-cache", ""), "hit");
+  EXPECT_EQ(hit->body, compiled->body);
+
+  // A different width target is a different cache entry...
+  auto other_width = Call("POST", "/query?width=0.5", plan);
+  ASSERT_TRUE(other_width.ok());
+  ASSERT_EQ(other_width->status, 200);
+  EXPECT_EQ(other_width->Header("x-mrsl-cache", ""), "miss");
+
+  // ...and the plain evaluator neither serves nor is served a compiled
+  // envelope.
+  auto plain = Call("POST", "/query", plan);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  EXPECT_EQ(plain->Header("x-mrsl-cache", ""), "miss");
+  EXPECT_TRUE(plain->Header("x-mrsl-compiled", "").empty());
+  EXPECT_EQ(plain->body.find("\"compile\":{"), std::string::npos);
+
+  // A safe plan compiles to a point answer and says so in the header.
+  auto safe = Call("POST", "/query?width=0", "count(scan)");
+  ASSERT_TRUE(safe.ok());
+  ASSERT_EQ(safe->status, 200);
+  EXPECT_EQ(safe->Header("x-mrsl-compiled", ""), "safe");
+
+  // The compile metrics are exported.
+  auto metrics = Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("mrsl_compile_seconds"), std::string::npos);
+  EXPECT_NE(metrics->body.find("mrsl_bounds_width"), std::string::npos);
+}
+
 TEST_F(ServerSmokeTest, BadRequestsGetCleanJsonErrors) {
   auto empty = Call("POST", "/query", "   ");
   ASSERT_TRUE(empty.ok());
@@ -187,6 +239,12 @@ TEST_F(ServerSmokeTest, BadRequestsGetCleanJsonErrors) {
   auto bad_oracle = Call("POST", "/query?oracle=-5", "count(scan)");
   ASSERT_TRUE(bad_oracle.ok());
   EXPECT_EQ(bad_oracle->status, 400);
+  auto bad_width = Call("POST", "/query?width=2", "count(scan)");
+  ASSERT_TRUE(bad_width.ok());
+  EXPECT_EQ(bad_width->status, 400);
+  auto bad_budget = Call("POST", "/query?budget_ms=junk", "count(scan)");
+  ASSERT_TRUE(bad_budget.ok());
+  EXPECT_EQ(bad_budget->status, 400);
   auto bad_delta = Call("POST", "/update", "not,a,delta\n");
   ASSERT_TRUE(bad_delta.ok());
   EXPECT_EQ(bad_delta->status, 400);

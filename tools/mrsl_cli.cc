@@ -17,13 +17,18 @@
 //           Lazy query-targeted derivation: expected count / existence
 //           probability of rows matching the conjunction.
 //   query   --model model.txt --in data.csv --plan "<plan>"
-//           [--oracle N] [--min-prob p]
+//           [--oracle N] [--min-prob p] [--width W] [--budget-ms B]
+//           [--propagation 1]
 //           Extensional plan evaluation over the fully derived BID
 //           database: select/project/join/exists/count with exact
 //           probabilities on safe plans and [lower, upper] dissociation
 //           bounds on unsafe ones; --oracle N cross-checks against N
 //           Monte-Carlo sampled possible worlds. --plan-file reads the
 //           plan text from a file (large plans without shell quoting).
+//           --width / --budget-ms / --propagation route the plan through
+//           the safe-plan compiler (pdb/compiler.h): anytime lattice
+//           refinement until the mean bounds width reaches W or B ms
+//           are spent; --propagation 1 prints ranking scores instead.
 //   update  --model model.txt --snapshot store.bin [--in data.csv]
 //           [--delta delta.csv] [--samples N] [--burn-in B]
 //           Versioned-store maintenance: restore the store from the
@@ -66,6 +71,7 @@
 #include "core/repair.h"
 #include "core/tuning.h"
 #include "core/workload.h"
+#include "pdb/compiler.h"
 #include "pdb/lazy.h"
 #include "pdb/plan.h"
 #include "pdb/prob_database.h"
@@ -107,9 +113,13 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "mrsl query --model model.txt --in data.csv --plan PLAN\n"
        "    [--plan-file plan.txt] [--oracle 0] [--min-prob 0]\n"
        "    [--samples 2000] [--threads 0] [--batch-size 0]\n"
+       "    [--width W] [--budget-ms B] [--propagation 1]\n"
        "  PLAN: scan | select(pred; node) | project(attrs; node)\n"
        "        | join(node; node; a=b) | exists(node) | count(node)\n"
-       "  e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"},
+       "  e.g. \"count(select(edu=HS & inc=100K; scan))\"\n"
+       "  --width/--budget-ms compile the plan: anytime dissociation-\n"
+       "  lattice refinement until the mean bounds width <= W (in [0,1])\n"
+       "  or B ms elapse; --propagation 1 prints ranking scores only.\n"},
       {"update",
        "mrsl update --model model.txt --snapshot store.bin [--in data.csv]\n"
        "    [--delta delta.csv] [--wal-dir DIR] [--sync-mode always|group|\n"
@@ -496,15 +506,26 @@ int RunPlanQuery(const MrslModel& model, const Relation& rel,
   int64_t samples = 0;
   int64_t oracle_trials = 0;
   double min_prob = 0.0;
+  double width = 0.0;
+  double budget_ms = 0.0;
+  int64_t propagation = 0;
   EngineOptions engine_opts;
   size_t batch_size = 0;
   if (!GetIntFlag(flags, "samples", 2000, &samples) ||
       !GetIntFlag(flags, "oracle", 0, &oracle_trials) ||
       !GetDoubleFlag(flags, "min-prob", 0.0, &min_prob) ||
+      !GetDoubleFlag(flags, "width", 0.0, &width) ||
+      !GetDoubleFlag(flags, "budget-ms", 0.0, &budget_ms) ||
+      !GetIntFlag(flags, "propagation", 0, &propagation) ||
+      width < 0.0 || width > 1.0 || budget_ms < 0.0 ||
       !ParseEngineFlags(flags, &engine_opts, &batch_size)) {
     return Usage();
   }
   gibbs.samples = static_cast<size_t>(samples);
+  // Any compiler flag routes the plan through the safe-plan compiler.
+  const bool with_compile = flags.count("width") != 0 ||
+                            flags.count("budget-ms") != 0 ||
+                            flags.count("propagation") != 0;
 
   Engine engine(&model, engine_opts);
   LazyDeriver lazy(&engine, &rel, gibbs);
@@ -540,6 +561,80 @@ int RunPlanQuery(const MrslModel& model, const Relation& rel,
       return 1;
     }
     oracle = std::move(estimated).value();
+  }
+
+  if (with_compile) {
+    CompileOptions copts;
+    copts.width_target = width;
+    copts.budget_ms = budget_ms;
+    copts.propagation_only = propagation != 0;
+    // Only the answer this query kind prints is materialized.
+    copts.want_exists = parsed->kind == ParsedQuery::Kind::kExists;
+    copts.want_count = parsed->kind == ParsedQuery::Kind::kCount;
+    auto compiled = CompileQuery(*parsed->plan, sources, copts);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    const CompileStats& cs = compiled->stats;
+    switch (parsed->kind) {
+      case ParsedQuery::Kind::kRelation: {
+        std::printf("%s: %zu distinct tuples\n",
+                    cs.propagation ? "propagation scores (ranking only)"
+                    : cs.plan_safe ? "exact (safe plan)"
+                                   : "compiled envelope",
+                    compiled->marginals.size());
+        std::unordered_map<Tuple, double, TupleHash> freq;
+        for (const ProbTuple& pt : oracle.marginals) {
+          freq.emplace(pt.tuple, pt.prob);
+        }
+        for (const DistinctMarginal& m : compiled->marginals) {
+          std::printf("  %s  p=%s",
+                      m.tuple.ToString(compiled->schema).c_str(),
+                      m.prob.ToString().c_str());
+          if (with_oracle) {
+            auto it = freq.find(m.tuple);
+            std::printf("  oracle=%.4f",
+                        it == freq.end() ? 0.0 : it->second);
+          }
+          std::printf("\n");
+        }
+        break;
+      }
+      case ParsedQuery::Kind::kExists:
+        std::printf("P(result non-empty) = %s  (%s)\n",
+                    compiled->exists.prob.ToString().c_str(),
+                    cs.plan_safe ? "exact" : "compiled envelope");
+        if (with_oracle) {
+          std::printf("oracle (%zu worlds):  %.4f\n", oracle.trials,
+                      oracle.exists);
+        }
+        break;
+      case ParsedQuery::Kind::kCount:
+        std::printf("E[count] = %s  (%s)\n",
+                    compiled->count.expected.ToString().c_str(),
+                    cs.plan_safe ? "exact" : "compiled envelope");
+        if (with_oracle) {
+          std::printf("oracle (%zu worlds):  E[count] = %.4f\n",
+                      oracle.trials, oracle.expected_count);
+        }
+        break;
+    }
+    std::printf(
+        "compile: groups=%zu unsafe=%zu refined=%zu worlds=%zu "
+        "width %.4f -> %.4f in %.1f ms%s%s\n",
+        cs.groups_total, cs.groups_unsafe, cs.groups_refined,
+        cs.worlds_expanded, cs.mean_width_base, cs.mean_width_final,
+        cs.compile_seconds * 1e3,
+        cs.width_target_met ? "  [width target met]" : "",
+        cs.budget_exhausted ? "  [budget exhausted]" : "");
+    if (cs.propagation) {
+      std::printf(
+          "note: propagation scores rank tuples but are NOT sound "
+          "probability bounds\n");
+    }
+    return 0;
   }
 
   switch (parsed->kind) {
@@ -1063,7 +1158,8 @@ int main(int argc, char** argv) {
         "mode", "threads", "batch-size"}},
       {"query",
        {"model", "in", "where", "plan", "plan-file", "oracle", "min-prob",
-        "samples", "threads", "batch-size"}},
+        "samples", "threads", "batch-size", "width", "budget-ms",
+        "propagation"}},
       {"update",
        {"model", "in", "delta", "snapshot", "wal-dir", "sync-mode",
         "samples", "burn-in", "mode", "min-prob", "threads"}},
