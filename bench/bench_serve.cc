@@ -1,16 +1,21 @@
 // Closed-loop load driver for the serving subsystem: N keep-alive
 // connections hammer POST /query with a cached single-relation plan
-// against an in-process server, and the driver reports QPS and p50/p99
-// latency per connection count.
+// against an in-process server, and the driver reports QPS and
+// p50/p99/p99.9 latency per connection count, plus a per-endpoint
+// latency breakdown (/query, /healthz, /metrics).
 //
 // Exit code doubles as a perf gate (like bench_incremental's 5x rule):
 // cached single-relation plans must clear >= 10k queries/sec at 8
-// connections, the ROADMAP's serving floor. --json writes the usual
+// connections (the ROADMAP's serving floor), AND sampled tracing at
+// --trace-sample (default 0.01) must keep QPS within 5% of tracing-off
+// — measured as the best of five interleaved windows each, so a
+// noisy window cannot flip the verdict. --json writes the usual
 // machine-readable trajectory file.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -30,6 +35,9 @@ namespace {
 
 constexpr double kGateQps = 10000.0;
 constexpr size_t kGateConnections = 8;
+// Tracing overhead gate: QPS with sampling on must be >= this fraction
+// of QPS with tracing off (the ISSUE's "within 5%" acceptance bar).
+constexpr double kTraceGateRatio = 0.95;
 
 Tuple T(std::vector<int> vals) {
   Tuple t(vals.size());
@@ -47,6 +55,7 @@ struct LoadResult {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
 
 double Percentile(std::vector<double>* sorted_ms, double q) {
@@ -56,7 +65,8 @@ double Percentile(std::vector<double>* sorted_ms, double q) {
   return (*sorted_ms)[std::min(idx, sorted_ms->size() - 1)];
 }
 
-LoadResult RunClosedLoop(uint16_t port, const std::string& plan,
+LoadResult RunClosedLoop(uint16_t port, const std::string& method,
+                         const std::string& target, const std::string& body,
                          size_t connections, double duration_s) {
   std::vector<std::vector<double>> latencies_ms(connections);
   std::vector<size_t> errors(connections, 0);
@@ -73,7 +83,7 @@ LoadResult RunClosedLoop(uint16_t port, const std::string& plan,
       WallTimer window;
       while (window.ElapsedSeconds() < duration_s) {
         WallTimer one;
-        auto resp = client.RoundTrip("POST", "/query", plan);
+        auto resp = client.RoundTrip(method, target, body);
         if (resp.ok() && resp->status == 200) {
           latencies_ms[c].push_back(one.ElapsedMillis());
         } else {
@@ -103,11 +113,29 @@ LoadResult RunClosedLoop(uint16_t port, const std::string& plan,
   std::sort(merged.begin(), merged.end());
   result.p50_ms = Percentile(&merged, 0.50);
   result.p99_ms = Percentile(&merged, 0.99);
+  result.p999_ms = Percentile(&merged, 0.999);
   return result;
 }
 
 int Run(int argc, char** argv) {
-  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  // bench_serve-specific flags come out of argv before the shared
+  // parser sees it (BenchFlags rejects unknown flags).
+  double trace_sample = 0.01;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-sample" && i + 1 < argc) {
+      trace_sample = std::atof(argv[++i]);
+      if (trace_sample < 0.0 || trace_sample > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be in [0,1]\n");
+        return 2;
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::BenchFlags flags = bench::BenchFlags::Parse(
+      static_cast<int>(passthrough.size()), passthrough.data());
   bench::Banner("bench_serve",
                 "HTTP serving throughput: closed-loop QPS and latency vs. "
                 "connection count on cached single-relation plans",
@@ -154,12 +182,25 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Two servers over the same store: one with tracing off (the main
+  // table and the overhead baseline), one sampling at --trace-sample.
+  // Interleaved windows against the pair measure overhead without
+  // restarting anything.
   ServerOptions server_opts;
   server_opts.max_inflight = 256;
   HttpServer server(server_opts);
   StoreService service(&store);
   service.Attach(&server);
+
+  ServerOptions traced_opts;
+  traced_opts.max_inflight = 256;
+  traced_opts.trace_sample = trace_sample;
+  HttpServer traced_server(traced_opts);
+  StoreService traced_service(&store);
+  traced_service.Attach(&traced_server);
+
   Status started = server.Start();
+  if (started.ok()) started = traced_server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  started.ToString().c_str());
@@ -177,6 +218,7 @@ int Run(int argc, char** argv) {
     if (!resp.ok() || resp->status != 200) {
       std::fprintf(stderr, "warm-up query failed\n");
       server.Stop();
+      traced_server.Stop();
       return 1;
     }
   }
@@ -188,20 +230,91 @@ int Run(int argc, char** argv) {
   }
   const double duration_s = flags.full ? 4.0 : 1.5;
 
-  std::printf("%-12s %-10s %-10s %-10s %-10s %-8s\n", "connections",
-              "requests", "qps", "p50_ms", "p99_ms", "errors");
+  std::printf("%-12s %-10s %-10s %-10s %-10s %-10s %-8s\n", "connections",
+              "requests", "qps", "p50_ms", "p99_ms", "p99.9_ms", "errors");
   std::vector<LoadResult> results;
   double qps_at_gate = 0.0;
   for (size_t connections : counts) {
-    LoadResult r = RunClosedLoop(server.port(), plan, connections,
-                                 duration_s);
-    std::printf("%-12zu %-10zu %-10.0f %-10.3f %-10.3f %-8zu\n",
+    LoadResult r = RunClosedLoop(server.port(), "POST", "/query", plan,
+                                 connections, duration_s);
+    std::printf("%-12zu %-10zu %-10.0f %-10.3f %-10.3f %-10.3f %-8zu\n",
                 r.connections, r.requests, r.qps, r.p50_ms, r.p99_ms,
-                r.errors);
+                r.p999_ms, r.errors);
     if (connections == kGateConnections) qps_at_gate = r.qps;
     results.push_back(r);
   }
+
+  // Per-endpoint latency breakdown: the hot query path against the two
+  // read-only probes a deployment scrapes alongside it.
+  struct Endpoint {
+    const char* name;
+    const char* method;
+    const char* target;
+    const std::string* body;
+  };
+  const std::string empty_body;
+  const std::vector<Endpoint> endpoints = {
+      {"POST /query", "POST", "/query", &plan},
+      {"GET /healthz", "GET", "/healthz", &empty_body},
+      {"GET /metrics", "GET", "/metrics", &empty_body},
+  };
+  const double endpoint_duration_s = flags.full ? 2.0 : 0.8;
+  std::printf("\nper-endpoint breakdown (4 connections):\n");
+  std::printf("%-14s %-10s %-10s %-10s %-10s %-8s\n", "endpoint", "qps",
+              "p50_ms", "p99_ms", "p99.9_ms", "errors");
+  std::vector<std::pair<std::string, LoadResult>> endpoint_results;
+  for (const Endpoint& e : endpoints) {
+    LoadResult r = RunClosedLoop(server.port(), e.method, e.target, *e.body,
+                                 4, endpoint_duration_s);
+    std::printf("%-14s %-10.0f %-10.3f %-10.3f %-10.3f %-8zu\n", e.name,
+                r.qps, r.p50_ms, r.p99_ms, r.p999_ms, r.errors);
+    endpoint_results.emplace_back(e.name, r);
+  }
+
+  // Tracing-overhead gate: interleave off/traced windows (A B A B ...)
+  // so machine-load drift hits both sides equally, take each side's
+  // BEST window, and require traced >= 95% of off. Best, not median:
+  // closed-loop QPS under scheduler/neighbor noise only dips
+  // (interference subtracts throughput, nothing adds it), so the best
+  // window is the cleanest estimate of each configuration's capability
+  // and the ratio isolates the tracing cost from the noise floor.
+  const double overhead_window_s = flags.full ? 2.5 : 1.2;
+  constexpr int kOverheadWindows = 5;
+  double off_qps[kOverheadWindows];
+  double traced_qps[kOverheadWindows];
+  for (int w = 0; w < kOverheadWindows; ++w) {
+    // Alternate which side goes first so neither systematically enjoys
+    // the warmer caches.
+    const bool off_first = w % 2 == 0;
+    for (int side = 0; side < 2; ++side) {
+      if ((side == 0) == off_first) {
+        off_qps[w] = RunClosedLoop(server.port(), "POST", "/query", plan,
+                                   kGateConnections, overhead_window_s)
+                         .qps;
+      } else {
+        traced_qps[w] =
+            RunClosedLoop(traced_server.port(), "POST", "/query", plan,
+                          kGateConnections, overhead_window_s)
+                .qps;
+      }
+    }
+  }
   server.Stop();
+  traced_server.Stop();
+
+  const double off_best =
+      *std::max_element(off_qps, off_qps + kOverheadWindows);
+  const double traced_best =
+      *std::max_element(traced_qps, traced_qps + kOverheadWindows);
+  const double trace_ratio = off_best > 0.0 ? traced_best / off_best : 0.0;
+  const bool trace_pass = trace_ratio >= kTraceGateRatio;
+  std::printf(
+      "\ntracing overhead at %zu connections (best of %d windows):\n"
+      "  off:    %.0f qps\n"
+      "  sample=%.3g: %.0f qps  (ratio %.4f, need >= %.2f): %s\n",
+      kGateConnections, kOverheadWindows, off_best, trace_sample,
+      traced_best, trace_ratio, kTraceGateRatio,
+      trace_pass ? "PASS" : "FAIL");
 
   const bool gate_pass = qps_at_gate >= kGateQps;
   std::printf("\ngate: %.0f qps at %zu connections (need >= %.0f): %s\n",
@@ -216,6 +329,11 @@ int Run(int argc, char** argv) {
     json.SetInt("gate_connections", kGateConnections);
     json.SetNum("qps_at_gate", qps_at_gate);
     json.SetBool("gate_pass", gate_pass);
+    json.SetNum("trace_sample", trace_sample);
+    json.SetNum("trace_off_qps", off_best);
+    json.SetNum("trace_on_qps", traced_best);
+    json.SetNum("trace_qps_ratio", trace_ratio);
+    json.SetBool("trace_gate_pass", trace_pass);
     std::vector<bench::JsonObject> rows;
     for (const LoadResult& r : results) {
       bench::JsonObject row;
@@ -225,13 +343,26 @@ int Run(int argc, char** argv) {
           .SetNum("qps", r.qps)
           .SetNum("p50_ms", r.p50_ms)
           .SetNum("p99_ms", r.p99_ms)
+          .SetNum("p999_ms", r.p999_ms)
           .SetInt("errors", r.errors);
       rows.push_back(row);
     }
     json.SetArray("rows", rows);
+    std::vector<bench::JsonObject> endpoint_rows;
+    for (const auto& [name, r] : endpoint_results) {
+      bench::JsonObject row;
+      row.SetStr("endpoint", name)
+          .SetNum("qps", r.qps)
+          .SetNum("p50_ms", r.p50_ms)
+          .SetNum("p99_ms", r.p99_ms)
+          .SetNum("p999_ms", r.p999_ms)
+          .SetInt("errors", r.errors);
+      endpoint_rows.push_back(row);
+    }
+    json.SetArray("endpoints", endpoint_rows);
     if (!json.WriteTo(flags.json_path)) return 1;
   }
-  return gate_pass ? 0 : 1;
+  return gate_pass && trace_pass ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Promtool-style lint for a Prometheus text-format /metrics scrape.
+
+Checks, per metric family:
+
+  * every sample belongs to a family announced by `# HELP` and `# TYPE`
+    lines (and each family announces both, exactly once, HELP first);
+  * the TYPE is one of counter/gauge/histogram;
+  * counter and gauge samples are finite numbers, counters >= 0;
+  * histogram families expose `_bucket`/`_sum`/`_count` series only, per
+    label set the `le` buckets are cumulative (non-decreasing counts in
+    increasing `le` order), the `+Inf` bucket exists, and `_count`
+    equals the `+Inf` bucket's value;
+  * no duplicate sample (same name + label set) appears twice.
+
+Reads the scrape from a file argument or stdin, so CI can pipe
+`curl /metrics` straight in:
+
+    curl -s http://127.0.0.1:8080/metrics | scripts/check_metrics.py
+
+Exits non-zero with one line per violation.
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)(?:\s+\d+)?$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+
+def base_family(name):
+    """Family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint(text):
+    errors = []
+    helps = {}          # family -> help text
+    types = {}          # family -> type
+    samples = []        # (line_no, name, labels_dict, value)
+    seen_keys = set()   # duplicate detection
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {line_no}: HELP line has no text")
+                continue
+            family = parts[2]
+            if family in helps:
+                errors.append(f"line {line_no}: duplicate HELP for {family}")
+            if family in types:
+                errors.append(
+                    f"line {line_no}: HELP for {family} after its TYPE")
+            helps[family] = parts[3]
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {line_no}: malformed TYPE line")
+                continue
+            family, mtype = parts[2], parts[3]
+            if family in types:
+                errors.append(f"line {line_no}: duplicate TYPE for {family}")
+            if family not in helps:
+                errors.append(
+                    f"line {line_no}: TYPE for {family} without HELP")
+            if mtype not in VALID_TYPES:
+                errors.append(
+                    f"line {line_no}: {family} has invalid type {mtype!r}")
+            types[family] = mtype
+        elif line.startswith("#"):
+            continue  # comment
+        else:
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {line_no}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+            value = parse_value(m.group("value"))
+            if value is None:
+                errors.append(
+                    f"line {line_no}: {name} has non-numeric value "
+                    f"{m.group('value')!r}")
+                continue
+            key = (name, tuple(sorted(labels.items())))
+            if key in seen_keys:
+                errors.append(f"line {line_no}: duplicate sample {name}"
+                              f"{dict(labels)}")
+            seen_keys.add(key)
+            samples.append((line_no, name, labels, value))
+
+    families = {}  # family -> list of samples
+    for line_no, name, labels, value in samples:
+        family = base_family(name)
+        if family not in types and name in helps or name in types:
+            family = name
+        if family not in types:
+            errors.append(
+                f"line {line_no}: sample {name} has no # TYPE announcement")
+            continue
+        families.setdefault(family, []).append((line_no, name, labels, value))
+
+    for family, mtype in types.items():
+        fam_samples = families.get(family, [])
+        if not fam_samples:
+            errors.append(f"{family}: announced but has no samples")
+            continue
+        if mtype == "histogram":
+            lint_histogram(family, fam_samples, errors)
+        else:
+            for line_no, name, labels, value in fam_samples:
+                if name != family:
+                    errors.append(
+                        f"line {line_no}: {mtype} family {family} has "
+                        f"suffixed sample {name}")
+                if math.isnan(value) or math.isinf(value):
+                    errors.append(
+                        f"line {line_no}: {name} is not finite ({value})")
+                elif mtype == "counter" and value < 0:
+                    errors.append(
+                        f"line {line_no}: counter {name} is negative")
+    return errors
+
+
+def lint_histogram(family, fam_samples, errors):
+    # Group by label set minus `le`.
+    series = {}  # labelkey -> {"buckets": [(le, value)], "sum": v, "count": v}
+    for line_no, name, labels, value in fam_samples:
+        rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        entry = series.setdefault(rest, {"buckets": [], "sum": None,
+                                         "count": None})
+        if name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"line {line_no}: {name} missing le label")
+                continue
+            le = parse_value(labels["le"])
+            if le is None:
+                errors.append(
+                    f"line {line_no}: {name} has bad le "
+                    f"{labels['le']!r}")
+                continue
+            entry["buckets"].append((le, value))
+        elif name == family + "_sum":
+            entry["sum"] = value
+        elif name == family + "_count":
+            entry["count"] = value
+        else:
+            errors.append(
+                f"line {line_no}: histogram family {family} has "
+                f"unexpected sample {name}")
+    for labelkey, entry in series.items():
+        where = f"{family}{{{', '.join('='.join(kv) for kv in labelkey)}}}"
+        buckets = entry["buckets"]
+        if not buckets:
+            errors.append(f"{where}: no buckets")
+            continue
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            errors.append(f"{where}: le buckets out of order")
+        counts = [v for _, v in sorted(buckets)]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(f"{where}: bucket counts not cumulative")
+        if not any(math.isinf(le) for le in les):
+            errors.append(f"{where}: no +Inf bucket")
+        else:
+            inf_count = max(v for le, v in buckets if math.isinf(le))
+            if entry["count"] is None:
+                errors.append(f"{where}: missing _count")
+            elif entry["count"] != inf_count:
+                errors.append(
+                    f"{where}: _count {entry['count']} != +Inf bucket "
+                    f"{inf_count}")
+        if entry["sum"] is None:
+            errors.append(f"{where}: missing _sum")
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.exit(f"usage: {sys.argv[0]} [scrape.txt]  (or pipe to stdin)")
+    if len(sys.argv) == 2:
+        with open(sys.argv[1]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        sys.exit("error: empty scrape")
+    errors = lint(text)
+    for err in errors:
+        print(err, file=sys.stderr)
+    families = len([1 for line in text.splitlines()
+                    if line.startswith("# TYPE ")])
+    if errors:
+        sys.exit(f"check_metrics: {len(errors)} violation(s) across "
+                 f"{families} families")
+    print(f"check_metrics: OK ({families} families)")
+
+
+if __name__ == "__main__":
+    main()

@@ -79,7 +79,7 @@ void Engine::RecordBatch(const WorkloadStats& stats, size_t components,
 
 Result<std::vector<JointDist>> Engine::InferBatch(
     const std::vector<Tuple>& batch, SamplingMode mode,
-    const WorkloadOptions& options, WorkloadStats* stats) {
+    const WorkloadOptions& options, WorkloadStats* stats, TraceSpan trace) {
   WallTimer timer;
   if (batch.empty()) {
     if (stats != nullptr) *stats = WorkloadStats();
@@ -88,11 +88,14 @@ Result<std::vector<JointDist>> Engine::InferBatch(
 
   if (mode == SamplingMode::kAllAtATime) {
     // One global chain over t*: inherently sequential, one context.
+    TraceSpan span = trace.StartChild("component");
+    span.SetAttr("tuples", static_cast<int64_t>(batch.size()));
     InferenceContext* ctx = AcquireContext();
     GibbsSampler* sampler = ctx->PrepareSampler(options.gibbs);
     WorkloadStats local;
     auto result = RunWorkloadOn(sampler, batch, mode, options, &local);
     ReleaseContext(ctx);
+    span.End();
     if (!result.ok()) return result.status();
     local.wall_seconds = timer.ElapsedSeconds();
     RecordBatch(local, 1, batch.size());
@@ -125,6 +128,11 @@ Result<std::vector<JointDist>> Engine::InferBatch(
 
   pool_->ParallelFor(
       components.size(), max_parallelism, [&](size_t c) {
+        TraceSpan span = trace.StartChild("component");
+        if (span.active()) {
+          span.SetAttr("component", static_cast<int64_t>(c));
+          span.SetAttr("tuples", static_cast<int64_t>(subs[c].size()));
+        }
         InferenceContext* ctx = AcquireContext();
         WorkloadOptions opts = options;
         opts.gibbs.seed =
@@ -138,6 +146,7 @@ Result<std::vector<JointDist>> Engine::InferBatch(
           sub_status[c] = result.status();
         }
         ReleaseContext(ctx);
+        span.End();
       });
 
   for (const Status& s : sub_status) {

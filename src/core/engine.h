@@ -35,6 +35,7 @@
 #include "relational/relation.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mrsl {
 
@@ -126,10 +127,16 @@ class Engine {
   /// aligned with the batch order. Every SamplingMode is supported
   /// (kAllAtATime runs its single global chain on one context).
   /// Deterministic per the contract above. `stats` may be null.
+  ///
+  /// `trace` (when active) receives one "component" child span per DAG
+  /// component executed (attrs: tuples, seed-derived component index);
+  /// TraceContext is thread-safe, so the pool workers record into it
+  /// directly. Spans never influence inference.
   Result<std::vector<JointDist>> InferBatch(const std::vector<Tuple>& batch,
                                             SamplingMode mode,
                                             const WorkloadOptions& options,
-                                            WorkloadStats* stats = nullptr);
+                                            WorkloadStats* stats = nullptr,
+                                            TraceSpan trace = TraceSpan());
 
   /// InferBatch over `tuples` in chunks of `batch_size` (0 = one
   /// batch), concatenating the aligned results and summing `stats`.

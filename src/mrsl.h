@@ -9,13 +9,8 @@
 #ifndef MRSL_MRSL_H_
 #define MRSL_MRSL_H_
 
-// Version of the library (semver).
-#define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 6
-#define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.6.0"
-
-// Utilities.
+// Utilities. The version macros (MRSL_VERSION_STRING et al.) live in
+// util/version.h.
 #include "util/csv.h"          // IWYU pragma: export
 #include "util/fault_file.h"   // IWYU pragma: export
 #include "util/metrics.h"      // IWYU pragma: export
@@ -24,6 +19,8 @@
 #include "util/rng.h"          // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export
 #include "util/thread_pool.h"  // IWYU pragma: export
+#include "util/trace.h"        // IWYU pragma: export
+#include "util/version.h"      // IWYU pragma: export
 #include "util/wire.h"         // IWYU pragma: export
 
 // Relational substrate.

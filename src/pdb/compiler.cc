@@ -994,7 +994,7 @@ double MeanWidth(const std::vector<DistinctMarginal>& marginals) {
 
 Result<CompiledQuery> CompileQuery(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
-    const CompileOptions& options) {
+    const CompileOptions& options, TraceSpan trace) {
   WallTimer clock;
   CompiledQuery out;
 
@@ -1003,7 +1003,8 @@ Result<CompiledQuery> CompileQuery(
   // permits, so safe plans — and every exact group of unsafe ones — are
   // fully answered here at EvaluatePlan speed. The factored machinery
   // below only ever touches what this pass could not close.
-  auto base_r = EvaluatePlan(plan, sources);
+  TraceSpan phase1 = trace.StartChild("phase1");
+  auto base_r = EvaluatePlan(plan, sources, phase1);
   if (!base_r.ok()) return base_r.status();
   PlanResult base = std::move(*base_r);
 
@@ -1032,6 +1033,13 @@ Result<CompiledQuery> CompileQuery(
     if (!m.prob.exact()) ++out.stats.groups_unsafe;
   }
   out.stats.mean_width_base = MeanWidth(marginals);
+  if (phase1.active()) {
+    phase1.SetAttr("rows", static_cast<int64_t>(base.rows.size()));
+    phase1.SetAttr("groups", static_cast<int64_t>(marginals.size()));
+    phase1.SetAttr("groups_unsafe",
+                   static_cast<int64_t>(out.stats.groups_unsafe));
+    phase1.End();
+  }
 
   // Index of the non-exact (refinable) groups by value — everything the
   // factored pass below exists for. Exact groups never enter it.
@@ -1095,7 +1103,9 @@ Result<CompiledQuery> CompileQuery(
   bool exists_refined = false;
   ProbInterval exists_envelope;
 
+  TraceSpan phase2;
   if (need_factored) {
+    phase2 = trace.StartChild("phase2");
     // Phase 2: the factored evaluator over the universe. The root
     // projection (or, for other roots, the distinct-value grouping)
     // rebuilds the non-exact groups' events as DNFs and defers their
@@ -1217,6 +1227,7 @@ Result<CompiledQuery> CompileQuery(
       }
 
       std::vector<bool> group_refined(groups.size(), false);
+      size_t candidates_tried = 0;
       for (const Candidate& cand : candidates) {
         if (options.width_target > 0.0 &&
             mean_width <= options.width_target) {
@@ -1228,6 +1239,9 @@ Result<CompiledQuery> CompileQuery(
           out.stats.budget_exhausted = true;
           break;
         }
+        ++candidates_tried;
+        TraceSpan refine = phase2.StartChild("lattice.refine");
+        const size_t worlds_before = out.stats.worlds_expanded;
         MarginalGroup& g = groups[cand.group];
         PendingComponent& pc = g.group.components[cand.component];
         LatticeSearch search(atoms, &out.stats.worlds_expanded);
@@ -1245,6 +1259,20 @@ Result<CompiledQuery> CompileQuery(
           group_refined[cand.group] = true;
           ++out.stats.groups_refined;
         }
+        if (refine.active()) {
+          refine.SetAttr("group", static_cast<int64_t>(cand.group));
+          refine.SetAttr("cost_worlds", static_cast<int64_t>(cand.cost));
+          refine.SetAttr("worlds",
+                         static_cast<int64_t>(out.stats.worlds_expanded -
+                                              worlds_before));
+          refine.End();
+        }
+      }
+      if (phase2.active()) {
+        phase2.SetAttr("candidates",
+                       static_cast<int64_t>(candidates.size()));
+        phase2.SetAttr("candidates_tried",
+                       static_cast<int64_t>(candidates_tried));
       }
       for (size_t gi = 0; gi < groups.size(); ++gi) {
         if (group_refined[gi] && final_prob[groups[gi].base].exact()) {
@@ -1294,8 +1322,17 @@ Result<CompiledQuery> CompileQuery(
         exists_refined = true;
       }
     }
+    if (phase2.active()) {
+      phase2.SetAttr("worlds_evaluated",
+                     static_cast<int64_t>(out.stats.worlds_expanded));
+      phase2.SetAttr("groups_refined",
+                     static_cast<int64_t>(out.stats.groups_refined));
+      if (out.stats.propagation) phase2.SetAttr("propagation", 1);
+      phase2.End();
+    }
   }
 
+  TraceSpan combine = trace.StartChild("combine");
   // Assemble. Marginals and root-project rows take their group's final
   // envelope; bag-root rows keep the phase-1 intervals (COUNT's
   // linearity holds under any correlation, so those stay sound).
@@ -1351,6 +1388,7 @@ Result<CompiledQuery> CompileQuery(
     out.count.safe = out.stats.plan_safe;
   }
   out.result.safe = all_exact;
+  combine.End();
 
   out.stats.compile_seconds = clock.ElapsedSeconds();
   return out;

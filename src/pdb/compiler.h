@@ -140,9 +140,17 @@ struct CompiledQuery {
 /// (and then identical to EvaluatePlan's answers); on unsafe plans every
 /// reported interval is sound, contained in the fixed-dissociation
 /// interval, and tightened as far as `options` allows.
+///
+/// `trace` (when active) receives "phase1" (the columnar base pass,
+/// with EvaluatePlan's per-operator spans nested inside), "phase2" (the
+/// factored pass + anytime lattice walk, with candidates-tried /
+/// worlds-evaluated attributes and one "lattice.refine" child per
+/// candidate actually expanded), and "combine" (answer assembly). Spans
+/// never influence the result; trace does NOT join the cache key
+/// (CompileCacheSuffix below ignores it).
 Result<CompiledQuery> CompileQuery(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
-    const CompileOptions& options = {});
+    const CompileOptions& options = {}, TraceSpan trace = TraceSpan());
 
 /// The cache-key suffix for a compiled evaluation: compiler mode, width
 /// target, and world budget all change the answer, so they must join the

@@ -745,24 +745,47 @@ void DisjoinGroupToBatch(const ColumnBatch& child, const uint32_t* rows,
   out->lineage.AppendComposite(s->key_set);
 }
 
-Result<ColumnBatch> EvalNodeBatch(
-    const PlanNode& node, const std::vector<const ProbDatabase*>& sources) {
+// Per-operator EXPLAIN ANALYZE accounting: stamps the operator span
+// with its input/output cardinalities and the arena footprint of the
+// output lineage, then ends it. One branch when tracing is off.
+void CloseOpSpan(const TraceSpan& span, size_t rows_in,
+                 const ColumnBatch& out) {
+  if (!span.active()) return;
+  span.SetAttr("rows_in", static_cast<int64_t>(rows_in));
+  span.SetAttr("rows_out", static_cast<int64_t>(out.num_rows()));
+  span.SetAttr("lineage_size",
+               static_cast<int64_t>(out.lineage.keys.size() +
+                                    out.lineage.alts.size()));
+  span.End();
+}
+
+Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
+                                  const std::vector<const ProbDatabase*>& sources,
+                                  TraceSpan trace) {
   switch (node.op) {
     case PlanNode::Op::kScan: {
+      TraceSpan span = trace.StartChild("op.scan");
       MRSL_RETURN_IF_ERROR(ValidateSource(node.source, sources));
-      return ScanToBatch(*sources[node.source],
-                         static_cast<uint32_t>(node.source));
+      ColumnBatch out = ScanToBatch(*sources[node.source],
+                                    static_cast<uint32_t>(node.source));
+      CloseOpSpan(span, 0, out);
+      return out;
     }
 
     case PlanNode::Op::kSelect: {
-      auto child = EvalNodeBatch(*node.left, sources);
+      TraceSpan span = trace.StartChild("op.select");
+      auto child = EvalNodeBatch(*node.left, sources, span);
       if (!child.ok()) return child.status();
+      const size_t rows_in = child->num_rows();
       AttrMask touched = node.pred.AttrsTouched();
       if (child->schema.num_attrs() < kMaxAttributes &&
           (touched >> child->schema.num_attrs()) != 0) {
         return Status::InvalidArgument("select predicate attr out of range");
       }
-      if (node.pred.atoms().empty()) return child;
+      if (node.pred.atoms().empty()) {
+        CloseOpSpan(span, rows_in, *child);
+        return child;
+      }
       // Predicate sweep: each atom scans ONE column, refining the
       // selection vector; the single gather afterwards applies it.
       std::vector<uint32_t> sel;
@@ -787,11 +810,13 @@ Result<ColumnBatch> EvalNodeBatch(
         }
       }
       child->Keep(sel);
+      CloseOpSpan(span, rows_in, *child);
       return child;
     }
 
     case PlanNode::Op::kProject: {
-      auto child = EvalNodeBatch(*node.left, sources);
+      TraceSpan span = trace.StartChild("op.project");
+      auto child = EvalNodeBatch(*node.left, sources, span);
       if (!child.ok()) return child.status();
       auto schema = ProjectSchema(child->schema, node.attrs);
       if (!schema.ok()) return schema.status();
@@ -828,13 +853,15 @@ Result<ColumnBatch> EvalNodeBatch(
           out.cols[k].push_back(child->cols[node.attrs[k]][rep]);
         }
       }
+      CloseOpSpan(span, n, out);
       return out;
     }
 
     case PlanNode::Op::kJoin: {
-      auto left = EvalNodeBatch(*node.left, sources);
+      TraceSpan span = trace.StartChild("op.join");
+      auto left = EvalNodeBatch(*node.left, sources, span);
       if (!left.ok()) return left.status();
-      auto right = EvalNodeBatch(*node.right, sources);
+      auto right = EvalNodeBatch(*node.right, sources, span);
       if (!right.ok()) return right.status();
       if (node.left_attr >= left->schema.num_attrs() ||
           node.right_attr >= right->schema.num_attrs()) {
@@ -889,6 +916,7 @@ Result<ColumnBatch> EvalNodeBatch(
         dst.resize(out_n);
         for (size_t k = 0; k < out_n; ++k) dst[k] = src[rrows[k]];
       }
+      CloseOpSpan(span, left_n + right->num_rows(), out);
       return out;
     }
   }
@@ -1025,9 +1053,10 @@ Result<std::string> PlanToString(
   return Status::Internal("unknown plan operator");
 }
 
-Result<PlanResult> EvaluatePlan(
-    const PlanNode& plan, const std::vector<const ProbDatabase*>& sources) {
-  auto batch = EvalNodeBatch(plan, sources);
+Result<PlanResult> EvaluatePlan(const PlanNode& plan,
+                                const std::vector<const ProbDatabase*>& sources,
+                                TraceSpan trace) {
+  auto batch = EvalNodeBatch(plan, sources, trace);
   if (!batch.ok()) return batch.status();
   return BatchToPlanResult(std::move(*batch));
 }

@@ -35,6 +35,7 @@
 #include "pdb/prob_database.h"
 #include "pdb/query.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace mrsl {
 
@@ -146,8 +147,15 @@ struct PlanResult {
 /// group-id sweep plus one disjoin pass — and materializes rows only at
 /// the root. Bit-identical (row order, doubles, lineage) to the row
 /// reference evaluator below.
+///
+/// `trace` (when active) receives one child span per plan operator
+/// ("op.scan" / "op.select" / "op.project" / "op.join") with rows-in /
+/// rows-out / lineage-size attributes — the EXPLAIN ANALYZE feed. The
+/// spans never influence evaluation: traced and untraced runs are
+/// bit-identical.
 Result<PlanResult> EvaluatePlan(const PlanNode& plan,
-                                const std::vector<const ProbDatabase*>& sources);
+                                const std::vector<const ProbDatabase*>& sources,
+                                TraceSpan trace = TraceSpan());
 
 /// The row-at-a-time reference evaluator: one PlanRow per intermediate
 /// row. Kept compiled as the differential baseline for the columnar

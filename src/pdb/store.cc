@@ -66,7 +66,8 @@ Result<CommitStats> BidStore::Commit(Relation rel) {
 }
 
 Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
-                                         uint64_t expected_epoch) {
+                                         uint64_t expected_epoch,
+                                         TraceSpan trace) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   SnapshotPtr parent = std::atomic_load(&head_);
   if (parent == nullptr) {
@@ -90,13 +91,15 @@ Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
   MRSL_ASSIGN_OR_RETURN(
       CommitStats stats,
       CommitInternal(std::move(new_rel), parent.get(), parent->epoch() + 1,
-                     delta.IndexStable()));
+                     delta.IndexStable(), trace));
   if (wal_ != nullptr) {
     // Log after the commit published (a failed inference must not leave
     // a phantom record) but before returning: the caller may only
     // acknowledge once the covering Sync returned — immediately in
     // kAlways mode, at the group leader's SyncWal otherwise.
+    TraceSpan wal_span = trace.StartChild("wal_append");
     Status logged = wal_->Append(stats.epoch, delta);
+    wal_span.End();
     if (!logged.ok()) {
       // Memory is now ahead of the log; further commits would leave an
       // epoch gap that replay must reject. Freeze the write path.
@@ -110,7 +113,8 @@ Result<CommitStats> BidStore::ApplyDelta(const RelationDelta& delta,
 Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
                                              const StoreSnapshot* parent,
                                              uint64_t epoch,
-                                             bool index_stable) {
+                                             bool index_stable,
+                                             TraceSpan trace) {
   if (options_.mode == SamplingMode::kAllAtATime) {
     return Status::InvalidArgument(
         "kAllAtATime has no component structure to re-derive "
@@ -123,6 +127,7 @@ Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
 
   // The engine workload: incomplete rows in row order (duplicates kept,
   // exactly what Engine::DeriveBatch would submit).
+  TraceSpan partition_span = trace.StartChild("partition");
   std::vector<Tuple> workload;
   for (uint32_t r : new_rel.IncompleteRowIndices()) {
     workload.push_back(new_rel.row(r));
@@ -139,17 +144,34 @@ Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
   for (const std::vector<Tuple>& component : plan.components) {
     stats.tuples_total += component.size();
   }
+  if (partition_span.active()) {
+    partition_span.SetAttr("components",
+                           static_cast<int64_t>(stats.components_total));
+    partition_span.SetAttr(
+        "components_dirty",
+        static_cast<int64_t>(stats.components_reinferred));
+    partition_span.End();
+  }
 
   // One batch over the concatenated dirty components: same per-component
   // sub-workloads and seeds as a full derivation, so the results are
   // bit-identical to deriving everything from scratch.
   std::vector<JointDist> fresh;
   if (!plan.dirty_workload.empty()) {
-    MRSL_ASSIGN_OR_RETURN(
-        fresh, engine_->InferBatch(plan.dirty_workload, options_.mode,
-                                   options_.workload, &stats.inference));
+    TraceSpan infer_span = trace.StartChild("infer");
+    if (infer_span.active()) {
+      infer_span.SetAttr("tuples",
+                         static_cast<int64_t>(plan.dirty_workload.size()));
+    }
+    auto inferred =
+        engine_->InferBatch(plan.dirty_workload, options_.mode,
+                            options_.workload, &stats.inference, infer_span);
+    infer_span.End();
+    if (!inferred.ok()) return inferred.status();
+    fresh = std::move(inferred).value();
   }
 
+  TraceSpan assemble_span = trace.StartChild("assemble");
   auto snap = std::make_shared<StoreSnapshot>();
   snap->epoch_ = epoch;
 
@@ -250,12 +272,21 @@ Result<CommitStats> BidStore::CommitInternal(Relation new_rel,
 
   snap->db_ = std::move(db);
   snap->base_ = std::move(new_rel);
+  if (assemble_span.active()) {
+    assemble_span.SetAttr("blocks",
+                          static_cast<int64_t>(stats.blocks_total));
+    assemble_span.SetAttr("blocks_reused",
+                          static_cast<int64_t>(stats.blocks_reused));
+    assemble_span.End();
+  }
 
+  TraceSpan publish_span = trace.StartChild("publish");
   std::sort(dirty_block_keys.begin(), dirty_block_keys.end());
   plan_cache_.OnCommit(epoch, index_stable, dirty_block_keys,
                        snap->database());
 
   std::atomic_store(&head_, SnapshotPtr(std::move(snap)));
+  publish_span.End();
   stats.wall_seconds = timer.ElapsedSeconds();
   return stats;
 }
@@ -271,26 +302,35 @@ Result<StoreQueryResult> BidStore::Query(
 
 std::vector<Result<StoreQueryResult>> BidStore::QueryBatch(
     const std::vector<std::string>& plan_texts) {
+  return QueryBatch(plan_texts, std::vector<TraceSpan>());
+}
+
+std::vector<Result<StoreQueryResult>> BidStore::QueryBatch(
+    const std::vector<std::string>& plan_texts,
+    const std::vector<TraceSpan>& spans) {
   // One atomic load pins the epoch for the whole batch: every answer
   // comes from the same consistent snapshot no matter how many commits
   // land while the batch is being evaluated.
   SnapshotPtr snap = snapshot();
   std::vector<Result<StoreQueryResult>> results;
   results.reserve(plan_texts.size());
-  for (const std::string& text : plan_texts) {
-    results.push_back(QueryOn(snap, text));
+  for (size_t i = 0; i < plan_texts.size(); ++i) {
+    results.push_back(QueryOn(snap, plan_texts[i], nullptr,
+                              i < spans.size() ? spans[i] : TraceSpan()));
   }
   return results;
 }
 
 Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
                                            const std::string& plan_text,
-                                           const CompileOptions* compile) {
+                                           const CompileOptions* compile,
+                                           TraceSpan trace) {
   if (snap == nullptr) {
     return Status::FailedPrecondition("store has no epoch yet");
   }
   std::vector<const ProbDatabase*> sources = {&snap->database()};
   WallTimer stage_timer;
+  TraceSpan parse_span = trace.StartChild("parse");
   MRSL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParsePlan(plan_text, sources));
   MRSL_ASSIGN_OR_RETURN(std::string rendered,
                         PlanToString(*parsed.plan, sources));
@@ -308,6 +348,7 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
       break;
   }
   out.stages.parse_seconds = stage_timer.ElapsedSeconds();
+  parse_span.End();
 
   // Compiled answers depend on the compiler configuration, not just the
   // plan: the same canonical text at two width targets yields two
@@ -320,8 +361,10 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
   if (auto hit = plan_cache_.Lookup(cache_key, out.epoch)) {
     out.from_cache = true;
     out.eval = std::move(hit);
+    trace.SetAttr("cache", "hit");
     return out;
   }
+  trace.SetAttr("cache", "miss");
 
   auto eval = std::make_shared<PlanEvaluation>();
   eval->kind = parsed.kind;
@@ -333,8 +376,13 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
     CompileOptions scoped = *compile;
     scoped.want_exists = parsed.kind == ParsedQuery::Kind::kExists;
     scoped.want_count = parsed.kind == ParsedQuery::Kind::kCount;
-    MRSL_ASSIGN_OR_RETURN(CompiledQuery cq,
-                          CompileQuery(*parsed.plan, sources, scoped));
+    // The compiler nests its own phase1/phase2/combine children under
+    // this request's "evaluate" span.
+    TraceSpan eval_span = trace.StartChild("evaluate");
+    MRSL_ASSIGN_OR_RETURN(
+        CompiledQuery cq,
+        CompileQuery(*parsed.plan, sources, scoped, eval_span));
+    eval_span.End();
     out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
     eval->compiled = true;
     eval->result = std::move(cq.result);
@@ -347,12 +395,20 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
     eval->compile_stats.compile_seconds = 0.0;
   } else {
     stage_timer.Reset();
-    MRSL_ASSIGN_OR_RETURN(eval->result, EvaluatePlan(*parsed.plan, sources));
+    TraceSpan eval_span = trace.StartChild("evaluate");
+    MRSL_ASSIGN_OR_RETURN(eval->result,
+                          EvaluatePlan(*parsed.plan, sources, eval_span));
+    if (eval_span.active()) {
+      eval_span.SetAttr("rows",
+                        static_cast<int64_t>(eval->result.rows.size()));
+      eval_span.End();
+    }
     out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
     // Combine: aggregate the evaluated rows. The aggregates reuse the
     // relation result (ExistsFromResult / CountFromResult) instead of
     // evaluating the plan a second time.
     stage_timer.Reset();
+    TraceSpan combine_span = trace.StartChild("combine");
     switch (parsed.kind) {
       case ParsedQuery::Kind::kRelation:
         eval->marginals = DistinctMarginals(eval->result, sources);
@@ -364,6 +420,7 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
         eval->count = CountFromResult(eval->result, sources);
         break;
     }
+    combine_span.End();
     out.stages.combine_seconds = stage_timer.ElapsedSeconds();
   }
 

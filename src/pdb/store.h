@@ -177,8 +177,15 @@ class BidStore {
   /// row indices of the epoch their author read — applying them after
   /// an interleaved commit shifted those indices would silently mutate
   /// the wrong rows (the server's concurrent /update hazard).
+  ///
+  /// `trace` (when active) receives "partition" / "infer" (with the
+  /// engine's per-component spans nested) / "assemble" / "publish"
+  /// children from the commit pipeline plus "wal_append" for the log
+  /// write. The group-commit leader's fsync is the service's span, not
+  /// the store's (one fsync covers many deltas).
   Result<CommitStats> ApplyDelta(const RelationDelta& delta,
-                                 uint64_t expected_epoch = 0);
+                                 uint64_t expected_epoch = 0,
+                                 TraceSpan trace = TraceSpan());
 
   /// The current epoch, pinned for the caller (nullptr before the first
   /// commit). Lock-free.
@@ -221,16 +228,27 @@ class BidStore {
   /// compiler with those options; the cache key then carries
   /// CompileCacheSuffix(*compile) so compiled answers configured
   /// differently — or the plain-evaluator answer — are distinct entries.
+  ///
+  /// `trace` (when active) receives "parse", "evaluate" (per-operator
+  /// spans — or the compiler's phase1/phase2 — nested inside), and
+  /// "combine" children, plus a "cache" = hit|miss attribute. Spans
+  /// never influence the answer and never enter the plan cache: a
+  /// traced response body is byte-identical to an untraced one.
   Result<StoreQueryResult> QueryOn(const SnapshotPtr& snap,
                                    const std::string& plan_text,
-                                   const CompileOptions* compile = nullptr);
+                                   const CompileOptions* compile = nullptr,
+                                   TraceSpan trace = TraceSpan());
 
   /// Evaluates every plan in `plan_texts` against ONE pinned snapshot
   /// (the current epoch at entry), in order, through the plan cache.
   /// Results align with the inputs; a concurrent commit never splits the
-  /// batch across epochs.
+  /// batch across epochs. The second overload threads one TraceSpan per
+  /// plan (inactive spans are free) — the batched serving path's hook.
   std::vector<Result<StoreQueryResult>> QueryBatch(
       const std::vector<std::string>& plan_texts);
+  std::vector<Result<StoreQueryResult>> QueryBatch(
+      const std::vector<std::string>& plan_texts,
+      const std::vector<TraceSpan>& spans);
 
   /// The current epoch as snapshot_io bytes (what SaveSnapshot writes,
   /// without the file) — the GET /snapshot payload. Fails before the
@@ -278,7 +296,8 @@ class BidStore {
   /// plan-cache carry-forward.
   Result<CommitStats> CommitInternal(Relation new_rel,
                                      const StoreSnapshot* parent,
-                                     uint64_t epoch, bool index_stable);
+                                     uint64_t epoch, bool index_stable,
+                                     TraceSpan trace = TraceSpan());
 
   /// Captures (head, options) as a consistent pair and builds the
   /// serializable image behind SaveSnapshot / SerializeCurrentSnapshot.

@@ -17,12 +17,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace mrsl {
 
@@ -41,6 +43,11 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;  // lower-cased names
   std::string body;
   bool keep_alive = true;
+
+  /// The request's trace (nullptr for the untraced fast path). Created
+  /// by the server at dispatch when ?trace=1 forces it or the sampler
+  /// picks the request; handlers attach spans under trace->root().
+  std::shared_ptr<TraceContext> trace;
 
   /// The query parameter `key`, or `fallback` when absent. Returns by
   /// value: a reference into the map would dangle for the fallback case

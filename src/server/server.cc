@@ -203,10 +203,38 @@ void HttpServer::DispatchRequest(const ConnPtr& conn, HttpRequest request) {
   conn->close_after = !request.keep_alive;
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   const Handler* handler = &routes_.at(request.path).at(request.method);
+  // The trace creation point: ?trace=1 forces one, otherwise the
+  // deterministic sampler decides from a fresh id. The id is only drawn
+  // when it could matter, so trace_sample == 0 costs one branch here.
+  const bool forced =
+      !request.query.empty() && request.QueryParam("trace", "") == "1";
+  if (forced || options_.trace_sample > 0.0) {
+    const uint64_t id = NextTraceId();
+    if (forced || TraceStore::ShouldSample(id, options_.trace_sample)) {
+      request.trace = std::make_shared<TraceContext>(
+          id, request.method + " " + request.path);
+    }
+  }
+  TraceSpan queue_span;
+  if (request.trace != nullptr) {
+    // Dispatch-to-handler-start: the admission queue's contribution.
+    queue_span = request.trace->root().StartChild("http.queue");
+  }
   handler_pool_->Submit(
-      [this, conn, handler, request = std::move(request)]() {
+      [this, conn, handler, queue_span, request = std::move(request)]() {
         WallTimer timer;
+        queue_span.End();
         HttpResponse response = (*handler)(request);
+        if (request.trace != nullptr) {
+          TraceSpan root = request.trace->root();
+          root.SetAttr("status", static_cast<int64_t>(response.status));
+          root.End();
+          response.extra_headers.emplace_back(
+              "X-Mrsl-Trace-Id", request.trace->trace_id_hex());
+          // Record before the response write: a client that reads its
+          // response and immediately asks /debug/traces must find it.
+          TraceStore::Global().Record(request.trace);
+        }
         // Stats precede the write (see RespondInline).
         RecordRequest(request.path, request.method, response.status,
                       timer.ElapsedSeconds());

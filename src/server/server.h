@@ -67,6 +67,13 @@ struct ServerOptions {
   /// blocking work, not CPU count: handlers park in fsyncs and commit
   /// queues, so more threads than cores is the normal configuration.
   size_t handler_threads = 0;
+
+  /// Background trace-sampling rate in [0, 1]: each dispatched request
+  /// draws a fresh trace id and is traced iff
+  /// TraceStore::ShouldSample(id, trace_sample). ?trace=1 on a request
+  /// forces a trace regardless. 0 (the default) disables sampling, and
+  /// the per-request cost is one branch.
+  double trace_sample = 0.0;
 };
 
 /// The server. Register routes, Start(), Stop(). Routes must be

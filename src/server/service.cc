@@ -8,6 +8,8 @@
 #include "pdb/plan.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
+#include "util/version.h"
 
 namespace mrsl {
 namespace {
@@ -163,6 +165,7 @@ std::string RenderQueryBody(const StoreQueryResult& result,
 
 struct StoreService::PendingQuery {
   std::string text;
+  TraceSpan span;  // this request's "query" span (usually inert)
   Result<StoreQueryResult> result = Status::Internal("not evaluated");
   bool done = false;
 };
@@ -170,6 +173,7 @@ struct StoreService::PendingQuery {
 struct StoreService::PendingUpdate {
   RelationDelta delta;
   uint64_t expected_epoch = 0;
+  TraceSpan span;  // this request's "update" span (usually inert)
   // Insert-only and unpinned: commutes with its group peers, so the
   // leader may fold it into one combined commit.
   bool mergeable = false;
@@ -192,6 +196,19 @@ void StoreService::Attach(HttpServer* server) {
                  [this](const HttpRequest& r) { return HandleHealthz(r); });
   server->Handle("GET", "/metrics",
                  [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Handle("GET", "/debug/traces", [this](const HttpRequest& r) {
+    return HandleDebugTraces(r);
+  });
+  server->Handle("GET", "/debug/slow",
+                 [this](const HttpRequest& r) { return HandleDebugSlow(r); });
+  // The conventional build-metadata gauge: the value is always 1, the
+  // interesting part is the label set.
+  metrics_
+      ->GetGauge("mrsl_build_info",
+                 "Build metadata; the value is always 1 and the library "
+                 "version travels in the version label.",
+                 {{"version", MRSL_VERSION_STRING}})
+      ->Set(1.0);
 }
 
 uint64_t StoreService::queries_served() const {
@@ -203,9 +220,11 @@ uint64_t StoreService::queries_served() const {
                    ->value();
 }
 
-Result<StoreQueryResult> StoreService::BatchedQuery(const std::string& text) {
+Result<StoreQueryResult> StoreService::BatchedQuery(const std::string& text,
+                                                    TraceSpan span) {
   auto mine = std::make_shared<PendingQuery>();
   mine->text = text;
+  mine->span = span;
   std::unique_lock<std::mutex> lock(batch_mutex_);
   batch_queue_.push_back(mine);
   // Leadership rotates per drained group: a leader evaluates ONE group
@@ -230,11 +249,19 @@ Result<StoreQueryResult> StoreService::BatchedQuery(const std::string& text) {
     lock.unlock();
 
     std::vector<std::string> texts;
+    std::vector<TraceSpan> spans;
     texts.reserve(group.size());
-    for (const auto& p : group) texts.push_back(p->text);
+    spans.reserve(group.size());
+    for (const auto& p : group) {
+      texts.push_back(p->text);
+      spans.push_back(p->span);
+    }
     // One pinned snapshot, one PlanCache-aware pass, for the whole group.
+    // Followers' spans ride along: the leader evaluates their entries,
+    // and TraceContext is thread-safe, so the leader's thread may record
+    // spans into a follower's trace.
     std::vector<Result<StoreQueryResult>> results =
-        store_->QueryBatch(texts);
+        store_->QueryBatch(texts, spans);
     metrics_
         ->GetHistogram("mrsl_query_batch_size",
                        "Plans per pinned-snapshot batch group.",
@@ -301,28 +328,48 @@ void StoreService::CommitUpdateGroup(
                             p->delta.inserts.end());
   }
   if (merged.size() > 1) {
-    Result<CommitStats> stats = store_->ApplyDelta(combined, 0);
+    // The combined commit traces into the first traced member (one
+    // commit, one span tree; peers still get their wal_fsync span).
+    TraceSpan merged_span;
+    for (PendingUpdate* p : merged) {
+      if (p->span.active()) {
+        merged_span = p->span;
+        break;
+      }
+    }
+    Result<CommitStats> stats = store_->ApplyDelta(combined, 0, merged_span);
     if (stats.ok()) {
       for (PendingUpdate* p : merged) p->result = stats;
     } else {
       // One poisoned delta must not fail its peers: fall back to
       // individual commits and let each delta stand on its own.
       for (PendingUpdate* p : merged) {
-        p->result = store_->ApplyDelta(p->delta, 0);
+        p->result = store_->ApplyDelta(p->delta, 0, p->span);
       }
     }
   } else if (merged.size() == 1) {
-    merged[0]->result = store_->ApplyDelta(merged[0]->delta, 0);
+    merged[0]->result = store_->ApplyDelta(merged[0]->delta, 0,
+                                           merged[0]->span);
   }
   for (const auto& p : group) {
     if (p->mergeable) continue;
-    p->result = store_->ApplyDelta(p->delta, p->expected_epoch);
+    p->result = store_->ApplyDelta(p->delta, p->expected_epoch, p->span);
   }
 
   // ONE fsync covers every record the group appended. Nothing above is
-  // acknowledged until this returns OK.
+  // acknowledged until this returns OK. Every traced member gets its own
+  // "wal_fsync" span bracketing the shared sync — the leader writing
+  // into follower traces is safe (TraceContext is thread-safe), and the
+  // span makes the group-commit amortization visible per request.
+  std::vector<TraceSpan> fsync_spans;
+  for (const auto& p : group) {
+    if (p->span.active()) {
+      fsync_spans.push_back(p->span.StartChild("wal_fsync"));
+    }
+  }
   WallTimer sync_timer;
   Status synced = store_->SyncWal();
+  for (const TraceSpan& s : fsync_spans) s.End();
   if (metrics_ != nullptr) {
     metrics_
         ->GetHistogram("mrsl_wal_sync_seconds",
@@ -346,12 +393,14 @@ void StoreService::CommitUpdateGroup(
 }
 
 Result<CommitStats> StoreService::BatchedUpdate(RelationDelta delta,
-                                                uint64_t expected_epoch) {
+                                                uint64_t expected_epoch,
+                                                TraceSpan trace) {
   auto mine = std::make_shared<PendingUpdate>();
   mine->mergeable = delta.updates.empty() && delta.deletes.empty() &&
                     expected_epoch == 0;
   mine->delta = std::move(delta);
   mine->expected_epoch = expected_epoch;
+  mine->span = trace;
   std::unique_lock<std::mutex> lock(update_mutex_);
   update_queue_.push_back(mine);
   // Same leader rotation as BatchedQuery: one leader commits ONE drained
@@ -402,11 +451,21 @@ Result<CommitStats> StoreService::BatchedUpdate(RelationDelta delta,
 }
 
 HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
+  WallTimer wall;
   const std::string text(Trim(request.body));
   if (text.empty()) {
     return JsonError(Status::InvalidArgument(
         "empty body; POST the plan text, e.g. count(scan)"));
   }
+  // ?trace validation mirrors ?oracle: a malformed value is a 400, never
+  // a silent fallback to an untraced answer.
+  const std::string trace_param = request.QueryParam("trace", "");
+  if (!trace_param.empty() && trace_param != "0" && trace_param != "1") {
+    return JsonError(Status::InvalidArgument("?trace must be 0 or 1"));
+  }
+  // The server created the trace (it owns the sampling decision); the
+  // explicit form additionally embeds the span tree in the body.
+  const bool explicit_trace = trace_param == "1" && request.trace != nullptr;
   int64_t oracle_trials = 0;
   const std::string oracle_param = request.QueryParam("oracle", "");
   if (!oracle_param.empty() &&
@@ -445,28 +504,42 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
     with_compile = true;
   }
 
+  TraceSpan qspan;
+  if (request.trace != nullptr) {
+    qspan = request.trace->root().StartChild("query");
+  }
+
   Result<StoreQueryResult> result = Status::Internal("unreachable");
   OracleResult oracle;
   const bool with_oracle = oracle_trials > 0;
-  if (with_oracle || with_compile) {
-    // The oracle needs the evaluation's own snapshot, and compiled
-    // queries carry per-request options the batcher cannot share — both
-    // pin a snapshot themselves instead of riding the batcher.
+  if (with_oracle || with_compile || explicit_trace) {
+    // The oracle needs the evaluation's own snapshot, compiled queries
+    // carry per-request options the batcher cannot share, and an
+    // explicit ?trace=1 wants its own span tree rather than a ride on a
+    // leader's batch — all three pin a snapshot themselves instead of
+    // riding the batcher.
     SnapshotPtr snap = store_->snapshot();
-    result = store_->QueryOn(snap, text, with_compile ? &copts : nullptr);
+    result =
+        store_->QueryOn(snap, text, with_compile ? &copts : nullptr, qspan);
     if (result.ok() && with_oracle) {
       std::vector<const ProbDatabase*> sources = {&snap->database()};
       auto parsed = ParsePlan(result->canonical_text, sources);
       if (!parsed.ok()) return JsonError(parsed.status());
       OracleOptions oo;
       oo.trials = static_cast<size_t>(oracle_trials);
+      TraceSpan ospan = qspan.StartChild("oracle");
       auto estimated = MonteCarloPlanOracle(*parsed->plan, sources, oo);
+      if (ospan.active()) {
+        ospan.SetAttr("trials", oracle_trials);
+        ospan.End();
+      }
       if (!estimated.ok()) return JsonError(estimated.status());
       oracle = std::move(estimated).value();
     }
   } else {
-    result = BatchedQuery(text);
+    result = BatchedQuery(text, qspan);
   }
+  qspan.End();
   if (!result.ok()) return JsonError(result.status());
 
   metrics_
@@ -497,6 +570,15 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
 
   HttpResponse resp;
   resp.body = RenderQueryBody(*result, with_oracle ? &oracle : nullptr);
+  if (explicit_trace) {
+    // EXPLAIN ANALYZE: splice the query span subtree in before the
+    // closing brace. Everything before this field is byte-identical to
+    // the untraced body (spans never touch the evaluation or the cache).
+    resp.body.erase(resp.body.size() - 2);  // "}\n"
+    resp.body += ",\"trace\":{\"trace_id\":\"" +
+                 request.trace->trace_id_hex() + "\",\"spans\":" +
+                 SpanSubtreeJson(*request.trace, qspan.index()) + "}}\n";
+  }
   resp.extra_headers.emplace_back("X-Mrsl-Epoch",
                                   std::to_string(result->epoch));
   resp.extra_headers.emplace_back("X-Mrsl-Cache",
@@ -505,6 +587,20 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
     resp.extra_headers.emplace_back(
         "X-Mrsl-Compiled",
         result->eval->compile_stats.plan_safe ? "safe" : "bounds");
+  }
+
+  const double elapsed_ms = wall.ElapsedSeconds() * 1000.0;
+  if (options_.slow_query_ms >= 0.0 &&
+      elapsed_ms >= options_.slow_query_ms) {
+    SlowQueryEntry slow;
+    slow.plan = result->canonical_text;
+    slow.epoch = result->epoch;
+    slow.elapsed_ms = elapsed_ms;
+    if (request.trace != nullptr) {
+      slow.trace_id = request.trace->trace_id_hex();
+      slow.spans_json = SpanSubtreeJson(*request.trace, qspan.index());
+    }
+    RecordSlowQuery(std::move(slow));
   }
   return resp;
 }
@@ -516,12 +612,18 @@ HttpResponse StoreService::HandleUpdate(const HttpRequest& request) {
     resp.body = "{\"error\":\"updates are disabled on this replica\"}\n";
     return resp;
   }
+  TraceSpan uspan;
+  if (request.trace != nullptr) {
+    uspan = request.trace->root().StartChild("update");
+  }
   SnapshotPtr snap = store_->snapshot();
   if (snap == nullptr) {
     return JsonError(
         Status::FailedPrecondition("store has no epoch to update"));
   }
+  TraceSpan parse_span = uspan.StartChild("update.parse");
   auto delta = ParseDeltaCsv(snap->base().schema(), request.body);
+  parse_span.End();
   if (!delta.ok()) return JsonError(delta.status());
 
   // Row-indexed deltas (updates/deletes) address rows of a specific
@@ -541,7 +643,8 @@ HttpResponse StoreService::HandleUpdate(const HttpRequest& request) {
     }
     expected_epoch = static_cast<uint64_t>(claimed);
   }
-  auto stats = BatchedUpdate(std::move(delta).value(), expected_epoch);
+  auto stats = BatchedUpdate(std::move(delta).value(), expected_epoch, uspan);
+  uspan.End();
   if (!stats.ok()) return JsonError(stats.status());  // races answer 409
 
   metrics_
@@ -585,7 +688,8 @@ HttpResponse StoreService::HandleSnapshot(const HttpRequest&) {
 HttpResponse StoreService::HandleHealthz(const HttpRequest&) {
   HttpResponse resp;
   resp.body = "{\"status\":\"ok\",\"epoch\":" +
-              std::to_string(store_->epoch()) + "}\n";
+              std::to_string(store_->epoch()) + ",\"version\":\"" +
+              MRSL_VERSION_STRING + "\"}\n";
   return resp;
 }
 
@@ -593,6 +697,77 @@ HttpResponse StoreService::HandleMetrics(const HttpRequest&) {
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4";
   resp.body = metrics_->RenderPrometheus();
+  return resp;
+}
+
+HttpResponse StoreService::HandleDebugTraces(const HttpRequest& request) {
+  const std::string format = request.QueryParam("format", "json");
+  if (format != "json" && format != "chrome") {
+    return JsonError(
+        Status::InvalidArgument("?format must be json or chrome"));
+  }
+  int64_t limit = 0;
+  const std::string limit_param = request.QueryParam("limit", "");
+  if (!limit_param.empty() && (!ParseInt(limit_param, &limit) || limit < 0)) {
+    return JsonError(
+        Status::InvalidArgument("?limit must be a non-negative integer"));
+  }
+  const std::vector<std::shared_ptr<const TraceContext>> traces =
+      TraceStore::Global().Recent(static_cast<size_t>(limit));
+  HttpResponse resp;
+  resp.body =
+      format == "chrome" ? TracesChromeJson(traces) : TracesJson(traces);
+  return resp;
+}
+
+void StoreService::RecordSlowQuery(SlowQueryEntry entry) {
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (slow_ring_.size() < kSlowRingCapacity) {
+      slow_ring_.push_back(std::move(entry));
+    } else {
+      slow_ring_[slow_next_] = std::move(entry);
+      slow_next_ = (slow_next_ + 1) % kSlowRingCapacity;
+    }
+    ++slow_recorded_;
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("mrsl_slow_queries_total",
+                     "Queries at or over the slow-query threshold.")
+        ->Increment();
+  }
+}
+
+HttpResponse StoreService::HandleDebugSlow(const HttpRequest&) {
+  std::vector<SlowQueryEntry> entries;
+  uint64_t recorded = 0;
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    entries.reserve(slow_ring_.size());
+    const size_t start =
+        slow_ring_.size() < kSlowRingCapacity ? 0 : slow_next_;
+    for (size_t i = 0; i < slow_ring_.size(); ++i) {
+      entries.push_back(slow_ring_[(start + i) % slow_ring_.size()]);
+    }
+    recorded = slow_recorded_;
+  }
+  std::string body = "{\"threshold_ms\":";
+  AppendNum(&body, options_.slow_query_ms);
+  body += ",\"recorded\":" + std::to_string(recorded) + ",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& e = entries[i];
+    if (i > 0) body += ",";
+    body += "{\"trace_id\":\"" + e.trace_id + "\",\"plan\":\"" +
+            JsonEscape(e.plan) + "\",\"elapsed_ms\":";
+    AppendNum(&body, e.elapsed_ms);
+    body += ",\"epoch\":" + std::to_string(e.epoch) + ",\"spans\":";
+    body += e.spans_json.empty() ? "null" : e.spans_json;
+    body += "}";
+  }
+  body += "]}\n";
+  HttpResponse resp;
+  resp.body = std::move(body);
   return resp;
 }
 

@@ -30,9 +30,24 @@
 //                    request header), the answer is 409 and nothing is
 //                    applied — re-read and re-address the delta.
 //   GET  /snapshot   the current epoch as snapshot_io bytes.
-//   GET  /healthz    liveness + current epoch.
+//   GET  /healthz    liveness + current epoch + library version.
 //   GET  /metrics    Prometheus text: the server's per-endpoint series
 //                    plus this service's batch/cache/commit series.
+//   GET  /debug/traces  recent completed traces from the process-wide
+//                    TraceStore ring (?trace=1 forces one; --trace-sample
+//                    samples in the background). `?format=chrome` renders
+//                    Chrome trace_event JSON for chrome://tracing;
+//                    `?limit=N` keeps only the N newest.
+//   GET  /debug/slow the slow-query log: queries whose handler wall time
+//                    reached slow_query_ms, newest-capped ring of 32,
+//                    each with its canonical plan, elapsed time, epoch,
+//                    and (when the request was traced) its span tree.
+//
+// EXPLAIN ANALYZE: POST /query?trace=1 forces a trace and appends a
+// "trace" object (the query span subtree: parse / evaluate / combine,
+// or the compiler's phases) to the response body. The body up to that
+// field is byte-identical to the untraced response — the trace never
+// joins the plan-cache key and spans never influence evaluation.
 //
 // Query batching: handler tasks enqueue their plan text and, when no
 // leader is active, one of them becomes the batch leader. The leader
@@ -91,6 +106,20 @@ struct StoreServiceOptions {
 
   /// When false, POST /update answers 405 — a read-only replica.
   bool allow_update = true;
+
+  /// Slow-query threshold in milliseconds: a /query whose handler wall
+  /// time reaches this lands in the GET /debug/slow ring. 0 logs every
+  /// query (tests); negative disables the log entirely.
+  double slow_query_ms = 250.0;
+};
+
+/// One GET /debug/slow entry.
+struct SlowQueryEntry {
+  std::string trace_id;    // 16 hex digits; "" when the request was untraced
+  std::string plan;        // canonical plan text
+  double elapsed_ms = 0.0; // handler wall time
+  uint64_t epoch = 0;
+  std::string spans_json;  // the query span subtree; "" when untraced
 };
 
 /// Binds a BidStore to an HttpServer. The store, engine, and server must
@@ -115,7 +144,8 @@ class StoreService {
   /// as the embedded programmatic write entry — /update is this plus
   /// CSV parsing and a JSON envelope.
   Result<CommitStats> BatchedUpdate(RelationDelta delta,
-                                    uint64_t expected_epoch);
+                                    uint64_t expected_epoch,
+                                    TraceSpan trace = TraceSpan());
 
  private:
   struct PendingQuery;
@@ -126,10 +156,19 @@ class StoreService {
   HttpResponse HandleSnapshot(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleDebugTraces(const HttpRequest& request);
+  HttpResponse HandleDebugSlow(const HttpRequest& request);
 
   /// Enqueues `text`, runs or joins the batch leader, returns this
-  /// query's result (see the batching note above).
-  Result<StoreQueryResult> BatchedQuery(const std::string& text);
+  /// query's result (see the batching note above). `span` (usually
+  /// inert) rides the queue entry, so a sampled request traced through
+  /// the batcher still records its parse/evaluate/combine spans.
+  Result<StoreQueryResult> BatchedQuery(const std::string& text,
+                                        TraceSpan span = TraceSpan());
+
+  /// Appends one entry to the /debug/slow ring (capacity 32, oldest
+  /// evicted) and bumps mrsl_slow_queries_total.
+  void RecordSlowQuery(SlowQueryEntry entry);
 
   /// Commits one drained group: merged inserts first, then the
   /// individually-guarded deltas, then one SyncWal for everything.
@@ -162,6 +201,13 @@ class StoreService {
   // Last drained group's size — the adaptive target for the commit
   // window (1 = serial workload, window off). Guarded by update_mutex_.
   size_t last_update_group_ = 1;
+
+  // The /debug/slow ring (see SlowQueryEntry).
+  static constexpr size_t kSlowRingCapacity = 32;
+  mutable std::mutex slow_mutex_;
+  std::vector<SlowQueryEntry> slow_ring_;
+  size_t slow_next_ = 0;        // write cursor, valid once full
+  uint64_t slow_recorded_ = 0;  // total ever recorded
 };
 
 }  // namespace mrsl

@@ -1,4 +1,4 @@
-// Reusable serving metrics: counters, latency histograms, and a
+// Reusable serving metrics: counters, gauges, latency histograms, and a
 // registry that renders the Prometheus text exposition format.
 //
 // The server layer (src/server/) instruments every endpoint with a
@@ -6,11 +6,12 @@
 // (plan cache, store commits, batchers) can hang its own series off the
 // same registry and they all come out of one GET /metrics scrape.
 //
-// Concurrency model: registration (GetCounter / GetHistogram) takes the
-// registry mutex and returns a stable pointer — registries never move or
-// drop a registered series. Observations on the returned objects are
-// lock-free atomics, so the hot path (one Increment + one Observe per
-// request) never contends on the registry. Rendering walks the families
+// Concurrency model: registration (GetCounter / GetGauge /
+// GetHistogram) takes the registry mutex and returns a stable pointer —
+// registries never move or drop a registered series. Observations on the
+// returned objects are lock-free atomics (a Gauge::Set is one relaxed
+// store), so the hot path (one Increment + one Observe per request)
+// never contends on the registry. Rendering walks the families
 // under the mutex but reads the atomics with relaxed loads; a scrape
 // concurrent with traffic sees some consistent recent value of every
 // series, which is all Prometheus asks for.

@@ -1,0 +1,205 @@
+// Request-scoped tracing: a TraceContext carries a 64-bit trace id and a
+// tree of timed spans across the whole serving path (HTTP dispatch →
+// batch leader → plan cache → evaluator/compiler → engine → WAL), a
+// process-wide TraceStore keeps a ring buffer of recent completed
+// traces, and exporters render either an EXPLAIN-ANALYZE-style nested
+// span tree (the ?trace=1 response body) or the Chrome trace_event JSON
+// that chrome://tracing loads directly.
+//
+// Cost model: every instrumented call site holds a TraceSpan by value. A
+// default-constructed span is inert — StartChild / SetAttr / End are one
+// null-pointer branch each — so tracing-off adds one predictable branch
+// per span site and no allocation, lock, or clock read. When a span IS
+// active, all mutation goes through its TraceContext under that
+// context's mutex, so concurrently running children (the engine's
+// per-component fan-out on the compute pool) can attach spans to one
+// trace safely.
+//
+// Sampling is deterministic in the trace id: ShouldSample(id, rate)
+// hashes the id to a point in [0, 1) and compares against the rate, so a
+// given id either always samples at a rate or never does — replayable in
+// tests and stable across processes.
+
+#ifndef MRSL_UTIL_TRACE_H_
+#define MRSL_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrsl {
+
+class TraceContext;
+
+/// One recorded span, as exported by TraceContext::Snapshot(). Times are
+/// nanoseconds relative to the context's creation; duration_ns stays 0
+/// until End (an exporter may render an unfinished span).
+struct TraceSpanData {
+  std::string name;
+  uint32_t parent = 0xFFFFFFFFu;  // TraceContext::kNoParent for the root
+  uint32_t tid = 0;               // small per-process thread number
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> int_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+};
+
+/// A lightweight handle to one span of a TraceContext. Copyable and
+/// default-constructible; a default span is inert and every operation on
+/// it is a single branch (the tracing-off fast path).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+
+  bool active() const { return ctx_ != nullptr; }
+  TraceContext* context() const { return ctx_; }
+  uint32_t index() const { return index_; }
+
+  /// Starts a child span (inert when this span is inert). Thread-safe:
+  /// concurrent children of one parent are fine.
+  TraceSpan StartChild(std::string name) const;
+
+  /// Attaches an attribute (last write wins is NOT implemented — repeats
+  /// append; exporters render them in order).
+  void SetAttr(std::string key, int64_t value) const;
+  void SetAttr(std::string key, std::string value) const;
+
+  /// Stamps the span's duration. Idempotent (the first End wins).
+  void End() const;
+
+ private:
+  friend class TraceContext;
+  TraceSpan(TraceContext* ctx, uint32_t index) : ctx_(ctx), index_(index) {}
+
+  TraceContext* ctx_ = nullptr;
+  uint32_t index_ = 0;
+};
+
+/// One request's trace: an id plus a flat, parent-indexed span arena.
+/// Span creation/mutation is mutex-guarded (thread-safe); reads go
+/// through Snapshot(), which copies the arena under the same mutex.
+class TraceContext {
+ public:
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+  /// Creates the context with its root span (index 0) already started.
+  TraceContext(uint64_t trace_id, std::string name);
+
+  uint64_t trace_id() const { return trace_id_; }
+  /// The id as 16 lowercase hex digits (the X-Mrsl-Trace-Id form).
+  std::string trace_id_hex() const;
+  const std::string& name() const { return name_; }
+  /// Wall-clock microseconds since the Unix epoch at creation — the
+  /// Chrome export's timestamp base, so traces lay out on one timeline.
+  int64_t wall_start_us() const { return wall_start_us_; }
+
+  TraceSpan root() { return TraceSpan(this, 0); }
+
+  /// Raw span API (TraceSpan is the ergonomic face). All thread-safe.
+  uint32_t StartSpan(uint32_t parent, std::string name);
+  void EndSpan(uint32_t index);
+  void SetIntAttr(uint32_t index, std::string key, int64_t value);
+  void SetStrAttr(uint32_t index, std::string key, std::string value);
+
+  /// A consistent copy of every span recorded so far.
+  std::vector<TraceSpanData> Snapshot() const;
+  size_t num_spans() const;
+  /// The root span's duration (0 until root().End()).
+  uint64_t duration_ns() const;
+
+ private:
+  uint64_t NowNs() const;
+
+  const uint64_t trace_id_;
+  const std::string name_;
+  const std::chrono::steady_clock::time_point start_;
+  const int64_t wall_start_us_;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceSpanData> spans_;
+};
+
+inline TraceSpan TraceSpan::StartChild(std::string name) const {
+  if (ctx_ == nullptr) return TraceSpan();
+  return TraceSpan(ctx_, ctx_->StartSpan(index_, std::move(name)));
+}
+inline void TraceSpan::SetAttr(std::string key, int64_t value) const {
+  if (ctx_ != nullptr) ctx_->SetIntAttr(index_, std::move(key), value);
+}
+inline void TraceSpan::SetAttr(std::string key, std::string value) const {
+  if (ctx_ != nullptr) {
+    ctx_->SetStrAttr(index_, std::move(key), std::move(value));
+  }
+}
+inline void TraceSpan::End() const {
+  if (ctx_ != nullptr) ctx_->EndSpan(index_);
+}
+
+/// Process-unique trace ids (an atomic counter fed through a 64-bit
+/// mixer, seeded once per process — ids are unique and well-scattered,
+/// not secret).
+uint64_t NextTraceId();
+
+/// The ring buffer of recent completed traces behind GET /debug/traces.
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 128);
+
+  /// The process-wide store the serving layer records into.
+  static TraceStore& Global();
+
+  /// Deterministic sampling decision: hashes `trace_id` to [0, 1) and
+  /// samples iff the point falls below `rate` (<=0 never, >=1 always).
+  static bool ShouldSample(uint64_t trace_id, double rate);
+
+  /// Appends a completed trace, evicting the oldest past capacity.
+  void Record(std::shared_ptr<const TraceContext> trace);
+
+  /// Retained traces, oldest first (at most `limit` newest when > 0).
+  std::vector<std::shared_ptr<const TraceContext>> Recent(
+      size_t limit = 0) const;
+
+  /// Traces ever recorded (keeps counting past wraparound).
+  uint64_t recorded() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const TraceContext>> ring_;  // ring storage
+  size_t next_ = 0;        // ring write cursor (valid once full)
+  uint64_t recorded_ = 0;  // total ever recorded
+};
+
+/// Renders the subtree rooted at span `root_index` as a nested JSON
+/// object: {"name","start_us","dur_us","attrs"?,"children"?} — the
+/// EXPLAIN-ANALYZE tree embedded in ?trace=1 response bodies.
+std::string SpanSubtreeJson(const std::vector<TraceSpanData>& spans,
+                            uint32_t root_index);
+std::string SpanSubtreeJson(const TraceContext& trace, uint32_t root_index);
+
+/// One whole trace: {"trace_id","name","start_unix_us","dur_us",
+/// "spans":<root subtree>}.
+std::string TraceJson(const TraceContext& trace);
+
+/// GET /debug/traces: {"count":N,"traces":[TraceJson...]} oldest first.
+std::string TracesJson(
+    const std::vector<std::shared_ptr<const TraceContext>>& traces);
+
+/// GET /debug/traces?format=chrome: the Chrome trace_event JSON object
+/// ({"traceEvents":[...]}) with one complete ("ph":"X") event per span,
+/// timestamped on the shared wall clock so chrome://tracing lays the
+/// traces out side by side.
+std::string TracesChromeJson(
+    const std::vector<std::shared_ptr<const TraceContext>>& traces);
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_TRACE_H_

@@ -1,0 +1,13 @@
+// Library version (semver), in its own header so low-level consumers —
+// the mrsl_build_info gauge, /healthz, the CLI banner — can stamp the
+// version without pulling in the whole umbrella header.
+
+#ifndef MRSL_UTIL_VERSION_H_
+#define MRSL_UTIL_VERSION_H_
+
+#define MRSL_VERSION_MAJOR 1
+#define MRSL_VERSION_MINOR 8
+#define MRSL_VERSION_PATCH 0
+#define MRSL_VERSION_STRING "1.8.0"
+
+#endif  // MRSL_UTIL_VERSION_H_

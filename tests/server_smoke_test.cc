@@ -22,6 +22,8 @@
 #include "server/server.h"
 #include "server/service.h"
 #include "util/csv.h"
+#include "util/trace.h"
+#include "util/version.h"
 
 namespace mrsl {
 namespace {
@@ -115,11 +117,12 @@ class ServerSmokeTest : public ::testing::Test {
   std::unique_ptr<HttpServer> server_;
 };
 
-TEST_F(ServerSmokeTest, HealthzReportsTheEpoch) {
+TEST_F(ServerSmokeTest, HealthzReportsTheEpochAndVersion) {
   auto resp = Call("GET", "/healthz");
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp->status, 200);
-  EXPECT_EQ(resp->body, "{\"status\":\"ok\",\"epoch\":1}\n");
+  EXPECT_EQ(resp->body, "{\"status\":\"ok\",\"epoch\":1,\"version\":\""
+                        MRSL_VERSION_STRING "\"}\n");
 }
 
 TEST_F(ServerSmokeTest, QueryAnswersMatchTheInProcessPath) {
@@ -245,6 +248,9 @@ TEST_F(ServerSmokeTest, BadRequestsGetCleanJsonErrors) {
   auto bad_budget = Call("POST", "/query?budget_ms=junk", "count(scan)");
   ASSERT_TRUE(bad_budget.ok());
   EXPECT_EQ(bad_budget->status, 400);
+  auto bad_trace = Call("POST", "/query?trace=2", "count(scan)");
+  ASSERT_TRUE(bad_trace.ok());
+  EXPECT_EQ(bad_trace->status, 400);
   auto bad_delta = Call("POST", "/update", "not,a,delta\n");
   ASSERT_TRUE(bad_delta.ok());
   EXPECT_EQ(bad_delta->status, 400);
@@ -353,7 +359,174 @@ TEST_F(ServerSmokeTest, MetricsExposePerEndpointSeries) {
   EXPECT_NE(text.find("mrsl_query_cache_total{result=\"miss\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("mrsl_query_batch_size_count"), std::string::npos);
+  EXPECT_NE(text.find("mrsl_build_info{version=\"" MRSL_VERSION_STRING
+                      "\"} 1"),
+            std::string::npos);
   EXPECT_EQ(service_->queries_served(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE and the /debug introspection surface.
+// ---------------------------------------------------------------------------
+
+// Finds a recorded trace in the process-wide ring by its hex id.
+std::shared_ptr<const TraceContext> FindTrace(const std::string& id_hex) {
+  for (const auto& t : TraceStore::Global().Recent()) {
+    if (t->trace_id_hex() == id_hex) return t;
+  }
+  return nullptr;
+}
+
+// The span-tree invariant the EXPLAIN-ANALYZE body stands on: at every
+// node of a sequential span tree, child durations sum to at most the
+// parent's duration.
+void ExpectChildDurationsNested(const std::vector<TraceSpanData>& spans) {
+  std::vector<uint64_t> child_sum(spans.size(), 0);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    ASSERT_LT(spans[i].parent, spans.size());
+    child_sum[spans[i].parent] += spans[i].duration_ns;
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LE(child_sum[i], spans[i].duration_ns)
+        << "children of '" << spans[i].name << "' overrun their parent";
+  }
+}
+
+TEST_F(ServerSmokeTest, TraceReturnsSpanTreeCoveringTheQueryPath) {
+  TraceStore::Global().Clear();
+  // The correlated self-join: evaluation has real operator structure.
+  const std::string a2 = schema_.attr(2).name();
+  const std::string plan = "project(" + schema_.attr(1).name() +
+                           "; join(scan; scan; " + a2 + "=" + a2 + "))";
+
+  // Traced first (a cache miss, so the tree covers the full pipeline).
+  auto traced = Call("POST", "/query?trace=1", plan);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ASSERT_EQ(traced->status, 200) << traced->body;
+  const std::string id = traced->Header("x-mrsl-trace-id", "");
+  ASSERT_EQ(id.size(), 16u);
+  EXPECT_EQ(id.find_first_not_of("0123456789abcdef"), std::string::npos);
+
+  // The body carries the EXPLAIN-ANALYZE tree: parse -> evaluate (with
+  // per-operator children) -> combine under the "query" span.
+  EXPECT_NE(traced->body.find("\"trace\":{\"trace_id\":\"" + id + "\""),
+            std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"evaluate\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"combine\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"op."), std::string::npos);
+  EXPECT_NE(traced->body.find("\"rows_out\""), std::string::npos);
+
+  // Byte-identity: the untraced answer (a cache hit on the same plan)
+  // is exactly the traced body minus the trace object.
+  auto plain = Call("POST", "/query", plan);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  EXPECT_EQ(plain->Header("x-mrsl-cache", ""), "hit");
+  EXPECT_TRUE(plain->Header("x-mrsl-trace-id", "").empty());
+  EXPECT_EQ(plain->body.find("\"trace\""), std::string::npos);
+  ASSERT_GE(plain->body.size(), 2u);
+  const std::string shared_prefix =
+      plain->body.substr(0, plain->body.size() - 2);  // minus "}\n"
+  EXPECT_EQ(traced->body.compare(0, shared_prefix.size(), shared_prefix),
+            0);
+  EXPECT_EQ(traced->body.substr(shared_prefix.size(), 10), ",\"trace\":{");
+
+  // The recorded trace satisfies the nesting invariant the acceptance
+  // criterion pins: child durations sum to <= the parent at every node.
+  auto recorded = FindTrace(id);
+  ASSERT_NE(recorded, nullptr) << "forced trace not in the global ring";
+  ExpectChildDurationsNested(recorded->Snapshot());
+}
+
+TEST_F(ServerSmokeTest, TraceCoversCompilePhasesWhenWidthIsSet) {
+  TraceStore::Global().Clear();
+  const std::string a2 = schema_.attr(2).name();
+  const std::string plan = "project(" + schema_.attr(1).name() +
+                           "; join(scan; scan; " + a2 + "=" + a2 + "))";
+  auto traced = Call("POST", "/query?width=0&trace=1", plan);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ASSERT_EQ(traced->status, 200) << traced->body;
+  // The compiled pipeline replaces the plain evaluator inside the
+  // "evaluate" span: phase 1 (extensional base), phase 2 (lattice
+  // refinement of the unsafe shape), then the combine stage.
+  EXPECT_NE(traced->body.find("\"name\":\"evaluate\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"phase1\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"phase2\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"name\":\"combine\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"candidates\""), std::string::npos);
+
+  const std::string id = traced->Header("x-mrsl-trace-id", "");
+  auto recorded = FindTrace(id);
+  ASSERT_NE(recorded, nullptr);
+  ExpectChildDurationsNested(recorded->Snapshot());
+}
+
+TEST_F(ServerSmokeTest, DebugTracesServesTheRingInBothFormats) {
+  TraceStore::Global().Clear();
+  ASSERT_EQ(Call("POST", "/query?trace=1", CountPlan())->status, 200);
+  ASSERT_EQ(Call("POST", "/update?trace=1", InsertDeltaCsv())->status, 200);
+
+  auto traces = Call("GET", "/debug/traces");
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces->status, 200);
+  EXPECT_EQ(traces->body.rfind("{\"count\":2,\"traces\":[", 0), 0u);
+  EXPECT_NE(traces->body.find("\"name\":\"POST /query\""),
+            std::string::npos);
+  EXPECT_NE(traces->body.find("\"name\":\"POST /update\""),
+            std::string::npos);
+  // The update trace covers the commit pipeline.
+  EXPECT_NE(traces->body.find("\"name\":\"infer\""), std::string::npos);
+  EXPECT_NE(traces->body.find("\"name\":\"publish\""), std::string::npos);
+
+  auto limited = Call("GET", "/debug/traces?limit=1");
+  ASSERT_TRUE(limited.ok());
+  ASSERT_EQ(limited->status, 200);
+  EXPECT_EQ(limited->body.rfind("{\"count\":1,", 0), 0u);
+
+  auto chrome = Call("GET", "/debug/traces?format=chrome");
+  ASSERT_TRUE(chrome.ok());
+  ASSERT_EQ(chrome->status, 200);
+  EXPECT_EQ(chrome->body.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome->body.find("\"ph\":\"X\""), std::string::npos);
+
+  EXPECT_EQ(Call("GET", "/debug/traces?format=waterfall")->status, 400);
+  EXPECT_EQ(Call("GET", "/debug/traces?limit=junk")->status, 400);
+}
+
+TEST_F(ServerSmokeTest, DebugSlowLogsQueriesAboveTheThreshold) {
+  // A second service over the same store with the threshold at 0 (log
+  // everything); the fixture's default-250ms service would need a
+  // genuinely slow query.
+  StoreServiceOptions opts;
+  opts.slow_query_ms = 0.0;
+  StoreService slow_service(store_.get(), opts);
+  HttpServer slow_server;
+  slow_service.Attach(&slow_server);
+  ASSERT_TRUE(slow_server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", slow_server.port()).ok());
+  ASSERT_EQ(client.RoundTrip("POST", "/query?trace=1", CountPlan())->status,
+            200);
+  auto slow = client.RoundTrip("GET", "/debug/slow");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->status, 200);
+  EXPECT_EQ(slow->body.rfind("{\"threshold_ms\":0,", 0), 0u) << slow->body;
+  EXPECT_NE(slow->body.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(slow->body.find("\"plan\":\""), std::string::npos);
+  EXPECT_NE(slow->body.find("\"elapsed_ms\":"), std::string::npos);
+  // The request was traced, so the entry carries its span tree.
+  EXPECT_NE(slow->body.find("\"spans\":{\"name\":\"query\""),
+            std::string::npos);
+
+  // The fixture's own service (threshold 250ms) logged nothing for the
+  // fast cached queries above.
+  auto fast = Call("GET", "/debug/slow");
+  ASSERT_TRUE(fast.ok());
+  EXPECT_NE(fast->body.find("\"recorded\":0"), std::string::npos);
+  slow_server.Stop();
 }
 
 // The acceptance-criterion test: queries racing a commit see exactly the

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -138,6 +139,56 @@ TEST(MetricsRegistryTest, ConcurrentObservationsAreLossless) {
   EXPECT_EQ(hist->bucket_count(0),
             static_cast<uint64_t>(kThreads) * kPerThread / 2);
   EXPECT_DOUBLE_EQ(hist->sum(), kThreads * (kPerThread / 2) * 1.25);
+}
+
+TEST(MetricsRegistryTest, ScrapeUnderTrafficIsSafeAndConsistent) {
+  // A /metrics scrape (RenderPrometheus) must be safe while many
+  // threads observe existing series AND register new ones — the
+  // serve-path reality: handlers mint per-endpoint series lazily while
+  // Prometheus scrapes on its own schedule.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits", "Hits.");
+  Histogram* hist = registry.GetHistogram("lat", "Latency.", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(0.25);
+        // New series mid-scrape: same name, thread-specific label.
+        registry
+            .GetCounter("per_thread", "Per-thread hits.",
+                        {{"t", std::to_string(t)}})
+            ->Increment();
+      }
+    });
+  }
+  std::thread scraper([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string text = registry.RenderPrometheus();
+      // Every render is a complete document: announcements precede
+      // samples, and a rendered histogram always has its _count line.
+      EXPECT_NE(text.find("# TYPE hits counter\n"), std::string::npos);
+      const size_t type_pos = text.find("# TYPE lat histogram\n");
+      EXPECT_NE(type_pos, std::string::npos);
+      EXPECT_NE(text.find("lat_count", type_pos), std::string::npos);
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  const std::string final_text = registry.RenderPrometheus();
+  EXPECT_NE(final_text.find("hits " +
+                            std::to_string(kThreads * kPerThread) + "\n"),
+            std::string::npos);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(final_text.find("per_thread{t=\"" + std::to_string(t) +
+                              "\"} " + std::to_string(kPerThread) + "\n"),
+              std::string::npos);
+  }
 }
 
 TEST(MetricsRegistryTest, DefaultLatencyBoundsAreStrictlyIncreasing) {

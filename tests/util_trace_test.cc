@@ -1,0 +1,238 @@
+// Tests for the tracing subsystem: span-tree structure, the inert
+// fast path, thread-safe child creation, the TraceStore ring buffer
+// (wraparound order), deterministic sampling, and the JSON exporters.
+
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrsl {
+namespace {
+
+TEST(TraceSpanTest, DefaultSpanIsInertEverywhere) {
+  // The tracing-off fast path: every operation on a default span is a
+  // no-op (and must not crash) — instrumented call sites rely on it.
+  TraceSpan span;
+  EXPECT_FALSE(span.active());
+  span.SetAttr("rows", int64_t{42});
+  span.SetAttr("cache", std::string("hit"));
+  span.End();
+  TraceSpan child = span.StartChild("child");
+  EXPECT_FALSE(child.active());
+  child.End();
+}
+
+TEST(TraceContextTest, BuildsAParentIndexedSpanTree) {
+  TraceContext ctx(0x1234, "POST /query");
+  TraceSpan root = ctx.root();
+  EXPECT_TRUE(root.active());
+
+  TraceSpan query = root.StartChild("query");
+  TraceSpan parse = query.StartChild("parse");
+  parse.SetAttr("bytes", int64_t{17});
+  parse.End();
+  TraceSpan eval = query.StartChild("evaluate");
+  eval.SetAttr("rows", int64_t{9});
+  eval.End();
+  query.End();
+  root.End();
+
+  const std::vector<TraceSpanData> spans = ctx.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "POST /query");
+  EXPECT_EQ(spans[0].parent, TraceContext::kNoParent);
+  EXPECT_EQ(spans[1].name, "query");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "parse");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[3].name, "evaluate");
+  EXPECT_EQ(spans[3].parent, 1u);
+  // Every ended span has a non-zero duration; children start no
+  // earlier than their parent.
+  for (const TraceSpanData& s : spans) EXPECT_GT(s.duration_ns, 0u);
+  EXPECT_GE(spans[2].start_ns, spans[1].start_ns);
+  ASSERT_EQ(spans[2].int_attrs.size(), 1u);
+  EXPECT_EQ(spans[2].int_attrs[0].first, "bytes");
+  EXPECT_EQ(spans[2].int_attrs[0].second, 17);
+}
+
+TEST(TraceContextTest, FirstEndWins) {
+  TraceContext ctx(1, "t");
+  TraceSpan span = ctx.root().StartChild("x");
+  span.End();
+  const uint64_t first = ctx.Snapshot()[1].duration_ns;
+  span.End();  // idempotent: a second End must not restamp
+  EXPECT_EQ(ctx.Snapshot()[1].duration_ns, first);
+}
+
+TEST(TraceContextTest, ConcurrentChildrenAttachSafely) {
+  // The engine's per-component fan-out: many pool threads attach spans
+  // to one trace concurrently.
+  TraceContext ctx(7, "infer");
+  TraceSpan parent = ctx.root().StartChild("batch");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span = parent.StartChild("component");
+        span.SetAttr("i", int64_t{i});
+        span.End();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  parent.End();
+  const std::vector<TraceSpanData> spans = ctx.Snapshot();
+  // root + batch + kThreads * kPerThread components.
+  ASSERT_EQ(spans.size(), 2u + kThreads * kPerThread);
+  size_t components = 0;
+  for (const TraceSpanData& s : spans) {
+    if (s.name == "component") {
+      ++components;
+      EXPECT_EQ(s.parent, 1u);
+      EXPECT_GT(s.duration_ns, 0u);
+    }
+  }
+  EXPECT_EQ(components, static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceIdTest, IdsAreUniqueAndNonZero) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id";
+  }
+}
+
+TEST(TraceStoreTest, SamplingIsDeterministicAndProportionate) {
+  // Same (id, rate) -> same verdict, always.
+  for (uint64_t id = 1; id <= 512; ++id) {
+    EXPECT_EQ(TraceStore::ShouldSample(id, 0.25),
+              TraceStore::ShouldSample(id, 0.25));
+  }
+  // The edges never flip.
+  EXPECT_FALSE(TraceStore::ShouldSample(123, 0.0));
+  EXPECT_FALSE(TraceStore::ShouldSample(123, -1.0));
+  EXPECT_TRUE(TraceStore::ShouldSample(123, 1.0));
+  EXPECT_TRUE(TraceStore::ShouldSample(123, 2.0));
+  // A sampled id at rate r stays sampled at every higher rate
+  // (the hash point is fixed; only the threshold moves).
+  for (uint64_t id = 1; id <= 512; ++id) {
+    if (TraceStore::ShouldSample(id, 0.1)) {
+      EXPECT_TRUE(TraceStore::ShouldSample(id, 0.5));
+    }
+  }
+  // Roughly rate-proportionate over many ids (loose band: 10% +- 5pp).
+  int sampled = 0;
+  for (uint64_t id = 1; id <= 10000; ++id) {
+    if (TraceStore::ShouldSample(NextTraceId(), 0.1)) ++sampled;
+  }
+  EXPECT_GT(sampled, 500);
+  EXPECT_LT(sampled, 1500);
+}
+
+std::shared_ptr<TraceContext> MakeTrace(uint64_t id,
+                                        const std::string& name) {
+  auto trace = std::make_shared<TraceContext>(id, name);
+  trace->root().End();
+  return trace;
+}
+
+TEST(TraceStoreTest, RingWrapsAroundOldestFirst) {
+  TraceStore store(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    store.Record(MakeTrace(i, "t" + std::to_string(i)));
+  }
+  EXPECT_EQ(store.recorded(), 5u);
+  EXPECT_EQ(store.size(), 3u);
+  const auto recent = store.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  // 1 and 2 were evicted; survivors come back oldest first.
+  EXPECT_EQ(recent[0]->trace_id(), 3u);
+  EXPECT_EQ(recent[1]->trace_id(), 4u);
+  EXPECT_EQ(recent[2]->trace_id(), 5u);
+  // A limit keeps the newest, still oldest-first among themselves.
+  const auto limited = store.Recent(2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0]->trace_id(), 4u);
+  EXPECT_EQ(limited[1]->trace_id(), 5u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.recorded(), 0u);
+}
+
+TEST(TraceStoreTest, ConcurrentRecordLosesNothing) {
+  TraceStore store(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Record(MakeTrace(NextTraceId(), "load"));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(store.size(), store.capacity());
+}
+
+TEST(TraceExportTest, SubtreeJsonNestsChildren) {
+  TraceContext ctx(0xabcd, "POST /query");
+  TraceSpan query = ctx.root().StartChild("query");
+  TraceSpan parse = query.StartChild("parse");
+  parse.End();
+  query.SetAttr("cache", std::string("miss"));
+  query.End();
+  ctx.root().End();
+
+  const std::string json = SpanSubtreeJson(ctx, query.index());
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"attrs\":{\"cache\":\"miss\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"parse\""),
+            std::string::npos);
+  // Out-of-range roots render as JSON null, not garbage.
+  EXPECT_EQ(SpanSubtreeJson(ctx, 999), "null");
+
+  const std::string whole = TraceJson(ctx);
+  EXPECT_NE(whole.find("\"trace_id\":\"000000000000abcd\""),
+            std::string::npos);
+  EXPECT_NE(whole.find("\"name\":\"POST /query\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeJsonEmitsOneCompleteEventPerSpan) {
+  auto trace = std::make_shared<TraceContext>(0x42, "POST /query");
+  TraceSpan child = trace->root().StartChild("evaluate");
+  child.SetAttr("rows", int64_t{3});
+  child.End();
+  trace->root().End();
+
+  const std::string json = TracesChromeJson({trace});
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"evaluate\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000000042\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rows\":3"), std::string::npos);
+  // Two spans -> two events.
+  size_t events = 0;
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+}
+
+}  // namespace
+}  // namespace mrsl

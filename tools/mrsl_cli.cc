@@ -37,10 +37,12 @@
 //           incremental re-derivation, and save the new epoch back.
 //   serve   --model model.txt --snapshot store.bin [--in data.csv]
 //           [--port 8080] [--max-inflight 64] [--threads N]
+//           [--trace-sample R] [--slow-query-ms MS]
 //           Serve the versioned store over HTTP on 127.0.0.1: POST
 //           /query (plan text), POST /update (delta CSV), GET
-//           /snapshot, GET /healthz, GET /metrics. SIGINT/SIGTERM
-//           drains in-flight requests and saves the snapshot back.
+//           /snapshot, GET /healthz, GET /metrics, GET /debug/traces,
+//           GET /debug/slow. SIGINT/SIGTERM drains in-flight requests
+//           and saves the snapshot back.
 //   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
 //           Pick the support threshold by masked holdout log-loss.
 //
@@ -136,15 +138,21 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "    [--port 8080] [--max-inflight 64] [--wal-dir DIR]\n"
        "    [--sync-mode always|group|none] [--samples 2000]\n"
        "    [--burn-in 100] [--mode dag|tuple|product] [--min-prob 0]\n"
-       "    [--threads 0]\n"
+       "    [--threads 0] [--trace-sample 0] [--slow-query-ms 250]\n"
        "  Serve the versioned store over HTTP on 127.0.0.1:\n"
        "    POST /query     plan text -> JSON rows with [lo, hi] probs\n"
-       "                    (?oracle=N adds a Monte-Carlo cross-check)\n"
+       "                    (?oracle=N adds a Monte-Carlo cross-check;\n"
+       "                    ?trace=1 appends an EXPLAIN-ANALYZE span tree)\n"
        "    POST /update    delta CSV -> incremental commit, new epoch\n"
        "    GET  /snapshot  the current epoch as snapshot bytes\n"
-       "    GET  /healthz   liveness + epoch\n"
+       "    GET  /healthz   liveness + epoch + version\n"
        "    GET  /metrics   Prometheus text (per-endpoint counters,\n"
        "                    latency histograms, batch/cache series)\n"
+       "    GET  /debug/traces  recent traces (?format=chrome for\n"
+       "                    chrome://tracing; ?limit=N)\n"
+       "    GET  /debug/slow    queries slower than --slow-query-ms\n"
+       "  --trace-sample R records a trace for a random fraction R in\n"
+       "  [0,1] of requests; --slow-query-ms < 0 disables the slow log.\n"
        "  SIGINT/SIGTERM drains in-flight requests, then saves the\n"
        "  snapshot back to --snapshot (checkpointing + compacting the\n"
        "  WAL when --wal-dir is set). With a WAL, every /update is\n"
@@ -1042,10 +1050,15 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
   EngineOptions engine_opts;
   int64_t port = 0;
   int64_t max_inflight = 0;
+  double trace_sample = 0.0;
+  double slow_query_ms = 250.0;
   if (!ParseStoreFlags(flags, &store_opts, &engine_opts) ||
       !GetIntFlag(flags, "port", 8080, &port) || port > 65535 ||
       !GetIntFlag(flags, "max-inflight", 64, &max_inflight) ||
-      max_inflight == 0) {
+      max_inflight == 0 ||
+      !GetDoubleFlag(flags, "trace-sample", 0.0, &trace_sample) ||
+      trace_sample < 0.0 || trace_sample > 1.0 ||
+      !GetDoubleFlag(flags, "slow-query-ms", 250.0, &slow_query_ms)) {
     return Usage();
   }
 
@@ -1072,8 +1085,11 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
   ServerOptions server_opts;
   server_opts.port = static_cast<uint16_t>(port);
   server_opts.max_inflight = static_cast<size_t>(max_inflight);
+  server_opts.trace_sample = trace_sample;
   HttpServer server(server_opts);
-  StoreService service(&store);
+  StoreServiceOptions service_opts;
+  service_opts.slow_query_ms = slow_query_ms;
+  StoreService service(&store, service_opts);
   service.Attach(&server);
   Status started = server.Start();
   if (!started.ok()) {
@@ -1084,7 +1100,7 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
       "serving epoch %llu on http://127.0.0.1:%u  "
       "(engine threads=%zu, max-inflight=%zu)\n"
       "endpoints: POST /query  POST /update  GET /snapshot  "
-      "GET /healthz  GET /metrics\n"
+      "GET /healthz  GET /metrics  GET /debug/traces  GET /debug/slow\n"
       "Ctrl-C drains and saves the snapshot\n",
       static_cast<unsigned long long>(store.epoch()), server.port(),
       engine.num_threads(), server_opts.max_inflight);
@@ -1165,7 +1181,8 @@ int main(int argc, char** argv) {
         "samples", "burn-in", "mode", "min-prob", "threads"}},
       {"serve",
        {"model", "in", "snapshot", "port", "max-inflight", "wal-dir",
-        "sync-mode", "samples", "burn-in", "mode", "min-prob", "threads"}},
+        "sync-mode", "samples", "burn-in", "mode", "min-prob", "threads",
+        "trace-sample", "slow-query-ms"}},
       {"tune", {"in", "candidates", "holdout"}},
   };
   std::string cmd = argv[1];
