@@ -7,10 +7,11 @@
 // Exit code doubles as a perf gate (like bench_incremental's 5x rule):
 // cached single-relation plans must clear >= 10k queries/sec at 8
 // connections (the ROADMAP's serving floor), AND sampled tracing at
-// --trace-sample (default 0.01) must keep QPS within 5% of tracing-off
-// — measured as the best of five interleaved windows each, so a
-// noisy window cannot flip the verdict. --json writes the usual
-// machine-readable trajectory file.
+// --trace-sample (default 0.01) must keep QPS within 5% of tracing-off,
+// AND always-on statement tracking must keep QPS within 5% of a
+// tracking-off baseline — each measured as the best of five interleaved
+// windows, so a noisy window cannot flip the verdict. --json writes the
+// usual machine-readable trajectory file.
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +39,10 @@ constexpr size_t kGateConnections = 8;
 // Tracing overhead gate: QPS with sampling on must be >= this fraction
 // of QPS with tracing off (the ISSUE's "within 5%" acceptance bar).
 constexpr double kTraceGateRatio = 0.95;
+// Statement-tracking overhead gate: tracking is always-on in
+// production, so the default path must stay within 5% of a
+// tracking-off baseline of the same binary.
+constexpr double kStatementsGateRatio = 0.95;
 
 Tuple T(std::vector<int> vals) {
   Tuple t(vals.size());
@@ -199,8 +204,17 @@ int Run(int argc, char** argv) {
   StoreService traced_service(&store);
   traced_service.Attach(&traced_server);
 
+  // A third pair with statement tracking off — the baseline the
+  // always-on default is gated against.
+  StoreServiceOptions nostats_opts;
+  nostats_opts.track_statements = false;
+  HttpServer nostats_server(server_opts);
+  StoreService nostats_service(&store, nostats_opts);
+  nostats_service.Attach(&nostats_server);
+
   Status started = server.Start();
   if (started.ok()) started = traced_server.Start();
+  if (started.ok()) started = nostats_server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  started.ToString().c_str());
@@ -299,8 +313,44 @@ int Run(int argc, char** argv) {
       }
     }
   }
+  // Statement-tracking overhead gate: same interleaved-window design,
+  // default (tracking on) vs the tracking-off baseline.
+  double stats_on_qps[kOverheadWindows];
+  double stats_off_qps[kOverheadWindows];
+  for (int w = 0; w < kOverheadWindows; ++w) {
+    const bool on_first = w % 2 == 0;
+    for (int side = 0; side < 2; ++side) {
+      if ((side == 0) == on_first) {
+        stats_on_qps[w] = RunClosedLoop(server.port(), "POST", "/query",
+                                        plan, kGateConnections,
+                                        overhead_window_s)
+                              .qps;
+      } else {
+        stats_off_qps[w] =
+            RunClosedLoop(nostats_server.port(), "POST", "/query", plan,
+                          kGateConnections, overhead_window_s)
+                .qps;
+      }
+    }
+  }
   server.Stop();
   traced_server.Stop();
+  nostats_server.Stop();
+
+  const double stats_on_best =
+      *std::max_element(stats_on_qps, stats_on_qps + kOverheadWindows);
+  const double stats_off_best =
+      *std::max_element(stats_off_qps, stats_off_qps + kOverheadWindows);
+  const double stats_ratio =
+      stats_off_best > 0.0 ? stats_on_best / stats_off_best : 0.0;
+  const bool stats_pass = stats_ratio >= kStatementsGateRatio;
+  std::printf(
+      "\nstatement-tracking overhead at %zu connections (best of %d "
+      "windows):\n"
+      "  tracking off: %.0f qps\n"
+      "  tracking on:  %.0f qps  (ratio %.4f, need >= %.2f): %s\n",
+      kGateConnections, kOverheadWindows, stats_off_best, stats_on_best,
+      stats_ratio, kStatementsGateRatio, stats_pass ? "PASS" : "FAIL");
 
   const double off_best =
       *std::max_element(off_qps, off_qps + kOverheadWindows);
@@ -334,6 +384,10 @@ int Run(int argc, char** argv) {
     json.SetNum("trace_on_qps", traced_best);
     json.SetNum("trace_qps_ratio", trace_ratio);
     json.SetBool("trace_gate_pass", trace_pass);
+    json.SetNum("statements_off_qps", stats_off_best);
+    json.SetNum("statements_on_qps", stats_on_best);
+    json.SetNum("statements_qps_ratio", stats_ratio);
+    json.SetBool("statements_gate_pass", stats_pass);
     std::vector<bench::JsonObject> rows;
     for (const LoadResult& r : results) {
       bench::JsonObject row;
@@ -362,7 +416,7 @@ int Run(int argc, char** argv) {
     json.SetArray("endpoints", endpoint_rows);
     if (!json.WriteTo(flags.json_path)) return 1;
   }
-  return gate_pass && trace_pass ? 0 : 1;
+  return gate_pass && trace_pass && stats_pass ? 0 : 1;
 }
 
 }  // namespace

@@ -18,6 +18,12 @@ Reads the scrape from a file argument or stdin, so CI can pipe
 
     curl -s http://127.0.0.1:8080/metrics | scripts/check_metrics.py
 
+Repeatable `--require NAME` flags additionally assert that a family is
+present in the scrape (CI pins the series dashboards depend on):
+
+    ... | scripts/check_metrics.py --require mrsl_uptime_seconds \
+            --require mrsl_statements_tracked
+
 Exits non-zero with one line per violation.
 """
 
@@ -52,7 +58,7 @@ def parse_value(text):
         return None
 
 
-def lint(text):
+def lint(text, required=()):
     errors = []
     helps = {}          # family -> help text
     types = {}          # family -> type
@@ -142,6 +148,9 @@ def lint(text):
                 elif mtype == "counter" and value < 0:
                     errors.append(
                         f"line {line_no}: counter {name} is negative")
+    for family in required:
+        if family not in types:
+            errors.append(f"required family {family} is missing")
     return errors
 
 
@@ -198,16 +207,30 @@ def lint_histogram(family, fam_samples, errors):
 
 
 def main():
-    if len(sys.argv) > 2:
-        sys.exit(f"usage: {sys.argv[0]} [scrape.txt]  (or pipe to stdin)")
-    if len(sys.argv) == 2:
-        with open(sys.argv[1]) as f:
+    args = sys.argv[1:]
+    required = []
+    positional = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                sys.exit("error: --require needs a family name")
+            required.append(args.pop(0))
+        elif arg.startswith("--require="):
+            required.append(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if len(positional) > 1:
+        sys.exit(f"usage: {sys.argv[0]} [scrape.txt] "
+                 f"[--require FAMILY]...  (or pipe to stdin)")
+    if positional:
+        with open(positional[0]) as f:
             text = f.read()
     else:
         text = sys.stdin.read()
     if not text.strip():
         sys.exit("error: empty scrape")
-    errors = lint(text)
+    errors = lint(text, required)
     for err in errors:
         print(err, file=sys.stderr)
     families = len([1 for line in text.splitlines()

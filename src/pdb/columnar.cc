@@ -25,6 +25,13 @@ uint64_t MixValue(uint64_t h, ValueId v) {
 
 }  // namespace
 
+size_t LineageTable::ByteSize() const {
+  return keys.size() * sizeof(uint64_t) + key_off.size() * sizeof(uint32_t) +
+         simple.size() * sizeof(uint8_t) + source.size() * sizeof(uint32_t) +
+         block.size() * sizeof(uint64_t) + alts.size() * sizeof(uint32_t) +
+         alt_off.size() * sizeof(uint32_t);
+}
+
 void LineageTable::ReserveRows(size_t n) {
   // Simple events dominate (one key, one alternative per row); composite
   // rows grow the arenas past the guess, which is just a realloc.
@@ -120,6 +127,13 @@ void LineageTable::Keep(const std::vector<uint32_t>& sel) {
   block.resize(sel.size());
   key_off.resize(sel.size() + 1);
   alt_off.resize(sel.size() + 1);
+}
+
+size_t ColumnBatch::ByteSize() const {
+  size_t bytes = lineage.ByteSize() +
+                 (lo.size() + hi.size()) * sizeof(double);
+  for (const auto& col : cols) bytes += col.size() * sizeof(ValueId);
+  return bytes;
 }
 
 void ColumnBatch::SetSchema(Schema s) {

@@ -55,6 +55,11 @@ struct LineageTable {
 
   size_t num_rows() const { return simple.size(); }
 
+  /// Logical arena footprint (element counts × element sizes, capacity
+  /// excluded so the number is deterministic across allocators) — the
+  /// resource-accounting input for PlanResources::peak_lineage_bytes.
+  size_t ByteSize() const;
+
   const uint64_t* keys_begin(size_t r) const { return keys.data() + key_off[r]; }
   size_t keys_size(size_t r) const { return key_off[r + 1] - key_off[r]; }
   const uint32_t* alts_begin(size_t r) const { return alts.data() + alt_off[r]; }
@@ -102,6 +107,11 @@ struct ColumnBatch {
 
   size_t num_rows() const { return lo.size(); }
   size_t num_attrs() const { return cols.size(); }
+
+  /// Logical footprint of the batch including its lineage arena
+  /// (deterministic: element counts, not capacities). Feeds
+  /// PlanResources::peak_batch_bytes.
+  size_t ByteSize() const;
 
   /// Replaces the schema and resets the column arrays to empty columns
   /// of the new arity (row arrays untouched — call on an empty batch).

@@ -994,7 +994,8 @@ double MeanWidth(const std::vector<DistinctMarginal>& marginals) {
 
 Result<CompiledQuery> CompileQuery(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
-    const CompileOptions& options, TraceSpan trace) {
+    const CompileOptions& options, TraceSpan trace,
+    PlanResources* resources) {
   WallTimer clock;
   CompiledQuery out;
 
@@ -1004,7 +1005,7 @@ Result<CompiledQuery> CompileQuery(
   // fully answered here at EvaluatePlan speed. The factored machinery
   // below only ever touches what this pass could not close.
   TraceSpan phase1 = trace.StartChild("phase1");
-  auto base_r = EvaluatePlan(plan, sources, phase1);
+  auto base_r = EvaluatePlan(plan, sources, phase1, resources);
   if (!base_r.ok()) return base_r.status();
   PlanResult base = std::move(*base_r);
 
@@ -1391,6 +1392,9 @@ Result<CompiledQuery> CompileQuery(
   combine.End();
 
   out.stats.compile_seconds = clock.ElapsedSeconds();
+  if (resources != nullptr) {
+    resources->worlds_sampled += out.stats.worlds_expanded;
+  }
   return out;
 }
 

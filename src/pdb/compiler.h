@@ -148,9 +148,16 @@ struct CompiledQuery {
 /// candidate actually expanded), and "combine" (answer assembly). Spans
 /// never influence the result; trace does NOT join the cache key
 /// (CompileCacheSuffix below ignores it).
+///
+/// `resources` (when non-null) accumulates the phase-1 evaluation's
+/// peaks/counters and adds the lattice walk's conditioning branches
+/// (CompileStats::worlds_expanded) to `worlds_sampled` — the
+/// workload-analytics feed. Like the spans, it never influences the
+/// result and does not join the cache key.
 Result<CompiledQuery> CompileQuery(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources,
-    const CompileOptions& options = {}, TraceSpan trace = TraceSpan());
+    const CompileOptions& options = {}, TraceSpan trace = TraceSpan(),
+    PlanResources* resources = nullptr);
 
 /// The cache-key suffix for a compiled evaluation: compiler mode, width
 /// target, and world budget all change the answer, so they must join the

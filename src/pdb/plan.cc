@@ -745,11 +745,20 @@ void DisjoinGroupToBatch(const ColumnBatch& child, const uint32_t* rows,
   out->lineage.AppendComposite(s->key_set);
 }
 
-// Per-operator EXPLAIN ANALYZE accounting: stamps the operator span
-// with its input/output cardinalities and the arena footprint of the
-// output lineage, then ends it. One branch when tracing is off.
+// Per-operator EXPLAIN ANALYZE + resource accounting: stamps the
+// operator span with its input/output cardinalities and the arena
+// footprint of the output lineage, folds the output batch into the
+// request's PlanResources peaks/counters, then ends the span. Two early
+// returns when both feeds are off.
 void CloseOpSpan(const TraceSpan& span, size_t rows_in,
-                 const ColumnBatch& out) {
+                 const ColumnBatch& out, PlanResources* res) {
+  if (res != nullptr) {
+    res->peak_batch_bytes =
+        std::max<uint64_t>(res->peak_batch_bytes, out.ByteSize());
+    res->peak_lineage_bytes =
+        std::max<uint64_t>(res->peak_lineage_bytes, out.lineage.ByteSize());
+    res->lineage_events += out.lineage.num_rows();
+  }
   if (!span.active()) return;
   span.SetAttr("rows_in", static_cast<int64_t>(rows_in));
   span.SetAttr("rows_out", static_cast<int64_t>(out.num_rows()));
@@ -761,20 +770,20 @@ void CloseOpSpan(const TraceSpan& span, size_t rows_in,
 
 Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
                                   const std::vector<const ProbDatabase*>& sources,
-                                  TraceSpan trace) {
+                                  TraceSpan trace, PlanResources* res) {
   switch (node.op) {
     case PlanNode::Op::kScan: {
       TraceSpan span = trace.StartChild("op.scan");
       MRSL_RETURN_IF_ERROR(ValidateSource(node.source, sources));
       ColumnBatch out = ScanToBatch(*sources[node.source],
                                     static_cast<uint32_t>(node.source));
-      CloseOpSpan(span, 0, out);
+      CloseOpSpan(span, 0, out, res);
       return out;
     }
 
     case PlanNode::Op::kSelect: {
       TraceSpan span = trace.StartChild("op.select");
-      auto child = EvalNodeBatch(*node.left, sources, span);
+      auto child = EvalNodeBatch(*node.left, sources, span, res);
       if (!child.ok()) return child.status();
       const size_t rows_in = child->num_rows();
       AttrMask touched = node.pred.AttrsTouched();
@@ -783,7 +792,7 @@ Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
         return Status::InvalidArgument("select predicate attr out of range");
       }
       if (node.pred.atoms().empty()) {
-        CloseOpSpan(span, rows_in, *child);
+        CloseOpSpan(span, rows_in, *child, res);
         return child;
       }
       // Predicate sweep: each atom scans ONE column, refining the
@@ -810,13 +819,13 @@ Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
         }
       }
       child->Keep(sel);
-      CloseOpSpan(span, rows_in, *child);
+      CloseOpSpan(span, rows_in, *child, res);
       return child;
     }
 
     case PlanNode::Op::kProject: {
       TraceSpan span = trace.StartChild("op.project");
-      auto child = EvalNodeBatch(*node.left, sources, span);
+      auto child = EvalNodeBatch(*node.left, sources, span, res);
       if (!child.ok()) return child.status();
       auto schema = ProjectSchema(child->schema, node.attrs);
       if (!schema.ok()) return schema.status();
@@ -853,15 +862,15 @@ Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
           out.cols[k].push_back(child->cols[node.attrs[k]][rep]);
         }
       }
-      CloseOpSpan(span, n, out);
+      CloseOpSpan(span, n, out, res);
       return out;
     }
 
     case PlanNode::Op::kJoin: {
       TraceSpan span = trace.StartChild("op.join");
-      auto left = EvalNodeBatch(*node.left, sources, span);
+      auto left = EvalNodeBatch(*node.left, sources, span, res);
       if (!left.ok()) return left.status();
-      auto right = EvalNodeBatch(*node.right, sources, span);
+      auto right = EvalNodeBatch(*node.right, sources, span, res);
       if (!right.ok()) return right.status();
       if (node.left_attr >= left->schema.num_attrs() ||
           node.right_attr >= right->schema.num_attrs()) {
@@ -916,7 +925,7 @@ Result<ColumnBatch> EvalNodeBatch(const PlanNode& node,
         dst.resize(out_n);
         for (size_t k = 0; k < out_n; ++k) dst[k] = src[rrows[k]];
       }
-      CloseOpSpan(span, left_n + right->num_rows(), out);
+      CloseOpSpan(span, left_n + right->num_rows(), out, res);
       return out;
     }
   }
@@ -1053,10 +1062,17 @@ Result<std::string> PlanToString(
   return Status::Internal("unknown plan operator");
 }
 
+void PlanResources::Merge(const PlanResources& other) {
+  peak_batch_bytes = std::max(peak_batch_bytes, other.peak_batch_bytes);
+  peak_lineage_bytes = std::max(peak_lineage_bytes, other.peak_lineage_bytes);
+  lineage_events += other.lineage_events;
+  worlds_sampled += other.worlds_sampled;
+}
+
 Result<PlanResult> EvaluatePlan(const PlanNode& plan,
                                 const std::vector<const ProbDatabase*>& sources,
-                                TraceSpan trace) {
-  auto batch = EvalNodeBatch(plan, sources, trace);
+                                TraceSpan trace, PlanResources* resources) {
+  auto batch = EvalNodeBatch(plan, sources, trace, resources);
   if (!batch.ok()) return batch.status();
   return BatchToPlanResult(std::move(*batch));
 }

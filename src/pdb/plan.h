@@ -122,6 +122,25 @@ Result<Schema> PlanOutputSchema(const PlanNode& plan,
 Result<std::string> PlanToString(
     const PlanNode& plan, const std::vector<const ProbDatabase*>& sources);
 
+/// Per-request resource accounting accumulated by the evaluator (and,
+/// above it, the compiler and the oracle paths). Peaks are per-operator
+/// maxima of the columnar arenas' logical footprint — what one request
+/// holds live at the widest point of the plan, the number admission
+/// control and the statement digests care about. Counters are totals.
+/// Deterministic for a fixed (epoch, plan): derived from element
+/// counts, never allocator capacities. Accounting never influences
+/// evaluation — results are bit-identical with or without it.
+struct PlanResources {
+  uint64_t peak_batch_bytes = 0;    ///< max ColumnBatch::ByteSize() seen
+  uint64_t peak_lineage_bytes = 0;  ///< max LineageTable::ByteSize() seen
+  uint64_t lineage_events = 0;      ///< lineage rows emitted across operators
+  uint64_t worlds_sampled = 0;      ///< oracle trials + compiler worlds
+
+  /// Member-wise accumulation (max peaks, summed counters) — how a
+  /// compiled query folds its phase-1 and phase-2 evaluations together.
+  void Merge(const PlanResources& other);
+};
+
 /// An intermediate or final row: values, probability (exact or bounds),
 /// and the lineage driving the safety check.
 struct PlanRow {
@@ -153,9 +172,14 @@ struct PlanResult {
 /// rows-out / lineage-size attributes — the EXPLAIN ANALYZE feed. The
 /// spans never influence evaluation: traced and untraced runs are
 /// bit-identical.
+///
+/// `resources` (when non-null) accumulates per-operator peaks and
+/// counters (see PlanResources) — the workload-analytics feed. Like the
+/// spans, it never influences evaluation.
 Result<PlanResult> EvaluatePlan(const PlanNode& plan,
                                 const std::vector<const ProbDatabase*>& sources,
-                                TraceSpan trace = TraceSpan());
+                                TraceSpan trace = TraceSpan(),
+                                PlanResources* resources = nullptr);
 
 /// The row-at-a-time reference evaluator: one PlanRow per intermediate
 /// row. Kept compiled as the differential baseline for the columnar

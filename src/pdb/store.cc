@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "pdb/fingerprint.h"
 #include "pdb/plan.h"
 #include "pdb/snapshot_io.h"
 #include "util/timer.h"
@@ -347,6 +348,14 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
       out.canonical_text = "count(" + rendered + ")";
       break;
   }
+  // The digest identity rides along on every call — cache hits too, so
+  // the statement store attributes hits to their shape. PlanToString
+  // succeeded above, so normalization (same validation walk) cannot
+  // fail; folded into parse time since it is the same kind of work.
+  if (auto fp = FingerprintQuery(parsed, sources); fp.ok()) {
+    out.fingerprint = fp->hash;
+    out.normalized_text = std::move(fp->normalized);
+  }
   out.stages.parse_seconds = stage_timer.ElapsedSeconds();
   parse_span.End();
 
@@ -381,7 +390,8 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
     TraceSpan eval_span = trace.StartChild("evaluate");
     MRSL_ASSIGN_OR_RETURN(
         CompiledQuery cq,
-        CompileQuery(*parsed.plan, sources, scoped, eval_span));
+        CompileQuery(*parsed.plan, sources, scoped, eval_span,
+                     &out.resources));
     eval_span.End();
     out.stages.evaluate_seconds = stage_timer.ElapsedSeconds();
     eval->compiled = true;
@@ -396,8 +406,9 @@ Result<StoreQueryResult> BidStore::QueryOn(const SnapshotPtr& snap,
   } else {
     stage_timer.Reset();
     TraceSpan eval_span = trace.StartChild("evaluate");
-    MRSL_ASSIGN_OR_RETURN(eval->result,
-                          EvaluatePlan(*parsed.plan, sources, eval_span));
+    MRSL_ASSIGN_OR_RETURN(
+        eval->result,
+        EvaluatePlan(*parsed.plan, sources, eval_span, &out.resources));
     if (eval_span.active()) {
       eval_span.SetAttr("rows",
                         static_cast<int64_t>(eval->result.rows.size()));

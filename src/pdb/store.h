@@ -146,12 +146,21 @@ struct QueryStageTimes {
 };
 
 /// A cache-aware query answer: the evaluation plus where it came from.
+/// `fingerprint`/`normalized_text` are the literal-insensitive digest
+/// identity (pdb/fingerprint.h), computed on every call — cache hits
+/// included — so the workload-analytics layer can attribute each call
+/// to its shape. `resources` holds the evaluator's per-request peaks
+/// and counters; like `stages.evaluate_seconds`, it stays zero on
+/// cache hits (nothing was evaluated).
 struct StoreQueryResult {
   uint64_t epoch = 0;
   bool from_cache = false;
   std::string canonical_text;  // PlanToString rendering (the cache key)
+  uint64_t fingerprint = 0;    // FNV-1a64 of normalized_text
+  std::string normalized_text; // literals replaced by "?" (fingerprint.h)
   std::shared_ptr<const PlanEvaluation> eval;
   QueryStageTimes stages;
+  PlanResources resources;
 };
 
 /// The epoch-versioned store. All methods are thread-safe: reads are

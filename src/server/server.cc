@@ -26,6 +26,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -127,6 +128,10 @@ Status HttpServer::Start() {
   stopping_.store(false);
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this]() { IoLoop(); });
+  LogInfo("server", "listening",
+          {{"port", static_cast<int64_t>(port_)},
+           {"handler_threads", static_cast<int64_t>(handler_threads)},
+           {"max_inflight", static_cast<int64_t>(options_.max_inflight)}});
   return Status::OK();
 }
 
@@ -151,6 +156,10 @@ void HttpServer::Stop() {
     }
   }
   running_.store(false, std::memory_order_release);
+  LogInfo("server", "stopped after graceful drain",
+          {{"port", static_cast<int64_t>(port_)},
+           {"requests_shed",
+            requests_shed_.load(std::memory_order_relaxed)}});
 }
 
 void HttpServer::Wake() {
@@ -296,6 +305,12 @@ bool HttpServer::PumpConn(const ConnPtr& conn) {
     }
     if (inflight_.load(std::memory_order_acquire) >= options_.max_inflight) {
       requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      // Rate-limited by the logger's token bucket: an overload burst
+      // sheds thousands of requests but logs a handful plus a
+      // suppressed count.
+      LogWarn("server", "admission control shed request",
+              {{"target", request.target},
+               {"inflight", static_cast<int64_t>(options_.max_inflight)}});
       HttpResponse resp = ErrorResponse(
           503, "server overloaded; retry shortly");
       resp.extra_headers.emplace_back("Retry-After", "1");

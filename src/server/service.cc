@@ -1,11 +1,14 @@
 #include "server/service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "core/delta.h"
+#include "pdb/fingerprint.h"
 #include "pdb/plan.h"
+#include "util/log.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -182,7 +185,9 @@ struct StoreService::PendingUpdate {
 };
 
 StoreService::StoreService(BidStore* store, StoreServiceOptions options)
-    : store_(store), options_(std::move(options)) {}
+    : store_(store),
+      options_(std::move(options)),
+      statements_(options_.statement_capacity) {}
 
 void StoreService::Attach(HttpServer* server) {
   metrics_ = server->metrics();
@@ -201,6 +206,13 @@ void StoreService::Attach(HttpServer* server) {
   });
   server->Handle("GET", "/debug/slow",
                  [this](const HttpRequest& r) { return HandleDebugSlow(r); });
+  server->Handle("GET", "/debug/statements", [this](const HttpRequest& r) {
+    return HandleDebugStatements(r);
+  });
+  server->Handle("POST", "/debug/statements/reset",
+                 [this](const HttpRequest& r) {
+                   return HandleDebugStatementsReset(r);
+                 });
   // The conventional build-metadata gauge: the value is always 1, the
   // interesting part is the label set.
   metrics_
@@ -209,6 +221,19 @@ void StoreService::Attach(HttpServer* server) {
                  "version travels in the version label.",
                  {{"version", MRSL_VERSION_STRING}})
       ->Set(1.0);
+  metrics_
+      ->GetGauge("mrsl_process_start_time_seconds",
+                 "Unix time the process started, in seconds.")
+      ->Set(ProcessStartUnixSeconds());
+  metrics_
+      ->GetGauge("mrsl_uptime_seconds", "Seconds since process start.")
+      ->Set(ProcessUptimeSeconds());
+  statements_.BindMetrics(
+      metrics_->GetGauge("mrsl_statements_tracked",
+                         "Statement digests currently tracked."),
+      metrics_->GetCounter(
+          "mrsl_statement_evictions_total",
+          "Statement digests evicted at the capacity cap (LRU)."));
 }
 
 uint64_t StoreService::queries_served() const {
@@ -385,6 +410,9 @@ void StoreService::CommitUpdateGroup(
   if (!synced.ok()) {
     // A commit without its covering fsync may be lost by a crash, so no
     // entry may report success.
+    LogError("wal", "group-commit fsync failed; failing the whole group",
+             {{"error", synced.ToString()},
+              {"group_size", static_cast<uint64_t>(group.size())}});
     for (const auto& p : group) {
       if (p->result.ok()) p->result = synced;
     }
@@ -540,7 +568,20 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
     result = BatchedQuery(text, qspan);
   }
   qspan.End();
-  if (!result.ok()) return JsonError(result.status());
+  if (!result.ok()) {
+    // Failed calls still count: a client hammering a broken shape shows
+    // up as one error digest, not as silence. The shape is unknown
+    // (parsing is what failed), so errors pool under a reserved digest.
+    if (options_.track_statements) {
+      StatementSample sample;
+      sample.kind = "error";
+      sample.normalized = "<error>";
+      sample.error = true;
+      sample.elapsed_seconds = wall.ElapsedSeconds();
+      statements_.Record(sample);
+    }
+    return JsonError(result.status());
+  }
 
   metrics_
       ->GetCounter("mrsl_queries_total",
@@ -576,13 +617,20 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
     // the untraced body (spans never touch the evaluation or the cache).
     resp.body.erase(resp.body.size() - 2);  // "}\n"
     resp.body += ",\"trace\":{\"trace_id\":\"" +
-                 request.trace->trace_id_hex() + "\",\"spans\":" +
+                 request.trace->trace_id_hex() + "\",\"fingerprint\":\"" +
+                 FingerprintHex(result->fingerprint) + "\",\"spans\":" +
                  SpanSubtreeJson(*request.trace, qspan.index()) + "}}\n";
   }
   resp.extra_headers.emplace_back("X-Mrsl-Epoch",
                                   std::to_string(result->epoch));
   resp.extra_headers.emplace_back("X-Mrsl-Cache",
                                   result->from_cache ? "hit" : "miss");
+  if (request.trace != nullptr) {
+    // The link from a response (and its /debug/slow entry) to its
+    // /debug/traces record.
+    resp.extra_headers.emplace_back("X-Mrsl-Trace-Id",
+                                    request.trace->trace_id_hex());
+  }
   if (with_compile) {
     resp.extra_headers.emplace_back(
         "X-Mrsl-Compiled",
@@ -590,12 +638,49 @@ HttpResponse StoreService::HandleQuery(const HttpRequest& request) {
   }
 
   const double elapsed_ms = wall.ElapsedSeconds() * 1000.0;
+  if (options_.track_statements) {
+    StatementSample sample;
+    sample.fingerprint = result->fingerprint;
+    sample.kind = QueryKindName(result->eval->kind);
+    sample.normalized = result->normalized_text;
+    sample.cache_hit = result->from_cache;
+    sample.compiled = result->eval->compiled;
+    sample.elapsed_seconds = elapsed_ms / 1000.0;
+    sample.resources = result->resources;
+    if (with_oracle) {
+      sample.resources.worlds_sampled += oracle.trials;
+    }
+    const PlanEvaluation& ev = *result->eval;
+    switch (ev.kind) {
+      case ParsedQuery::Kind::kRelation: {
+        sample.rows = ev.marginals.size();
+        double width_sum = 0.0;
+        for (const DistinctMarginal& m : ev.marginals) {
+          width_sum += m.prob.hi - m.prob.lo;
+        }
+        sample.width = ev.marginals.empty()
+                           ? 0.0
+                           : width_sum / static_cast<double>(
+                                             ev.marginals.size());
+        break;
+      }
+      case ParsedQuery::Kind::kExists:
+        sample.width = ev.exists.prob.hi - ev.exists.prob.lo;
+        break;
+      case ParsedQuery::Kind::kCount:
+        sample.width = ev.count.expected.hi - ev.count.expected.lo;
+        break;
+    }
+    statements_.Record(sample);
+  }
   if (options_.slow_query_ms >= 0.0 &&
       elapsed_ms >= options_.slow_query_ms) {
     SlowQueryEntry slow;
     slow.plan = result->canonical_text;
+    slow.fingerprint = result->fingerprint;
     slow.epoch = result->epoch;
     slow.elapsed_ms = elapsed_ms;
+    slow.resources = result->resources;
     if (request.trace != nullptr) {
       slow.trace_id = request.trace->trace_id_hex();
       slow.spans_json = SpanSubtreeJson(*request.trace, qspan.index());
@@ -689,11 +774,19 @@ HttpResponse StoreService::HandleHealthz(const HttpRequest&) {
   HttpResponse resp;
   resp.body = "{\"status\":\"ok\",\"epoch\":" +
               std::to_string(store_->epoch()) + ",\"version\":\"" +
-              MRSL_VERSION_STRING + "\"}\n";
+              MRSL_VERSION_STRING + "\",\"uptime_seconds\":";
+  AppendNum(&resp.body, ProcessUptimeSeconds());
+  resp.body += ",\"start_time_unix_seconds\":";
+  AppendNum(&resp.body, ProcessStartUnixSeconds());
+  resp.body += "}\n";
   return resp;
 }
 
 HttpResponse StoreService::HandleMetrics(const HttpRequest&) {
+  // Refresh the point-in-time gauges the scrape is about to read.
+  metrics_
+      ->GetGauge("mrsl_uptime_seconds", "Seconds since process start.")
+      ->Set(ProcessUptimeSeconds());
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4";
   resp.body = metrics_->RenderPrometheus();
@@ -721,6 +814,12 @@ HttpResponse StoreService::HandleDebugTraces(const HttpRequest& request) {
 }
 
 void StoreService::RecordSlowQuery(SlowQueryEntry entry) {
+  SlowQueryEntry logged;
+  logged.plan = entry.plan;
+  logged.fingerprint = entry.fingerprint;
+  logged.elapsed_ms = entry.elapsed_ms;
+  logged.epoch = entry.epoch;
+  logged.trace_id = entry.trace_id;
   {
     std::lock_guard<std::mutex> lock(slow_mutex_);
     if (slow_ring_.size() < kSlowRingCapacity) {
@@ -737,6 +836,12 @@ void StoreService::RecordSlowQuery(SlowQueryEntry entry) {
                      "Queries at or over the slow-query threshold.")
         ->Increment();
   }
+  LogWarn("query", "slow query",
+          {{"plan", logged.plan},
+           {"fingerprint", FingerprintHex(logged.fingerprint)},
+           {"elapsed_ms", logged.elapsed_ms},
+           {"epoch", logged.epoch},
+           {"trace_id", logged.trace_id}});
 }
 
 HttpResponse StoreService::HandleDebugSlow(const HttpRequest&) {
@@ -758,16 +863,157 @@ HttpResponse StoreService::HandleDebugSlow(const HttpRequest&) {
   for (size_t i = 0; i < entries.size(); ++i) {
     const SlowQueryEntry& e = entries[i];
     if (i > 0) body += ",";
-    body += "{\"trace_id\":\"" + e.trace_id + "\",\"plan\":\"" +
+    body += "{\"trace_id\":\"" + e.trace_id + "\",\"fingerprint\":\"" +
+            FingerprintHex(e.fingerprint) + "\",\"plan\":\"" +
             JsonEscape(e.plan) + "\",\"elapsed_ms\":";
     AppendNum(&body, e.elapsed_ms);
-    body += ",\"epoch\":" + std::to_string(e.epoch) + ",\"spans\":";
+    body += ",\"epoch\":" + std::to_string(e.epoch) + ",\"resources\":{" +
+            "\"peak_batch_bytes\":" +
+            std::to_string(e.resources.peak_batch_bytes) +
+            ",\"peak_lineage_bytes\":" +
+            std::to_string(e.resources.peak_lineage_bytes) +
+            ",\"lineage_events\":" +
+            std::to_string(e.resources.lineage_events) +
+            ",\"worlds_sampled\":" +
+            std::to_string(e.resources.worlds_sampled) + "},\"spans\":";
     body += e.spans_json.empty() ? "null" : e.spans_json;
     body += "}";
   }
   body += "]}\n";
   HttpResponse resp;
   resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse StoreService::HandleDebugStatements(const HttpRequest& request) {
+  const std::string sort = request.QueryParam("sort", "total_time");
+  if (sort != "total_time" && sort != "calls" && sort != "p99" &&
+      sort != "width") {
+    return JsonError(Status::InvalidArgument(
+        "?sort must be total_time, calls, p99, or width"));
+  }
+  const std::string format = request.QueryParam("format", "json");
+  if (format != "json" && format != "tsv") {
+    return JsonError(Status::InvalidArgument("?format must be json or tsv"));
+  }
+  int64_t limit = 0;
+  const std::string limit_param = request.QueryParam("limit", "");
+  if (!limit_param.empty() && (!ParseInt(limit_param, &limit) || limit < 0)) {
+    return JsonError(
+        Status::InvalidArgument("?limit must be a non-negative integer"));
+  }
+
+  std::vector<StatementDigest> digests = statements_.Snapshot();
+  auto sort_key = [&sort](const StatementDigest& d) {
+    if (sort == "calls") return static_cast<double>(d.calls);
+    if (sort == "p99") return d.p99_seconds;
+    if (sort == "width") return d.max_width;
+    return d.total_seconds;
+  };
+  // Descending by the sort key; (fingerprint, kind) breaks ties so the
+  // listing is stable across scrapes.
+  std::sort(digests.begin(), digests.end(),
+            [&sort_key](const StatementDigest& a, const StatementDigest& b) {
+              const double ka = sort_key(a);
+              const double kb = sort_key(b);
+              if (ka != kb) return ka > kb;
+              if (a.fingerprint != b.fingerprint) {
+                return a.fingerprint < b.fingerprint;
+              }
+              return a.kind < b.kind;
+            });
+  const size_t tracked = digests.size();
+  if (limit > 0 && digests.size() > static_cast<size_t>(limit)) {
+    digests.resize(static_cast<size_t>(limit));
+  }
+
+  HttpResponse resp;
+  if (format == "tsv") {
+    // The `mrsl top` feed: one header line, one row per digest, tabs
+    // only between columns (normalized text goes last — it contains
+    // spaces but never tabs).
+    std::string body =
+        "fingerprint\tkind\tcalls\terrors\tcache_hits\tcache_misses"
+        "\tcompiled\ttotal_ms\tmean_ms\tp50_ms\tp99_ms\tmax_ms\trows"
+        "\tmean_width\tpeak_batch_bytes\tpeak_lineage_bytes"
+        "\tlineage_events\tworlds\tnormalized\n";
+    for (const StatementDigest& d : digests) {
+      const double calls = static_cast<double>(d.calls);
+      body += FingerprintHex(d.fingerprint) + "\t" + d.kind + "\t" +
+              std::to_string(d.calls) + "\t" + std::to_string(d.errors) +
+              "\t" + std::to_string(d.cache_hits) + "\t" +
+              std::to_string(d.cache_misses) + "\t" +
+              std::to_string(d.compiled_calls) + "\t";
+      AppendNum(&body, d.total_seconds * 1000.0);
+      body += "\t";
+      AppendNum(&body, d.calls == 0 ? 0.0 : d.total_seconds * 1000.0 / calls);
+      body += "\t";
+      AppendNum(&body, d.p50_seconds * 1000.0);
+      body += "\t";
+      AppendNum(&body, d.p99_seconds * 1000.0);
+      body += "\t";
+      AppendNum(&body, d.max_seconds * 1000.0);
+      body += "\t" + std::to_string(d.total_rows) + "\t";
+      AppendNum(&body, d.calls == 0 ? 0.0 : d.total_width / calls);
+      body += "\t" + std::to_string(d.peak_batch_bytes) + "\t" +
+              std::to_string(d.peak_lineage_bytes) + "\t" +
+              std::to_string(d.lineage_events) + "\t" +
+              std::to_string(d.worlds_sampled) + "\t" + d.normalized +
+              "\n";
+    }
+    resp.content_type = "text/tab-separated-values";
+    resp.body = std::move(body);
+    return resp;
+  }
+
+  std::string body = "{\"tracked\":" + std::to_string(tracked) +
+                     ",\"evictions\":" +
+                     std::to_string(statements_.evictions()) +
+                     ",\"sort\":\"" + sort + "\",\"statements\":[";
+  for (size_t i = 0; i < digests.size(); ++i) {
+    const StatementDigest& d = digests[i];
+    const double calls = static_cast<double>(d.calls);
+    if (i > 0) body += ",";
+    body += "{\"fingerprint\":\"" + FingerprintHex(d.fingerprint) +
+            "\",\"kind\":\"" + JsonEscape(d.kind) +
+            "\",\"normalized\":\"" + JsonEscape(d.normalized) +
+            "\",\"calls\":" + std::to_string(d.calls) +
+            ",\"errors\":" + std::to_string(d.errors) +
+            ",\"cache_hits\":" + std::to_string(d.cache_hits) +
+            ",\"cache_misses\":" + std::to_string(d.cache_misses) +
+            ",\"compiled_calls\":" + std::to_string(d.compiled_calls) +
+            ",\"total_seconds\":";
+    AppendNum(&body, d.total_seconds);
+    body += ",\"mean_seconds\":";
+    AppendNum(&body, d.calls == 0 ? 0.0 : d.total_seconds / calls);
+    body += ",\"p50_seconds\":";
+    AppendNum(&body, d.p50_seconds);
+    body += ",\"p99_seconds\":";
+    AppendNum(&body, d.p99_seconds);
+    body += ",\"max_seconds\":";
+    AppendNum(&body, d.max_seconds);
+    body += ",\"total_rows\":" + std::to_string(d.total_rows) +
+            ",\"mean_width\":";
+    AppendNum(&body, d.calls == 0 ? 0.0 : d.total_width / calls);
+    body += ",\"max_width\":";
+    AppendNum(&body, d.max_width);
+    body += ",\"peak_batch_bytes\":" + std::to_string(d.peak_batch_bytes) +
+            ",\"peak_lineage_bytes\":" +
+            std::to_string(d.peak_lineage_bytes) +
+            ",\"lineage_events\":" + std::to_string(d.lineage_events) +
+            ",\"worlds_sampled\":" + std::to_string(d.worlds_sampled) +
+            "}";
+  }
+  body += "]}\n";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse StoreService::HandleDebugStatementsReset(const HttpRequest&) {
+  const size_t dropped = statements_.Reset();
+  HttpResponse resp;
+  resp.body =
+      "{\"reset\":true,\"dropped\":" + std::to_string(dropped) + "}\n";
   return resp;
 }
 

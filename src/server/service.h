@@ -82,6 +82,7 @@
 #include "pdb/store.h"
 #include "server/http.h"
 #include "server/server.h"
+#include "server/statements.h"
 
 namespace mrsl {
 
@@ -111,14 +112,27 @@ struct StoreServiceOptions {
   /// time reaches this lands in the GET /debug/slow ring. 0 logs every
   /// query (tests); negative disables the log entirely.
   double slow_query_ms = 250.0;
+
+  /// Total statement-digest cap across the StatementStore's shards
+  /// (LRU per shard beyond it; evictions are counted and exported).
+  size_t statement_capacity = 512;
+
+  /// Statement tracking is always-on in production (the bench gates its
+  /// overhead at <5%); this switch exists so bench_serve can measure a
+  /// tracking-off baseline against the same binary.
+  bool track_statements = true;
 };
 
-/// One GET /debug/slow entry.
+/// One GET /debug/slow entry. `fingerprint` links it to its
+/// /debug/statements digest and `trace_id` (also echoed to the client
+/// as X-Mrsl-Trace-Id) to its /debug/traces entry.
 struct SlowQueryEntry {
   std::string trace_id;    // 16 hex digits; "" when the request was untraced
   std::string plan;        // canonical plan text
+  uint64_t fingerprint = 0;
   double elapsed_ms = 0.0; // handler wall time
   uint64_t epoch = 0;
+  PlanResources resources; // evaluator accounting (zero on cache hits)
   std::string spans_json;  // the query span subtree; "" when untraced
 };
 
@@ -147,6 +161,10 @@ class StoreService {
                                     uint64_t expected_epoch,
                                     TraceSpan trace = TraceSpan());
 
+  /// The workload-analytics digests (exported at /debug/statements);
+  /// exposed for tests and embedded use.
+  StatementStore* statements() { return &statements_; }
+
  private:
   struct PendingQuery;
   struct PendingUpdate;
@@ -158,6 +176,8 @@ class StoreService {
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleDebugTraces(const HttpRequest& request);
   HttpResponse HandleDebugSlow(const HttpRequest& request);
+  HttpResponse HandleDebugStatements(const HttpRequest& request);
+  HttpResponse HandleDebugStatementsReset(const HttpRequest& request);
 
   /// Enqueues `text`, runs or joins the batch leader, returns this
   /// query's result (see the batching note above). `span` (usually
@@ -201,6 +221,9 @@ class StoreService {
   // Last drained group's size — the adaptive target for the commit
   // window (1 = serial workload, window off). Guarded by update_mutex_.
   size_t last_update_group_ = 1;
+
+  // Per-shape workload digests (always-on; see statements.h).
+  StatementStore statements_;
 
   // The /debug/slow ring (see SlowQueryEntry).
   static constexpr size_t kSlowRingCapacity = 32;

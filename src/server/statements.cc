@@ -1,0 +1,153 @@
+#include "server/statements.h"
+
+#include <algorithm>
+
+namespace mrsl {
+
+namespace {
+
+// Count-to-bucket fold shared by Record (find bucket) and Snapshot
+// (invert to a percentile). Buckets are le-inclusive; the last slot is
+// +Inf, mirroring the registry histograms.
+size_t BucketFor(double seconds, const std::vector<double>& bounds) {
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (seconds <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+// Upper bound of the first bucket whose cumulative count reaches
+// `rank` — the classic histogram-quantile estimate. The +Inf bucket
+// reports the largest finite bound (there is nothing tighter to say).
+double QuantileFromCounts(const std::vector<uint64_t>& counts,
+                          const std::vector<double>& bounds, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.back();
+}
+
+}  // namespace
+
+const std::vector<double>& StatementLatencyBounds() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>(MetricsRegistry::DefaultLatencyBoundsSeconds());
+  return *bounds;
+}
+
+StatementStore::StatementStore(size_t capacity)
+    : per_shard_capacity_(std::max<size_t>(1, capacity / kShards)) {}
+
+void StatementStore::Record(const StatementSample& sample) {
+  Key key{sample.fingerprint, sample.kind};
+  Shard& shard = shards_[sample.fingerprint % kShards];
+  bool inserted = false;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      if (shard.index.size() >= per_shard_capacity_) {
+        // Evict the least-recently-updated digest of this shard.
+        auto victim = std::prev(shard.lru.end());
+        shard.index.erase(victim->first);
+        shard.lru.erase(victim);
+        evicted = true;
+      }
+      StatementDigest fresh;
+      fresh.fingerprint = sample.fingerprint;
+      fresh.kind = sample.kind;
+      fresh.normalized = sample.normalized;
+      fresh.latency_counts.assign(StatementLatencyBounds().size() + 1, 0);
+      shard.lru.emplace_front(key, std::move(fresh));
+      it = shard.index.emplace(std::move(key), shard.lru.begin()).first;
+      inserted = true;
+    } else if (it->second != shard.lru.begin()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
+
+    StatementDigest& d = it->second->second;
+    d.calls += 1;
+    if (sample.error) d.errors += 1;
+    if (sample.cache_hit) {
+      d.cache_hits += 1;
+    } else if (!sample.error) {
+      d.cache_misses += 1;
+    }
+    if (sample.compiled) d.compiled_calls += 1;
+    d.total_seconds += sample.elapsed_seconds;
+    d.max_seconds = std::max(d.max_seconds, sample.elapsed_seconds);
+    d.latency_counts[BucketFor(sample.elapsed_seconds,
+                               StatementLatencyBounds())] += 1;
+    d.total_rows += sample.rows;
+    d.total_width += sample.width;
+    d.max_width = std::max(d.max_width, sample.width);
+    d.peak_batch_bytes =
+        std::max(d.peak_batch_bytes, sample.resources.peak_batch_bytes);
+    d.peak_lineage_bytes =
+        std::max(d.peak_lineage_bytes, sample.resources.peak_lineage_bytes);
+    d.lineage_events += sample.resources.lineage_events;
+    d.worlds_sampled += sample.resources.worlds_sampled;
+  }
+
+  if (inserted && !evicted) tracked_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted && !inserted) tracked_.fetch_sub(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (inserted || evicted) PublishGauges();
+  if (evicted && evictions_counter_ != nullptr) {
+    evictions_counter_->Increment();
+  }
+}
+
+std::vector<StatementDigest> StatementStore::Snapshot() const {
+  std::vector<StatementDigest> out;
+  out.reserve(tracked_.load(std::memory_order_relaxed));
+  const std::vector<double>& bounds = StatementLatencyBounds();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, digest] : shard.lru) {
+      out.push_back(digest);
+      out.back().p50_seconds =
+          QuantileFromCounts(digest.latency_counts, bounds, 0.50);
+      out.back().p99_seconds =
+          QuantileFromCounts(digest.latency_counts, bounds, 0.99);
+    }
+  }
+  return out;
+}
+
+size_t StatementStore::Reset() {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += shard.index.size();
+    shard.index.clear();
+    shard.lru.clear();
+  }
+  tracked_.fetch_sub(dropped, std::memory_order_relaxed);
+  PublishGauges();
+  return dropped;
+}
+
+void StatementStore::BindMetrics(Gauge* tracked, Counter* evictions) {
+  tracked_gauge_ = tracked;
+  evictions_counter_ = evictions;
+  PublishGauges();
+}
+
+void StatementStore::PublishGauges() {
+  if (tracked_gauge_ != nullptr) {
+    tracked_gauge_->Set(
+        static_cast<double>(tracked_.load(std::memory_order_relaxed)));
+  }
+}
+
+}  // namespace mrsl

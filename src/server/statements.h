@@ -1,0 +1,149 @@
+// pg_stat_statements for the plan algebra: per-query-shape digests.
+//
+// Every /query call — hit or miss, success or failure — records one
+// StatementSample keyed by (fingerprint, kind). The StatementStore
+// folds samples into streaming aggregates per digest: call/error/cache
+// counts, a fixed-bound latency histogram (p50/p99 derivable without
+// storing samples), rows returned, bounds width, and the evaluator's
+// resource accounting (peak arena bytes, lineage events, worlds
+// sampled). The store is lock-striped (16 shards on the fingerprint's
+// low bits, one mutex each) so recording from many handler threads
+// never serializes behind a scrape, and capped per shard with LRU
+// eviction — a workload of unbounded distinct shapes cannot grow it
+// without bound; evictions are counted and exported.
+//
+// This is observability, not the answer path: nothing here feeds back
+// into evaluation, and recording is O(1) per call.
+
+#ifndef MRSL_SERVER_STATEMENTS_H_
+#define MRSL_SERVER_STATEMENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pdb/plan.h"
+#include "util/metrics.h"
+
+namespace mrsl {
+
+/// One query execution, as the service saw it.
+struct StatementSample {
+  uint64_t fingerprint = 0;
+  std::string kind;             ///< "relation" / "exists" / "count" / "error"
+  std::string normalized;       ///< digest text (shown once per digest)
+  bool error = false;
+  bool cache_hit = false;
+  bool compiled = false;        ///< ran the two-phase compiler
+  double elapsed_seconds = 0.0; ///< service-side wall time
+  uint64_t rows = 0;            ///< marginals returned (0 for aggregates)
+  double width = 0.0;           ///< mean bounds width of the answer
+  PlanResources resources;      ///< zero on cache hits (nothing evaluated)
+};
+
+/// Aggregates for one (fingerprint, kind) digest. All counters are
+/// monotone while the digest lives; peaks are running maxima.
+struct StatementDigest {
+  uint64_t fingerprint = 0;
+  std::string kind;
+  std::string normalized;
+
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t compiled_calls = 0;
+
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;  ///< filled by Snapshot() from the histogram
+  double p99_seconds = 0.0;  ///< filled by Snapshot() from the histogram
+
+  uint64_t total_rows = 0;
+  double total_width = 0.0;  ///< sum of per-call mean widths
+  double max_width = 0.0;
+
+  uint64_t peak_batch_bytes = 0;
+  uint64_t peak_lineage_bytes = 0;
+  uint64_t lineage_events = 0;
+  uint64_t worlds_sampled = 0;
+
+  /// Latency histogram counts over StatementLatencyBounds() (+Inf last).
+  std::vector<uint64_t> latency_counts;
+};
+
+/// The histogram bounds every digest shares (log-scale, ~100µs..100s,
+/// same grid as the /metrics latency histograms).
+const std::vector<double>& StatementLatencyBounds();
+
+class StatementStore {
+ public:
+  /// `capacity` is the total digest cap across shards (floored at one
+  /// digest per shard).
+  explicit StatementStore(size_t capacity = 512);
+
+  /// Folds one sample in. O(1); takes one shard mutex.
+  void Record(const StatementSample& sample);
+
+  /// Consistent-per-shard copy of every digest, percentiles computed.
+  /// Order is unspecified — callers sort.
+  std::vector<StatementDigest> Snapshot() const;
+
+  /// Drops every digest; returns how many were dropped. The eviction
+  /// counter is monotone and survives resets.
+  size_t Reset();
+
+  size_t size() const { return tracked_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors size()/evictions() into registry instruments on every
+  /// mutation (the registry owns the instruments; may be null).
+  void BindMetrics(Gauge* tracked, Counter* evictions);
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Key {
+    uint64_t fingerprint;
+    std::string kind;
+    bool operator==(const Key& other) const {
+      return fingerprint == other.fingerprint && kind == other.kind;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.fingerprint) ^
+             std::hash<std::string>()(k.kind);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // LRU list front = most recent; map values point into the list.
+    std::list<std::pair<Key, StatementDigest>> lru;
+    std::unordered_map<Key,
+                       std::list<std::pair<Key, StatementDigest>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  void PublishGauges();
+
+  size_t per_shard_capacity_;
+  Shard shards_[kShards];
+  std::atomic<size_t> tracked_{0};
+  std::atomic<uint64_t> evictions_{0};
+  Gauge* tracked_gauge_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
+};
+
+}  // namespace mrsl
+
+#endif  // MRSL_SERVER_STATEMENTS_H_

@@ -1,0 +1,149 @@
+// Dependency-free leveled structured logging.
+//
+// One process-wide Logger emits single-line records to a FILE* (stderr
+// by default) in either human-readable text or JSON-lines, each record
+// carrying a UTC timestamp, level, component, message, and typed
+// key=value fields. Levels filter per component (`--log-level
+// info,wal=debug` style specs), and a token bucket per (component,
+// level) caps bursty non-error chatter — a hot loop logging the same
+// warning cannot drown the stream; suppressed counts surface on the
+// next record that gets through. Errors are exempt from rate limiting:
+// losing the record that explains an outage is worse than a noisy
+// stream.
+//
+// Everything is thread-safe (one mutex around the emit; formatting
+// happens outside it) and allocation-light; an emit below the active
+// level costs one relaxed atomic load.
+
+#ifndef MRSL_UTIL_LOG_H_
+#define MRSL_UTIL_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mrsl {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char* LogLevelName(LogLevel level);
+
+/// Inverse of LogLevelName (case-insensitive). "warning" also accepted.
+Result<LogLevel> ParseLogLevel(const std::string& name);
+
+/// One key=value field of a record. Numbers keep their type so the
+/// JSON rendering emits them unquoted.
+struct LogField {
+  enum class Type { kString, kInt, kDouble };
+  std::string key;
+  Type type = Type::kString;
+  std::string str;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), type(Type::kString), str(std::move(v)) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), type(Type::kString), str(v) {}
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), type(Type::kInt), i64(v) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), type(Type::kInt), i64(static_cast<int64_t>(v)) {}
+  LogField(std::string k, int v)
+      : key(std::move(k)), type(Type::kInt), i64(v) {}
+  LogField(std::string k, double v)
+      : key(std::move(k)), type(Type::kDouble), f64(v) {}
+};
+
+struct LogOptions {
+  LogLevel level = LogLevel::kInfo;
+  /// Per-component overrides, e.g. {"wal", kDebug}.
+  std::unordered_map<std::string, LogLevel> component_levels;
+  bool json = false;             ///< JSON-lines instead of text
+  double rate_per_sec = 50.0;    ///< sustained records/sec per (component, level)
+  double burst = 100.0;          ///< token-bucket depth
+  FILE* sink = nullptr;          ///< nullptr -> stderr
+};
+
+/// Parses "info" or "info,wal=debug,server=warn" — a default level plus
+/// per-component overrides in any order (a bare level anywhere resets
+/// the default). Populates `level` / `component_levels` of an existing
+/// options struct.
+Status ParseLogLevelSpec(const std::string& spec, LogOptions* options);
+
+class Logger {
+ public:
+  /// The process-wide logger (what the convenience wrappers below use).
+  static Logger& Global();
+
+  Logger() = default;
+  explicit Logger(LogOptions options) { Configure(std::move(options)); }
+
+  /// Replaces the configuration (thread-safe; applies to subsequent
+  /// records).
+  void Configure(LogOptions options);
+
+  /// True when a record at (component, level) would be emitted — the
+  /// cheap guard for callers that build expensive fields.
+  bool Enabled(const std::string& component, LogLevel level) const;
+
+  /// Emits one record (subject to level filtering and rate limiting).
+  void Log(LogLevel level, const std::string& component,
+           const std::string& message, std::vector<LogField> fields = {});
+
+  /// Records emitted / suppressed by the rate limiter since start.
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_seconds = 0.0;
+    uint64_t suppressed = 0;  // since the last emitted record
+  };
+
+  LogLevel LevelFor(const std::string& component) const;
+
+  mutable std::mutex mutex_;
+  LogOptions options_;
+  // min over (global, every override) — the Enabled() fast-path floor.
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+/// Convenience wrappers over Logger::Global().
+void LogDebug(const std::string& component, const std::string& message,
+              std::vector<LogField> fields = {});
+void LogInfo(const std::string& component, const std::string& message,
+             std::vector<LogField> fields = {});
+void LogWarn(const std::string& component, const std::string& message,
+             std::vector<LogField> fields = {});
+void LogError(const std::string& component, const std::string& message,
+              std::vector<LogField> fields = {});
+
+/// Process start time (unix seconds, captured at static initialization)
+/// and seconds elapsed since — the /healthz + mrsl_uptime_seconds feed.
+double ProcessStartUnixSeconds();
+double ProcessUptimeSeconds();
+
+}  // namespace mrsl
+
+#endif  // MRSL_UTIL_LOG_H_

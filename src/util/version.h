@@ -6,8 +6,8 @@
 #define MRSL_UTIL_VERSION_H_
 
 #define MRSL_VERSION_MAJOR 1
-#define MRSL_VERSION_MINOR 8
+#define MRSL_VERSION_MINOR 9
 #define MRSL_VERSION_PATCH 0
-#define MRSL_VERSION_STRING "1.8.0"
+#define MRSL_VERSION_STRING "1.9.0"
 
 #endif  // MRSL_UTIL_VERSION_H_

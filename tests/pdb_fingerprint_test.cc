@@ -1,0 +1,236 @@
+// Tests for query fingerprinting (pdb/fingerprint.h): the two contract
+// properties — literal-insensitivity (plans differing only in predicate
+// constants share a fingerprint) and shape-sensitivity (plans differing
+// in structure, attributes, negation, join keys, or kind never do) —
+// pinned both on hand-built cases and over randomized plan pairs whose
+// expected normalized text is rendered by an independent generator.
+
+#include "pdb/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "oracle_harness.h"
+#include "pdb/plan.h"
+#include "pdb/prob_database.h"
+#include "util/rng.h"
+
+namespace mrsl {
+namespace {
+
+using oracle_harness::SmallDb;
+
+Result<QueryFingerprint> Fp(const std::string& text, const ProbDatabase& db) {
+  auto parsed = ParsePlan(text, {&db});
+  if (!parsed.ok()) return parsed.status();
+  return FingerprintQuery(*parsed, {&db});
+}
+
+TEST(FingerprintTest, LiteralsCollapseToOnePlaceholderShape) {
+  ProbDatabase db = SmallDb();
+  auto a = Fp("count(select(inc=50K; scan))", db);
+  auto b = Fp("count(select(inc=100K; scan))", db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->normalized, "count(select(inc=?; scan(0)))");
+  EXPECT_EQ(a->normalized, b->normalized);
+  EXPECT_EQ(a->hash, b->hash);
+}
+
+TEST(FingerprintTest, HashIsStableAcrossProcesses) {
+  // FNV-1a64 of "count(select(inc=?; scan(0)))", computed externally.
+  // Digest keys are logged and joined against across restarts; a hash
+  // change here is a wire-format break.
+  ProbDatabase db = SmallDb();
+  auto fp = Fp("count(select(inc=50K; scan))", db);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(FingerprintHex(fp->hash), "b260cba82a1404a3");
+}
+
+TEST(FingerprintTest, ShapeChangesChangeTheFingerprint) {
+  ProbDatabase db = SmallDb();
+  const std::string base = "count(select(inc=50K; scan))";
+  // Attribute, negation, kind, extra operator, atom order: all shape.
+  const std::vector<std::string> different = {
+      "count(select(nw=100K; scan))",
+      "count(select(inc!=50K; scan))",
+      "exists(select(inc=50K; scan))",
+      "select(inc=50K; scan)",
+      "count(scan)",
+      "count(select(inc=50K & nw=100K; scan))",
+      "count(select(nw=100K & inc=50K; scan))",
+      "count(project(inc; select(inc=50K; scan)))",
+  };
+  auto base_fp = Fp(base, db);
+  ASSERT_TRUE(base_fp.ok());
+  for (const std::string& text : different) {
+    auto fp = Fp(text, db);
+    ASSERT_TRUE(fp.ok()) << text;
+    EXPECT_NE(fp->normalized, base_fp->normalized) << text;
+    EXPECT_NE(fp->hash, base_fp->hash) << text;
+  }
+}
+
+TEST(FingerprintTest, JoinKeysAndSourcesArePartOfTheShape) {
+  ProbDatabase db = SmallDb();
+  ProbDatabase db2 = SmallDb();
+  std::vector<const ProbDatabase*> sources = {&db, &db2};
+  auto parse = [&](const std::string& text) {
+    auto parsed = ParsePlan(text, sources);
+    EXPECT_TRUE(parsed.ok()) << text;
+    auto fp = FingerprintQuery(*parsed, sources);
+    EXPECT_TRUE(fp.ok()) << text;
+    return fp->hash;
+  };
+  uint64_t a = parse("count(join(scan(0); scan(1); inc=inc))");
+  uint64_t b = parse("count(join(scan(0); scan(1); inc=nw))");
+  uint64_t c = parse("count(join(scan(0); scan(0); inc=inc))");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FingerprintTest, KindNamesAndHexRendering) {
+  EXPECT_STREQ(QueryKindName(ParsedQuery::Kind::kRelation), "relation");
+  EXPECT_STREQ(QueryKindName(ParsedQuery::Kind::kExists), "exists");
+  EXPECT_STREQ(QueryKindName(ParsedQuery::Kind::kCount), "count");
+  EXPECT_EQ(FingerprintHex(0), "0000000000000000");
+  EXPECT_EQ(FingerprintHex(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(FingerprintHex(~0ULL), "ffffffffffffffff");
+}
+
+// -------------------------------------------------------------------------
+// The property test: a generator that renders a random plan TWICE with
+// independently drawn literals, plus the shape it expects back — the
+// normalized text with every literal as "?" — built without consulting
+// fingerprint.cc. Literal-insensitivity: both renderings fingerprint
+// identically. Shape-sensitivity: across iterations, equal shapes imply
+// equal hashes and distinct shapes imply distinct hashes.
+// -------------------------------------------------------------------------
+
+struct GenOutput {
+  std::string text_a;  // one literal draw
+  std::string text_b;  // an independent literal draw, same shape
+  std::string shape;   // expected normalized text
+};
+
+// One predicate over SmallDb's schema: inc in {50K, 100K}, nw in
+// {100K, 500K}. Input syntax joins atoms with " & "; the normalized
+// rendering uses " AND ".
+void GenPredicate(Rng* rng, GenOutput* out) {
+  static const char* kAttrs[2] = {"inc", "nw"};
+  static const char* kLabels[2][2] = {{"50K", "100K"}, {"100K", "500K"}};
+  const size_t atoms = 1 + rng->UniformInt(2);
+  for (size_t i = 0; i < atoms; ++i) {
+    if (i != 0) {
+      out->text_a += " & ";
+      out->text_b += " & ";
+      out->shape += " AND ";
+    }
+    const size_t attr = rng->UniformInt(2);
+    const char* op = rng->Bernoulli(0.3) ? "!=" : "=";
+    out->text_a += std::string(kAttrs[attr]) + op +
+                   kLabels[attr][rng->UniformInt(2)];
+    out->text_b += std::string(kAttrs[attr]) + op +
+                   kLabels[attr][rng->UniformInt(2)];
+    out->shape += std::string(kAttrs[attr]) + op + "?";
+  }
+}
+
+// select(pred; scan) or bare scan — the literal-bearing leaf.
+void GenLeaf(Rng* rng, GenOutput* out) {
+  if (rng->Bernoulli(0.75)) {
+    GenOutput pred;
+    GenPredicate(rng, &pred);
+    out->text_a += "select(" + pred.text_a + "; scan)";
+    out->text_b += "select(" + pred.text_b + "; scan)";
+    out->shape += "select(" + pred.shape + "; scan(0))";
+  } else {
+    out->text_a += "scan";
+    out->text_b += "scan";
+    out->shape += "scan(0)";
+  }
+}
+
+GenOutput GenQuery(Rng* rng) {
+  GenOutput body;
+  const bool join = rng->Bernoulli(0.4);
+  if (join) {
+    GenOutput left, right;
+    GenLeaf(rng, &left);
+    GenLeaf(rng, &right);
+    static const char* kNames[2] = {"inc", "nw"};
+    const std::string lkey = kNames[rng->UniformInt(2)];
+    const std::string rkey = kNames[rng->UniformInt(2)];
+    body.text_a = "join(" + left.text_a + "; " + right.text_a + "; " + lkey +
+                  "=" + rkey + ")";
+    body.text_b = "join(" + left.text_b + "; " + right.text_b + "; " + lkey +
+                  "=" + rkey + ")";
+    body.shape = "join(" + left.shape + "; " + right.shape + "; " + lkey +
+                 "=" + rkey + ")";
+  } else {
+    GenLeaf(rng, &body);
+    if (rng->Bernoulli(0.4)) {
+      // Project over the two-attribute leaf (never over a join, whose
+      // concatenated schema would make the names ambiguous).
+      static const char* kProjections[3] = {"inc", "nw", "inc,nw"};
+      const std::string names = kProjections[rng->UniformInt(3)];
+      body.text_a = "project(" + names + "; " + body.text_a + ")";
+      body.text_b = "project(" + names + "; " + body.text_b + ")";
+      body.shape = "project(" + names + "; " + body.shape + ")";
+    }
+  }
+  GenOutput out;
+  switch (rng->UniformInt(3)) {
+    case 0:
+      out = std::move(body);
+      break;
+    case 1:
+      out.text_a = "exists(" + body.text_a + ")";
+      out.text_b = "exists(" + body.text_b + ")";
+      out.shape = "exists(" + body.shape + ")";
+      break;
+    default:
+      out.text_a = "count(" + body.text_a + ")";
+      out.text_b = "count(" + body.text_b + ")";
+      out.shape = "count(" + body.shape + ")";
+      break;
+  }
+  return out;
+}
+
+TEST(FingerprintPropertyTest, RandomizedPlansNormalizeToTheirShape) {
+  ProbDatabase db = SmallDb();
+  Rng rng(20260807);
+  std::map<std::string, uint64_t> hash_by_shape;
+  std::map<uint64_t, std::string> shape_by_hash;
+  for (int iter = 0; iter < 400; ++iter) {
+    GenOutput gen = GenQuery(&rng);
+    auto fp_a = Fp(gen.text_a, db);
+    auto fp_b = Fp(gen.text_b, db);
+    ASSERT_TRUE(fp_a.ok()) << gen.text_a;
+    ASSERT_TRUE(fp_b.ok()) << gen.text_b;
+
+    // The normalized text is exactly the generator's shape rendering.
+    EXPECT_EQ(fp_a->normalized, gen.shape) << gen.text_a;
+
+    // Literal-insensitivity: an independent literal draw of the same
+    // shape fingerprints identically.
+    EXPECT_EQ(fp_a->hash, fp_b->hash) << gen.text_a << " vs " << gen.text_b;
+    EXPECT_EQ(fp_a->normalized, fp_b->normalized);
+
+    // Shape-sensitivity across the corpus: one hash per shape, one
+    // shape per hash.
+    auto by_shape = hash_by_shape.emplace(gen.shape, fp_a->hash);
+    EXPECT_EQ(by_shape.first->second, fp_a->hash) << gen.shape;
+    auto by_hash = shape_by_hash.emplace(fp_a->hash, gen.shape);
+    EXPECT_EQ(by_hash.first->second, gen.shape)
+        << "hash collision: " << gen.shape;
+  }
+  // The generator must actually cover a spread of shapes.
+  EXPECT_GT(hash_by_shape.size(), 30u);
+}
+
+}  // namespace
+}  // namespace mrsl

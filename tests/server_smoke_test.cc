@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -117,12 +119,19 @@ class ServerSmokeTest : public ::testing::Test {
   std::unique_ptr<HttpServer> server_;
 };
 
-TEST_F(ServerSmokeTest, HealthzReportsTheEpochAndVersion) {
+TEST_F(ServerSmokeTest, HealthzReportsTheEpochVersionAndUptime) {
   auto resp = Call("GET", "/healthz");
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp->status, 200);
-  EXPECT_EQ(resp->body, "{\"status\":\"ok\",\"epoch\":1,\"version\":\""
-                        MRSL_VERSION_STRING "\"}\n");
+  // The fixed prefix is exact; uptime/start-time are clock readings.
+  EXPECT_EQ(resp->body.rfind("{\"status\":\"ok\",\"epoch\":1,\"version\":\""
+                             MRSL_VERSION_STRING
+                             "\",\"uptime_seconds\":",
+                             0),
+            0u)
+      << resp->body;
+  EXPECT_NE(resp->body.find("\"start_time_unix_seconds\":"),
+            std::string::npos);
 }
 
 TEST_F(ServerSmokeTest, QueryAnswersMatchTheInProcessPath) {
@@ -517,6 +526,11 @@ TEST_F(ServerSmokeTest, DebugSlowLogsQueriesAboveTheThreshold) {
   EXPECT_NE(slow->body.find("\"recorded\":1"), std::string::npos);
   EXPECT_NE(slow->body.find("\"plan\":\""), std::string::npos);
   EXPECT_NE(slow->body.find("\"elapsed_ms\":"), std::string::npos);
+  // Each entry links to its statement digest and carries the
+  // evaluator's resource accounting.
+  EXPECT_NE(slow->body.find("\"fingerprint\":\""), std::string::npos);
+  EXPECT_NE(slow->body.find("\"resources\":{\"peak_batch_bytes\":"),
+            std::string::npos);
   // The request was traced, so the entry carries its span tree.
   EXPECT_NE(slow->body.find("\"spans\":{\"name\":\"query\""),
             std::string::npos);
@@ -527,6 +541,169 @@ TEST_F(ServerSmokeTest, DebugSlowLogsQueriesAboveTheThreshold) {
   ASSERT_TRUE(fast.ok());
   EXPECT_NE(fast->body.find("\"recorded\":0"), std::string::npos);
   slow_server.Stop();
+}
+
+TEST_F(ServerSmokeTest, StatementsCollapseLiteralVariantsIntoOneDigest) {
+  // Three calls of one shape — two distinct literals plus one repeat
+  // (a plan-cache hit) — must fold into ONE digest with exact counts.
+  const std::string attr = schema_.attr(0).name();
+  const std::string q0 =
+      "count(select(" + attr + "=" + schema_.attr(0).label(0) + "; scan))";
+  const std::string q1 =
+      "count(select(" + attr + "=" + schema_.attr(0).label(1) + "; scan))";
+  ASSERT_EQ(Call("POST", "/query", q0)->status, 200);
+  ASSERT_EQ(Call("POST", "/query", q1)->status, 200);
+  ASSERT_EQ(Call("POST", "/query", q0)->status, 200);  // cache hit
+
+  auto resp = Call("GET", "/debug/statements");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"tracked\":1"), std::string::npos)
+      << resp->body;
+  EXPECT_NE(resp->body.find("\"kind\":\"count\""), std::string::npos);
+  EXPECT_NE(resp->body.find("\"calls\":3"), std::string::npos);
+  EXPECT_NE(resp->body.find("\"cache_hits\":1"), std::string::npos);
+  EXPECT_NE(resp->body.find("\"cache_misses\":2"), std::string::npos);
+  // The digest text is the placeholder shape, not any literal.
+  EXPECT_NE(resp->body.find(attr + "=?; scan(0)"), std::string::npos);
+  EXPECT_EQ(resp->body.find(schema_.attr(0).label(0)), std::string::npos);
+
+  // Aggregates are monotone: one more call, same digest.
+  ASSERT_EQ(Call("POST", "/query", q1)->status, 200);
+  auto again = Call("GET", "/debug/statements");
+  EXPECT_NE(again->body.find("\"calls\":4"), std::string::npos);
+  EXPECT_NE(again->body.find("\"cache_hits\":2"), std::string::npos);
+}
+
+TEST_F(ServerSmokeTest, StatementsValidateSortFormatAndLimit) {
+  ASSERT_EQ(Call("POST", "/query", CountPlan())->status, 200);
+  ASSERT_EQ(Call("POST", "/query", "exists(scan)")->status, 200);
+
+  EXPECT_EQ(Call("GET", "/debug/statements?sort=nope")->status, 400);
+  EXPECT_EQ(Call("GET", "/debug/statements?format=xml")->status, 400);
+  EXPECT_EQ(Call("GET", "/debug/statements?limit=-1")->status, 400);
+  EXPECT_EQ(Call("GET", "/debug/statements?limit=abc")->status, 400);
+
+  // TSV is the `mrsl top` feed: header first, one row per digest.
+  auto tsv = Call("GET", "/debug/statements?format=tsv");
+  ASSERT_EQ(tsv->status, 200);
+  EXPECT_NE(tsv->Header("content-type", "").find("tab-separated"),
+            std::string::npos);
+  EXPECT_EQ(tsv->body.rfind("fingerprint\tkind\tcalls", 0), 0u);
+
+  // ?limit truncates the listing but reports the full tracked count.
+  auto limited = Call("GET", "/debug/statements?limit=1");
+  ASSERT_EQ(limited->status, 200);
+  EXPECT_NE(limited->body.find("\"tracked\":2"), std::string::npos);
+  size_t first = limited->body.find("\"fingerprint\":");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(limited->body.find("\"fingerprint\":", first + 1),
+            std::string::npos);
+
+  // sort=calls puts the busier digest first.
+  ASSERT_EQ(Call("POST", "/query", CountPlan())->status, 200);
+  auto by_calls = Call("GET", "/debug/statements?sort=calls");
+  ASSERT_EQ(by_calls->status, 200);
+  size_t count_pos = by_calls->body.find("\"kind\":\"count\"");
+  size_t exists_pos = by_calls->body.find("\"kind\":\"exists\"");
+  ASSERT_NE(count_pos, std::string::npos);
+  ASSERT_NE(exists_pos, std::string::npos);
+  EXPECT_LT(count_pos, exists_pos);
+}
+
+TEST_F(ServerSmokeTest, StatementsResetDropsTheDigests) {
+  ASSERT_EQ(Call("POST", "/query", CountPlan())->status, 200);
+  auto reset = Call("POST", "/debug/statements/reset");
+  ASSERT_EQ(reset->status, 200);
+  EXPECT_EQ(reset->body, "{\"reset\":true,\"dropped\":1}\n");
+  auto resp = Call("GET", "/debug/statements");
+  EXPECT_NE(resp->body.find("\"tracked\":0"), std::string::npos);
+}
+
+TEST_F(ServerSmokeTest, StatementEvictionAtCapBumpsTheCounter) {
+  // Capacity 1 floors at one digest per shard (16 shards); 18 distinct
+  // shapes pigeonhole at least two evictions somewhere.
+  StoreServiceOptions opts;
+  opts.statement_capacity = 1;
+  StoreService capped_service(store_.get(), opts);
+  HttpServer capped_server;
+  capped_service.Attach(&capped_server);
+  ASSERT_TRUE(capped_server.Start().ok());
+
+  std::vector<std::string> shapes;
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    const std::string sel = "select(" + schema_.attr(a).name() + "=" +
+                            schema_.attr(a).label(0) + "; scan)";
+    shapes.push_back("count(" + sel + ")");
+    shapes.push_back("exists(" + sel + ")");
+    shapes.push_back(sel);
+  }
+  const std::string pair = "select(" + schema_.attr(0).name() + "=" +
+                           schema_.attr(0).label(0) + " & " +
+                           schema_.attr(1).name() + "=" +
+                           schema_.attr(1).label(0) + "; scan)";
+  shapes.push_back("count(" + pair + ")");
+  shapes.push_back("exists(" + pair + ")");
+  shapes.push_back(pair);
+  shapes.push_back("count(scan)");
+  shapes.push_back("exists(scan)");
+  shapes.push_back("scan");
+  ASSERT_GE(shapes.size(), 17u);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", capped_server.port()).ok());
+  for (const std::string& shape : shapes) {
+    ASSERT_EQ(client.RoundTrip("POST", "/query", shape)->status, 200)
+        << shape;
+  }
+
+  auto resp = client.RoundTrip("GET", "/debug/statements");
+  ASSERT_TRUE(resp.ok());
+  const std::string evictions_key = "\"evictions\":";
+  size_t at = resp->body.find(evictions_key);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GT(std::atoll(resp->body.c_str() + at + evictions_key.size()), 0)
+      << resp->body;
+
+  // The registry mirrors both series.
+  auto metrics = client.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("mrsl_statements_tracked"),
+            std::string::npos);
+  // Anchor on the sample line, not the # HELP line.
+  size_t evm = metrics->body.find("\nmrsl_statement_evictions_total ");
+  ASSERT_NE(evm, std::string::npos);
+  EXPECT_GT(
+      std::atof(metrics->body.c_str() + evm +
+                std::strlen("\nmrsl_statement_evictions_total ")),
+      0.0);
+  capped_server.Stop();
+}
+
+TEST_F(ServerSmokeTest, MetricsExposeUptimeAndProcessStart) {
+  auto resp = Call("GET", "/metrics");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->body.find("# TYPE mrsl_uptime_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(resp->body.find("mrsl_process_start_time_seconds"),
+            std::string::npos);
+  EXPECT_NE(resp->body.find("mrsl_statements_tracked"), std::string::npos);
+  EXPECT_NE(resp->body.find("mrsl_statement_evictions_total"),
+            std::string::npos);
+}
+
+TEST_F(ServerSmokeTest, TracedQueriesCarryFingerprintAndTraceIdHeader) {
+  auto resp = Call("POST", "/query?trace=1", CountPlan());
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  // The trace id echoes in a response header (the /debug/slow and log
+  // join key) and the trace object names the statement fingerprint.
+  const std::string trace_id = resp->Header("x-mrsl-trace-id", "");
+  EXPECT_EQ(trace_id.size(), 16u) << trace_id;
+  EXPECT_NE(resp->body.find("\"trace\":{\"trace_id\":\"" + trace_id +
+                            "\",\"fingerprint\":\""),
+            std::string::npos)
+      << resp->body;
 }
 
 // The acceptance-criterion test: queries racing a commit see exactly the

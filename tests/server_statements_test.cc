@@ -1,0 +1,202 @@
+// Tests for the statement digest store (server/statements.h): exact
+// streaming aggregates, histogram-derived percentiles, LRU eviction at
+// the per-shard cap with the monotone eviction counter, reset
+// semantics, and a concurrent record + scrape hammer (the store is
+// read while written in production — /debug/statements scrapes while
+// handler threads record).
+
+#include "server/statements.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mrsl {
+namespace {
+
+StatementSample Sample(uint64_t fingerprint, double elapsed = 0.01) {
+  StatementSample s;
+  s.fingerprint = fingerprint;
+  s.kind = "count";
+  s.normalized = "count(select(a=?; scan(0)))";
+  s.elapsed_seconds = elapsed;
+  return s;
+}
+
+TEST(StatementStoreTest, AggregatesAreExact) {
+  StatementStore store(64);
+
+  StatementSample miss = Sample(42, 0.020);
+  miss.rows = 7;
+  miss.width = 0.25;
+  miss.resources.peak_batch_bytes = 1000;
+  miss.resources.peak_lineage_bytes = 400;
+  miss.resources.lineage_events = 12;
+  miss.resources.worlds_sampled = 3;
+  store.Record(miss);
+
+  StatementSample hit = Sample(42, 0.001);
+  hit.cache_hit = true;
+  hit.rows = 7;
+  hit.width = 0.25;
+  store.Record(hit);
+
+  StatementSample compiled = Sample(42, 0.050);
+  compiled.compiled = true;
+  compiled.rows = 7;
+  compiled.width = 0.10;
+  compiled.resources.peak_batch_bytes = 500;  // below the running peak
+  compiled.resources.peak_lineage_bytes = 900;
+  compiled.resources.lineage_events = 5;
+  compiled.resources.worlds_sampled = 64;
+  store.Record(compiled);
+
+  StatementSample err = Sample(42, 0.002);
+  err.error = true;
+  store.Record(err);
+
+  auto digests = store.Snapshot();
+  ASSERT_EQ(digests.size(), 1u);
+  const StatementDigest& d = digests[0];
+  EXPECT_EQ(d.fingerprint, 42u);
+  EXPECT_EQ(d.kind, "count");
+  EXPECT_EQ(d.calls, 4u);
+  EXPECT_EQ(d.errors, 1u);
+  EXPECT_EQ(d.cache_hits, 1u);
+  // Errors are neither hits nor misses: 4 calls = 1 hit + 2 misses + 1
+  // error.
+  EXPECT_EQ(d.cache_misses, 2u);
+  EXPECT_EQ(d.compiled_calls, 1u);
+  EXPECT_DOUBLE_EQ(d.total_seconds, 0.073);
+  EXPECT_DOUBLE_EQ(d.max_seconds, 0.050);
+  EXPECT_EQ(d.total_rows, 21u);
+  EXPECT_DOUBLE_EQ(d.total_width, 0.60);
+  EXPECT_DOUBLE_EQ(d.max_width, 0.25);
+  EXPECT_EQ(d.peak_batch_bytes, 1000u);    // max, not sum
+  EXPECT_EQ(d.peak_lineage_bytes, 900u);
+  EXPECT_EQ(d.lineage_events, 17u);        // sum
+  EXPECT_EQ(d.worlds_sampled, 67u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(StatementStoreTest, PercentilesComeFromTheHistogram) {
+  StatementStore store(64);
+  const std::vector<double>& bounds = StatementLatencyBounds();
+  // 99 fast calls and 1 slow one: p50 lands in the fast bucket, p99 in
+  // the slow one.
+  for (int i = 0; i < 99; ++i) store.Record(Sample(7, 0.001));
+  store.Record(Sample(7, 1.0));
+  auto digests = store.Snapshot();
+  ASSERT_EQ(digests.size(), 1u);
+  // The estimates are bucket upper bounds: p50 <= the bucket holding
+  // 1ms, p99 >= the bucket holding 1s, and both are real bounds.
+  EXPECT_LE(digests[0].p50_seconds, 0.01);
+  EXPECT_GE(digests[0].p99_seconds, 1.0);
+  EXPECT_LE(digests[0].p99_seconds, bounds.back());
+  uint64_t total = 0;
+  for (uint64_t c : digests[0].latency_counts) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StatementStoreTest, DistinctKindsAreDistinctDigests) {
+  StatementStore store(64);
+  StatementSample count_sample = Sample(42);
+  StatementSample exists_sample = Sample(42);
+  exists_sample.kind = "exists";
+  store.Record(count_sample);
+  store.Record(exists_sample);
+  EXPECT_EQ(store.Snapshot().size(), 2u);
+}
+
+TEST(StatementStoreTest, LruEvictionAtTheShardCap) {
+  // Capacity 16 floors at one digest per shard; fingerprints 1 and 17
+  // share shard 1 (mod 16), so the second insert evicts the first.
+  StatementStore store(16);
+  store.Record(Sample(1));
+  store.Record(Sample(2));  // a different shard — no eviction
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evictions(), 0u);
+
+  store.Record(Sample(17));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evictions(), 1u);
+  auto digests = store.Snapshot();
+  bool has_1 = false, has_17 = false;
+  for (const auto& d : digests) {
+    if (d.fingerprint == 1) has_1 = true;
+    if (d.fingerprint == 17) has_17 = true;
+  }
+  EXPECT_FALSE(has_1);
+  EXPECT_TRUE(has_17);
+}
+
+TEST(StatementStoreTest, EvictionPicksTheLeastRecentlyUpdated) {
+  // Two digests per shard (capacity 32): insert 1 then 17, touch 1,
+  // insert 33 — 17 is the least recently updated and must go.
+  StatementStore store(32);
+  store.Record(Sample(1));
+  store.Record(Sample(17));
+  store.Record(Sample(1));   // touch: 1 is now most recent
+  store.Record(Sample(33));  // evicts 17
+  EXPECT_EQ(store.evictions(), 1u);
+  auto digests = store.Snapshot();
+  ASSERT_EQ(digests.size(), 2u);
+  for (const auto& d : digests) EXPECT_NE(d.fingerprint, 17u);
+}
+
+TEST(StatementStoreTest, ResetDropsDigestsButKeepsEvictions) {
+  StatementStore store(16);
+  store.Record(Sample(1));
+  store.Record(Sample(17));  // evicts 1
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.Reset(), 1u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_EQ(store.evictions(), 1u);  // monotone across resets
+  store.Record(Sample(1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(StatementStoreTest, ConcurrentRecordAndScrape) {
+  StatementStore store(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+
+  // A scraper hammers Snapshot while writers record; every snapshot
+  // must be internally consistent (calls == hits + misses per digest —
+  // no torn digest is ever visible).
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      for (const StatementDigest& d : store.Snapshot()) {
+        EXPECT_EQ(d.calls, d.cache_hits + d.cache_misses + d.errors);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        StatementSample s = Sample(static_cast<uint64_t>(i % 8), 0.001);
+        s.cache_hit = (t + i) % 2 == 0;
+        store.Record(s);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  scraper.join();
+
+  uint64_t calls = 0;
+  for (const StatementDigest& d : store.Snapshot()) calls += d.calls;
+  EXPECT_EQ(calls, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace mrsl

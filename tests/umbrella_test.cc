@@ -13,7 +13,7 @@ namespace {
 
 TEST(UmbrellaTest, VersionMacros) {
   EXPECT_EQ(MRSL_VERSION_MAJOR, 1);
-  EXPECT_STREQ(MRSL_VERSION_STRING, "1.8.0");
+  EXPECT_STREQ(MRSL_VERSION_STRING, "1.9.0");
   // The string macro must stay in sync with the numeric components.
   const std::string composed = std::to_string(MRSL_VERSION_MAJOR) + "." +
                                std::to_string(MRSL_VERSION_MINOR) + "." +

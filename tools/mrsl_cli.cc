@@ -38,11 +38,17 @@
 //   serve   --model model.txt --snapshot store.bin [--in data.csv]
 //           [--port 8080] [--max-inflight 64] [--threads N]
 //           [--trace-sample R] [--slow-query-ms MS]
+//           [--log-level SPEC] [--log-format text|json]
 //           Serve the versioned store over HTTP on 127.0.0.1: POST
 //           /query (plan text), POST /update (delta CSV), GET
 //           /snapshot, GET /healthz, GET /metrics, GET /debug/traces,
-//           GET /debug/slow. SIGINT/SIGTERM drains in-flight requests
-//           and saves the snapshot back.
+//           GET /debug/slow, GET /debug/statements. SIGINT/SIGTERM
+//           drains in-flight requests and saves the snapshot back.
+//   top     [--port 8080] [--sort total_time] [--limit 20]
+//           [--interval-ms 2000] [--iterations 0]
+//           Live workload view: polls a serving process's
+//           /debug/statements and renders the digests as a table,
+//           top-like, until interrupted (or for --iterations rounds).
 //   tune    --in data.csv [--candidates 0.001,0.01,0.1] [--holdout 0.2]
 //           Pick the support threshold by masked holdout log-loss.
 //
@@ -53,6 +59,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -62,6 +69,7 @@
 #include <set>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -79,10 +87,13 @@
 #include "pdb/prob_database.h"
 #include "pdb/store.h"
 #include "relational/discretizer.h"
+#include "server/http.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "util/csv.h"
+#include "util/log.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 
 namespace mrsl {
 namespace {
@@ -139,6 +150,7 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "    [--sync-mode always|group|none] [--samples 2000]\n"
        "    [--burn-in 100] [--mode dag|tuple|product] [--min-prob 0]\n"
        "    [--threads 0] [--trace-sample 0] [--slow-query-ms 250]\n"
+       "    [--log-level info] [--log-format text]\n"
        "  Serve the versioned store over HTTP on 127.0.0.1:\n"
        "    POST /query     plan text -> JSON rows with [lo, hi] probs\n"
        "                    (?oracle=N adds a Monte-Carlo cross-check;\n"
@@ -151,13 +163,26 @@ const std::map<std::string, std::string>& CmdUsageTexts() {
        "    GET  /debug/traces  recent traces (?format=chrome for\n"
        "                    chrome://tracing; ?limit=N)\n"
        "    GET  /debug/slow    queries slower than --slow-query-ms\n"
+       "    GET  /debug/statements  per-query-shape workload digests\n"
+       "                    (?sort=total_time|calls|p99|width, ?limit=N,\n"
+       "                    ?format=json|tsv); POST .../reset clears them\n"
        "  --trace-sample R records a trace for a random fraction R in\n"
        "  [0,1] of requests; --slow-query-ms < 0 disables the slow log.\n"
+       "  --log-level takes a level (debug|info|warn|error|off) with\n"
+       "  optional per-component overrides, e.g. 'info,wal=debug';\n"
+       "  --log-format json emits JSON-lines records on stderr.\n"
        "  SIGINT/SIGTERM drains in-flight requests, then saves the\n"
        "  snapshot back to --snapshot (checkpointing + compacting the\n"
        "  WAL when --wal-dir is set). With a WAL, every /update is\n"
        "  fsync-durable before its HTTP 200 — kill -9 the server and\n"
        "  restart with the same flags to replay the tail.\n"},
+      {"top",
+       "mrsl top [--port 8080] [--sort total_time] [--limit 20]\n"
+       "    [--interval-ms 2000] [--iterations 0]\n"
+       "  Poll a serving process's GET /debug/statements and render the\n"
+       "  workload digests as a live table (clears the screen between\n"
+       "  rounds; --iterations 0 polls until interrupted; 1 prints one\n"
+       "  snapshot and exits). --sort: total_time|calls|p99|width.\n"},
       {"tune",
        "mrsl tune --in data.csv [--candidates t1,t2,...] [--holdout 0.2]\n"
        "  Pick the support threshold by masked holdout log-loss.\n"},
@@ -178,7 +203,7 @@ int UsageFor(const std::string& cmd) {
 void PrintGlobalUsage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: mrsl <learn|stats|infer|repair|query|update|serve|tune> "
+      "usage: mrsl <learn|stats|infer|repair|query|update|serve|top|tune> "
       "[options]\n"
       "run `mrsl <command> --help` for that command's flags\n"
       "\n");
@@ -1062,6 +1087,23 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
     return Usage();
   }
 
+  // Logging is configured before anything that might emit a record.
+  LogOptions log_opts;
+  const std::string log_spec = GetFlag(flags, "log-level", "info");
+  if (Status parsed_spec = ParseLogLevelSpec(log_spec, &log_opts);
+      !parsed_spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed_spec.ToString().c_str());
+    return Usage();
+  }
+  const std::string log_format = GetFlag(flags, "log-format", "text");
+  if (log_format == "json") {
+    log_opts.json = true;
+  } else if (log_format != "text") {
+    std::fprintf(stderr, "error: --log-format must be text or json\n");
+    return Usage();
+  }
+  Logger::Global().Configure(log_opts);
+
   Engine engine(&*model, engine_opts);
   BidStore store(&engine, store_opts);
   const int rc = RestoreOrDerive(&store, flags, snapshot_path);
@@ -1100,7 +1142,8 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
       "serving epoch %llu on http://127.0.0.1:%u  "
       "(engine threads=%zu, max-inflight=%zu)\n"
       "endpoints: POST /query  POST /update  GET /snapshot  "
-      "GET /healthz  GET /metrics  GET /debug/traces  GET /debug/slow\n"
+      "GET /healthz  GET /metrics  GET /debug/traces  GET /debug/slow  "
+      "GET /debug/statements\n"
       "Ctrl-C drains and saves the snapshot\n",
       static_cast<unsigned long long>(store.epoch()), server.port(),
       engine.num_threads(), server_opts.max_inflight);
@@ -1117,6 +1160,87 @@ int CmdServe(const std::map<std::string, std::vector<std::string>>& flags) {
               static_cast<unsigned long long>(server.requests_shed()));
 
   return SaveOrCheckpoint(&store, snapshot_path, wal_enabled);
+}
+
+// Live workload view: polls /debug/statements on a serving process and
+// renders the TSV digests as an aligned table, `top`-style.
+int CmdTop(const std::map<std::string, std::vector<std::string>>& flags) {
+  const auto Usage = [] { return UsageFor("top"); };
+  int64_t port = 0;
+  int64_t limit = 0;
+  int64_t interval_ms = 0;
+  int64_t iterations = 0;
+  std::string sort = GetFlag(flags, "sort", "total_time");
+  if (!GetIntFlag(flags, "port", 8080, &port) || port > 65535 ||
+      !GetIntFlag(flags, "limit", 20, &limit) ||
+      !GetIntFlag(flags, "interval-ms", 2000, &interval_ms) ||
+      !GetIntFlag(flags, "iterations", 0, &iterations)) {
+    return Usage();
+  }
+  if (sort != "total_time" && sort != "calls" && sort != "p99" &&
+      sort != "width") {
+    std::fprintf(stderr,
+                 "error: --sort must be total_time, calls, p99, or width\n");
+    return Usage();
+  }
+  const std::string target = "/debug/statements?format=tsv&sort=" + sort +
+                             "&limit=" + std::to_string(limit);
+
+  HttpClient client;
+  for (int64_t round = 0; iterations == 0 || round < iterations; ++round) {
+    if (!client.connected()) {
+      Status connected =
+          client.Connect("127.0.0.1", static_cast<uint16_t>(port));
+      if (!connected.ok()) {
+        std::fprintf(stderr, "error: connect 127.0.0.1:%lld: %s\n",
+                     static_cast<long long>(port),
+                     connected.ToString().c_str());
+        return 1;
+      }
+    }
+    auto response = client.RoundTrip("GET", target);
+    if (!response.ok()) {
+      // A serve restart closes the connection; reconnect next round.
+      client.Close();
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      if (iterations != 0 && round + 1 >= iterations) return 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    if (response->status != 200) {
+      std::fprintf(stderr, "error: server answered %d: %s\n",
+                   response->status, response->body.c_str());
+      return 1;
+    }
+
+    // TSV -> table: first line is the header, `normalized` is last so
+    // the digest text (which may be wide) does not break alignment.
+    std::vector<std::string> lines = Split(response->body, '\n');
+    if (lines.empty()) {
+      std::fprintf(stderr, "error: empty /debug/statements response\n");
+      return 1;
+    }
+    std::vector<std::string> headers;
+    for (const std::string& h : Split(lines[0], '\t')) headers.push_back(h);
+    TablePrinter table(headers);
+    size_t digests = 0;
+    for (size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      table.AddRow(Split(lines[i], '\t'));
+      ++digests;
+    }
+    if (iterations != 1) {
+      std::printf("\x1b[H\x1b[2J");  // cursor home + clear, top-style
+    }
+    std::printf("mrsl top — 127.0.0.1:%lld  sort=%s  digests=%zu\n\n%s",
+                static_cast<long long>(port), sort.c_str(), digests,
+                table.ToString().c_str());
+    std::fflush(stdout);
+    if (iterations != 0 && round + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
 }
 
 int CmdTune(const std::map<std::string, std::vector<std::string>>& flags) {
@@ -1182,7 +1306,8 @@ int main(int argc, char** argv) {
       {"serve",
        {"model", "in", "snapshot", "port", "max-inflight", "wal-dir",
         "sync-mode", "samples", "burn-in", "mode", "min-prob", "threads",
-        "trace-sample", "slow-query-ms"}},
+        "trace-sample", "slow-query-ms", "log-level", "log-format"}},
+      {"top", {"port", "sort", "limit", "interval-ms", "iterations"}},
       {"tune", {"in", "candidates", "holdout"}},
   };
   std::string cmd = argv[1];
@@ -1213,6 +1338,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(flags);
   if (cmd == "update") return CmdUpdate(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "top") return CmdTop(flags);
   if (cmd == "tune") return CmdTune(flags);
   return Usage();  // a command in kAllowedFlags must also dispatch here
 }
